@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures and the paper-vs-measured report helper."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+_REPORT_ROWS: List[str] = []
+
+
+def record_row(table: str, row: str, paper, measured, note: str = "") -> None:
+    """Accumulate one paper-vs-measured line for the end-of-run report."""
+    if isinstance(paper, (int, float)) and isinstance(measured, (int, float)) and paper:
+        ratio = f"{measured / paper:6.2f}x"
+    else:
+        ratio = "     -"
+    _REPORT_ROWS.append(
+        f"{table:8} {row:34} {str(paper):>12} {str(measured):>12} {ratio} {note}"
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_ROWS:
+        return
+    terminalreporter.write_sep("=", "paper vs measured")
+    terminalreporter.write_line(
+        f"{'table':8} {'row':34} {'paper':>12} {'measured':>12} {'ratio':>7}"
+    )
+    for row in _REPORT_ROWS:
+        terminalreporter.write_line(row)

@@ -1,0 +1,64 @@
+"""Crypto substrate characterisation.
+
+The paper borrows a verified, OpenSSL-derived ARM SHA-256 from Vale and
+reports that it gives "good hashing performance" (section 7.2); all the
+hash-dominated Table 3 rows inherit their shape from its per-block cost.
+This bench characterises our substitute: the modelled cycles-per-byte of
+SHA-256 and HMAC (which must sit in the realistic range that makes
+Attest ≈ 12 k cycles), and the host wall-time of the pure-Python
+implementation (simulator health, not a paper claim).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.arm.costs import CostModel
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.sha256 import SHA256, sha256
+
+
+class TestModelledThroughput:
+    def test_cycles_per_byte_in_realistic_range(self, benchmark):
+        benchmark(lambda: None)  # keep the recorder in --benchmark-only runs
+        """Optimised ARMv7 SHA-256 runs at roughly 15-60 cycles/byte;
+        the model's per-block constant must land in that range or every
+        hash-dominated row in Table 3 would be out of shape."""
+        costs = CostModel()
+        cycles_per_byte = costs.sha256_block / 64
+        record_row("CRYPTO", "SHA-256 modelled cycles/byte", 20, round(cycles_per_byte, 1))
+        assert 15 <= cycles_per_byte <= 60
+
+    def test_hmac_block_count(self):
+        """HMAC over 64 bytes of message = 5 compressions (2 pads, 1
+        message block, 1 inner-padding block, 1 outer-digest block)."""
+        blocks = []
+        hmac_sha256(b"\x00" * 32, b"\x00" * 64, on_block=lambda: blocks.append(1))
+        assert len(blocks) == 5
+
+    def test_page_hash_block_count(self):
+        """Measuring a 4 kB page = 64 compressions, the dominant cost of
+        MapSecure."""
+        blocks = []
+        hasher = SHA256(on_block=lambda: blocks.append(1))
+        hasher.update(b"\x00" * 4096)
+        assert len(blocks) == 64
+
+    def test_attest_cost_derivation(self):
+        """Attest ≈ 5 blocks + overhead: the Table 3 row is derived, not
+        hard-coded."""
+        costs = CostModel()
+        hash_only = 5 * costs.sha256_block
+        assert 0.90 < hash_only / 12411 < 1.05
+
+
+class TestHostWallTime:
+    def test_sha256_wall_time(self, benchmark):
+        data = bytes(range(256)) * 16  # 4 kB
+        digest = benchmark(lambda: sha256(data))
+        assert len(digest) == 32
+
+    def test_hmac_wall_time(self, benchmark):
+        key = bytes(32)
+        message = bytes(64)
+        mac = benchmark(lambda: hmac_sha256(key, message))
+        assert len(mac) == 32

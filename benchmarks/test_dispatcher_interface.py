@@ -1,0 +1,132 @@
+"""Ablation: the dispatcher interface vs exit-based fault handling.
+
+The dispatcher interface (paper section 9.2, implemented here) lets an
+enclave self-page without any OS round trip: fault -> user-mode handler
+-> MAP_DATA SVC -> resume, all inside one Enter.  Under the base design
+the same demand-paging needs an exit to the OS (which thereby learns a
+fault happened) and a second full Enter.  This bench quantifies both the
+cycle gap and the privacy gap.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, EnclaveBuilder
+
+HANDLER_VA = CODE_VA + 0x800
+HEAP_VA = 0x0030_0000
+
+
+def pad_to_handler(asm: Assembler) -> None:
+    while asm.position < (HANDLER_VA - CODE_VA) // 4:
+        asm.nop()
+
+
+def build_self_paging(kernel):
+    """One Enter: stash spare (arg1), register handler, touch the heap
+    page (faults, handler maps, resumes), exit with word + 1."""
+    asm = Assembler()
+    asm.mov("r8", "r0")
+    asm.mov32("r4", DATA_VA)
+    asm.str_("r8", "r4", 0)
+    asm.mov32("r0", HANDLER_VA)
+    asm.svc(SVC.SET_FAULT_HANDLER)
+    asm.mov32("r4", HEAP_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.addi("r0", "r5", 1)
+    asm.svc(SVC.EXIT)
+    pad_to_handler(asm)
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r0", "r4", 0)
+    asm.mov32("r1", HEAP_VA | 0b011)
+    asm.svc(SVC.MAP_DATA)
+    asm.svc(SVC.RESUME_FAULT)
+    builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+    builder.add_spares(1)
+    return builder.add_data(writable=True).build()
+
+
+def build_exit_based(kernel):
+    """Two Enters: with arg2 == 0 the enclave maps the donated spare
+    (arg1) at the heap address and exits; with arg2 == 1 it touches the
+    page and exits with word + 1.  (Without a fault handler, a bare
+    touch would FAULT to the OS — same two-crossing shape, but the OS
+    additionally learns the exception type.)"""
+    asm = Assembler()
+    asm.cmpi("r1", 1)
+    asm.beq("touch")
+    asm.mov32("r1", HEAP_VA | 0b011)
+    asm.svc(SVC.MAP_DATA)  # r0 = spare pageno (arg1)
+    asm.movw("r0", 0)
+    asm.svc(SVC.EXIT)
+    asm.label("touch")
+    asm.mov32("r4", HEAP_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.addi("r0", "r5", 1)
+    asm.svc(SVC.EXIT)
+    builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+    builder.add_spares(1)
+    return builder.build()
+
+
+@pytest.fixture
+def measured():
+    monitor_a = KomodoMonitor(secure_pages=48)
+    kernel_a = OSKernel(monitor_a)
+    enclave_a = build_self_paging(kernel_a)
+    before = monitor_a.state.cycles
+    err, value = enclave_a.call(enclave_a.spares[0])
+    assert (err, value) == (KomErr.SUCCESS, 1)
+    self_paging = monitor_a.state.cycles - before
+
+    monitor_b = KomodoMonitor(secure_pages=48)
+    kernel_b = OSKernel(monitor_b)
+    enclave_b = build_exit_based(kernel_b)
+    before = monitor_b.state.cycles
+    err, _ = enclave_b.call(enclave_b.spares[0], 0)  # round trip 1: map
+    assert err is KomErr.SUCCESS
+    err, value = enclave_b.call(0, 1)  # round trip 2: touch
+    assert (err, value) == (KomErr.SUCCESS, 1)
+    exit_based = monitor_b.state.cycles - before
+    return self_paging, exit_based
+
+
+class TestDispatcherAblation:
+    def test_self_paging_cheaper_than_exit_based(self, measured, benchmark):
+        benchmark(lambda: None)  # keep the recorder in --benchmark-only runs
+        self_paging, exit_based = measured
+        record_row("A-DISP", "demand page, self-paging", exit_based, self_paging)
+        # Self-paging saves one full enclave crossing (~738 cycles), at
+        # the cost of the in-enclave handler dispatch.
+        assert self_paging < exit_based
+
+    def test_saving_is_roughly_one_crossing(self, measured):
+        self_paging, exit_based = measured
+        saved = exit_based - self_paging
+        assert 200 < saved < 1500
+
+    def test_self_paging_hides_fault_from_os(self):
+        """Privacy: the OS-visible outcome of a self-paged run carries
+        no fault indication at all."""
+        monitor = KomodoMonitor(secure_pages=48)
+        kernel = OSKernel(monitor)
+        enclave = build_self_paging(kernel)
+        err, _ = enclave.call(enclave.spares[0])
+        assert err is KomErr.SUCCESS  # not FAULT, not INTERRUPTED
+
+    def test_self_paging_wall_time(self, benchmark):
+        monitor = KomodoMonitor(secure_pages=48)
+        kernel = OSKernel(monitor)
+
+        def run():
+            enclave = build_self_paging(kernel)
+            err, _ = enclave.call(enclave.spares[0])
+            assert err is KomErr.SUCCESS
+            enclave.teardown()
+
+        benchmark(run)

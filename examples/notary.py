@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The trusted notary (paper section 8.2) end to end.
+
+The notary assigns logical timestamps to documents so they can be
+conclusively ordered.  This example:
+
+1. Builds the notary enclave (key generation on first entry, attested
+   public key).
+2. Notarises a few documents and shows the monotonic counter ordering.
+3. Verifies the receipts against the attested public key.
+4. Demonstrates that a tampered document or replayed counter fails.
+5. Runs the same workload as a plain "Linux process" and compares the
+   cycle counts — the Figure 5 observation that CPU-bound enclaves run
+   at native speed.
+"""
+
+from repro.apps.notary import NativeNotary, NotaryEnclave
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+
+CPU_MHZ = 900  # the paper's Raspberry Pi 2 clock, for cycle -> ms
+
+
+def main() -> None:
+    monitor = KomodoMonitor(secure_pages=128, step_budget=10**9)
+    kernel = OSKernel(monitor)
+    notary = NotaryEnclave(kernel, max_doc_bytes=64 * 1024)
+
+    pubkey_n, mac = notary.init()
+    print(f"notary public key: {pubkey_n:#x}"[:60], "…")
+    print("attestation MAC:", "".join(f"{w:08x}" for w in mac[:4]), "…")
+
+    documents = [
+        b"I, Alice, owe Bob one simulated Raspberry Pi." + bytes(3),
+        b"Contract: Bob delivers 64 secure pages by Friday" + bytes(0),
+        b"Amendment: make that 128 secure pages." + bytes(2),
+    ]
+    receipts = []
+    for document in documents:
+        receipt = notary.notarize(document)
+        receipts.append(receipt)
+        print(f"notarised counter={receipt.counter} sig={receipt.signature.hex()[:24]}…")
+
+    print("counters are strictly ordered:", [r.counter for r in receipts])
+    for document, receipt in zip(documents, receipts):
+        assert notary.verify_receipt(document, receipt), "receipt must verify"
+    print("all receipts verify against the attested public key")
+
+    tampered = documents[0].replace(b"one", b"two")
+    assert not notary.verify_receipt(tampered, receipts[0])
+    print("tampered document rejected")
+    assert not notary.verify_receipt(documents[1], receipts[0])
+    print("receipt replay against another document rejected")
+
+    # Figure 5 in miniature: enclave vs native process on one document.
+    document = bytes(range(256)) * 128  # 32 KiB
+    start = monitor.state.cycles
+    notary.notarize(document)
+    enclave_cycles = monitor.state.cycles - start
+
+    native = NativeNotary()
+    native.init()
+    start = native.cycles
+    native.notarize(document)
+    native_cycles = native.cycles - start
+
+    print(
+        f"32 KiB notarisation: enclave {enclave_cycles/CPU_MHZ/1000:.2f} ms, "
+        f"native {native_cycles/CPU_MHZ/1000:.2f} ms "
+        f"(overhead {100*(enclave_cycles/native_cycles-1):.1f}%)"
+    )
+    notary.teardown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Dynamic enclave memory (SGXv2-style, paper section 4).
+
+A sealed event log that grows on demand: the OS donates *spare* pages
+to a finalised, running enclave with AllocSpare; only the enclave decides
+what they become (data pages or second-level page tables) via the
+MapData/InitL2PTable SVCs.  The OS cannot observe which use the enclave
+chose — the deliberate improvement over SGXv2 the paper calls out — it
+can only infer that a spare was consumed, because Remove on it fails.
+
+The example demonstrates:
+
+1. an enclave growing its own address space: it consumes one spare as a
+   fresh L2 page table (a 4 MB slice the OS never mapped) and further
+   spares as log data pages, appending events until pages fill;
+2. the OS-side view: AllocSpare succeeds, Remove on a consumed spare
+   fails with PAGEINUSE, Remove on an unconsumed spare succeeds — and
+   the OS cannot tell page-table spares from data spares;
+3. UnmapData turning a log page back into a (scrubbed) spare the OS can
+   then reclaim.
+"""
+
+from repro.arm.memory import PAGE_SIZE, WORDS_PER_PAGE
+from repro.arm.pagetable import l1_index
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC, Mapping
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import EnclaveBuilder
+from repro.sdk.native import NativeEnclaveProgram
+
+#: The log lives in a 4 MB slice the OS never created a page table for;
+#: the enclave builds that table itself from a donated spare.
+LOG_BASE_VA = 0x0040_0000
+
+OP_APPEND = 1
+OP_SEAL = 2
+OP_SHRINK = 3
+
+#: Host -> enclave mailbox: slot 0 = next donated spare page number.
+MAILBOX_VA = 0x0020_0000
+
+#: Events per log page: word 0 of page 0 is the count header.
+_EVENTS_PER_PAGE = WORDS_PER_PAGE - 1
+
+
+def _slot_va(index: int) -> int:
+    """Virtual address of event slot ``index`` (skipping the header word)."""
+    linear = 1 + index
+    return LOG_BASE_VA + (linear // WORDS_PER_PAGE) * PAGE_SIZE + (
+        linear % WORDS_PER_PAGE
+    ) * 4
+
+
+def sealed_log_body(ctx, op, value, _arg3):
+    """Enclave program: append ``value`` to a page-growing sealed log."""
+    from repro.monitor.enclave_exec import NativeFault
+
+    def mapped(va):
+        try:
+            ctx.read_word(va)
+            return True
+        except NativeFault:
+            return False
+
+    if op == OP_APPEND:
+        if not mapped(LOG_BASE_VA):
+            # First ever append: build the L2 table for this 4 MB slice
+            # from one donated spare (mailbox slot 1), then map the first
+            # log page from another (mailbox slot 0).
+            ctx.init_l2ptable(ctx.read_word(MAILBOX_VA + 4), l1_index(LOG_BASE_VA))
+            yield
+            mapping = Mapping(
+                va=LOG_BASE_VA, readable=True, writable=True, executable=False
+            )
+            ctx.map_data(ctx.read_word(MAILBOX_VA), mapping.encode())
+        count = ctx.read_word(LOG_BASE_VA)
+        slot = _slot_va(count)
+        if not mapped(slot):
+            mapping = Mapping(
+                va=slot & ~(PAGE_SIZE - 1),
+                readable=True,
+                writable=True,
+                executable=False,
+            )
+            ctx.map_data(ctx.read_word(MAILBOX_VA), mapping.encode())
+        ctx.write_word(slot, value)
+        ctx.write_word(LOG_BASE_VA, count + 1)
+        yield
+        return count + 1
+    if op == OP_SEAL:
+        count = ctx.read_word(LOG_BASE_VA)
+        seal = 0
+        for i in range(count):
+            seal = (seal * 31 + ctx.read_word(_slot_va(i))) & 0xFFFFFFFF
+            if i % 256 == 255:
+                yield
+        return seal
+    if op == OP_SHRINK:
+        # Unmap the last log page (``value`` is its secure page number,
+        # which the enclave learned when the OS donated it — here the OS
+        # passes it back for simplicity).  The monitor scrubs it.
+        count = ctx.read_word(LOG_BASE_VA)
+        last_page_va = _slot_va(count - 1) & ~(PAGE_SIZE - 1)
+        mapping = Mapping(
+            va=last_page_va, readable=True, writable=True, executable=False
+        )
+        ctx.unmap_data(value, mapping.encode())
+        ctx.write_word(LOG_BASE_VA, min(count, _EVENTS_PER_PAGE))
+        yield
+        return 1
+    return 0xFFFFFFFF
+    yield  # pragma: no cover - generator marker
+
+
+def main() -> None:
+    monitor = KomodoMonitor(secure_pages=64)
+    kernel = OSKernel(monitor)
+    enclave = (
+        EnclaveBuilder(kernel)
+        .add_shared_buffer(va=MAILBOX_VA)
+        .set_native_program(NativeEnclaveProgram("sealed-log", sealed_log_body))
+        .build()
+    )
+
+    donated = []
+
+    def donate_spare(slot: int = 0) -> int:
+        spare = kernel.alloc_spare(enclave.as_page)
+        enclave.buffer().write_words(kernel, [spare], offset=slot)
+        donated.append(spare)
+        return spare
+
+    # 1. Grow the log across a page boundary.  The OS donates spares
+    #    ahead of demand through the mailbox: slot 1 becomes the new L2
+    #    page table, slot 0 the next log data page.
+    donate_spare(slot=1)  # becomes the enclave's new L2 page table
+    donate_spare(slot=0)  # becomes the first log data page
+    err, total = enclave.call(OP_APPEND, 1000)
+    assert err is KomErr.SUCCESS and total == 1, (err, total)
+    overflow_spare = None
+    for i in range(1, _EVENTS_PER_PAGE + 5):
+        if i == _EVENTS_PER_PAGE:
+            overflow_spare = donate_spare()  # second log data page
+        err, total = enclave.call(OP_APPEND, 1000 + i)
+        assert err is KomErr.SUCCESS, err
+    print(f"appended {total} events across 2 dynamically mapped pages")
+
+    # 2. The OS cannot reclaim consumed spares — and cannot distinguish
+    #    the page-table spare from the data spare: Remove fails with the
+    #    *same* error for both (the section 6.2 side channel is only
+    #    "a spare was consumed", never "what it became").
+    errors = []
+    for spare in donated[:2]:
+        err, _ = kernel.smc(SMC.REMOVE, spare)
+        errors.append(err)
+    assert errors[0] is errors[1] is KomErr.NOT_STOPPED, errors
+    print(
+        "Remove(consumed spares) -> NOT_STOPPED for both the table spare "
+        "and the data spare (indistinguishable to the OS)"
+    )
+
+    unused = donate_spare()
+    err, _ = kernel.smc(SMC.REMOVE, unused)
+    assert err is KomErr.SUCCESS
+    kernel.release_page(unused)
+    donated.remove(unused)
+    print("Remove(unconsumed spare) -> SUCCESS")
+
+    # 3. Seal, then shrink: the enclave unmaps its overflow page, turning
+    #    it back into a spare the OS can reclaim (contents scrubbed).
+    err, seal = enclave.call(OP_SEAL)
+    assert err is KomErr.SUCCESS
+    print(f"log sealed: {seal:#010x}")
+
+    err, _ = enclave.call(OP_SHRINK, overflow_spare)
+    assert err is KomErr.SUCCESS
+    err, _ = kernel.smc(SMC.REMOVE, overflow_spare)
+    assert err is KomErr.SUCCESS
+    kernel.release_page(overflow_spare)
+    donated.remove(overflow_spare)
+    print("enclave unmapped its overflow page; the OS reclaimed it scrubbed")
+
+    enclave.owned_pages.extend(donated)
+    enclave.teardown()
+    print(f"teardown complete, {kernel.free_page_count} pages free")
+
+
+if __name__ == "__main__":
+    main()

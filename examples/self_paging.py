@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Enclave self-paging via the dispatcher interface (section 9.2).
+
+The paper's future-work dispatcher interface, implemented here: an
+enclave registers a user-mode fault handler; the monitor upcalls into it
+on page faults instead of reporting them to the untrusted OS.  That
+enables LibOS-style demand paging *without* exposing the fault addresses
+that power SGX's controlled-channel attacks.
+
+The demo enclave walks a 16 kB region that starts entirely unmapped.
+Every first touch of a page faults into the enclave's own handler, which
+maps the next OS-donated spare page at the faulting address and resumes
+the faulting store.  The OS observes: nothing but a successful Enter.
+"""
+
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, EnclaveBuilder
+
+HANDLER_VA = CODE_VA + 0x800
+HEAP_VA = 0x0030_0000
+PAGES = 4
+
+
+def build_program(spares) -> Assembler:
+    asm = Assembler()
+    # Main: register the handler, then touch one word in each heap page.
+    asm.mov32("r0", HANDLER_VA)
+    asm.svc(SVC.SET_FAULT_HANDLER)
+    asm.movw("r10", 0)  # page index
+    asm.movw("r6", 0)  # checksum of values read back
+    asm.label("touch_loop")
+    asm.mov32("r4", HEAP_VA)
+    asm.lsli("r5", "r10", 12)
+    asm.add("r4", "r4", "r5")
+    asm.addi("r5", "r10", 100)
+    asm.str_("r5", "r4", 0)  # first touch of each page faults
+    asm.ldr("r5", "r4", 0)
+    asm.add("r6", "r6", "r5")
+    asm.addi("r10", "r10", 1)
+    asm.cmpi("r10", PAGES)
+    asm.bne("touch_loop")
+    asm.mov("r0", "r6")
+    asm.svc(SVC.EXIT)
+    while asm.position < (HANDLER_VA - CODE_VA) // 4:
+        asm.nop()
+    # Handler: r1 = faulting VA.  Pop the next spare from the stash page
+    # (spare numbers at words 0.., cursor at word 100) and map it RW at
+    # the faulting page.
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r2", "r4", 400)  # cursor
+    asm.lsli("r3", "r2", 2)
+    asm.ldrr("r0", "r4", "r3")  # next spare pageno
+    asm.addi("r2", "r2", 1)
+    asm.str_("r2", "r4", 400)
+    asm.mov32("r3", 0x3FFFF000)
+    asm.and_("r1", "r1", "r3")
+    asm.addi("r1", "r1", 0b011)  # R|W mapping word
+    asm.svc(SVC.MAP_DATA)
+    asm.svc(SVC.RESUME_FAULT)
+    return asm
+
+
+def main() -> None:
+    # Spare page numbers are baked into the (measured) stash page.  They
+    # are deterministic for a fresh machine, so probe once to learn
+    # them, then build the real machine identically.
+    probe_kernel = OSKernel(KomodoMonitor(secure_pages=64))
+    probe = (
+        EnclaveBuilder(probe_kernel)
+        .add_code(build_program([0] * PAGES))
+        .add_thread(CODE_VA)
+        .add_spares(PAGES)
+        .add_data(contents=[0] * PAGES, writable=True)
+        .build()
+    )
+    spares = list(probe.spares)
+    print(f"OS will donate spare pages {spares}")
+
+    monitor = KomodoMonitor(secure_pages=64)
+    kernel = OSKernel(monitor)
+    enclave = (
+        EnclaveBuilder(kernel)
+        .add_code(build_program(spares))
+        .add_thread(CODE_VA)
+        .add_spares(PAGES)
+        .add_data(contents=spares, writable=True)
+        .build()
+    )
+    assert enclave.spares == spares
+
+    err, checksum = enclave.call()
+    assert err is KomErr.SUCCESS, err
+    expected = sum(100 + i for i in range(PAGES))
+    print(f"enclave demand-paged {PAGES} pages; checksum {checksum} == {expected}")
+    assert checksum == expected
+
+    # What did the OS see?  One successful Enter.  No fault report, no
+    # fault addresses — the controlled channel SGX exposes is closed.
+    from repro.monitor.layout import PageType
+
+    consumed = [
+        spare
+        for spare in spares
+        if monitor.pagedb.page_type(spare) is PageType.DATA
+    ]
+    print(
+        f"all {len(consumed)} spares became data pages, chosen and placed "
+        "entirely by the enclave; the OS observed only SUCCESS"
+    )
+
+
+if __name__ == "__main__":
+    main()

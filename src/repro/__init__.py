@@ -1,0 +1,45 @@
+"""Komodo reproduction: software enclaves on a simulated ARM/TrustZone.
+
+An executable reproduction of "Komodo: Using verification to disentangle
+secure-enclave hardware from software" (SOSP 2017).  The public API
+surfaces the pieces a downstream user composes:
+
+>>> from repro import KomodoMonitor, OSKernel, EnclaveBuilder
+>>> from repro.arm.assembler import Assembler
+>>> from repro.monitor.layout import SVC
+>>> monitor = KomodoMonitor(secure_pages=64)
+>>> kernel = OSKernel(monitor)
+>>> asm = Assembler().mul("r0", "r0", "r1").svc(SVC.EXIT)
+>>> enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(0x10000).build()
+>>> enclave.call(6, 7)[1]
+42
+
+Subpackages: ``arm`` (machine model), ``crypto``, ``monitor`` (the
+paper's contribution), ``spec`` (executable functional specification),
+``verification`` (refinement checking), ``security`` (noninterference),
+``osmodel``, ``sdk``, ``apps``, ``multicore``, ``tools``.
+"""
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import EnclaveBuilder, EnclaveHandle
+from repro.sdk.native import NativeEnclaveProgram
+from repro.verification.refinement import CheckedMonitor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckedMonitor",
+    "EnclaveBuilder",
+    "EnclaveHandle",
+    "KomErr",
+    "KomodoMonitor",
+    "Mapping",
+    "NativeEnclaveProgram",
+    "OSKernel",
+    "SMC",
+    "SVC",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Applications built on the public enclave API.
+
+* ``notary`` — the paper's evaluation workload (section 8.2), runnable
+  both inside a Komodo enclave and as a plain "Linux process" on the
+  same cost model, which is how Figure 5 compares the two.
+* ``remote_attestation`` — the trusted quoting enclave the paper defers
+  (section 4), turning local attestations into remotely verifiable
+  quotes.
+* ``sealed_storage`` — measurement-bound data-at-rest built on the
+  Attest SVC used as a key-derivation function.
+* ``checksum`` — a CRC-32 service implemented in pure enclave machine
+  code, exercising the interpreted execution path at scale.
+"""
+
+from repro.apps.checksum import ChecksumService, crc32_words
+from repro.apps.notary import NativeNotary, NotaryEnclave, NotaryReceipt
+from repro.apps.remote_attestation import Quote, QuotingEnclave, verify_quote
+from repro.apps.sealed_storage import SealError, seal, unseal
+
+__all__ = [
+    "ChecksumService",
+    "NativeNotary",
+    "NotaryEnclave",
+    "NotaryReceipt",
+    "crc32_words",
+    "Quote",
+    "QuotingEnclave",
+    "SealError",
+    "seal",
+    "unseal",
+    "verify_quote",
+]

@@ -1,0 +1,110 @@
+"""A checksum service implemented entirely in enclave machine code.
+
+Unlike the native-program applications, this service's logic is pure ARM
+assembly executed instruction by instruction through the enclave's page
+tables — a demonstration that non-trivial measured programs run on the
+machine model.  It computes a word-granular CRC-32 (reflected,
+polynomial 0xEDB88320) over data the OS places in a shared insecure
+buffer, and returns the checksum through the Exit value.
+
+The measured program *is* the service's identity: any change to the CRC
+code changes the enclave measurement, so a caller that verifies the
+measurement knows exactly which checksum algorithm ran.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arm.assembler import Assembler
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, SHARED_VA, EnclaveBuilder, EnclaveHandle
+
+CRC_POLY = 0xEDB88320
+
+
+def crc32_words(words: Sequence[int]) -> int:
+    """Reference implementation: the same word-level CRC in Python."""
+    crc = 0xFFFFFFFF
+    for word in words:
+        crc ^= word & 0xFFFFFFFF
+        for _ in range(32):
+            if crc & 1:
+                crc = (crc >> 1) ^ CRC_POLY
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF
+
+
+def crc_program() -> Assembler:
+    """The enclave program: r0 = word count; data at SHARED_VA.
+
+    Register allocation: r4 = buffer cursor, r5 = remaining words,
+    r6 = crc accumulator, r7 = current word, r8 = bit counter,
+    r9 = polynomial, r10 = constant 1.
+    """
+    asm = Assembler()
+    asm.mov("r5", "r0")  # word count
+    asm.mov32("r4", SHARED_VA)
+    asm.mov32("r6", 0xFFFFFFFF)
+    asm.mov32("r9", CRC_POLY)
+    asm.movw("r10", 1)
+    asm.cmpi("r5", 0)
+    asm.beq("done")
+    asm.label("word_loop")
+    asm.ldr("r7", "r4", 0)
+    asm.eor("r6", "r6", "r7")
+    asm.movw("r8", 32)
+    asm.label("bit_loop")
+    asm.tst("r6", "r10")
+    asm.beq("even")
+    asm.lsri("r6", "r6", 1)
+    asm.eor("r6", "r6", "r9")
+    asm.b("bit_done")
+    asm.label("even")
+    asm.lsri("r6", "r6", 1)
+    asm.label("bit_done")
+    asm.subi("r8", "r8", 1)
+    asm.cmpi("r8", 0)
+    asm.bne("bit_loop")
+    asm.addi("r4", "r4", 4)
+    asm.subi("r5", "r5", 1)
+    asm.cmpi("r5", 0)
+    asm.bne("word_loop")
+    asm.label("done")
+    asm.mvn("r0", "r6")  # final xor with 0xFFFFFFFF
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+class ChecksumService:
+    """Host-side wrapper around the checksum enclave."""
+
+    def __init__(self, kernel: OSKernel):
+        self.kernel = kernel
+        self.handle: EnclaveHandle = (
+            EnclaveBuilder(kernel)
+            .add_code(crc_program())
+            .add_shared_buffer(va=SHARED_VA)
+            .add_thread(CODE_VA)
+            .build()
+        )
+
+    def measurement(self) -> List[int]:
+        return self.handle.measurement()
+
+    def checksum(self, words: Sequence[int]) -> int:
+        """Stage the words and run the service to completion."""
+        if len(words) > WORDS_PER_PAGE:
+            raise ValueError("data exceeds the shared buffer")
+        self.handle.buffer().write_words(self.kernel, list(words))
+        err, value = self.handle.call(len(words))
+        if err is not KomErr.SUCCESS:
+            raise RuntimeError(f"checksum service failed: {err!r}")
+        return value
+
+    def teardown(self) -> None:
+        self.handle.teardown()

@@ -1,0 +1,94 @@
+"""Sealed storage: measurement-bound data-at-rest for enclaves.
+
+SGX derives per-enclave *sealing keys* so an enclave can encrypt state,
+hand the ciphertext to the untrusted OS for storage, and recover it in a
+later incarnation — but only if its measurement matches.  Komodo's
+primitive set supports the same pattern without any new monitor call:
+the Attest SVC is a MAC keyed with the boot secret over (measurement,
+enclave-chosen data), which makes ``Attest(label)`` a key-derivation
+function that only an enclave with the *same measurement on the same
+machine* can recompute.
+
+This module builds sealed storage on that observation:
+
+* ``seal``: inside the enclave, derive ``k = Attest(label)``, encrypt
+  the payload with a SHA-256-CTR stream keyed by ``k``, append a MAC
+  (HMAC over the ciphertext keyed by a second derived key), and hand
+  the blob to the OS.
+* ``unseal``: a later enclave instance re-derives the keys — succeeding
+  only if its measurement matches — checks the MAC and decrypts.
+
+Everything here runs *inside* enclaves through the ordinary SVC
+interface; the OS only ever sees ciphertext.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arm.bits import bytes_to_words, words_to_bytes
+from repro.crypto.hmac import constant_time_equal, hmac_sha256_words
+from repro.crypto.sha256 import sha256
+from repro.sdk.native import NativeContext
+
+#: Domain-separation labels for the two derived keys.  The label is the
+#: 8-word "data" input of the Attest MAC.
+_ENC_LABEL = bytes_to_words(sha256(b"komodo-seal-enc"))[:8]
+_MAC_LABEL = bytes_to_words(sha256(b"komodo-seal-mac"))[:8]
+
+_MAC_WORDS = 8
+
+
+class SealError(Exception):
+    """Unsealing failed: wrong enclave identity or tampered blob."""
+
+
+def _derive_key(ctx: NativeContext, label: Sequence[int]) -> List[int]:
+    """Attest-as-KDF: only this measurement on this machine derives it."""
+    return ctx.attest(list(label))
+
+
+def _keystream(key_words: Sequence[int], length_words: int) -> List[int]:
+    """SHA-256 counter-mode keystream over the derived key."""
+    stream: List[int] = []
+    key_bytes = words_to_bytes(list(key_words))
+    counter = 0
+    while len(stream) < length_words:
+        block = sha256(key_bytes + counter.to_bytes(8, "big"))
+        stream.extend(bytes_to_words(block))
+        counter += 1
+    return stream[:length_words]
+
+
+def seal(ctx: NativeContext, payload_words: Sequence[int]) -> List[int]:
+    """Seal a payload to this enclave's identity.
+
+    Returns the blob the enclave hands to the OS:
+    ``[length] ++ ciphertext ++ mac[8]``.
+    """
+    payload = [w & 0xFFFFFFFF for w in payload_words]
+    enc_key = _derive_key(ctx, _ENC_LABEL)
+    mac_key = _derive_key(ctx, _MAC_LABEL)
+    stream = _keystream(enc_key, len(payload))
+    ciphertext = [p ^ s for p, s in zip(payload, stream)]
+    mac = hmac_sha256_words(mac_key, [len(payload)] + ciphertext)
+    return [len(payload)] + ciphertext + mac
+
+
+def unseal(ctx: NativeContext, blob: Sequence[int]) -> List[int]:
+    """Recover a sealed payload; raises SealError on identity mismatch
+    or tampering (both manifest as a MAC failure)."""
+    if len(blob) < 1 + _MAC_WORDS:
+        raise SealError("blob too short")
+    length = blob[0]
+    if length < 0 or len(blob) != 1 + length + _MAC_WORDS:
+        raise SealError("blob length inconsistent")
+    ciphertext = list(blob[1 : 1 + length])
+    mac = list(blob[1 + length :])
+    mac_key = _derive_key(ctx, _MAC_LABEL)
+    expected = hmac_sha256_words(mac_key, [length] + ciphertext)
+    if not constant_time_equal(expected, mac):
+        raise SealError("MAC mismatch: wrong identity or tampered blob")
+    enc_key = _derive_key(ctx, _ENC_LABEL)
+    stream = _keystream(enc_key, length)
+    return [c ^ s for c, s in zip(ciphertext, stream)]

@@ -1,0 +1,30 @@
+"""ARMv7 / TrustZone machine-model substrate.
+
+This package is an executable port of the machine model that the Komodo
+paper specifies in Dafny (SOSP'17, section 5.1): a subset of the ARMv7
+architecture covering core and banked registers, user and privileged
+modes, TrustZone worlds, short-descriptor page tables, TLB consistency,
+exceptions, and the semantics of the instructions the monitor and
+enclaves need.  A calibrated cycle-cost model replaces the Raspberry Pi
+hardware used in the paper's evaluation.
+"""
+
+from repro.arm.bits import WORD_BITS, WORD_MASK, WORDSIZE
+from repro.arm.cpu import CPU, ExecutionResult
+from repro.arm.machine import MachineState
+from repro.arm.memory import PAGE_SIZE, MemoryMap, PhysicalMemory
+from repro.arm.modes import Mode, World
+
+__all__ = [
+    "CPU",
+    "ExecutionResult",
+    "MachineState",
+    "MemoryMap",
+    "Mode",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "WORDSIZE",
+    "WORD_BITS",
+    "WORD_MASK",
+    "World",
+]

@@ -1,0 +1,260 @@
+"""Structured assembler for enclave programs.
+
+A small program builder in the spirit of Vale's structured control flow:
+programs are written as sequences of instruction emitters plus labels,
+and branch targets are resolved symbolically at assembly time.  The
+output is a list of 32-bit instruction words ready to be placed into
+enclave data pages by the SDK loader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.arm.instructions import BRANCH_OPS, Instruction, encode
+from repro.arm.memory import WORDSIZE
+
+Operand = Union[int, str]
+
+
+class AssemblerError(Exception):
+    """Raised on unknown labels, duplicate labels, or bad operands."""
+
+
+def reg(name: Union[int, str]) -> int:
+    """Resolve a register operand: an index, 'rN', 'sp', or 'lr'."""
+    if isinstance(name, int):
+        if not 0 <= name <= 14:
+            raise AssemblerError(f"register index {name} out of range")
+        return name
+    lowered = name.lower()
+    if lowered == "sp":
+        return 13
+    if lowered == "lr":
+        return 14
+    if lowered.startswith("r") and lowered[1:].isdigit():
+        index = int(lowered[1:])
+        if 0 <= index <= 12:
+            return index
+    raise AssemblerError(f"unknown register {name!r}")
+
+
+class Assembler:
+    """Builds a flat instruction stream with symbolic labels.
+
+    Methods named after mnemonics append instructions; ``label`` defines
+    a branch target; ``assemble`` resolves labels and encodes.  The
+    fluent style keeps enclave programs readable::
+
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 10)
+        asm.bne("loop")
+        asm.svc(SVC_EXIT)
+        words = asm.assemble()
+    """
+
+    def __init__(self) -> None:
+        # Each item is either a resolved Instruction or a pending branch
+        # (op, label) tuple to fix up once all labels are known.
+        self._items: List[Union[Instruction, Tuple[str, str]]] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- label management -------------------------------------------------
+
+    def label(self, name: str) -> "Assembler":
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+        return self
+
+    @property
+    def position(self) -> int:
+        """Current instruction index (useful for size assertions)."""
+        return len(self._items)
+
+    # -- instruction emitters ----------------------------------------------
+
+    def _emit3(self, op: str, rd: Operand, rn: Operand, rm: Operand) -> "Assembler":
+        self._items.append(Instruction(op, rd=reg(rd), rn=reg(rn), rm=reg(rm)))
+        return self
+
+    def _emit_rri(self, op: str, rd: Operand, rn: Operand, imm: int) -> "Assembler":
+        self._items.append(Instruction(op, rd=reg(rd), rn=reg(rn), imm=imm))
+        return self
+
+    def add(self, rd, rn, rm):
+        return self._emit3("add", rd, rn, rm)
+
+    def addi(self, rd, rn, imm):
+        return self._emit_rri("addi", rd, rn, imm)
+
+    def sub(self, rd, rn, rm):
+        return self._emit3("sub", rd, rn, rm)
+
+    def subi(self, rd, rn, imm):
+        return self._emit_rri("subi", rd, rn, imm)
+
+    def rsb(self, rd, rn, rm):
+        return self._emit3("rsb", rd, rn, rm)
+
+    def and_(self, rd, rn, rm):
+        return self._emit3("and", rd, rn, rm)
+
+    def orr(self, rd, rn, rm):
+        return self._emit3("orr", rd, rn, rm)
+
+    def eor(self, rd, rn, rm):
+        return self._emit3("eor", rd, rn, rm)
+
+    def bic(self, rd, rn, rm):
+        return self._emit3("bic", rd, rn, rm)
+
+    def mul(self, rd, rn, rm):
+        return self._emit3("mul", rd, rn, rm)
+
+    def lsl(self, rd, rn, rm):
+        return self._emit3("lsl", rd, rn, rm)
+
+    def lsr(self, rd, rn, rm):
+        return self._emit3("lsr", rd, rn, rm)
+
+    def asr(self, rd, rn, rm):
+        return self._emit3("asr", rd, rn, rm)
+
+    def ror(self, rd, rn, rm):
+        return self._emit3("ror", rd, rn, rm)
+
+    def lsli(self, rd, rn, imm):
+        return self._emit_rri("lsli", rd, rn, imm)
+
+    def lsri(self, rd, rn, imm):
+        return self._emit_rri("lsri", rd, rn, imm)
+
+    def asri(self, rd, rn, imm):
+        return self._emit_rri("asri", rd, rn, imm)
+
+    def mov(self, rd, rm):
+        self._items.append(Instruction("mov", rd=reg(rd), rm=reg(rm)))
+        return self
+
+    def mvn(self, rd, rm):
+        self._items.append(Instruction("mvn", rd=reg(rd), rm=reg(rm)))
+        return self
+
+    def movw(self, rd, imm):
+        self._items.append(Instruction("movw", rd=reg(rd), imm=imm & 0xFFFF))
+        return self
+
+    def movt(self, rd, imm):
+        self._items.append(Instruction("movt", rd=reg(rd), imm=imm & 0xFFFF))
+        return self
+
+    def mov32(self, rd, value: int) -> "Assembler":
+        """Load an arbitrary 32-bit constant (movw + movt pair)."""
+        self.movw(rd, value & 0xFFFF)
+        if value >> 16:
+            self.movt(rd, (value >> 16) & 0xFFFF)
+        return self
+
+    def cmp(self, rn, rm):
+        self._items.append(Instruction("cmp", rn=reg(rn), rm=reg(rm)))
+        return self
+
+    def cmpi(self, rn, imm):
+        self._items.append(Instruction("cmpi", rn=reg(rn), imm=imm))
+        return self
+
+    def tst(self, rn, rm):
+        self._items.append(Instruction("tst", rn=reg(rn), rm=reg(rm)))
+        return self
+
+    def ldr(self, rd, rn, offset: int = 0):
+        return self._emit_rri("ldr", rd, rn, offset)
+
+    def str_(self, rd, rn, offset: int = 0):
+        return self._emit_rri("str", rd, rn, offset)
+
+    def ldrr(self, rd, rn, rm):
+        return self._emit3("ldrr", rd, rn, rm)
+
+    def strr(self, rd, rn, rm):
+        return self._emit3("strr", rd, rn, rm)
+
+    def _branch(self, op: str, target: str) -> "Assembler":
+        self._items.append((op, target))
+        return self
+
+    def b(self, target):
+        return self._branch("b", target)
+
+    def beq(self, target):
+        return self._branch("beq", target)
+
+    def bne(self, target):
+        return self._branch("bne", target)
+
+    def blt(self, target):
+        return self._branch("blt", target)
+
+    def bge(self, target):
+        return self._branch("bge", target)
+
+    def bgt(self, target):
+        return self._branch("bgt", target)
+
+    def ble(self, target):
+        return self._branch("ble", target)
+
+    def bcs(self, target):
+        return self._branch("bcs", target)
+
+    def bcc(self, target):
+        return self._branch("bcc", target)
+
+    def bl(self, target):
+        return self._branch("bl", target)
+
+    def bxlr(self):
+        self._items.append(Instruction("bxlr"))
+        return self
+
+    def svc(self, number: int):
+        self._items.append(Instruction("svc", imm=number))
+        return self
+
+    def udf(self):
+        self._items.append(Instruction("udf"))
+        return self
+
+    def nop(self):
+        self._items.append(Instruction("nop"))
+        return self
+
+    # -- assembly ---------------------------------------------------------------
+
+    def instructions(self) -> List[Instruction]:
+        """The instruction stream with branch labels resolved to offsets."""
+        resolved: List[Instruction] = []
+        for index, item in enumerate(self._items):
+            if isinstance(item, Instruction):
+                resolved.append(item)
+                continue
+            op, target = item
+            if op not in BRANCH_OPS:
+                raise AssemblerError(f"{op!r} is not a branch")
+            if target not in self._labels:
+                raise AssemblerError(f"undefined label {target!r}")
+            # Branch semantics: next_pc = pc + (offset + 1) words.
+            offset = self._labels[target] - index - 1
+            resolved.append(Instruction(op, imm=offset))
+        return resolved
+
+    def assemble(self) -> List[int]:
+        """Encode to 32-bit instruction words."""
+        return [encode(instr) for instr in self.instructions()]
+
+    def size_bytes(self) -> int:
+        return len(self._items) * WORDSIZE

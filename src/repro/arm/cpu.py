@@ -1,0 +1,347 @@
+"""User-mode execution engine.
+
+Runs enclave code on the simulated machine: each instruction is fetched
+through the enclave's page tables (rooted at TTBR0), decoded, executed,
+and charged cycles.  Execution continues until an *exception*: a
+supervisor call, a translation/permission fault (data or prefetch abort),
+an undefined instruction, or an injected interrupt.  The CPU then
+performs architectural exception entry — banking the return address into
+the target mode's LR and the CPSR into its SPSR — and reports the
+exception to the caller (the monitor's exception-handler state machine,
+paper Figure 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arm.bits import (
+    add_wrap,
+    asr,
+    get_bit,
+    lsl,
+    lsr,
+    mul_wrap,
+    not_word,
+    ror,
+    sub_wrap,
+    to_signed,
+    to_word,
+)
+from repro.arm.instructions import (
+    CONDITIONAL_BRANCHES,
+    Instruction,
+    condition_passes,
+    decode,
+)
+from repro.arm.machine import MachineState
+from repro.arm.memory import WORDSIZE
+from repro.arm.modes import EXCEPTION_MODE, ExceptionKind, Mode
+from repro.arm.pagetable import PageTableWalker
+from repro.arm.registers import PSR
+
+
+class ExitReason(enum.Enum):
+    """Why user-mode execution stopped."""
+
+    SVC = "svc"
+    IRQ = "irq"
+    FIQ = "fiq"
+    ABORT = "abort"
+    UNDEFINED = "undefined"
+    STEP_LIMIT = "step_limit"  # harness budget exhausted (not architectural)
+
+
+_EXIT_TO_EXCEPTION = {
+    ExitReason.SVC: ExceptionKind.SVC,
+    ExitReason.IRQ: ExceptionKind.IRQ,
+    ExitReason.FIQ: ExceptionKind.FIQ,
+    ExitReason.ABORT: ExceptionKind.ABORT,
+    ExitReason.UNDEFINED: ExceptionKind.UNDEFINED,
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a user-mode run."""
+
+    reason: ExitReason
+    svc_number: int = 0  # immediate of the SVC instruction, if any
+    fault_address: int = 0  # faulting VA for aborts
+    steps: int = 0  # instructions retired
+
+    @property
+    def exception(self) -> ExceptionKind:
+        return _EXIT_TO_EXCEPTION[self.reason]
+
+
+class _UserFault(Exception):
+    def __init__(self, vaddr: int):
+        super().__init__(f"user fault at {vaddr:#010x}")
+        self.vaddr = vaddr
+
+
+class _UserUndefined(Exception):
+    pass
+
+
+class CPU:
+    """Interprets user-mode instruction streams against a MachineState."""
+
+    def __init__(self, state: MachineState):
+        self.state = state
+        self.walker = PageTableWalker(state.memory)
+        #: Optional microarchitectural observation trace.  When a list is
+        #: attached, every fetch/load/store appends ("fetch"|"load"|
+        #: "store", vaddr) — the address trace a cache-level attacker
+        #: observes, used by the side-channel analyser.
+        self.access_trace = None
+
+    # -- translation -----------------------------------------------------
+
+    def _translate(self, vaddr: int, write: bool, execute: bool) -> int:
+        if self.state.ttbr0 is None:
+            raise _UserFault(vaddr)
+        translation = self.walker.walk(self.state.ttbr0, vaddr)
+        if translation is None:
+            raise _UserFault(vaddr)
+        if write and not translation.writable:
+            raise _UserFault(vaddr)
+        if execute and not translation.executable:
+            raise _UserFault(vaddr)
+        if not write and not execute and not translation.readable:
+            raise _UserFault(vaddr)
+        return translation.phys_addr(vaddr)
+
+    def _load(self, vaddr: int) -> int:
+        if vaddr % WORDSIZE:
+            raise _UserFault(vaddr)
+        paddr = self._translate(vaddr, write=False, execute=False)
+        if self.access_trace is not None:
+            self.access_trace.append(("load", vaddr))
+        self.state.charge(self.state.costs.mem_access)
+        return self.state.memory.read_word(paddr)
+
+    def _store(self, vaddr: int, value: int) -> None:
+        if vaddr % WORDSIZE:
+            raise _UserFault(vaddr)
+        paddr = self._translate(vaddr, write=True, execute=False)
+        if self.access_trace is not None:
+            self.access_trace.append(("store", vaddr))
+        self.state.charge(self.state.costs.mem_access)
+        self.state.memory.write_word(paddr, value)
+        self.state.tlb.note_store(paddr)
+
+    def _fetch(self, pc: int) -> Instruction:
+        if pc % WORDSIZE:
+            raise _UserFault(pc)
+        paddr = self._translate(pc, write=False, execute=True)
+        if self.access_trace is not None:
+            self.access_trace.append(("fetch", pc))
+        word = self.state.memory.read_word(paddr)
+        instr = decode(word)
+        if instr is None:
+            raise _UserUndefined()
+        return instr
+
+    # -- register operand helpers ------------------------------------------
+
+    def _read_reg(self, index: int) -> int:
+        regs = self.state.regs
+        if index == 13:
+            return regs.read_sp(Mode.USR)
+        if index == 14:
+            return regs.read_lr(Mode.USR)
+        return regs.read_gpr(index)
+
+    def _write_reg(self, index: int, value: int) -> None:
+        regs = self.state.regs
+        if index == 13:
+            regs.write_sp(value, Mode.USR)
+        elif index == 14:
+            regs.write_lr(value, Mode.USR)
+        else:
+            regs.write_gpr(index, value)
+
+    # -- flags -----------------------------------------------------------------
+
+    def _set_flags_cmp(self, a: int, b: int) -> None:
+        result = sub_wrap(a, b)
+        cpsr = self.state.regs.cpsr
+        cpsr.n = bool(get_bit(result, 31))
+        cpsr.z = result == 0
+        cpsr.c = a >= b  # no borrow
+        cpsr.v = (to_signed(a) - to_signed(b)) != to_signed(result)
+
+    def _set_flags_tst(self, a: int, b: int) -> None:
+        result = a & b
+        cpsr = self.state.regs.cpsr
+        cpsr.n = bool(get_bit(result, 31))
+        cpsr.z = result == 0
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(
+        self,
+        entry_pc: int,
+        max_steps: int = 1_000_000,
+        interrupt_after: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Execute user-mode code from ``entry_pc`` until an exception.
+
+        ``interrupt_after`` models the attacker-controlled external
+        interrupt line: after that many retired instructions an IRQ is
+        taken (interrupts are enabled during enclave execution).
+
+        On return, architectural exception entry has been performed: the
+        machine is in the exception's target mode, LR_<mode> holds the
+        preferred return address and SPSR_<mode> the user-mode CPSR.
+        """
+        state = self.state
+        if state.regs.cpsr.mode is not Mode.USR:
+            raise RuntimeError("CPU.run requires user mode (use monitor entry paths)")
+        state.tlb.require_consistent()
+        pc = to_word(entry_pc)
+        steps = 0
+        while True:
+            if interrupt_after is not None and steps >= interrupt_after:
+                self._exception_entry(ExceptionKind.IRQ, pc)
+                return ExecutionResult(ExitReason.IRQ, steps=steps)
+            if steps >= max_steps:
+                # Harness budget: modelled as an interrupt so the monitor
+                # path is identical to a timer interrupt firing.
+                self._exception_entry(ExceptionKind.IRQ, pc)
+                return ExecutionResult(ExitReason.STEP_LIMIT, steps=steps)
+            try:
+                instr = self._fetch(pc)
+            except _UserFault as fault:
+                self._exception_entry(ExceptionKind.ABORT, pc)
+                return ExecutionResult(
+                    ExitReason.ABORT, fault_address=fault.vaddr, steps=steps
+                )
+            except _UserUndefined:
+                self._exception_entry(ExceptionKind.UNDEFINED, pc)
+                return ExecutionResult(ExitReason.UNDEFINED, steps=steps)
+            try:
+                next_pc, svc = self._execute(instr, pc)
+            except _UserFault as fault:
+                self._exception_entry(ExceptionKind.ABORT, pc)
+                return ExecutionResult(
+                    ExitReason.ABORT, fault_address=fault.vaddr, steps=steps
+                )
+            except _UserUndefined:
+                self._exception_entry(ExceptionKind.UNDEFINED, pc)
+                return ExecutionResult(ExitReason.UNDEFINED, steps=steps)
+            steps += 1
+            state.charge(state.costs.instruction)
+            if svc is not None:
+                self._exception_entry(ExceptionKind.SVC, add_wrap(pc, WORDSIZE))
+                return ExecutionResult(ExitReason.SVC, svc_number=svc, steps=steps)
+            pc = next_pc
+
+    def _execute(self, instr: Instruction, pc: int):
+        """Execute one instruction; returns (next_pc, svc_number_or_None)."""
+        op = instr.op
+        next_pc = add_wrap(pc, WORDSIZE)
+        read = self._read_reg
+        write = self._write_reg
+        if op == "add":
+            write(instr.rd, add_wrap(read(instr.rn), read(instr.rm)))
+        elif op == "addi":
+            write(instr.rd, add_wrap(read(instr.rn), instr.imm))
+        elif op == "sub":
+            write(instr.rd, sub_wrap(read(instr.rn), read(instr.rm)))
+        elif op == "subi":
+            write(instr.rd, sub_wrap(read(instr.rn), instr.imm))
+        elif op == "rsb":
+            write(instr.rd, sub_wrap(read(instr.rm), read(instr.rn)))
+        elif op == "and":
+            write(instr.rd, read(instr.rn) & read(instr.rm))
+        elif op == "orr":
+            write(instr.rd, read(instr.rn) | read(instr.rm))
+        elif op == "eor":
+            write(instr.rd, read(instr.rn) ^ read(instr.rm))
+        elif op == "bic":
+            write(instr.rd, read(instr.rn) & not_word(read(instr.rm)))
+        elif op == "mov":
+            write(instr.rd, read(instr.rm))
+        elif op == "mvn":
+            write(instr.rd, not_word(read(instr.rm)))
+        elif op == "mul":
+            write(instr.rd, mul_wrap(read(instr.rn), read(instr.rm)))
+        elif op == "lsl":
+            write(instr.rd, lsl(read(instr.rn), read(instr.rm) & 0xFF))
+        elif op == "lsr":
+            write(instr.rd, lsr(read(instr.rn), read(instr.rm) & 0xFF))
+        elif op == "asr":
+            write(instr.rd, asr(read(instr.rn), read(instr.rm) & 0xFF))
+        elif op == "ror":
+            write(instr.rd, ror(read(instr.rn), read(instr.rm) & 0xFF))
+        elif op == "lsli":
+            write(instr.rd, lsl(read(instr.rn), instr.imm))
+        elif op == "lsri":
+            write(instr.rd, lsr(read(instr.rn), instr.imm))
+        elif op == "asri":
+            write(instr.rd, asr(read(instr.rn), instr.imm))
+        elif op == "movw":
+            write(instr.rd, instr.imm)
+        elif op == "movt":
+            write(instr.rd, (read(instr.rd) & 0xFFFF) | (instr.imm << 16))
+        elif op == "cmp":
+            self._set_flags_cmp(read(instr.rn), read(instr.rm))
+        elif op == "cmpi":
+            self._set_flags_cmp(read(instr.rn), instr.imm)
+        elif op == "tst":
+            self._set_flags_tst(read(instr.rn), read(instr.rm))
+        elif op == "ldr":
+            write(instr.rd, self._load(add_wrap(read(instr.rn), instr.imm)))
+        elif op == "str":
+            self._store(add_wrap(read(instr.rn), instr.imm), read(instr.rd))
+        elif op == "ldrr":
+            write(instr.rd, self._load(add_wrap(read(instr.rn), read(instr.rm))))
+        elif op == "strr":
+            self._store(add_wrap(read(instr.rn), read(instr.rm)), read(instr.rd))
+        elif op == "b":
+            next_pc = add_wrap(pc, (instr.imm + 1) * WORDSIZE)
+            self.state.charge(self.state.costs.branch)
+        elif op in CONDITIONAL_BRANCHES:
+            cpsr = self.state.regs.cpsr
+            if condition_passes(op, cpsr.n, cpsr.z, cpsr.c, cpsr.v):
+                next_pc = add_wrap(pc, (instr.imm + 1) * WORDSIZE)
+                self.state.charge(self.state.costs.branch)
+        elif op == "bl":
+            self._write_reg(14, next_pc)
+            next_pc = add_wrap(pc, (instr.imm + 1) * WORDSIZE)
+            self.state.charge(self.state.costs.branch)
+        elif op == "bxlr":
+            next_pc = self._read_reg(14)
+            self.state.charge(self.state.costs.branch)
+        elif op == "svc":
+            return next_pc, instr.imm
+        elif op == "nop":
+            pass
+        elif op in ("udf", "smc"):
+            # SMC from user mode is undefined, as on real hardware.
+            raise _UserUndefined()
+        else:  # pragma: no cover - decode only produces known ops
+            raise _UserUndefined()
+        return next_pc, None
+
+    # -- exception entry ------------------------------------------------------
+
+    def _exception_entry(self, kind: ExceptionKind, return_pc: int) -> None:
+        """Architectural exception entry from user mode.
+
+        Banks the return address in LR_<mode> and the user CPSR in
+        SPSR_<mode>, switches mode, and masks interrupts — the side
+        effects the paper's model singles out as crucial (section 5.1).
+        """
+        state = self.state
+        target = EXCEPTION_MODE[kind]
+        user_cpsr = state.regs.cpsr.copy()
+        state.regs.write_spsr(user_cpsr, target)
+        state.regs.write_lr(return_pc, target)
+        state.regs.cpsr = PSR(mode=target, irq_masked=True, fiq_masked=True)
+        state.charge(state.costs.exception_entry)

@@ -1,0 +1,97 @@
+"""Disassembler: instruction words back to readable assembly.
+
+The inverse of the assembler, used for debugging and forensics: given
+words from a measured enclave page (or a whole page table walk away),
+render the program a human can read.  Round-tripping through
+``decode`` means the disassembly is exactly what the CPU will execute —
+there is no second decoder to drift.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.arm.instructions import (
+    BRANCH_OPS,
+    FORMATS,
+    Instruction,
+    decode,
+)
+
+_REG_NAMES = {i: f"r{i}" for i in range(13)}
+_REG_NAMES[13] = "sp"
+_REG_NAMES[14] = "lr"
+
+
+def _reg(index: int) -> str:
+    return _REG_NAMES.get(index, f"?{index}")
+
+
+def render(instr: Instruction) -> str:
+    """Render one instruction in the assembler's notation."""
+    op = instr.op
+    fmt = FORMATS[op][1]
+    if fmt == "rrr":
+        return f"{op} {_reg(instr.rd)}, {_reg(instr.rn)}, {_reg(instr.rm)}"
+    if fmt == "rri":
+        return f"{op} {_reg(instr.rd)}, {_reg(instr.rn)}, #{instr.imm:#x}"
+    if fmt == "rr":
+        return f"{op} {_reg(instr.rd)}, {_reg(instr.rm)}"
+    if fmt == "ri":
+        return f"{op} {_reg(instr.rd)}, #{instr.imm:#x}"
+    if fmt == "cmp_r":
+        return f"{op} {_reg(instr.rn)}, {_reg(instr.rm)}"
+    if fmt == "cmp_i":
+        return f"{op} {_reg(instr.rn)}, #{instr.imm:#x}"
+    if fmt == "mem_i":
+        return f"{op} {_reg(instr.rd)}, [{_reg(instr.rn)}, #{instr.imm:#x}]"
+    if fmt == "mem_r":
+        return f"{op} {_reg(instr.rd)}, [{_reg(instr.rn)}, {_reg(instr.rm)}]"
+    if fmt == "b":
+        sign = "+" if instr.imm >= 0 else ""
+        return f"{op} .{sign}{instr.imm + 1}"
+    if fmt == "svc":
+        return f"{op} #{instr.imm}"
+    return op
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one word; undefined encodings render as ``.word``."""
+    instr = decode(word)
+    if instr is None:
+        return f".word {word:#010x}"
+    return render(instr)
+
+
+def disassemble(
+    words: Sequence[int], base_va: int = 0, annotate_targets: bool = True
+) -> List[str]:
+    """Disassemble a program, one line per word, with addresses and
+    resolved branch targets."""
+    lines = []
+    for index, word in enumerate(words):
+        va = base_va + index * 4
+        text = disassemble_word(word)
+        instr = decode(word)
+        if (
+            annotate_targets
+            and instr is not None
+            and instr.op in BRANCH_OPS
+        ):
+            target = va + (instr.imm + 1) * 4
+            text += f"    ; -> {target:#x}"
+        lines.append(f"{va:#010x}:  {text}")
+    return lines
+
+
+def dump_page(memory, base: int, limit: Optional[int] = None) -> str:
+    """Disassemble the start of a physical page (stops at the first run
+    of undefined words, which usually marks the end of the program)."""
+    from repro.arm.memory import WORDS_PER_PAGE
+
+    count = limit or WORDS_PER_PAGE
+    words = memory.read_words(base, count)
+    # Trim the trailing all-zero tail common in padded code pages.
+    while words and words[-1] == 0:
+        words.pop()
+    return "\n".join(disassemble(words, base_va=base))

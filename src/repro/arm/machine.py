@@ -1,0 +1,101 @@
+"""The complete machine state.
+
+A machine state bundles everything visible about the simulated CPU and
+platform: the register file, physical memory, TrustZone world, the
+control registers the monitor touches (TTBR0, SCR.NS, the VBAR-selected
+exception vector is implicit), the TLB consistency flag, the pending
+interrupt line, and the cycle counter driven by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arm.costs import CostModel
+from repro.arm.memory import MemoryMap, PhysicalMemory
+from repro.arm.modes import Mode, World
+from repro.arm.registers import PSR, RegisterFile
+from repro.arm.tlb import TLB
+
+
+@dataclass
+class MachineState:
+    """Registers + memory + control state of the simulated platform."""
+
+    memmap: MemoryMap
+    memory: PhysicalMemory
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    tlb: TLB = field(default_factory=TLB)
+    world: World = World.SECURE
+    ttbr0: Optional[int] = None  # physical base of the live enclave L1 table
+    pending_interrupt: bool = False
+    cycles: int = 0
+    costs: CostModel = field(default_factory=CostModel)
+
+    @classmethod
+    def boot(cls, secure_pages: int = 64, insecure_size: int = 0x100000) -> "MachineState":
+        """A freshly booted machine: secure world, SVC mode, zeroed RAM."""
+        memmap = MemoryMap(secure_pages=secure_pages, insecure_size=insecure_size)
+        state = cls(memmap=memmap, memory=PhysicalMemory(memmap))
+        state.regs.cpsr = PSR(mode=Mode.SVC, irq_masked=True, fiq_masked=True)
+        return state
+
+    # -- cycle accounting --------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Advance the cycle counter."""
+        self.cycles += cycles
+
+    # -- control registers -------------------------------------------------
+
+    def load_ttbr0(self, l1_base: Optional[int]) -> None:
+        """Load the enclave page-table base; poisons the TLB."""
+        self.ttbr0 = l1_base
+        self.tlb.set_ttbr(self.memory, l1_base)
+        self.charge(self.costs.ttbr_write)
+
+    def flush_tlb(self) -> None:
+        self.tlb.flush()
+        self.charge(self.costs.tlb_flush)
+
+    # -- monitor-visible memory helpers (cycle charged) ---------------------
+
+    def mon_read_word(self, address: int) -> int:
+        self.charge(self.costs.mem_access)
+        return self.memory.read_word(address)
+
+    def mon_write_word(self, address: int, value: int) -> None:
+        self.charge(self.costs.mem_access)
+        self.memory.write_word(address, value)
+        self.tlb.note_store(address)
+
+    def mon_zero_page(self, base: int) -> None:
+        from repro.arm.memory import WORDS_PER_PAGE
+
+        self.charge(self.costs.page_zero)
+        self.memory.zero_page(base)
+
+    def mon_copy_page(self, src: int, dst: int) -> None:
+        from repro.arm.memory import WORDS_PER_PAGE
+
+        self.charge(self.costs.page_copy)
+        self.memory.copy_page(src, dst)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def copy(self) -> "MachineState":
+        """Deep copy (used by the refinement and noninterference harnesses)."""
+        dup = MachineState(
+            memmap=self.memmap,
+            memory=self.memory.copy(),
+            regs=self.regs.copy(),
+            tlb=TLB(),
+            world=self.world,
+            ttbr0=self.ttbr0,
+            pending_interrupt=self.pending_interrupt,
+            cycles=self.cycles,
+            costs=self.costs,
+        )
+        dup.tlb.consistent = self.tlb.consistent
+        return dup

@@ -1,0 +1,214 @@
+"""Physical memory and the platform memory map (paper Figure 4).
+
+The model follows the paper's memory-model decisions (section 5.1):
+memory is a mapping from word-aligned physical addresses to 32-bit
+values, and only aligned word accesses exist, so accesses to distinct
+addresses are independent.
+
+The platform map mirrors the prototype's bootloader-established layout:
+a monitor image region (code and globals), a monitor stack, a region of
+*secure pages* reserved for enclaves and protected by hardware from
+normal-world access, and the remaining RAM as *insecure* memory fully
+accessible to the OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.arm.bits import WORDSIZE, to_word, word_aligned
+from repro.arm.modes import World
+
+PAGE_SIZE = 0x1000
+WORDS_PER_PAGE = PAGE_SIZE // WORDSIZE
+
+
+class MemoryFault(Exception):
+    """Raised on an access the hardware would fault: unmapped address,
+    misaligned word access, or a world-protection violation."""
+
+    def __init__(self, address: int, reason: str):
+        super().__init__(f"memory fault at {address:#010x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous physical region ``[base, base+size)``."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.limit and other.base < self.limit
+
+
+class MemoryMap:
+    """The platform physical memory map.
+
+    Defaults give a small SoC-like map: 64 KiB of monitor image/data,
+    16 KiB of monitor stack, a configurable number of secure pages, and
+    1 MiB of insecure RAM for the OS.  All regions are page aligned and
+    disjoint; the constructor checks this.
+    """
+
+    def __init__(
+        self,
+        secure_pages: int = 64,
+        insecure_size: int = 0x100000,
+        monitor_image_size: int = 0x10000,
+        monitor_stack_size: int = 0x4000,
+    ):
+        if secure_pages < 1:
+            raise ValueError("need at least one secure page")
+        base = 0x8000_0000
+        self.monitor_image = Region("monitor_image", base, monitor_image_size)
+        base = self.monitor_image.limit
+        self.monitor_stack = Region("monitor_stack", base, monitor_stack_size)
+        base = self.monitor_stack.limit
+        self.secure = Region("secure", base, secure_pages * PAGE_SIZE)
+        base = self.secure.limit
+        self.insecure = Region("insecure", base, insecure_size)
+        self.secure_pages = secure_pages
+        regions = self.regions()
+        for i, first in enumerate(regions):
+            if first.base % PAGE_SIZE or first.size % PAGE_SIZE:
+                raise ValueError(f"region {first.name} is not page aligned")
+            for second in regions[i + 1 :]:
+                if first.overlaps(second):
+                    raise ValueError(f"regions {first.name} and {second.name} overlap")
+
+    def regions(self) -> List[Region]:
+        return [self.monitor_image, self.monitor_stack, self.secure, self.insecure]
+
+    # -- secure page numbering -----------------------------------------
+
+    def page_base(self, pageno: int) -> int:
+        """Physical base address of secure page ``pageno``."""
+        if not self.valid_pageno(pageno):
+            raise ValueError(f"invalid secure page number {pageno}")
+        return self.secure.base + pageno * PAGE_SIZE
+
+    def pageno_of(self, address: int) -> int:
+        """Secure page number containing ``address`` (must be secure)."""
+        if not self.secure.contains(address):
+            raise ValueError(f"{address:#x} is not in the secure region")
+        return (address - self.secure.base) // PAGE_SIZE
+
+    def valid_pageno(self, pageno: int) -> bool:
+        return isinstance(pageno, int) and 0 <= pageno < self.secure_pages
+
+    # -- address classification ------------------------------------------
+
+    def is_secure(self, address: int) -> bool:
+        return self.secure.contains(address)
+
+    def is_insecure(self, address: int) -> bool:
+        return self.insecure.contains(address)
+
+    def is_monitor(self, address: int) -> bool:
+        return self.monitor_image.contains(address) or self.monitor_stack.contains(address)
+
+    def is_valid(self, address: int) -> bool:
+        return any(region.contains(address) for region in self.regions())
+
+    def insecure_page_aligned(self, address: int) -> bool:
+        """True if ``address`` is a page-aligned address of an insecure page.
+
+        The paper (section 9.1) notes the subtlety this check fixes: an
+        address passed by the OS for MapSecure/MapInsecure must not only
+        avoid the secure region, it must also avoid the monitor's own
+        image and stack.  We classify strictly by region.
+        """
+        return address % PAGE_SIZE == 0 and self.is_insecure(address)
+
+
+class PhysicalMemory:
+    """Word-granularity physical memory with world-based protection.
+
+    Accesses carry the world performing them; normal-world accesses to
+    secure or monitor regions fault, which models the TrustZone-aware
+    memory controller that partitions RAM between worlds.
+    """
+
+    def __init__(self, memmap: MemoryMap):
+        self.map = memmap
+        self._words: Dict[int, int] = {}
+
+    # -- raw access (no protection; used by the monitor and the loader) --
+
+    def read_word(self, address: int) -> int:
+        if not word_aligned(address):
+            raise MemoryFault(address, "misaligned word read")
+        if not self.map.is_valid(address):
+            raise MemoryFault(address, "read of unmapped address")
+        return self._words.get(address, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        if not word_aligned(address):
+            raise MemoryFault(address, "misaligned word write")
+        if not self.map.is_valid(address):
+            raise MemoryFault(address, "write of unmapped address")
+        self._words[address] = to_word(value)
+
+    # -- world-checked access (used by OS code and devices) --------------
+
+    def checked_read(self, address: int, world: World) -> int:
+        self._check(address, world, "read")
+        return self.read_word(address)
+
+    def checked_write(self, address: int, value: int, world: World) -> None:
+        self._check(address, world, "write")
+        self.write_word(address, value)
+
+    def _check(self, address: int, world: World, what: str) -> None:
+        if world is World.NORMAL and (
+            self.map.is_secure(address) or self.map.is_monitor(address)
+        ):
+            raise MemoryFault(address, f"normal-world {what} of protected memory")
+
+    # -- bulk helpers -----------------------------------------------------
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        return [self.read_word(address + i * WORDSIZE) for i in range(count)]
+
+    def write_words(self, address: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.write_word(address + i * WORDSIZE, value)
+
+    def read_page(self, base: int) -> List[int]:
+        """Read a whole page as a list of words."""
+        return self.read_words(base, WORDS_PER_PAGE)
+
+    def zero_page(self, base: int) -> None:
+        """Zero-fill a whole page."""
+        for i in range(WORDS_PER_PAGE):
+            self.write_word(base + i * WORDSIZE, 0)
+
+    def copy_page(self, src: int, dst: int) -> None:
+        """Copy one page of words from ``src`` to ``dst``."""
+        for i in range(WORDS_PER_PAGE):
+            self.write_word(dst + i * WORDSIZE, self.read_word(src + i * WORDSIZE))
+
+    def snapshot_region(self, region: Region) -> Dict[int, int]:
+        """Sparse snapshot of the words stored within ``region``."""
+        return {
+            addr: value
+            for addr, value in self._words.items()
+            if region.contains(addr) and value != 0
+        }
+
+    def copy(self) -> "PhysicalMemory":
+        dup = PhysicalMemory(self.map)
+        dup._words = dict(self._words)
+        return dup

@@ -1,0 +1,98 @@
+"""Processor modes and TrustZone worlds (paper Figure 1).
+
+A TrustZone CPU runs in one of two *worlds*: normal world (the untrusted
+OS and its applications) and secure world (the Komodo monitor and the
+enclaves it manages).  Each world has a user mode and five equally
+privileged exception modes; secure world additionally has *monitor mode*,
+entered by the SMC instruction, which is where the Komodo monitor runs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """ARMv7 processor modes, with their architectural mode-field encodings."""
+
+    USR = 0b10000
+    FIQ = 0b10001
+    IRQ = 0b10010
+    SVC = 0b10011
+    MON = 0b10110
+    ABT = 0b10111
+    UND = 0b11011
+    SYS = 0b11111
+
+    @property
+    def encoding(self) -> int:
+        """The five-bit CPSR.M encoding for this mode."""
+        return self.value
+
+    @property
+    def privileged(self) -> bool:
+        """Every mode except user mode is privileged."""
+        return self is not Mode.USR
+
+
+class World(enum.Enum):
+    """TrustZone worlds, selected by the SCR.NS bit."""
+
+    SECURE = 0
+    NORMAL = 1
+
+
+#: Modes that have their own banked SP and LR registers.  User and system
+#: mode share one bank ("usr"); monitor mode is only reachable in secure
+#: world.  FIQ additionally banks R8-R12, which (as in the paper's model)
+#: we do not model because the monitor never uses FIQ-banked registers.
+BANKED_MODES = (Mode.USR, Mode.FIQ, Mode.IRQ, Mode.SVC, Mode.MON, Mode.ABT, Mode.UND)
+
+#: Modes that have a Saved Program Status Register.  User/system mode has
+#: no SPSR: there is no exception return from user mode.
+SPSR_MODES = (Mode.FIQ, Mode.IRQ, Mode.SVC, Mode.MON, Mode.ABT, Mode.UND)
+
+
+def bank_for(mode: Mode) -> Mode:
+    """Map a mode to the register bank it uses for SP/LR."""
+    if mode is Mode.SYS:
+        return Mode.USR
+    return mode
+
+
+def mode_from_encoding(encoding: int) -> Mode:
+    """Decode a five-bit CPSR.M field; raises ValueError if undefined."""
+    for mode in Mode:
+        if mode.value == encoding:
+            return mode
+    raise ValueError(f"undefined mode encoding {encoding:#07b}")
+
+
+class ExceptionKind(enum.Enum):
+    """The exception classes the model takes (paper section 5.1).
+
+    Reset and FIQ exist architecturally; the monitor configures the
+    machine so that the relevant set is: SMC (taken in monitor mode),
+    SVC (supervisor call), IRQ/FIQ (interrupts), prefetch/data abort
+    (page faults), and undefined instruction.
+    """
+
+    SMC = "smc"
+    SVC = "svc"
+    IRQ = "irq"
+    FIQ = "fiq"
+    ABORT = "abort"
+    UNDEFINED = "undefined"
+
+
+#: The mode an exception is taken in.  SMC traps to monitor mode; in the
+#: Komodo configuration interrupts taken during enclave execution are also
+#: routed to monitor mode (SCR.IRQ/FIQ set), which we model directly.
+EXCEPTION_MODE = {
+    ExceptionKind.SMC: Mode.MON,
+    ExceptionKind.SVC: Mode.SVC,
+    ExceptionKind.IRQ: Mode.IRQ,
+    ExceptionKind.FIQ: Mode.FIQ,
+    ExceptionKind.ABORT: Mode.ABT,
+    ExceptionKind.UNDEFINED: Mode.UND,
+}

@@ -1,0 +1,59 @@
+"""TLB consistency model (paper section 5.1).
+
+The model does not track individual TLB entries; it tracks a single
+consistency flag.  Executing a full-TLB flush marks the TLB consistent.
+Loading the page-table base register, or storing to an address inside the
+live first-level table or any second-level table it references, marks the
+TLB inconsistent.  The monitor must re-establish consistency (or prove a
+store did not touch the tables) before entering an enclave; the model
+enforces the "or flush" half by requiring the flag to be set at entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.memory import PAGE_SIZE, PhysicalMemory
+from repro.arm.pagetable import DESC_L1_COARSE, L1_ENTRIES, entry_target, entry_type
+
+
+class TLB:
+    """The TLB consistency flag plus the page-table footprint it watches."""
+
+    def __init__(self) -> None:
+        self.consistent = True
+        self._table_pages: Set[int] = set()
+        self.flush_count = 0
+
+    def flush(self) -> None:
+        """A full TLB flush re-establishes consistency."""
+        self.consistent = True
+        self.flush_count += 1
+
+    def set_ttbr(self, memory: Optional[PhysicalMemory], l1_base: Optional[int]) -> None:
+        """Model a TTBR0 load: recompute the watched footprint; the TLB
+        becomes inconsistent until flushed."""
+        self.consistent = False
+        self._table_pages = set()
+        if memory is None or l1_base is None:
+            return
+        self._table_pages.add(l1_base & ~(PAGE_SIZE - 1))
+        for i in range(L1_ENTRIES):
+            entry = memory.read_word(l1_base + i * WORDSIZE)
+            if entry_type(entry) == DESC_L1_COARSE:
+                self._table_pages.add(entry_target(entry))
+
+    def note_store(self, address: int) -> None:
+        """Record a store; stores into the live tables poison the TLB."""
+        if (address & ~(PAGE_SIZE - 1)) in self._table_pages:
+            self.consistent = False
+
+    def require_consistent(self) -> None:
+        """Entry-time check the monitor relies on before running user code."""
+        if not self.consistent:
+            raise TLBInconsistent("enclave entry with inconsistent TLB")
+
+
+class TLBInconsistent(Exception):
+    """Raised when user execution would begin with a stale TLB."""

@@ -1,0 +1,14 @@
+"""Cryptographic substrate.
+
+The paper's prototype borrows a verified ARM SHA-256 from Vale and builds
+an HMAC-SHA256 attestation MAC on top, with a hardware RNG supplying the
+boot-time attestation secret.  This package provides from-scratch Python
+implementations of the same primitives (tested against standard vectors
+and ``hashlib``), plus the RSA signing the notary application needs.
+"""
+
+from repro.crypto.hmac import hmac_sha256, hmac_sha256_words
+from repro.crypto.rng import HardwareRNG
+from repro.crypto.sha256 import SHA256, sha256
+
+__all__ = ["HardwareRNG", "SHA256", "hmac_sha256", "hmac_sha256_words", "sha256"]

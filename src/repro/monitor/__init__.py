@@ -1,0 +1,15 @@
+"""The Komodo monitor — the paper's primary contribution.
+
+A software reference monitor that implements SGX-like enclaves on top of
+the hardware primitives the paper identifies (section 3.2): isolated
+memory, a privileged execution environment, an attestation root of trust,
+and a random-number source.  It tracks secure pages in a PageDB, exposes
+the SMC API of Table 1 to the untrusted OS and the SVC API to enclaves,
+and mediates all enclave execution.
+"""
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, PageType, SMC, SVC
+
+__all__ = ["KomErr", "KomodoMonitor", "Mapping", "PageType", "SMC", "SVC"]

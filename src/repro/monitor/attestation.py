@@ -1,0 +1,73 @@
+"""Local attestation (paper section 4).
+
+Komodo adopts a minimalist local-attestation design: a MAC, keyed with a
+secret generated at boot from the hardware RNG, computed over (i) the
+attesting enclave's measurement and (ii) 8 words of enclave-provided
+data (typically binding a public key to the enclave).  The monitor
+provides SVCs for enclaves to create and to verify attestations; remote
+attestation is deferred to a trusted enclave, exactly as in the paper.
+
+The key lives in monitor data memory, unreachable from either world.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.machine import MachineState
+from repro.crypto.hmac import constant_time_equal, hmac_sha256_words
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.layout import (
+    ATTEST_DATA_WORDS,
+    ATTEST_KEY_OFFSET,
+    ATTEST_KEY_WORDS,
+    MEASUREMENT_WORDS,
+)
+
+
+class Attestation:
+    """Boot-time key management plus MAC computation/verification."""
+
+    def __init__(self, state: MachineState, rng: HardwareRNG):
+        self.state = state
+        self.rng = rng
+
+    def _key_addr(self, index: int) -> int:
+        return (
+            self.state.memmap.monitor_image.base
+            + ATTEST_KEY_OFFSET
+            + index * WORDSIZE
+        )
+
+    def generate_boot_key(self) -> None:
+        """Draw the attestation secret from the hardware RNG at boot."""
+        for i in range(ATTEST_KEY_WORDS):
+            self.state.charge(self.state.costs.rng_word)
+            self.state.mon_write_word(self._key_addr(i), self.rng.read_word())
+
+    def _key_words(self) -> List[int]:
+        return [self.state.mon_read_word(self._key_addr(i)) for i in range(ATTEST_KEY_WORDS)]
+
+    def _charge_block(self) -> None:
+        self.state.charge(self.state.costs.sha256_block)
+
+    def mac(self, measurement: Sequence[int], data: Sequence[int]) -> List[int]:
+        """HMAC-SHA256 over measurement ‖ data, returning 8 words."""
+        if len(measurement) != MEASUREMENT_WORDS:
+            raise ValueError("measurement must be 8 words")
+        if len(data) != ATTEST_DATA_WORDS:
+            raise ValueError("attestation data must be 8 words")
+        message = list(measurement) + list(data)
+        return hmac_sha256_words(self._key_words(), message, on_block=self._charge_block)
+
+    def verify(
+        self,
+        measurement: Sequence[int],
+        data: Sequence[int],
+        mac_words: Sequence[int],
+    ) -> bool:
+        """Check a MAC produced by :meth:`mac` (constant-time compare)."""
+        expected = self.mac(measurement, data)
+        self.state.charge(len(expected) * self.state.costs.mac_compare_word)
+        return constant_time_equal(expected, mac_words)

@@ -1,0 +1,34 @@
+"""Monitor error codes.
+
+Every SMC returns an error code in R0 (and, for Enter/Resume, the enclave
+result in R1).  The set mirrors the Komodo implementation's error space;
+the exact numeric values are part of the OS-visible ABI and therefore of
+the specification.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class KomErr(enum.IntEnum):
+    """Error codes returned by SMCs and SVCs."""
+
+    SUCCESS = 0
+    INVALID_PAGENO = 1  # page number out of range
+    PAGEINUSE = 2  # page is not free
+    INVALID_ADDRSPACE = 3  # pageno is not an addrspace page
+    ALREADY_FINAL = 4  # operation requires a non-final addrspace
+    NOT_FINAL = 5  # operation requires a finalised addrspace
+    INVALID_MAPPING = 6  # malformed mapping word or no such L2 table
+    ADDRINUSE = 7  # virtual address already mapped
+    NOT_STOPPED = 8  # Remove requires a stopped addrspace
+    INTERRUPTED = 9  # enclave execution was interrupted
+    FAULT = 10  # enclave faulted (abort/undefined)
+    ALREADY_ENTERED = 11  # thread is suspended; use Resume
+    NOT_ENTERED = 12  # Resume on a thread that is not suspended
+    INVALID_THREAD = 13  # pageno is not a thread page
+    INVALID_CALL = 14  # unknown SMC/SVC number
+    STOPPED = 15  # addrspace is stopped; no execution or mapping
+    PAGES_EXHAUSTED = 16  # no spare page available (SVC-side allocation)
+    INSECURE_INVALID = 17  # insecure address outside insecure RAM

@@ -1,0 +1,224 @@
+"""Monitor ABI and in-memory layout constants.
+
+This module defines everything that is "architectural" about the
+monitor from the OS's and enclaves' points of view: SMC/SVC call numbers,
+page types, the mapping-word encoding, the concrete layout of PageDB
+entries in monitor data memory, and the layout of metadata the monitor
+keeps inside addrspace and thread pages.
+
+Keeping the concrete layout here (rather than spread through handlers)
+mirrors the paper's separation between the abstract PageDB of the
+specification and the implementation's freely chosen representation
+(section 5.2): the refinement checker in ``repro.verification``
+reconstructs the abstract PageDB purely from these definitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.pagetable import l1_index, l2_index
+
+# ---------------------------------------------------------------------------
+# Call numbers
+# ---------------------------------------------------------------------------
+
+
+class SMC(enum.IntEnum):
+    """Secure monitor calls, issued by the untrusted OS (Table 1)."""
+
+    QUERY = 1  # is this a Komodo monitor? (magic probe)
+    GET_PHYSPAGES = 2
+    INIT_ADDRSPACE = 10
+    INIT_THREAD = 11
+    INIT_L2PTABLE = 12
+    MAP_SECURE = 13
+    MAP_INSECURE = 14
+    ALLOC_SPARE = 15
+    REMOVE = 20
+    FINALISE = 21
+    ENTER = 22
+    RESUME = 23
+    STOP = 24
+
+
+class SVC(enum.IntEnum):
+    """Supervisor calls, issued by enclaves (Table 1).
+
+    Verify is split into three register-sized steps, as in the Komodo
+    implementation, because data[8] + measure[8] + mac[8] exceed the
+    register file; the SDK wraps the steps back into one call.
+    """
+
+    EXIT = 1
+    GET_RANDOM = 2
+    ATTEST = 3
+    VERIFY_STEP0 = 4  # supply data[8]
+    VERIFY_STEP1 = 5  # supply measure[8]
+    VERIFY_STEP2 = 6  # supply mac[8]; returns ok
+    INIT_L2PTABLE = 7
+    MAP_DATA = 8
+    UNMAP_DATA = 9
+    # Dispatcher interface (paper section 9.2, implemented here).
+    SET_FAULT_HANDLER = 10  # register a user-mode fault-handler VA
+    RESUME_FAULT = 11  # return from the handler to the faulting context
+
+
+#: Magic value returned by SMC.QUERY.
+KOM_MAGIC = 0x4B6D646F  # "Kmdo"
+
+
+# ---------------------------------------------------------------------------
+# Page types and addrspace states
+# ---------------------------------------------------------------------------
+
+
+class PageType(enum.IntEnum):
+    """The six allocated page types plus free (paper section 4)."""
+
+    FREE = 0
+    ADDRSPACE = 1
+    THREAD = 2
+    L1PTABLE = 3
+    L2PTABLE = 4
+    DATA = 5
+    SPARE = 6
+
+
+class AddrspaceState(enum.IntEnum):
+    INIT = 0
+    FINAL = 1
+    STOPPED = 2
+
+
+# ---------------------------------------------------------------------------
+# Mapping words
+# ---------------------------------------------------------------------------
+
+MAPPING_R = 1 << 0
+MAPPING_W = 1 << 1
+MAPPING_X = 1 << 2
+MAPPING_PERM_MASK = MAPPING_R | MAPPING_W | MAPPING_X
+MAPPING_VA_MASK = 0x3FFFF000  # page-aligned VA within the 1 GB space
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A decoded mapping word: page VA plus permissions."""
+
+    va: int
+    readable: bool
+    writable: bool
+    executable: bool
+
+    @classmethod
+    def decode(cls, word: int) -> "Mapping":
+        return cls(
+            va=word & MAPPING_VA_MASK,
+            readable=bool(word & MAPPING_R),
+            writable=bool(word & MAPPING_W),
+            executable=bool(word & MAPPING_X),
+        )
+
+    def encode(self) -> int:
+        word = self.va & MAPPING_VA_MASK
+        if self.readable:
+            word |= MAPPING_R
+        if self.writable:
+            word |= MAPPING_W
+        if self.executable:
+            word |= MAPPING_X
+        return word
+
+    @property
+    def l1index(self) -> int:
+        return l1_index(self.va)
+
+    @property
+    def l2index(self) -> int:
+        return l2_index(self.va)
+
+
+def mapping_word_valid(word: int) -> bool:
+    """A mapping word is valid if its VA lies in the 1 GB enclave space,
+    is page aligned (guaranteed by the mask), and it is at least readable.
+    An unreadable mapping is useless and rejected, as in Komodo."""
+    if word & ~(MAPPING_VA_MASK | MAPPING_PERM_MASK):
+        return False
+    return bool(word & MAPPING_R)
+
+
+# ---------------------------------------------------------------------------
+# PageDB concrete layout (in monitor data memory)
+# ---------------------------------------------------------------------------
+
+#: Offset of the attestation key within the monitor image region.
+ATTEST_KEY_OFFSET = 0x100
+ATTEST_KEY_WORDS = 8
+
+#: Offset of the verify-step scratch buffer (data[8] ++ measure[8]).
+VERIFY_SCRATCH_OFFSET = 0x140
+VERIFY_SCRATCH_WORDS = 16
+
+#: Offset of the PageDB array within the monitor image region.
+PAGEDB_OFFSET = 0x200
+PAGEDB_ENTRY_WORDS = 2  # [type, owning addrspace pageno]
+PAGEDB_TYPE_WORD = 0
+PAGEDB_OWNER_WORD = 1
+
+
+def pagedb_entry_addr(monitor_image_base: int, pageno: int) -> int:
+    """Physical address of secure page ``pageno``'s PageDB entry."""
+    return (
+        monitor_image_base
+        + PAGEDB_OFFSET
+        + pageno * PAGEDB_ENTRY_WORDS * WORDSIZE
+    )
+
+
+# ---------------------------------------------------------------------------
+# Addrspace page layout (metadata lives in the addrspace page itself)
+# ---------------------------------------------------------------------------
+
+AS_STATE_WORD = 0  # AddrspaceState
+AS_REFCOUNT_WORD = 1  # pages belonging to this addrspace (excluding itself)
+AS_L1PT_WORD = 2  # page number of the L1 page table
+AS_HASH_STATE_WORD = 3  # 8 words of SHA-256 chaining state
+AS_HASH_LEN_WORD = 11  # running measured length in bytes
+AS_MEASUREMENT_WORD = 12  # 8 words: final measurement (valid once FINAL)
+AS_MEASURED_WORD = 20  # 1 once Finalise ran (a stopped enclave may never
+#                        have been finalised, in which case no measurement
+#                        exists — the spec models this as None)
+AS_WORDS_USED = 21
+
+# ---------------------------------------------------------------------------
+# Thread page layout (saved context lives in the thread page itself)
+# ---------------------------------------------------------------------------
+
+TH_ENTERED_WORD = 0  # 1 when suspended mid-execution
+TH_ENTRYPOINT_WORD = 1
+TH_CONTEXT_R0_WORD = 2  # 13 words: saved R0-R12
+TH_CONTEXT_SP_WORD = 15
+TH_CONTEXT_LR_WORD = 16
+TH_CONTEXT_PC_WORD = 17
+TH_CONTEXT_CPSR_WORD = 18
+
+# Dispatcher interface (paper section 9.2, future work, implemented
+# here): an enclave thread may register a user-mode fault handler; the
+# monitor then upcalls into the enclave on aborts/undefined instructions
+# instead of reporting them to the OS, enabling enclave self-paging
+# without the controlled-channel exposure of SGX.
+TH_FAULT_HANDLER_WORD = 19  # handler entry VA, 0 = none registered
+TH_IN_HANDLER_WORD = 20  # 1 while the fault handler is running
+TH_FCONTEXT_R0_WORD = 21  # 13 words: faulting R0-R12
+TH_FCONTEXT_SP_WORD = 34
+TH_FCONTEXT_LR_WORD = 35
+TH_FCONTEXT_PC_WORD = 36
+TH_FCONTEXT_CPSR_WORD = 37
+TH_WORDS_USED = 38
+
+#: Number of data words an enclave passes to Attest / receives as a MAC.
+ATTEST_DATA_WORDS = 8
+MEASUREMENT_WORDS = 8

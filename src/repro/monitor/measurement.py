@@ -1,0 +1,107 @@
+"""Enclave measurement (paper section 4, "Attestation").
+
+As the OS constructs an enclave, the monitor hashes the sequence of page
+allocation calls and their parameters: the virtual address, permissions
+and initial contents of each secure data page, and the entry point of
+every thread.  Any change in enclave layout changes the hash.  When the
+enclave is finalised the hash becomes its immutable measurement.
+
+The incremental SHA-256 chaining state and the running length are stored
+inside the addrspace page between calls (the implementation's chosen
+representation; the abstract spec models the measurement as an unbounded
+word sequence, and the refinement checker relates the two by replaying
+the abstract trace through the same hash).
+
+All measured records are padded to full 64-byte blocks, exploiting the
+monitor's block-aligned-hashing precondition (paper section 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.crypto.sha256 import SHA256
+from repro.monitor.layout import MEASUREMENT_WORDS, PageType
+from repro.monitor.pagedb import PageDB
+
+# Record tags, one per measured operation.
+MEASURE_MAPSECURE = 0x4D415053  # "MAPS"
+MEASURE_MAPINSECURE = 0x4D415049  # "MAPI"
+MEASURE_INITTHREAD = 0x54485244  # "THRD"
+MEASURE_INITL2PT = 0x4C325054  # "L2PT"
+
+_RECORD_WORDS = 16  # one SHA-256 block
+
+
+def _record_block(tag: int, arg1: int, arg2: int) -> List[int]:
+    """A one-block measurement record: tag, two arguments, zero padding."""
+    block = [tag, arg1, arg2] + [0] * (_RECORD_WORDS - 3)
+    return block
+
+
+class MeasurementContext:
+    """Incremental measurement bound to one addrspace page."""
+
+    def __init__(self, pagedb: PageDB, asno: int):
+        self.pagedb = pagedb
+        self.asno = asno
+
+    def _charge_block(self) -> None:
+        state = self.pagedb.state
+        state.charge(state.costs.sha256_block)
+
+    def _resume_hash(self) -> SHA256:
+        return SHA256.from_state(
+            self.pagedb.hash_state(self.asno),
+            self.pagedb.hash_length(self.asno),
+            on_block=self._charge_block,
+        )
+
+    def _persist_hash(self, hasher: SHA256, extra_len: int) -> None:
+        self.pagedb.set_hash_state(self.asno, hasher.state_words)
+        self.pagedb.set_hash_length(
+            self.asno, self.pagedb.hash_length(self.asno) + extra_len
+        )
+
+    def init(self) -> None:
+        """Initialise the chaining state at InitAddrspace time."""
+        state = self.pagedb.state
+        state.charge(state.costs.sha256_init)
+        hasher = SHA256()
+        self.pagedb.set_hash_state(self.asno, hasher.state_words)
+        self.pagedb.set_hash_length(self.asno, 0)
+
+    def measure_record(self, tag: int, arg1: int, arg2: int) -> None:
+        """Measure one operation record (one block)."""
+        hasher = self._resume_hash()
+        hasher.update_block_words(_record_block(tag, arg1, arg2))
+        self._persist_hash(hasher, 64)
+
+    def measure_page_contents(self, data_words: List[int]) -> None:
+        """Measure the initial contents of a secure data page (64 blocks)."""
+        if len(data_words) != WORDS_PER_PAGE:
+            raise ValueError("expected exactly one page of words")
+        hasher = self._resume_hash()
+        for i in range(0, WORDS_PER_PAGE, 16):
+            hasher.update_block_words(data_words[i : i + 16])
+        self._persist_hash(hasher, WORDS_PER_PAGE * 4)
+
+    def finalise(self) -> List[int]:
+        """Finalise the measurement and store it in the addrspace page."""
+        state = self.pagedb.state
+        hasher = self._resume_hash()
+        state.charge(state.costs.sha256_finish)
+        digest = hasher.digest_words()
+        self.pagedb.set_measurement(self.asno, digest)
+        return digest
+
+
+def measurement_of(pagedb: PageDB, asno: int) -> List[int]:
+    """The stored measurement of a finalised addrspace (8 words)."""
+    if pagedb.page_type(asno) is not PageType.ADDRSPACE:
+        raise ValueError(f"page {asno} is not an addrspace")
+    words = pagedb.measurement(asno)
+    if len(words) != MEASUREMENT_WORDS:
+        raise AssertionError("measurement must be 8 words")
+    return words

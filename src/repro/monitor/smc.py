@@ -1,0 +1,325 @@
+"""SMC handlers: the OS-facing monitor API (paper Table 1, upper half).
+
+Every handler validates its arguments against the PageDB, performs the
+operation, and returns ``(KomErr, value)``.  Handlers are pure monitor
+logic; register marshalling, scrubbing and mode switching live in
+``dispatch``/``komodo``.  Enter and Resume are in ``enclave_exec``.
+
+The argument-validation style deliberately mirrors the issues the paper
+reports finding through verification (section 9.1): InitAddrspace checks
+that its two page arguments are distinct, and insecure-address validation
+classifies strictly by region so the monitor's own image/stack can never
+be treated as OS memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.memory import PAGE_SIZE, WORDS_PER_PAGE
+from repro.arm.pagetable import (
+    DESC_INVALID,
+    L1_ENTRIES,
+    entry_type,
+    make_l1_entry,
+    make_l2_entry,
+)
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import (
+    AddrspaceState,
+    KOM_MAGIC,
+    Mapping,
+    PageType,
+    mapping_word_valid,
+)
+from repro.monitor.measurement import (
+    MEASURE_INITTHREAD,
+    MEASURE_MAPSECURE,
+    MeasurementContext,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.monitor.komodo import KomodoMonitor
+
+Result = Tuple[KomErr, int]
+
+_OK = (KomErr.SUCCESS, 0)
+
+
+def smc_query(mon: "KomodoMonitor") -> Result:
+    """Probe SMC: identifies a Komodo monitor by magic value."""
+    return (KomErr.SUCCESS, KOM_MAGIC)
+
+
+def smc_get_physpages(mon: "KomodoMonitor") -> Result:
+    """Return the number of secure pages the monitor manages."""
+    return (KomErr.SUCCESS, mon.pagedb.npages)
+
+
+def smc_init_addrspace(mon: "KomodoMonitor", as_page: int, l1pt_page: int) -> Result:
+    """Create an address space (enclave) from two free pages.
+
+    The as_page == l1pt_page check is exactly the aliasing bug the paper
+    says its unverified prototype missed (section 9.1).
+    """
+    pagedb = mon.pagedb
+    if not pagedb.valid_pageno(as_page) or not pagedb.valid_pageno(l1pt_page):
+        return (KomErr.INVALID_PAGENO, 0)
+    if as_page == l1pt_page:
+        return (KomErr.INVALID_PAGENO, 0)
+    if not pagedb.is_free(as_page) or not pagedb.is_free(l1pt_page):
+        return (KomErr.PAGEINUSE, 0)
+    state = mon.state
+    state.mon_zero_page(pagedb.page_base(as_page))
+    state.mon_zero_page(pagedb.page_base(l1pt_page))
+    pagedb.set_entry(as_page, PageType.ADDRSPACE, as_page)
+    pagedb.set_entry(l1pt_page, PageType.L1PTABLE, as_page)
+    pagedb.set_addrspace_state(as_page, AddrspaceState.INIT)
+    pagedb.set_l1pt_page(as_page, l1pt_page)
+    pagedb.write_page_word(as_page, 1, 1)  # refcount: the L1 table
+    MeasurementContext(pagedb, as_page).init()
+    return _OK
+
+
+def _require_addrspace(mon: "KomodoMonitor", as_page: int) -> KomErr:
+    if not mon.pagedb.valid_pageno(as_page):
+        return KomErr.INVALID_PAGENO
+    if mon.pagedb.page_type(as_page) is not PageType.ADDRSPACE:
+        return KomErr.INVALID_ADDRSPACE
+    return KomErr.SUCCESS
+
+
+def _require_init_addrspace(mon: "KomodoMonitor", as_page: int) -> KomErr:
+    err = _require_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return err
+    as_state = mon.pagedb.addrspace_state(as_page)
+    if as_state is AddrspaceState.FINAL:
+        return KomErr.ALREADY_FINAL
+    if as_state is AddrspaceState.STOPPED:
+        return KomErr.STOPPED
+    return KomErr.SUCCESS
+
+
+def smc_init_thread(
+    mon: "KomodoMonitor", as_page: int, thread_page: int, entry: int
+) -> Result:
+    """Create an enclave thread with the given entry point."""
+    pagedb = mon.pagedb
+    err = _require_init_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if not pagedb.valid_pageno(thread_page):
+        return (KomErr.INVALID_PAGENO, 0)
+    if not pagedb.is_free(thread_page):
+        return (KomErr.PAGEINUSE, 0)
+    mon.state.mon_zero_page(pagedb.page_base(thread_page))
+    pagedb.set_entry(thread_page, PageType.THREAD, as_page)
+    pagedb.set_thread_entrypoint(thread_page, entry)
+    pagedb.set_thread_entered(thread_page, False)
+    pagedb.adjust_refcount(as_page, +1)
+    MeasurementContext(pagedb, as_page).measure_record(MEASURE_INITTHREAD, entry, 0)
+    return _OK
+
+
+def smc_init_l2ptable(
+    mon: "KomodoMonitor", as_page: int, l2pt_page: int, l1index: int
+) -> Result:
+    """Allocate a second-level page table covering 4 MB at ``l1index``."""
+    pagedb = mon.pagedb
+    err = _require_init_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if not pagedb.valid_pageno(l2pt_page):
+        return (KomErr.INVALID_PAGENO, 0)
+    if not pagedb.is_free(l2pt_page):
+        return (KomErr.PAGEINUSE, 0)
+    if not 0 <= l1index < L1_ENTRIES:
+        return (KomErr.INVALID_MAPPING, 0)
+    l1_base = pagedb.page_base(pagedb.l1pt_page(as_page))
+    l1_entry_addr = l1_base + l1index * WORDSIZE
+    if entry_type(mon.state.mon_read_word(l1_entry_addr)) != DESC_INVALID:
+        return (KomErr.ADDRINUSE, 0)
+    mon.state.mon_zero_page(pagedb.page_base(l2pt_page))
+    pagedb.set_entry(l2pt_page, PageType.L2PTABLE, as_page)
+    pagedb.adjust_refcount(as_page, +1)
+    mon.state.mon_write_word(
+        l1_entry_addr, make_l1_entry(pagedb.page_base(l2pt_page))
+    )
+    return _OK
+
+
+def smc_alloc_spare(mon: "KomodoMonitor", as_page: int, spare_page: int) -> Result:
+    """Allocate a spare page to an enclave (SGXv2-style, paper section 4).
+
+    Spares may be given at any time before the enclave is stopped and do
+    not alter the measurement: they only become accessible once the
+    enclave itself maps them via an SVC.
+    """
+    pagedb = mon.pagedb
+    err = _require_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if pagedb.addrspace_state(as_page) is AddrspaceState.STOPPED:
+        return (KomErr.STOPPED, 0)
+    if not pagedb.valid_pageno(spare_page):
+        return (KomErr.INVALID_PAGENO, 0)
+    if not pagedb.is_free(spare_page):
+        return (KomErr.PAGEINUSE, 0)
+    # No zeroing here: a spare is inaccessible until the enclave maps it,
+    # and MapData zero-fills at that point.  This is what makes
+    # AllocSpare cheap relative to MapData in Table 3 (217 vs 5826).
+    pagedb.set_entry(spare_page, PageType.SPARE, as_page)
+    pagedb.adjust_refcount(as_page, +1)
+    return _OK
+
+
+def _lookup_l2(mon: "KomodoMonitor", as_page: int, mapping: Mapping):
+    """Find the L2 entry slot for a mapping; returns (err, l2_entry_addr)."""
+    pagedb = mon.pagedb
+    l1_base = pagedb.page_base(pagedb.l1pt_page(as_page))
+    l1_entry = mon.state.mon_read_word(l1_base + mapping.l1index * WORDSIZE)
+    if entry_type(l1_entry) == DESC_INVALID:
+        return (KomErr.INVALID_MAPPING, 0)
+    from repro.arm.pagetable import entry_target
+
+    l2_base = entry_target(l1_entry)
+    return (KomErr.SUCCESS, l2_base + mapping.l2index * WORDSIZE)
+
+
+def smc_map_secure(
+    mon: "KomodoMonitor", as_page: int, data_page: int, mapping_word: int, content: int
+) -> Result:
+    """Allocate a secure data page mapped at ``mapping_word``.
+
+    ``content`` is the physical address of an insecure page supplying the
+    initial contents, or 0 for a zero-filled page.  The address must lie
+    in insecure RAM: in particular it must not alias the monitor's own
+    image or stack, the subtle validity bug the paper describes finding
+    (section 9.1).
+    """
+    pagedb = mon.pagedb
+    err = _require_init_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if not pagedb.valid_pageno(data_page):
+        return (KomErr.INVALID_PAGENO, 0)
+    if not pagedb.is_free(data_page):
+        return (KomErr.PAGEINUSE, 0)
+    if not mapping_word_valid(mapping_word):
+        return (KomErr.INVALID_MAPPING, 0)
+    mapping = Mapping.decode(mapping_word)
+    if content != 0 and not mon.state.memmap.insecure_page_aligned(content):
+        return (KomErr.INSECURE_INVALID, 0)
+    err, l2_entry_addr = _lookup_l2(mon, as_page, mapping)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if entry_type(mon.state.mon_read_word(l2_entry_addr)) != DESC_INVALID:
+        return (KomErr.ADDRINUSE, 0)
+    page_base = pagedb.page_base(data_page)
+    if content == 0:
+        mon.state.mon_zero_page(page_base)
+    else:
+        mon.state.mon_copy_page(content, page_base)
+    pagedb.set_entry(data_page, PageType.DATA, as_page)
+    pagedb.adjust_refcount(as_page, +1)
+    measure = MeasurementContext(pagedb, as_page)
+    measure.measure_record(MEASURE_MAPSECURE, mapping_word, 0)
+    measure.measure_page_contents(mon.state.memory.read_words(page_base, WORDS_PER_PAGE))
+    mon.state.mon_write_word(
+        l2_entry_addr,
+        make_l2_entry(
+            page_base, mapping.readable, mapping.writable, mapping.executable, True
+        ),
+    )
+    return _OK
+
+
+def smc_map_insecure(
+    mon: "KomodoMonitor", as_page: int, mapping_word: int, target: int
+) -> Result:
+    """Map an insecure (OS-shared) page into the enclave.
+
+    Insecure mappings are never executable: the OS can rewrite their
+    contents at will, so an executable insecure mapping would let the OS
+    inject unmeasured code into the enclave, breaking the integrity
+    theorem.  They are also not measured (paper section 4 measures only
+    secure pages and thread entry points).
+    """
+    pagedb = mon.pagedb
+    err = _require_init_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if not mapping_word_valid(mapping_word):
+        return (KomErr.INVALID_MAPPING, 0)
+    mapping = Mapping.decode(mapping_word)
+    if mapping.executable:
+        return (KomErr.INVALID_MAPPING, 0)
+    if not mon.state.memmap.insecure_page_aligned(target):
+        return (KomErr.INSECURE_INVALID, 0)
+    err, l2_entry_addr = _lookup_l2(mon, as_page, mapping)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    if entry_type(mon.state.mon_read_word(l2_entry_addr)) != DESC_INVALID:
+        return (KomErr.ADDRINUSE, 0)
+    mon.state.mon_write_word(
+        l2_entry_addr,
+        make_l2_entry(target, mapping.readable, mapping.writable, False, False),
+    )
+    return _OK
+
+
+def smc_finalise(mon: "KomodoMonitor", as_page: int) -> Result:
+    """Freeze the enclave: no further OS mapping, execution allowed."""
+    err = _require_init_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    MeasurementContext(mon.pagedb, as_page).finalise()
+    mon.pagedb.set_addrspace_state(as_page, AddrspaceState.FINAL)
+    return _OK
+
+
+def smc_stop(mon: "KomodoMonitor", as_page: int) -> Result:
+    """Stop the enclave, permitting deallocation."""
+    err = _require_addrspace(mon, as_page)
+    if err is not KomErr.SUCCESS:
+        return (err, 0)
+    mon.pagedb.set_addrspace_state(as_page, AddrspaceState.STOPPED)
+    return _OK
+
+
+def smc_remove(mon: "KomodoMonitor", pageno: int) -> Result:
+    """Deallocate a page.
+
+    Non-spare pages require their addrspace to be stopped; spare pages
+    may be reclaimed in any state (which is how the OS learns whether a
+    spare has been consumed — the declassified side channel of section
+    6.2).  The addrspace page itself is reference counted and must be
+    removed last.  Freed pages are scrubbed so a later allocation to a
+    different enclave cannot leak contents.
+    """
+    pagedb = mon.pagedb
+    if not pagedb.valid_pageno(pageno):
+        return (KomErr.INVALID_PAGENO, 0)
+    page_type = pagedb.page_type(pageno)
+    if page_type is PageType.FREE:
+        return (KomErr.INVALID_PAGENO, 0)
+    owner = pagedb.owner(pageno)
+    if page_type is PageType.ADDRSPACE:
+        if pagedb.addrspace_state(pageno) is not AddrspaceState.STOPPED:
+            return (KomErr.NOT_STOPPED, 0)
+        if pagedb.refcount(pageno) != 0:
+            return (KomErr.PAGEINUSE, 0)
+        mon.state.mon_zero_page(pagedb.page_base(pageno))
+        pagedb.free_entry(pageno)
+        return _OK
+    if page_type is not PageType.SPARE:
+        if pagedb.addrspace_state(owner) is not AddrspaceState.STOPPED:
+            return (KomErr.NOT_STOPPED, 0)
+    if page_type is PageType.THREAD:
+        mon.remove_native_thread(pageno)
+    mon.state.mon_zero_page(pagedb.page_base(pageno))
+    pagedb.free_entry(pageno)
+    pagedb.adjust_refcount(owner, -1)
+    return _OK

@@ -1,0 +1,194 @@
+"""SVC handlers: the enclave-facing monitor API (paper Table 1, lower half).
+
+SVCs are taken while an enclave thread is executing; the handlers run
+with the identity of the calling enclave (its addrspace page number) and
+operate on its own pages.  Dynamic memory SVCs (InitL2PTable, MapData,
+UnmapData) give Komodo SGXv2-equivalent functionality: the OS donates
+spare pages, but only the enclave decides their type, address and
+permissions — deliberately hiding that information from the OS (paper
+section 4, "Dynamic allocation").
+
+Each handler returns ``(KomErr, [result words])``; the execution loop
+writes results into R0.. before resuming the enclave.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.pagetable import (
+    DESC_INVALID,
+    DESC_L2_SMALL,
+    L1_ENTRIES,
+    entry_target,
+    entry_type,
+    make_l1_entry,
+    make_l2_entry,
+)
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import (
+    ATTEST_DATA_WORDS,
+    Mapping,
+    MEASUREMENT_WORDS,
+    PageType,
+    VERIFY_SCRATCH_OFFSET,
+    mapping_word_valid,
+)
+from repro.monitor.measurement import measurement_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.monitor.komodo import KomodoMonitor
+
+SvcResult = Tuple[KomErr, List[int]]
+
+_OK: SvcResult = (KomErr.SUCCESS, [])
+
+
+def svc_get_random(mon: "KomodoMonitor", asno: int) -> SvcResult:
+    """Hardware-backed random word for the enclave."""
+    mon.state.charge(mon.state.costs.rng_word)
+    return (KomErr.SUCCESS, [mon.rng.read_word()])
+
+
+def svc_attest(mon: "KomodoMonitor", asno: int, data: Sequence[int]) -> SvcResult:
+    """MAC over (this enclave's measurement, enclave-provided data)."""
+    if len(data) != ATTEST_DATA_WORDS:
+        return (KomErr.INVALID_CALL, [])
+    measurement = measurement_of(mon.pagedb, asno)
+    mac = mon.attestation.mac(measurement, data)
+    return (KomErr.SUCCESS, mac)
+
+
+def _verify_scratch_addr(mon: "KomodoMonitor", index: int) -> int:
+    return (
+        mon.state.memmap.monitor_image.base
+        + VERIFY_SCRATCH_OFFSET
+        + index * WORDSIZE
+    )
+
+
+def svc_verify_step0(mon: "KomodoMonitor", asno: int, data: Sequence[int]) -> SvcResult:
+    """Stash data[8] for a pending Verify."""
+    for i, word in enumerate(data[:ATTEST_DATA_WORDS]):
+        mon.state.mon_write_word(_verify_scratch_addr(mon, i), word)
+    return _OK
+
+
+def svc_verify_step1(
+    mon: "KomodoMonitor", asno: int, measure: Sequence[int]
+) -> SvcResult:
+    """Stash measure[8] for a pending Verify."""
+    for i, word in enumerate(measure[:MEASUREMENT_WORDS]):
+        mon.state.mon_write_word(
+            _verify_scratch_addr(mon, ATTEST_DATA_WORDS + i), word
+        )
+    return _OK
+
+
+def svc_verify_step2(mon: "KomodoMonitor", asno: int, mac: Sequence[int]) -> SvcResult:
+    """Complete a Verify: check mac[8] against the stashed data/measure."""
+    data = [
+        mon.state.mon_read_word(_verify_scratch_addr(mon, i))
+        for i in range(ATTEST_DATA_WORDS)
+    ]
+    measure = [
+        mon.state.mon_read_word(_verify_scratch_addr(mon, ATTEST_DATA_WORDS + i))
+        for i in range(MEASUREMENT_WORDS)
+    ]
+    ok = mon.attestation.verify(measure, data, list(mac[:8]))
+    return (KomErr.SUCCESS, [1 if ok else 0])
+
+
+def _require_owned(
+    mon: "KomodoMonitor", asno: int, pageno: int, expected: PageType
+) -> KomErr:
+    pagedb = mon.pagedb
+    if not pagedb.valid_pageno(pageno):
+        return KomErr.INVALID_PAGENO
+    if pagedb.page_type(pageno) is not expected:
+        return KomErr.PAGEINUSE
+    if pagedb.owner(pageno) != asno:
+        return KomErr.INVALID_PAGENO
+    return KomErr.SUCCESS
+
+
+def svc_init_l2ptable(
+    mon: "KomodoMonitor", asno: int, spare_page: int, l1index: int
+) -> SvcResult:
+    """Turn one of this enclave's spare pages into an L2 page table."""
+    pagedb = mon.pagedb
+    err = _require_owned(mon, asno, spare_page, PageType.SPARE)
+    if err is not KomErr.SUCCESS:
+        return (err, [])
+    if not 0 <= l1index < L1_ENTRIES:
+        return (KomErr.INVALID_MAPPING, [])
+    l1_base = pagedb.page_base(pagedb.l1pt_page(asno))
+    l1_entry_addr = l1_base + l1index * WORDSIZE
+    if entry_type(mon.state.mon_read_word(l1_entry_addr)) != DESC_INVALID:
+        return (KomErr.ADDRINUSE, [])
+    mon.state.mon_zero_page(pagedb.page_base(spare_page))
+    pagedb.set_entry(spare_page, PageType.L2PTABLE, asno)
+    mon.state.mon_write_word(l1_entry_addr, make_l1_entry(pagedb.page_base(spare_page)))
+    # The live page table changed; the execution loop flushes the TLB
+    # before re-entering the enclave (TLB consistency, paper section 5.1).
+    return _OK
+
+
+def svc_map_data(
+    mon: "KomodoMonitor", asno: int, spare_page: int, mapping_word: int
+) -> SvcResult:
+    """Map a spare page as a zero-filled data page at the given VA."""
+    pagedb = mon.pagedb
+    err = _require_owned(mon, asno, spare_page, PageType.SPARE)
+    if err is not KomErr.SUCCESS:
+        return (err, [])
+    if not mapping_word_valid(mapping_word):
+        return (KomErr.INVALID_MAPPING, [])
+    mapping = Mapping.decode(mapping_word)
+    l1_base = pagedb.page_base(pagedb.l1pt_page(asno))
+    l1_entry = mon.state.mon_read_word(l1_base + mapping.l1index * WORDSIZE)
+    if entry_type(l1_entry) == DESC_INVALID:
+        return (KomErr.INVALID_MAPPING, [])
+    l2_entry_addr = entry_target(l1_entry) + mapping.l2index * WORDSIZE
+    if entry_type(mon.state.mon_read_word(l2_entry_addr)) != DESC_INVALID:
+        return (KomErr.ADDRINUSE, [])
+    page_base = pagedb.page_base(spare_page)
+    mon.state.mon_zero_page(page_base)
+    pagedb.set_entry(spare_page, PageType.DATA, asno)
+    mon.state.mon_write_word(
+        l2_entry_addr,
+        make_l2_entry(
+            page_base, mapping.readable, mapping.writable, mapping.executable, True
+        ),
+    )
+    return _OK
+
+
+def svc_unmap_data(
+    mon: "KomodoMonitor", asno: int, data_page: int, mapping_word: int
+) -> SvcResult:
+    """Unmap a data page, turning it back into a spare page."""
+    pagedb = mon.pagedb
+    err = _require_owned(mon, asno, data_page, PageType.DATA)
+    if err is not KomErr.SUCCESS:
+        return (err, [])
+    if not mapping_word_valid(mapping_word):
+        return (KomErr.INVALID_MAPPING, [])
+    mapping = Mapping.decode(mapping_word)
+    l1_base = pagedb.page_base(pagedb.l1pt_page(asno))
+    l1_entry = mon.state.mon_read_word(l1_base + mapping.l1index * WORDSIZE)
+    if entry_type(l1_entry) == DESC_INVALID:
+        return (KomErr.INVALID_MAPPING, [])
+    l2_entry_addr = entry_target(l1_entry) + mapping.l2index * WORDSIZE
+    l2_entry = mon.state.mon_read_word(l2_entry_addr)
+    if entry_type(l2_entry) != DESC_L2_SMALL:
+        return (KomErr.INVALID_MAPPING, [])
+    if entry_target(l2_entry) != pagedb.page_base(data_page):
+        return (KomErr.INVALID_MAPPING, [])
+    mon.state.mon_write_word(l2_entry_addr, 0)
+    # Scrub before the page becomes reclaimable by the OS: the OS may
+    # Remove a spare at any time and hand it to another enclave.
+    mon.state.mon_zero_page(pagedb.page_base(data_page))
+    pagedb.set_entry(data_page, PageType.SPARE, asno)
+    return _OK

@@ -1,0 +1,21 @@
+"""Multi-core execution model (paper section 9.2, future work).
+
+The paper's monitor is single-core: the OS may run on multiple cores,
+but the monitor and enclaves are restricted to one.  Section 9.2
+sketches the simplest path to multi-core: "a single shared lock around
+all monitor activities, which would preserve the sequential
+(Floyd-Hoare) reasoning used in our current proofs."
+
+This package implements that design over the simulator: multiple
+normal-world cores run concurrently (interleaved by a deterministic,
+seeded scheduler), each freely reading and writing insecure memory, and
+every SMC acquires the global monitor lock.  Because the lock serialises
+all monitor activity, every concurrent run is equivalent to *some*
+sequential SMC order — the linearisability-by-construction argument the
+paper makes — which the tests check directly against the sequential
+refinement machinery.
+"""
+
+from repro.multicore.scheduler import Core, MonitorLock, MultiCoreMachine
+
+__all__ = ["Core", "MonitorLock", "MultiCoreMachine"]

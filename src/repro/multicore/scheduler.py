@@ -1,0 +1,195 @@
+"""Deterministic multi-core interleaving with a big monitor lock.
+
+Cores are cooperative generators of *actions*; the scheduler picks the
+next runnable core with a seeded PRNG, so every interleaving is
+reproducible from its seed and a property test can sweep many schedules.
+
+Actions a core may take:
+
+* ``("smc", callno, args...)`` — issue an SMC.  The core first acquires
+  the global monitor lock (blocking, i.e. the scheduler skips the core
+  until the lock frees); the SMC runs to completion while the lock is
+  held (monitor calls are bounded-time, section 7.2, so holding the lock
+  across one call models the paper's design exactly); the result is sent
+  back into the generator.
+* ``("write", address, value)`` / ``("read", address)`` — normal-world
+  memory accesses, permitted concurrently with monitor activity on
+  another core (the paper's model allows the OS to mutate insecure
+  memory while the monitor runs elsewhere; the monitor never reads
+  insecure memory unguarded except in MapSecure, whose copy is atomic
+  under the lock).
+* ``("yield",)`` — plain scheduling point.
+
+The scheduler records the global order of SMCs (the linearisation), so
+tests can replay it against a sequential monitor and compare outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.arm.modes import World
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+
+
+class MonitorLock:
+    """The single shared lock around all monitor activities."""
+
+    def __init__(self) -> None:
+        self._holder: Optional[int] = None
+        self.acquisitions = 0
+        self.contended_waits = 0
+
+    @property
+    def held(self) -> bool:
+        return self._holder is not None
+
+    def try_acquire(self, core_id: int) -> bool:
+        if self._holder is not None:
+            self.contended_waits += 1
+            return False
+        self._holder = core_id
+        self.acquisitions += 1
+        return True
+
+    def release(self, core_id: int) -> None:
+        if self._holder != core_id:
+            raise RuntimeError(f"core {core_id} released a lock it does not hold")
+        self._holder = None
+
+
+@dataclass
+class Core:
+    """One normal-world core running a scripted generator."""
+
+    core_id: int
+    script: Iterator
+    finished: bool = False
+    pending_send: object = None  # value to send into the generator next
+    results: List[Tuple[KomErr, int]] = field(default_factory=list)
+    blocked_on_lock: Optional[tuple] = None  # stashed SMC awaiting the lock
+
+
+@dataclass(frozen=True)
+class LinearisationEntry:
+    """One SMC in the global serialisation order."""
+
+    core_id: int
+    callno: int
+    args: Tuple[int, ...]
+    err: KomErr
+    value: int
+
+
+class MultiCoreMachine:
+    """Runs core scripts against one monitor under the big lock."""
+
+    def __init__(self, monitor: KomodoMonitor, seed: int = 0):
+        self.monitor = monitor
+        self.lock = MonitorLock()
+        self.random = random.Random(seed)
+        self.cores: List[Core] = []
+        self.linearisation: List[LinearisationEntry] = []
+
+    def add_core(self, script_factory) -> Core:
+        """Register a core; ``script_factory(core_id)`` returns its
+        action generator."""
+        core_id = len(self.cores)
+        core = Core(core_id=core_id, script=script_factory(core_id))
+        self.cores.append(core)
+        return core
+
+    # ------------------------------------------------------------------
+
+    def _issue_smc(self, core: Core, callno: int, args: Tuple[int, ...]):
+        err, value = self.monitor.smc(callno, *args)
+        self.linearisation.append(
+            LinearisationEntry(
+                core_id=core.core_id,
+                callno=callno,
+                args=tuple(args),
+                err=err,
+                value=value,
+            )
+        )
+        core.results.append((err, value))
+        return (err, value)
+
+    def _step_core(self, core: Core) -> None:
+        # A core blocked on the lock retries acquisition before anything
+        # else; it does not advance its script until the SMC completes.
+        if core.blocked_on_lock is not None:
+            if not self.lock.try_acquire(core.core_id):
+                return
+            callno, args = core.blocked_on_lock
+            core.blocked_on_lock = None
+            try:
+                core.pending_send = self._issue_smc(core, callno, args)
+            finally:
+                self.lock.release(core.core_id)
+            return
+        try:
+            action = core.script.send(core.pending_send)
+        except StopIteration:
+            core.finished = True
+            return
+        core.pending_send = None
+        kind = action[0]
+        if kind == "smc":
+            callno, args = action[1], tuple(action[2:])
+            if self.lock.try_acquire(core.core_id):
+                try:
+                    core.pending_send = self._issue_smc(core, callno, args)
+                finally:
+                    self.lock.release(core.core_id)
+            else:
+                core.blocked_on_lock = (callno, args)
+        elif kind == "write":
+            self.monitor.state.memory.checked_write(action[1], action[2], World.NORMAL)
+        elif kind == "read":
+            core.pending_send = self.monitor.state.memory.checked_read(
+                action[1], World.NORMAL
+            )
+        elif kind == "interrupt":
+            # Any core may raise the interrupt line against the enclave
+            # core (inter-processor interrupts are an OS capability).
+            self.monitor.schedule_interrupt(action[1])
+        elif kind == "yield":
+            pass
+        else:
+            raise ValueError(f"unknown core action {action!r}")
+
+    def run(self, max_steps: int = 100_000) -> None:
+        """Interleave cores until all scripts finish."""
+        steps = 0
+        while True:
+            runnable = [core for core in self.cores if not core.finished]
+            if not runnable:
+                return
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("multicore run did not terminate")
+            core = self.random.choice(runnable)
+            self._step_core(core)
+
+    # ------------------------------------------------------------------
+
+    def replay_sequentially(self, monitor: KomodoMonitor) -> List[Tuple[KomErr, int]]:
+        """Replay the recorded linearisation on a fresh sequential
+        monitor; returns its outcomes for comparison.
+
+        If the big-lock design is sound, the sequential outcomes must
+        equal the concurrent ones entry by entry — the linearisability
+        check (cf. the paper's citation of Intel's linearisability
+        verification of SGX, section 2).
+        """
+        outcomes = []
+        for entry in self.linearisation:
+            outcomes.append(monitor.smc(entry.callno, *entry.args))
+        return outcomes
+
+    def concurrent_outcomes(self) -> List[Tuple[KomErr, int]]:
+        return [(entry.err, entry.value) for entry in self.linearisation]

@@ -1,0 +1,15 @@
+"""Untrusted operating system model.
+
+The OS in Komodo's threat model is fully attacker-controlled; the monitor
+trusts nothing it says.  This package provides both sides of that coin:
+a *benign* OS (page allocator + the kernel-driver call sequences an
+honest Linux module would issue, section 8.1) used by the SDK and
+examples, and *adversarial* OS strategies used by the security tests —
+argument fuzzing, interrupt injection, insecure-memory tampering, and
+targeted attacks on known monitor obligations.
+"""
+
+from repro.osmodel.kernel import OSKernel, SharedBuffer
+from repro.osmodel.adversary import AdversarialOS, AttackLog
+
+__all__ = ["AdversarialOS", "AttackLog", "OSKernel", "SharedBuffer"]

@@ -1,0 +1,166 @@
+"""Adversarial OS strategies.
+
+The threat model (paper section 3.1) grants the attacker full control of
+privileged normal-world software: it may issue arbitrary SMC sequences
+with arbitrary arguments, inject external interrupts at any point during
+enclave execution, and read/write all insecure memory.  This module
+packages those capabilities as reusable strategies for the security and
+property tests:
+
+* ``fuzz_smcs`` — random SMC call/argument sequences (the monitor must
+  never crash, never break PageDB invariants, and never touch memory it
+  must not).
+* ``probe_secure_memory`` — attempted normal-world loads/stores of
+  secure and monitor memory (must fault at the hardware model).
+* ``interrupt_storm`` — Enter with interrupts scheduled at adversarially
+  chosen points, exercising the context save/restore paths.
+* ``targeted_attacks`` — a checklist of historically bug-prone calls,
+  including the aliased-pages InitAddrspace and the monitor-address
+  MapSecure from section 9.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arm.memory import MemoryFault
+from repro.arm.modes import World
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC
+
+
+@dataclass
+class AttackLog:
+    """Record of what an adversarial run attempted and observed."""
+
+    smcs_issued: int = 0
+    faults_taken: int = 0
+    successes: int = 0
+    errors: List[Tuple[int, KomErr]] = field(default_factory=list)
+
+
+class AdversarialOS:
+    """An OS that attacks the monitor instead of cooperating with it."""
+
+    def __init__(self, monitor: KomodoMonitor, seed: int = 1234):
+        self.monitor = monitor
+        self.random = random.Random(seed)
+        self.log = AttackLog()
+
+    # -- raw capability: arbitrary SMCs -----------------------------------
+
+    def _random_arg(self) -> int:
+        npages = self.monitor.pagedb.npages
+        choices = [
+            self.random.randrange(npages),  # plausible page number
+            self.random.randrange(npages * 4),  # out-of-range page number
+            self.random.getrandbits(32),  # garbage
+            0,
+            0xFFFFFFFF,
+            self.monitor.state.memmap.monitor_image.base,  # monitor memory
+            self.monitor.state.memmap.secure.base,  # secure memory
+            self.monitor.state.memmap.insecure.base,  # valid insecure page
+        ]
+        return self.random.choice(choices)
+
+    def fuzz_smcs(self, count: int = 200) -> AttackLog:
+        """Issue ``count`` random SMCs with adversarial arguments."""
+        callnos = [int(c) for c in SMC] + [0, 99, 0xFFFF]
+        for _ in range(count):
+            callno = self.random.choice(callnos)
+            args = tuple(self._random_arg() for _ in range(4))
+            if callno in (SMC.ENTER, SMC.RESUME):
+                # Sometimes inject an interrupt mid-execution too.
+                if self.random.random() < 0.5:
+                    self.monitor.schedule_interrupt(self.random.randrange(64))
+            err, _ = self.monitor.smc(callno, *args)
+            self.log.smcs_issued += 1
+            if err is KomErr.SUCCESS:
+                self.log.successes += 1
+            else:
+                self.log.errors.append((callno, err))
+        return self.log
+
+    # -- raw capability: memory probing ----------------------------------------
+
+    def probe_secure_memory(self, samples: int = 32) -> AttackLog:
+        """Try to read and write protected memory from normal world."""
+        state = self.monitor.state
+        targets = []
+        for region in (state.memmap.secure, state.memmap.monitor_image, state.memmap.monitor_stack):
+            for _ in range(samples):
+                offset = self.random.randrange(region.size // 4) * 4
+                targets.append(region.base + offset)
+        for address in targets:
+            try:
+                state.memory.checked_read(address, World.NORMAL)
+            except MemoryFault:
+                self.log.faults_taken += 1
+            try:
+                state.memory.checked_write(address, 0xDEADBEEF, World.NORMAL)
+            except MemoryFault:
+                self.log.faults_taken += 1
+        return self.log
+
+    # -- targeted attacks on known obligations ---------------------------------------
+
+    def aliased_init_addrspace(self, pageno: int) -> KomErr:
+        """InitAddrspace(p, p): the bug the unverified prototype had."""
+        err, _ = self.monitor.smc(SMC.INIT_ADDRSPACE, pageno, pageno)
+        return err
+
+    def map_secure_from_monitor_memory(self, as_page: int, data_page: int, mapping: int) -> KomErr:
+        """MapSecure sourcing 'insecure' contents from the monitor image —
+        the validity subtlety of section 9.1."""
+        err, _ = self.monitor.smc(
+            SMC.MAP_SECURE,
+            as_page,
+            data_page,
+            mapping,
+            self.monitor.state.memmap.monitor_image.base,
+        )
+        return err
+
+    def map_secure_from_secure_memory(self, as_page: int, data_page: int, mapping: int) -> KomErr:
+        """MapSecure sourcing contents from another enclave's secure page."""
+        err, _ = self.monitor.smc(
+            SMC.MAP_SECURE,
+            as_page,
+            data_page,
+            mapping,
+            self.monitor.state.memmap.secure.base,
+        )
+        return err
+
+    def reenter_suspended_thread(self, thread_page: int) -> KomErr:
+        """Enter on a suspended thread must fail (ALREADY_ENTERED)."""
+        err, _ = self.monitor.smc(SMC.ENTER, thread_page, 0, 0, 0)
+        return err
+
+    def remove_running_enclave_page(self, pageno: int) -> KomErr:
+        """Remove a non-spare page of a non-stopped enclave must fail."""
+        err, _ = self.monitor.smc(SMC.REMOVE, pageno)
+        return err
+
+    def interrupt_storm(
+        self, thread_page: int, max_entries: int = 50, deadline_range: int = 16
+    ) -> Tuple[KomErr, int, int]:
+        """Run a thread, interrupting at random points and resuming.
+
+        Returns the final (err, value) plus how many interrupts landed.
+        """
+        interrupts = 0
+        self.monitor.schedule_interrupt(self.random.randrange(1, deadline_range))
+        err, value = self.monitor.smc(SMC.ENTER, thread_page, 0, 0, 0)
+        for _ in range(max_entries):
+            if err is not KomErr.INTERRUPTED:
+                break
+            interrupts += 1
+            self.monitor.schedule_interrupt(self.random.randrange(1, deadline_range))
+            err, value = self.monitor.smc(SMC.RESUME, thread_page)
+        else:
+            err, value = self.monitor.smc(SMC.RESUME, thread_page)
+        return (err, value, interrupts)

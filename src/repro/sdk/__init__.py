@@ -1,0 +1,19 @@
+"""Enclave software development kit.
+
+Host-side tooling for building and talking to enclaves, layered strictly
+on the public monitor API: an enclave builder that turns programs and
+data into the SMC sequence the kernel driver issues, handles for entering
+threads and exchanging data through shared insecure buffers, and support
+for both ARM-level programs (assembled and measured into enclave pages)
+and native generator-based programs (see DESIGN.md).
+"""
+
+from repro.sdk.builder import EnclaveBuilder, EnclaveHandle
+from repro.sdk.native import NativeContext, NativeEnclaveProgram
+
+__all__ = [
+    "EnclaveBuilder",
+    "EnclaveHandle",
+    "NativeContext",
+    "NativeEnclaveProgram",
+]

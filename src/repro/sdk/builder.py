@@ -1,0 +1,244 @@
+"""Enclave builder and handle.
+
+``EnclaveBuilder`` accumulates a description of an enclave — code pages
+(from the assembler), data pages, shared insecure buffers, threads,
+spares — then ``build()`` replays it as the SMC sequence an honest kernel
+driver issues: InitAddrspace, InitL2PTable for every touched 4 MB slice,
+MapSecure/MapInsecure, InitThread, AllocSpare, Finalise.
+
+``EnclaveHandle`` is the host's runtime interface: entering threads,
+resuming after interrupts, reading shared buffers, local-attestation
+verification against an expected measurement, and teardown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arm.assembler import Assembler
+from repro.arm.memory import PAGE_SIZE, WORDS_PER_PAGE
+from repro.arm.pagetable import l1_index
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping
+from repro.osmodel.kernel import OSKernel, SharedBuffer
+from repro.sdk.native import NativeEnclaveProgram
+
+#: Default virtual layout for simple enclaves.
+CODE_VA = 0x0001_0000
+DATA_VA = 0x0010_0000
+SHARED_VA = 0x0020_0000
+IDENTITY_VA = 0x0030_0000
+
+
+class BuildError(Exception):
+    """The enclave description cannot be realised."""
+
+
+@dataclass
+class _PendingPage:
+    va: int
+    perms: Tuple[bool, bool, bool]  # (r, w, x)
+    contents: Optional[List[int]]  # None = zero-filled
+
+
+@dataclass
+class _PendingShared:
+    va: int
+    writable: bool
+
+
+class EnclaveBuilder:
+    """Describe an enclave, then build it through the monitor API."""
+
+    def __init__(self, kernel: OSKernel):
+        self.kernel = kernel
+        self._pages: List[_PendingPage] = []
+        self._shared: List[_PendingShared] = []
+        self._threads: List[int] = []  # entry points
+        self._spares = 0
+        self._native: Optional[NativeEnclaveProgram] = None
+
+    # -- description -------------------------------------------------------
+
+    def add_code(self, asm: Assembler, va: int = CODE_VA) -> "EnclaveBuilder":
+        """Add assembled code, split across as many pages as needed."""
+        words = asm.assemble()
+        if not words:
+            raise BuildError("empty program")
+        for offset in range(0, len(words), WORDS_PER_PAGE):
+            chunk = words[offset : offset + WORDS_PER_PAGE]
+            self._pages.append(
+                _PendingPage(
+                    va=va + offset * 4, perms=(True, False, True), contents=list(chunk)
+                )
+            )
+        return self
+
+    def add_data(
+        self,
+        contents: Optional[Sequence[int]] = None,
+        va: int = DATA_VA,
+        writable: bool = True,
+        executable: bool = False,
+    ) -> "EnclaveBuilder":
+        """Add one secure data page (measured, private to the enclave)."""
+        if contents is not None and len(contents) > WORDS_PER_PAGE:
+            raise BuildError("data exceeds one page")
+        padded = None
+        if contents is not None:
+            padded = list(contents) + [0] * (WORDS_PER_PAGE - len(contents))
+        self._pages.append(
+            _PendingPage(va=va, perms=(True, writable, executable), contents=padded)
+        )
+        return self
+
+    def add_shared_buffer(
+        self, va: int = SHARED_VA, writable: bool = True
+    ) -> "EnclaveBuilder":
+        """Add an insecure page shared with the OS (unmeasured)."""
+        self._shared.append(_PendingShared(va=va, writable=writable))
+        return self
+
+    def add_thread(self, entry: int) -> "EnclaveBuilder":
+        self._threads.append(entry)
+        return self
+
+    def add_spares(self, count: int) -> "EnclaveBuilder":
+        self._spares += count
+        return self
+
+    def set_native_program(
+        self, program: NativeEnclaveProgram, identity_va: int = IDENTITY_VA
+    ) -> "EnclaveBuilder":
+        """Use a native program; its identity page becomes measured state."""
+        self._native = program
+        self.add_data(
+            contents=program.identity_words(), va=identity_va, writable=False
+        )
+        if not self._threads:
+            # Native threads still need an entry point for the ABI; the
+            # identity page's VA is a stable, measured choice.
+            self._threads.append(identity_va)
+        return self
+
+    # -- realisation ------------------------------------------------------------
+
+    def build(self) -> "EnclaveHandle":
+        if not self._threads:
+            raise BuildError("an enclave needs at least one thread")
+        if not self._pages and self._native is None:
+            raise BuildError("an enclave needs code or a native program")
+        kernel = self.kernel
+        as_page, l1pt_page = kernel.init_addrspace()
+        owned = [l1pt_page]
+        # One L2 table per touched 4 MB slice of the address space.
+        l1indices = sorted(
+            {l1_index(p.va) for p in self._pages}
+            | {l1_index(s.va) for s in self._shared}
+        )
+        l2_pages: Dict[int, int] = {}
+        for index in l1indices:
+            l2_pages[index] = kernel.init_l2table(as_page, index)
+            owned.append(l2_pages[index])
+        data_pages: Dict[int, int] = {}
+        for page in self._pages:
+            readable, writable, executable = page.perms
+            mapping = Mapping(
+                va=page.va, readable=readable, writable=writable, executable=executable
+            )
+            data_pages[page.va] = kernel.map_secure(as_page, mapping, page.contents)
+            owned.append(data_pages[page.va])
+        buffers: List[SharedBuffer] = []
+        for shared in self._shared:
+            mapping = Mapping(
+                va=shared.va, readable=True, writable=shared.writable, executable=False
+            )
+            buffers.append(kernel.map_insecure(as_page, mapping))
+        threads = [kernel.init_thread(as_page, entry) for entry in self._threads]
+        owned.extend(threads)
+        spares = [kernel.alloc_spare(as_page) for _ in range(self._spares)]
+        owned.extend(spares)
+        kernel.finalise(as_page)
+        if self._native is not None:
+            for thread_page in threads:
+                kernel.monitor.register_native_program(
+                    thread_page, self._native.factory
+                )
+        return EnclaveHandle(
+            kernel=kernel,
+            as_page=as_page,
+            threads=threads,
+            data_pages=data_pages,
+            buffers=buffers,
+            spares=spares,
+            owned_pages=owned,
+            native=self._native,
+        )
+
+
+@dataclass
+class EnclaveHandle:
+    """Host-side handle to a built enclave."""
+
+    kernel: OSKernel
+    as_page: int
+    threads: List[int]
+    data_pages: Dict[int, int]  # va -> secure pageno
+    buffers: List[SharedBuffer]
+    spares: List[int]
+    owned_pages: List[int]
+    native: Optional[NativeEnclaveProgram] = None
+    _torn_down: bool = field(default=False, repr=False)
+
+    @property
+    def monitor(self) -> KomodoMonitor:
+        return self.kernel.monitor
+
+    @property
+    def thread(self) -> int:
+        return self.threads[0]
+
+    # -- execution ----------------------------------------------------------
+
+    def call(
+        self, arg1: int = 0, arg2: int = 0, arg3: int = 0, thread: Optional[int] = None
+    ) -> Tuple[KomErr, int]:
+        """Enter the enclave and run to completion across interrupts."""
+        return self.kernel.run_to_completion(
+            thread if thread is not None else self.thread, arg1, arg2, arg3
+        )
+
+    def enter(
+        self, arg1: int = 0, arg2: int = 0, arg3: int = 0, thread: Optional[int] = None
+    ) -> Tuple[KomErr, int]:
+        return self.kernel.enter(
+            thread if thread is not None else self.thread, arg1, arg2, arg3
+        )
+
+    def resume(self, thread: Optional[int] = None) -> Tuple[KomErr, int]:
+        return self.kernel.resume(thread if thread is not None else self.thread)
+
+    # -- measurement / attestation -------------------------------------------------
+
+    def measurement(self) -> List[int]:
+        """The enclave's measurement (the OS can read it: it is public)."""
+        from repro.monitor.measurement import measurement_of
+
+        return measurement_of(self.monitor.pagedb, self.as_page)
+
+    # -- shared memory ------------------------------------------------------------------
+
+    def buffer(self, index: int = 0) -> SharedBuffer:
+        return self.buffers[index]
+
+    # -- teardown -------------------------------------------------------------------------
+
+    def teardown(self) -> None:
+        """Stop the enclave and return all its pages to the OS."""
+        if self._torn_down:
+            return
+        remaining = list(self.owned_pages)
+        self.kernel.stop_and_remove(self.as_page, remaining)
+        self._torn_down = True

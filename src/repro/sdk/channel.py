@@ -1,0 +1,133 @@
+"""Message channels over shared insecure memory.
+
+The paper's design maps insecure pages into enclaves "to facilitate
+untrusted communication channels with the OS or between enclaves"
+(section 4).  This module provides the channel abstraction both sides
+use: a single-producer single-consumer ring buffer of word-granularity
+messages living in one shared insecure page.
+
+The medium is untrusted by definition — the OS can corrupt or replay
+anything — so the channel offers *functionality*, not security: callers
+wanting integrity/confidentiality layer sealing or attestation on top
+(see ``repro.apps.sealed_storage`` and the attested-channel example).
+
+Layout of the channel page (words):
+
+    0: head   (next slot the consumer will read)
+    1: tail   (next slot the producer will write)
+    2..: slots; each message is [length, payload...]
+
+Both the host side (direct memory access through the kernel) and the
+enclave side (access through the enclave's page tables via a
+NativeContext) are provided, sharing the protocol logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.memory import WORDS_PER_PAGE
+
+_HEAD = 0
+_TAIL = 1
+_DATA = 2
+_CAPACITY = WORDS_PER_PAGE - _DATA
+
+
+class ChannelError(Exception):
+    """Raised on malformed channel state (the medium is untrusted)."""
+
+
+class WordAccess(Protocol):
+    """Word read/write at an offset — implemented by both endpoints."""
+
+    def read(self, index: int) -> int: ...
+
+    def write(self, index: int, value: int) -> None: ...
+
+
+class HostEndpoint:
+    """The OS side: direct checked access to the insecure page."""
+
+    def __init__(self, kernel, base: int):
+        self.kernel = kernel
+        self.base = base
+
+    def read(self, index: int) -> int:
+        return self.kernel.read_insecure(self.base + index * WORDSIZE)
+
+    def write(self, index: int, value: int) -> None:
+        self.kernel.write_insecure(self.base + index * WORDSIZE, value)
+
+
+class EnclaveEndpoint:
+    """The enclave side: access through its own page tables."""
+
+    def __init__(self, ctx, va: int):
+        self.ctx = ctx
+        self.va = va
+
+    def read(self, index: int) -> int:
+        return self.ctx.read_word(self.va + index * WORDSIZE)
+
+    def write(self, index: int, value: int) -> None:
+        self.ctx.write_word(self.va + index * WORDSIZE, value)
+
+
+class Channel:
+    """SPSC ring channel over one shared page."""
+
+    def __init__(self, access: WordAccess):
+        self.access = access
+
+    def reset(self) -> None:
+        self.access.write(_HEAD, 0)
+        self.access.write(_TAIL, 0)
+
+    def _used(self, head: int, tail: int) -> int:
+        return (tail - head) % _CAPACITY
+
+    def send(self, message: List[int]) -> bool:
+        """Enqueue a message; returns False when the ring is full."""
+        if len(message) >= _CAPACITY - 1:
+            raise ChannelError("message larger than the channel")
+        head = self.access.read(_HEAD) % _CAPACITY
+        tail = self.access.read(_TAIL) % _CAPACITY
+        needed = len(message) + 1
+        free = _CAPACITY - 1 - self._used(head, tail)
+        if needed > free:
+            return False
+        self.access.write(_DATA + tail, len(message))
+        for i, word in enumerate(message):
+            self.access.write(_DATA + (tail + 1 + i) % _CAPACITY, word & 0xFFFFFFFF)
+        self.access.write(_TAIL, (tail + needed) % _CAPACITY)
+        return True
+
+    def receive(self) -> Optional[List[int]]:
+        """Dequeue one message; returns None when empty.
+
+        Defensive about corruption: an impossible length (the OS can
+        write anything) raises ChannelError rather than reading away.
+        """
+        head = self.access.read(_HEAD) % _CAPACITY
+        tail = self.access.read(_TAIL) % _CAPACITY
+        if head == tail:
+            return None
+        length = self.access.read(_DATA + head)
+        if length >= _CAPACITY - 1:
+            raise ChannelError(f"corrupt message length {length}")
+        if length + 1 > self._used(head, tail):
+            raise ChannelError("message extends past the tail")
+        message = [
+            self.access.read(_DATA + (head + 1 + i) % _CAPACITY)
+            for i in range(length)
+        ]
+        self.access.write(_HEAD, (head + 1 + length) % _CAPACITY)
+        return message
+
+    def pending(self) -> int:
+        """Words currently queued (including length headers)."""
+        head = self.access.read(_HEAD) % _CAPACITY
+        tail = self.access.read(_TAIL) % _CAPACITY
+        return self._used(head, tail)

@@ -1,0 +1,173 @@
+"""Native enclave programs (see DESIGN.md, "Native enclave programs").
+
+Compute-heavy enclaves (the notary hashing half a megabyte) would be
+impractically slow fully interpreted; the SDK therefore also supports
+*native* programs: Python generator functions that stand in for the
+enclave's user-mode code.  Fidelity is preserved where it matters:
+
+* every memory access goes through the enclave's own page tables with
+  permission checks, exactly like an interpreted load/store;
+* work is charged to the same cycle-cost model;
+* ``yield`` marks a preemption point — an injected interrupt suspends the
+  generator, the thread is marked entered, and Resume continues it;
+* SVCs go through the monitor's real dispatch.
+
+The program's identity is bound to the enclave measurement by placing an
+identity page (containing the program's name hash) in measured enclave
+memory, so two different native programs never share a measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.pagetable import PageTableWalker
+from repro.crypto.sha256 import sha256
+from repro.monitor.enclave_exec import NativeFault, dispatch_svc
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SVC
+
+
+class NativeContext:
+    """The view a native program has of its machine: its own address
+    space (via page tables), its registers' worth of SVC arguments, and
+    the cost model."""
+
+    def __init__(self, monitor: KomodoMonitor, thread_page: int):
+        self.monitor = monitor
+        self.thread_page = thread_page
+        self.asno = monitor.pagedb.owner(thread_page)
+        self._walker = PageTableWalker(monitor.state.memory)
+
+    # -- memory access through the enclave's page tables ------------------
+
+    def _translate(self, va: int, write: bool) -> int:
+        pagedb = self.monitor.pagedb
+        l1_base = pagedb.page_base(pagedb.l1pt_page(self.asno))
+        translation = self._walker.walk(l1_base, va)
+        if translation is None:
+            raise NativeFault()
+        if write and not translation.writable:
+            raise NativeFault()
+        if not write and not translation.readable:
+            raise NativeFault()
+        return translation.phys_addr(va)
+
+    def read_word(self, va: int) -> int:
+        if va % WORDSIZE:
+            raise NativeFault()
+        paddr = self._translate(va, write=False)
+        self.monitor.state.charge(self.monitor.state.costs.mem_access)
+        return self.monitor.state.memory.read_word(paddr)
+
+    def write_word(self, va: int, value: int) -> None:
+        if va % WORDSIZE:
+            raise NativeFault()
+        paddr = self._translate(va, write=True)
+        self.monitor.state.charge(self.monitor.state.costs.mem_access)
+        self.monitor.state.memory.write_word(paddr, value)
+        self.monitor.state.tlb.note_store(paddr)
+
+    def read_words(self, va: int, count: int) -> List[int]:
+        return [self.read_word(va + i * WORDSIZE) for i in range(count)]
+
+    def write_words(self, va: int, words) -> None:
+        for i, word in enumerate(words):
+            self.write_word(va + i * WORDSIZE, word)
+
+    def read_bytes(self, va: int, count: int) -> bytes:
+        """Read a word-aligned byte range (big-endian word packing)."""
+        if count % WORDSIZE:
+            raise NativeFault()
+        words = self.read_words(va, count // WORDSIZE)
+        return b"".join(w.to_bytes(4, "big") for w in words)
+
+    # -- work accounting -------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Charge explicit computation cost (e.g. per hashed block)."""
+        self.monitor.state.charge(cycles)
+
+    # -- SVCs ---------------------------------------------------------------------
+
+    def svc(self, number: int, *args: int) -> List[int]:
+        """Issue an SVC through the monitor's real dispatch.
+
+        Returns the result words; raises on a monitor-rejected call so
+        native programs fail loudly rather than misinterpret an error
+        code as data.
+        """
+        padded = list(args) + [0] * (13 - len(args))
+        self.monitor.state.charge(self.monitor.state.costs.exception_entry)
+        err, values = dispatch_svc(
+            self.monitor, self.asno, number, padded, self.thread_page
+        )
+        self.monitor.state.charge(self.monitor.state.costs.exception_return)
+        if err is not KomErr.SUCCESS:
+            raise NativeSvcError(number, err)
+        return values
+
+    # -- convenience wrappers over the SVC API -----------------------------------------
+
+    def get_random(self) -> int:
+        return self.svc(SVC.GET_RANDOM)[0]
+
+    def attest(self, data: List[int]) -> List[int]:
+        if len(data) != 8:
+            raise ValueError("attestation data must be 8 words")
+        return self.svc(SVC.ATTEST, *data)
+
+    def verify(self, data: List[int], measure: List[int], mac: List[int]) -> bool:
+        """The three verify steps, wrapped back into Table 1's one call."""
+        self.svc(SVC.VERIFY_STEP0, *data)
+        self.svc(SVC.VERIFY_STEP1, *measure)
+        return bool(self.svc(SVC.VERIFY_STEP2, *mac)[0])
+
+    def map_data(self, spare_page: int, mapping_word: int) -> None:
+        self.svc(SVC.MAP_DATA, spare_page, mapping_word)
+
+    def unmap_data(self, data_page: int, mapping_word: int) -> None:
+        self.svc(SVC.UNMAP_DATA, data_page, mapping_word)
+
+    def init_l2ptable(self, spare_page: int, l1index: int) -> None:
+        self.svc(SVC.INIT_L2PTABLE, spare_page, l1index)
+
+
+class NativeSvcError(Exception):
+    """An SVC issued by a native program was rejected by the monitor."""
+
+    def __init__(self, number: int, err: KomErr):
+        super().__init__(f"SVC {number} failed: {err!r}")
+        self.number = number
+        self.err = err
+
+
+class NativeEnclaveProgram:
+    """A named native program: a generator function plus its identity.
+
+    ``body`` is a generator function ``(ctx, arg1, arg2, arg3) -> int``
+    that yields at preemption points and returns its exit value.  The
+    identity words (derived from ``name``) are placed in a measured page
+    by the builder, binding the program to the enclave measurement.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[..., Generator[None, None, Optional[int]]],
+    ):
+        self.name = name
+        self.body = body
+
+    def identity_words(self) -> List[int]:
+        digest = sha256(b"native-program:" + self.name.encode())
+        return [int.from_bytes(digest[i : i + 4], "big") for i in range(0, 32, 4)]
+
+    def factory(self, monitor: KomodoMonitor, thread_page: int):
+        """The generator factory the monitor's Enter path invokes."""
+        ctx = NativeContext(monitor, thread_page)
+        regs = monitor.state.regs
+        args = (regs.read_gpr(0), regs.read_gpr(1), regs.read_gpr(2))
+        return self.body(ctx, *args)

@@ -1,0 +1,33 @@
+"""Noninterference machinery (paper section 6).
+
+Executable ports of the paper's security definitions: weak page
+equivalence ``=enc`` (Definition 1), observational equivalence ``≈enc``
+(Definition 2) and the OS-adversary relation ``≈adv``, the
+declassification axioms of section 6.2, and a bisimulation harness for
+Theorem 6.1 used by the property-based tests: run two executions from
+≈-related states under identical adversary inputs, and check the final
+states remain related (confidentiality with ≈adv; integrity with ≈enc).
+"""
+
+from repro.security.equivalence import (
+    adv_equivalent,
+    enc_equivalent,
+    pages_weak_equivalent,
+)
+from repro.security.noninterference import (
+    BisimulationHarness,
+    NoninterferenceViolation,
+    ObservableOutcome,
+)
+from repro.security.sidechannel import LeakReport, check_constant_time
+
+__all__ = [
+    "BisimulationHarness",
+    "LeakReport",
+    "NoninterferenceViolation",
+    "ObservableOutcome",
+    "adv_equivalent",
+    "check_constant_time",
+    "enc_equivalent",
+    "pages_weak_equivalent",
+]

@@ -1,0 +1,62 @@
+"""Declassification axioms (paper section 6.2).
+
+Komodo enforces noninterference *modulo* a small, precisely delimited
+set of releases.  The paper incorporates these as four axioms, each with
+preconditions controlling exactly when it may be invoked; the harness
+models them as predicates over observed outcomes so the noninterference
+tests can decide which observable differences are sanctioned:
+
+1. **Exception type** — the OS learns which exception ended enclave
+   execution (interrupt / fault / exit), but nothing else about a fault.
+2. **Exit value** — the value passed to the Exit SVC, and the fact that
+   an Exit occurred, are released.
+3. **Dynamic allocation** — which spare pages the enclave consumed and
+   which data pages it freed are OS-observable by design (Remove on a
+   consumed spare fails), so spare/data *type transitions* are released.
+4. **Insecure writes** — whatever the enclave chooses to write to
+   insecure memory is released by the enclave itself, not the monitor.
+
+The bisimulation harness treats a pair of executions as compliant when
+every observable difference falls under one of these axioms *and* the
+secrets involved were identical declared-releases in both runs (the
+delimited-release discipline: only expressions the enclave itself chose
+to release may differ from the adversary's prior knowledge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.monitor.errors import KomErr
+
+
+@dataclass(frozen=True)
+class DeclassifiedOutcome:
+    """What a single Enter/Resume releases to the OS."""
+
+    err: KomErr  # axiom 1: exception type (interrupted / fault / success)
+    exit_value: Optional[int]  # axiom 2: present only when Exit was called
+    fault_code: Optional[int]  # axiom 1: abort vs undefined, nothing more
+
+    @classmethod
+    def from_smc_result(cls, err: KomErr, value: int) -> "DeclassifiedOutcome":
+        if err is KomErr.SUCCESS:
+            return cls(err=err, exit_value=value, fault_code=None)
+        if err is KomErr.FAULT:
+            return cls(err=err, exit_value=None, fault_code=value)
+        return cls(err=err, exit_value=None, fault_code=None)
+
+
+def outcomes_equal_modulo_declassification(
+    a: DeclassifiedOutcome, b: DeclassifiedOutcome
+) -> bool:
+    """Two runs' OS-visible outcomes must agree exactly.
+
+    Declassification permits the *release* of these values; it does not
+    permit them to differ between two runs of the same enclave on the
+    same inputs.  For the confidentiality theorem the enclave under test
+    computes its released values from public data only, so any
+    divergence is a leak of the secret, not a sanctioned release.
+    """
+    return a == b

@@ -1,0 +1,37 @@
+"""Executable functional specification (paper section 5.2).
+
+A pure-functional port of Komodo's trusted Dafny specification: an
+abstract PageDB ADT, validity invariants, and one pure function per SMC
+and SVC mapping an input PageDB and call parameters to an error code and
+resulting PageDB.  The implementation in ``repro.monitor`` is checked
+against this spec by ``repro.verification`` (refinement), and the
+security properties of ``repro.security`` are stated over these abstract
+states — the same layering as the paper's proofs.
+"""
+
+from repro.spec.pagedb import (
+    AbsAddrspace,
+    AbsData,
+    AbsFree,
+    AbsL1,
+    AbsL2,
+    AbsMappingEntry,
+    AbsPageDb,
+    AbsSpare,
+    AbsThread,
+)
+from repro.spec.invariants import check_invariants, InvariantViolation
+
+__all__ = [
+    "AbsAddrspace",
+    "AbsData",
+    "AbsFree",
+    "AbsL1",
+    "AbsL2",
+    "AbsMappingEntry",
+    "AbsPageDb",
+    "AbsSpare",
+    "AbsThread",
+    "InvariantViolation",
+    "check_invariants",
+]

@@ -1,0 +1,51 @@
+"""Spec-side Enter/Resume validation (paper section 5.2).
+
+Enter and Resume involve enclave execution, so their full specification
+is relational; but their *validation* — which error an ill-formed call
+must return without executing anything — is a pure function of the
+abstract PageDB, given here.  The refinement checker uses it to pin the
+implementation's error codes on every failed Enter/Resume, and the spec
+tests exercise it directly.
+
+The order of checks is part of the OS-visible behaviour (the first
+failing check's error is returned) and therefore part of the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import AddrspaceState
+from repro.spec.pagedb import AbsAddrspace, AbsPageDb, AbsThread
+
+
+def spec_validate_execution(
+    db: AbsPageDb, thread_page: int, want_entered: bool
+) -> Optional[KomErr]:
+    """The error a malformed Enter (want_entered=False) or Resume
+    (want_entered=True) must return, or None when execution proceeds."""
+    if not db.valid_pageno(thread_page):
+        return KomErr.INVALID_PAGENO
+    entry = db[thread_page]
+    if not isinstance(entry, AbsThread):
+        return KomErr.INVALID_THREAD
+    aspace = db[entry.addrspace]
+    if not isinstance(aspace, AbsAddrspace):  # pragma: no cover - invariant
+        return KomErr.INVALID_ADDRSPACE
+    if aspace.state is AddrspaceState.INIT:
+        return KomErr.NOT_FINAL
+    if aspace.state is AddrspaceState.STOPPED:
+        return KomErr.STOPPED
+    if want_entered and not entry.entered:
+        return KomErr.NOT_ENTERED
+    if not want_entered and entry.entered:
+        return KomErr.ALREADY_ENTERED
+    return None
+
+
+#: The complete set of error codes Enter/Resume may return to the OS
+#: once execution has begun (the declassified exception channel).
+EXECUTION_RESULT_ERRORS = frozenset(
+    {KomErr.SUCCESS, KomErr.INTERRUPTED, KomErr.FAULT}
+)

@@ -1,0 +1,128 @@
+"""Pure-functional SVC specification (paper section 5.2).
+
+The SVC specs are logically nested inside Enter/Resume in the paper's
+specification; here they are standalone pure functions over the abstract
+PageDB, invoked by the refinement checker with the identity of the
+calling enclave.  Attest/Verify/GetRandom do not change the PageDB, so
+only the dynamic-memory SVCs appear here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.arm.pagetable import L1_ENTRIES
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import Mapping, mapping_word_valid
+from repro.spec.pagedb import (
+    AbsData,
+    AbsL1,
+    AbsL2,
+    AbsMappingEntry,
+    AbsPageDb,
+    AbsSpare,
+)
+
+SpecResult = Tuple[KomErr, AbsPageDb]
+
+
+def _owned_err(
+    db: AbsPageDb, asno: int, pageno: int, expected_type
+) -> Optional[KomErr]:
+    if not db.valid_pageno(pageno):
+        return KomErr.INVALID_PAGENO
+    entry = db[pageno]
+    if not isinstance(entry, expected_type):
+        return KomErr.PAGEINUSE
+    if entry.addrspace != asno:
+        return KomErr.INVALID_PAGENO
+    return None
+
+
+def spec_svc_init_l2ptable(
+    db: AbsPageDb, asno: int, spare_page: int, l1index: int
+) -> SpecResult:
+    err = _owned_err(db, asno, spare_page, AbsSpare)
+    if err is not None:
+        return (err, db)
+    if not 0 <= l1index < L1_ENTRIES:
+        return (KomErr.INVALID_MAPPING, db)
+    aspace = db[asno]
+    l1 = db[aspace.l1pt]
+    if l1.entries[l1index] is not None:
+        return (KomErr.ADDRINUSE, db)
+    entries = list(l1.entries)
+    entries[l1index] = spare_page
+    new = db.updated_many(
+        {
+            spare_page: AbsL2(addrspace=asno),
+            aspace.l1pt: AbsL1(addrspace=asno, entries=tuple(entries)),
+        }
+    )
+    return (KomErr.SUCCESS, new)
+
+
+def spec_svc_map_data(
+    db: AbsPageDb, asno: int, spare_page: int, mapping_word: int
+) -> SpecResult:
+    err = _owned_err(db, asno, spare_page, AbsSpare)
+    if err is not None:
+        return (err, db)
+    if not mapping_word_valid(mapping_word):
+        return (KomErr.INVALID_MAPPING, db)
+    mapping = Mapping.decode(mapping_word)
+    aspace = db[asno]
+    l1 = db[aspace.l1pt]
+    l2page = l1.entries[mapping.l1index]
+    if l2page is None:
+        return (KomErr.INVALID_MAPPING, db)
+    l2 = db[l2page]
+    if l2.entries[mapping.l2index] is not None:
+        return (KomErr.ADDRINUSE, db)
+    entries = list(l2.entries)
+    entries[mapping.l2index] = AbsMappingEntry(
+        secure_page=spare_page,
+        insecure_base=None,
+        readable=mapping.readable,
+        writable=mapping.writable,
+        executable=mapping.executable,
+    )
+    new = db.updated_many(
+        {
+            spare_page: AbsData(
+                addrspace=asno, contents=(0,) * WORDS_PER_PAGE
+            ),
+            l2page: AbsL2(addrspace=asno, entries=tuple(entries)),
+        }
+    )
+    return (KomErr.SUCCESS, new)
+
+
+def spec_svc_unmap_data(
+    db: AbsPageDb, asno: int, data_page: int, mapping_word: int
+) -> SpecResult:
+    err = _owned_err(db, asno, data_page, AbsData)
+    if err is not None:
+        return (err, db)
+    if not mapping_word_valid(mapping_word):
+        return (KomErr.INVALID_MAPPING, db)
+    mapping = Mapping.decode(mapping_word)
+    aspace = db[asno]
+    l1 = db[aspace.l1pt]
+    l2page = l1.entries[mapping.l1index]
+    if l2page is None:
+        return (KomErr.INVALID_MAPPING, db)
+    l2 = db[l2page]
+    slot = l2.entries[mapping.l2index]
+    if slot is None or slot.secure_page != data_page:
+        return (KomErr.INVALID_MAPPING, db)
+    entries = list(l2.entries)
+    entries[mapping.l2index] = None
+    new = db.updated_many(
+        {
+            data_page: AbsSpare(addrspace=asno),
+            l2page: AbsL2(addrspace=asno, entries=tuple(entries)),
+        }
+    )
+    return (KomErr.SUCCESS, new)

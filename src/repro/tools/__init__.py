@@ -1,0 +1,5 @@
+"""Repository tooling: the Table 2 line-count analysis."""
+
+from repro.tools.linecount import component_linecounts, format_table
+
+__all__ = ["component_linecounts", "format_table"]

@@ -1,0 +1,147 @@
+"""SMC trace recording and replay.
+
+Debugging and regression infrastructure: wrap a monitor so every SMC
+(arguments, interrupt schedule, results, and the insecure-memory writes
+that preceded it) is recorded into a serialisable trace.  A recorded
+trace replays against a fresh monitor — deterministically, given the
+same RNG seed — and the replay asserts identical results, which makes
+traces *golden tests*: any behavioural change in the monitor shows up as
+a replay divergence.
+
+Traces serialise to plain JSON-compatible dicts so they can be stored
+in a repository or attached to bug reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arm.modes import World
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+
+
+@dataclass
+class TraceStep:
+    """One recorded SMC with its preconditions and observed results."""
+
+    callno: int
+    args: List[int]
+    insecure_writes: List[Tuple[int, int]] = field(default_factory=list)
+    interrupt_after: Optional[int] = None
+    err: int = 0
+    value: int = 0
+
+
+@dataclass
+class Trace:
+    """A full recorded session: platform configuration plus steps."""
+
+    secure_pages: int
+    rng_seed: int
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "secure_pages": self.secure_pages,
+                "rng_seed": self.rng_seed,
+                "steps": [asdict(step) for step in self.steps],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        data = json.loads(text)
+        trace = cls(
+            secure_pages=data["secure_pages"], rng_seed=data["rng_seed"]
+        )
+        for raw in data["steps"]:
+            trace.steps.append(
+                TraceStep(
+                    callno=raw["callno"],
+                    args=list(raw["args"]),
+                    insecure_writes=[tuple(w) for w in raw["insecure_writes"]],
+                    interrupt_after=raw["interrupt_after"],
+                    err=raw["err"],
+                    value=raw["value"],
+                )
+            )
+        return trace
+
+
+class TracingMonitor:
+    """Records every SMC issued through it."""
+
+    def __init__(self, secure_pages: int = 32, rng_seed: int = 0xC0FFEE):
+        self.monitor = KomodoMonitor(
+            secure_pages=secure_pages, rng=HardwareRNG(seed=rng_seed)
+        )
+        self.trace = Trace(secure_pages=secure_pages, rng_seed=rng_seed)
+        self._pending_writes: List[Tuple[int, int]] = []
+        self._pending_interrupt: Optional[int] = None
+
+    @property
+    def state(self):
+        return self.monitor.state
+
+    @property
+    def pagedb(self):
+        return self.monitor.pagedb
+
+    def write_insecure(self, address: int, value: int) -> None:
+        """A recorded normal-world store."""
+        self.monitor.state.memory.checked_write(address, value, World.NORMAL)
+        self._pending_writes.append((address, value))
+
+    def schedule_interrupt(self, after_steps: int) -> None:
+        self.monitor.schedule_interrupt(after_steps)
+        self._pending_interrupt = after_steps
+
+    def smc(self, callno: int, *args: int) -> Tuple[KomErr, int]:
+        err, value = self.monitor.smc(callno, *args)
+        self.trace.steps.append(
+            TraceStep(
+                callno=int(callno),
+                args=[int(a) for a in args],
+                insecure_writes=self._pending_writes,
+                interrupt_after=self._pending_interrupt,
+                err=int(err),
+                value=value,
+            )
+        )
+        self._pending_writes = []
+        self._pending_interrupt = None
+        return (err, value)
+
+
+class ReplayDivergence(AssertionError):
+    """A replayed trace produced different results than recorded."""
+
+
+def replay(trace: Trace) -> KomodoMonitor:
+    """Replay a trace on a fresh monitor, asserting recorded results.
+
+    Returns the final monitor for further inspection.  Native-program
+    enclaves cannot be replayed (their code is Python, not machine
+    state); traces of ARM-enclave sessions replay exactly.
+    """
+    monitor = KomodoMonitor(
+        secure_pages=trace.secure_pages, rng=HardwareRNG(seed=trace.rng_seed)
+    )
+    for index, step in enumerate(trace.steps):
+        for address, value in step.insecure_writes:
+            monitor.state.memory.checked_write(address, value, World.NORMAL)
+        if step.interrupt_after is not None:
+            monitor.schedule_interrupt(step.interrupt_after)
+        err, value = monitor.smc(step.callno, *step.args)
+        if int(err) != step.err or value != step.value:
+            raise ReplayDivergence(
+                f"step {index} (SMC {step.callno}): recorded "
+                f"({step.err}, {step.value:#x}), replayed ({int(err)}, {value:#x})"
+            )
+    return monitor

@@ -1,0 +1,18 @@
+"""Refinement checking: implementation vs specification.
+
+The paper proves its assembly implementation satisfies the functional
+specification; this package *checks* the analogous statement for the
+Python monitor.  ``extract`` reconstructs the abstract PageDB from
+nothing but concrete machine state (witnessing the refinement relation);
+``refinement`` wraps a monitor so that every SMC is simultaneously run
+through the pure spec and the concrete implementation, and the resulting
+abstract states are compared, PageDB invariants are checked, and the
+top-level ``smchandler`` frame conditions (non-volatile registers
+preserved, non-return registers scrubbed, insecure memory untouched by
+non-executing calls, correct return mode) are asserted.
+"""
+
+from repro.verification.extract import extract_pagedb
+from repro.verification.refinement import CheckedMonitor, RefinementError
+
+__all__ = ["CheckedMonitor", "RefinementError", "extract_pagedb"]

@@ -1,0 +1,77 @@
+"""The pure-ARM checksum service against the Python reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.checksum import ChecksumService, crc32_words
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+
+
+@pytest.fixture(scope="module")
+def service():
+    monitor = KomodoMonitor(secure_pages=32, step_budget=10**7)
+    kernel = OSKernel(monitor)
+    return monitor, ChecksumService(kernel)
+
+
+class TestChecksumService:
+    def test_known_values(self, service):
+        _, svc = service
+        assert svc.checksum([]) == crc32_words([])
+        assert svc.checksum([0]) == crc32_words([0])
+        assert svc.checksum([0xDEADBEEF]) == crc32_words([0xDEADBEEF])
+
+    def test_empty_is_zero(self, service):
+        _, svc = service
+        assert svc.checksum([]) == 0  # 0xFFFFFFFF ^ 0xFFFFFFFF
+
+    def test_order_sensitivity(self, service):
+        _, svc = service
+        assert svc.checksum([1, 2]) != svc.checksum([2, 1])
+
+    @given(st.lists(st.integers(0, 0xFFFFFFFF), max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference(self, words):
+        monitor = KomodoMonitor(secure_pages=32, step_budget=10**7)
+        svc = ChecksumService(OSKernel(monitor))
+        assert svc.checksum(words) == crc32_words(words)
+
+    def test_interrupt_transparency(self, service):
+        """The checksum survives arbitrary OS preemption mid-compute."""
+        monitor, svc = service
+        words = list(range(40, 60))
+        expected = crc32_words(words)
+        svc.handle.buffer().write_words(svc.kernel, words)
+        monitor.schedule_interrupt(97)
+        err, value = svc.handle.enter(len(words))
+        while err is KomErr.INTERRUPTED:
+            monitor.schedule_interrupt(97)
+            err, value = svc.handle.resume()
+        assert (err, value) == (KomErr.SUCCESS, expected)
+
+    def test_measurement_is_algorithm_identity(self):
+        """Two instances share a measurement; a tweaked algorithm (a
+        different polynomial) measures differently."""
+        monitor = KomodoMonitor(secure_pages=48, step_budget=10**7)
+        kernel = OSKernel(monitor)
+        first = ChecksumService(kernel)
+        second = ChecksumService(kernel)
+        assert first.measurement() == second.measurement()
+
+        import repro.apps.checksum as checksum_module
+
+        original = checksum_module.CRC_POLY
+        try:
+            checksum_module.CRC_POLY = 0x82F63B78  # CRC-32C instead
+            tweaked = ChecksumService(kernel)
+            assert tweaked.measurement() != first.measurement()
+        finally:
+            checksum_module.CRC_POLY = original
+
+    def test_oversized_input_rejected(self, service):
+        _, svc = service
+        with pytest.raises(ValueError):
+            svc.checksum([0] * 2000)

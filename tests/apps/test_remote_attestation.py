@@ -1,0 +1,145 @@
+"""Remote attestation via the quoting enclave (the paper's deferred
+trusted enclave, section 4): quotes verify remotely; tampering fails."""
+
+import pytest
+
+from repro.apps.remote_attestation import Quote, QuotingEnclave, verify_quote
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import EnclaveBuilder
+from repro.sdk.native import NativeEnclaveProgram
+
+
+@pytest.fixture(scope="module")
+def env():
+    monitor = KomodoMonitor(secure_pages=96, step_budget=10**9)
+    kernel = OSKernel(monitor)
+    qe = QuotingEnclave(kernel)
+    qe.init()
+    return monitor, kernel, qe
+
+
+def make_attesting_enclave(kernel, name="workload"):
+    """An enclave that locally attests to report data [1..8] and
+    exposes its (measurement, data, mac) to the OS via its exit path."""
+    captured = {}
+
+    def body(ctx, a, b, c):
+        data = list(range(1, 9))
+        captured["data"] = data
+        captured["mac"] = ctx.attest(data)
+        captured["measurement"] = ctx.monitor.pagedb.measurement(ctx.asno)
+        return 0
+        yield
+
+    handle = (
+        EnclaveBuilder(kernel)
+        .set_native_program(NativeEnclaveProgram(name, body))
+        .build()
+    )
+    err, _ = handle.call()
+    assert err is KomErr.SUCCESS
+    return handle, captured
+
+
+class TestQuotingEnclaveSetup:
+    def test_init_publishes_bound_pubkey(self, env):
+        monitor, kernel, qe = env
+        assert qe.pubkey_n is not None and qe.pubkey_n.bit_length() >= 500
+        # The binding MAC verifies under the QE's own measurement — what
+        # a local relying party checks before trusting the pubkey.
+        from repro.arm.bits import bytes_to_words, words_to_bytes
+        from repro.apps.remote_attestation import _RSA_WORDS, _int_to_words
+        from repro.crypto.sha256 import sha256
+
+        digest = sha256(words_to_bytes(_int_to_words(qe.pubkey_n, _RSA_WORDS)))
+        assert monitor.attestation.verify(
+            qe.measurement(), bytes_to_words(digest)[:8], qe.binding_mac
+        )
+
+    def test_init_idempotent(self, env):
+        _, _, qe = env
+        first = qe.pubkey_n
+        qe.init()
+        assert qe.pubkey_n == first
+
+
+class TestQuoting:
+    def test_honest_quote_verifies_remotely(self, env):
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel)
+        quote = qe.quote(captured["measurement"], captured["data"], captured["mac"])
+        assert quote is not None
+        assert verify_quote(quote, qe.pubkey_n)
+        assert verify_quote(
+            quote, qe.pubkey_n, expected_measurement=captured["measurement"]
+        )
+
+    def test_forged_mac_rejected_by_qe(self, env):
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel, name="forge-target")
+        bad_mac = [m ^ 1 for m in captured["mac"]]
+        assert qe.quote(captured["measurement"], captured["data"], bad_mac) is None
+
+    def test_substituted_measurement_rejected_by_qe(self, env):
+        """The OS claims another identity for a genuine MAC: rejected,
+        because the MAC covers the measurement."""
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel, name="victim-a")
+        wrong = list(captured["measurement"])
+        wrong[0] ^= 0xFF
+        assert qe.quote(wrong, captured["data"], captured["mac"]) is None
+
+    def test_substituted_data_rejected_by_qe(self, env):
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel, name="victim-b")
+        assert qe.quote(captured["measurement"], [9] * 8, captured["mac"]) is None
+
+    def test_tampered_quote_rejected_remotely(self, env):
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel, name="victim-c")
+        quote = qe.quote(captured["measurement"], captured["data"], captured["mac"])
+        tampered = Quote(
+            measurement=quote.measurement,
+            report_data=tuple([0xBAD] + list(quote.report_data[1:])),
+            signature=quote.signature,
+        )
+        assert not verify_quote(tampered, qe.pubkey_n)
+
+    def test_wrong_expected_measurement_rejected_remotely(self, env):
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel, name="victim-d")
+        quote = qe.quote(captured["measurement"], captured["data"], captured["mac"])
+        other = [0xAB] * 8
+        assert not verify_quote(quote, qe.pubkey_n, expected_measurement=other)
+
+    def test_quote_from_wrong_key_rejected(self, env):
+        """A second machine's QE cannot speak for this one."""
+        monitor, kernel, qe = env
+        handle, captured = make_attesting_enclave(kernel, name="victim-e")
+        quote = qe.quote(captured["measurement"], captured["data"], captured["mac"])
+        from repro.crypto import rsa
+        from repro.crypto.rng import HardwareRNG
+
+        other_key = rsa.generate_keypair(512, HardwareRNG(seed=77))
+        assert not verify_quote(quote, other_key.n)
+
+    def test_cross_machine_mac_rejected(self):
+        """A MAC minted by a *different machine's* monitor does not
+        convert into a quote here (different boot keys)."""
+        machine_a = KomodoMonitor(secure_pages=96, step_budget=10**9)
+        kernel_a = OSKernel(machine_a)
+        _, captured = make_attesting_enclave(kernel_a, name="roaming")
+        from repro.crypto.rng import HardwareRNG
+
+        machine_b = KomodoMonitor(
+            secure_pages=96, step_budget=10**9, rng=HardwareRNG(seed=424242)
+        )
+        kernel_b = OSKernel(machine_b)
+        qe_b = QuotingEnclave(kernel_b)
+        qe_b.init()
+        assert (
+            qe_b.quote(captured["measurement"], captured["data"], captured["mac"])
+            is None
+        )

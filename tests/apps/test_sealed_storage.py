@@ -1,0 +1,144 @@
+"""Sealed storage: identity binding, tamper rejection, OS opacity."""
+
+import pytest
+
+from repro.apps.sealed_storage import SealError, seal, unseal
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import EnclaveBuilder
+from repro.sdk.native import NativeEnclaveProgram
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=64)
+    return monitor, OSKernel(monitor)
+
+
+def run_sealer(kernel, name, payload, out):
+    """Run an enclave that seals ``payload`` and reports the blob."""
+
+    def body(ctx, a, b, c):
+        out["blob"] = seal(ctx, payload)
+        return 0
+        yield
+
+    handle = (
+        EnclaveBuilder(kernel)
+        .set_native_program(NativeEnclaveProgram(name, body))
+        .build()
+    )
+    err, _ = handle.call()
+    assert err is KomErr.SUCCESS
+    return handle
+
+
+def run_unsealer(kernel, name, blob, out):
+    """Run an enclave that tries to unseal ``blob``."""
+
+    def body(ctx, a, b, c):
+        try:
+            out["payload"] = unseal(ctx, blob)
+            return 1
+        except SealError as error:
+            out["error"] = str(error)
+            return 0
+        yield
+
+    handle = (
+        EnclaveBuilder(kernel)
+        .set_native_program(NativeEnclaveProgram(name, body))
+        .build()
+    )
+    err, ok = handle.call()
+    assert err is KomErr.SUCCESS
+    return bool(ok)
+
+
+PAYLOAD = [0xDEADBEEF, 0x12345678, 0, 0xFFFFFFFF, 7]
+
+
+class TestSealUnseal:
+    def test_same_identity_roundtrip(self, env):
+        """Two instances of the *same program* share a measurement, so
+        the second can unseal what the first sealed."""
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "twin", PAYLOAD, out)
+        result = {}
+        assert run_unsealer(kernel, "twin", out["blob"], result)
+        assert result["payload"] == PAYLOAD
+
+    def test_different_identity_rejected(self, env):
+        """An enclave with a different measurement cannot unseal."""
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "owner", PAYLOAD, out)
+        result = {}
+        assert not run_unsealer(kernel, "thief", out["blob"], result)
+        assert "MAC mismatch" in result["error"]
+
+    def test_tampered_ciphertext_rejected(self, env):
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "twin2", PAYLOAD, out)
+        blob = list(out["blob"])
+        blob[1] ^= 1
+        result = {}
+        assert not run_unsealer(kernel, "twin2", blob, result)
+
+    def test_tampered_mac_rejected(self, env):
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "twin3", PAYLOAD, out)
+        blob = list(out["blob"])
+        blob[-1] ^= 1
+        result = {}
+        assert not run_unsealer(kernel, "twin3", blob, result)
+
+    def test_truncated_blob_rejected(self, env):
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "twin4", PAYLOAD, out)
+        result = {}
+        assert not run_unsealer(kernel, "twin4", out["blob"][:-1], result)
+        assert not run_unsealer(kernel, "twin4b", [5], result)
+
+    def test_ciphertext_hides_payload(self, env):
+        """The blob the OS sees contains neither the payload words nor a
+        trivially related pattern."""
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "hide", PAYLOAD, out)
+        ciphertext = out["blob"][1 : 1 + len(PAYLOAD)]
+        assert all(c != p for c, p in zip(ciphertext, PAYLOAD) if p != 0)
+
+    def test_cross_machine_rejected(self):
+        """A blob sealed on one machine does not unseal on another: the
+        boot attestation secret differs."""
+        from repro.crypto.rng import HardwareRNG
+
+        machine_a = KomodoMonitor(secure_pages=64, rng=HardwareRNG(seed=1))
+        out = {}
+        run_sealer(OSKernel(machine_a), "roamer", PAYLOAD, out)
+        machine_b = KomodoMonitor(secure_pages=64, rng=HardwareRNG(seed=2))
+        result = {}
+        assert not run_unsealer(OSKernel(machine_b), "roamer", out["blob"], result)
+
+    def test_empty_payload(self, env):
+        monitor, kernel = env
+        out = {}
+        run_sealer(kernel, "empty", [], out)
+        result = {}
+        assert run_unsealer(kernel, "empty", out["blob"], result)
+        assert result["payload"] == []
+
+    def test_large_payload(self, env):
+        monitor, kernel = env
+        payload = list(range(300))
+        out = {}
+        run_sealer(kernel, "large", payload, out)
+        result = {}
+        assert run_unsealer(kernel, "large", out["blob"], result)
+        assert result["payload"] == payload

@@ -1,0 +1,44 @@
+"""Cost model: variants, anchors, and the SGX comparison constants."""
+
+import pytest
+
+from repro.arm.costs import (
+    CostModel,
+    SGX_EENTER_CYCLES,
+    SGX_EEXIT_CYCLES,
+    SGX_FULL_CROSSING_CYCLES,
+)
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        costs = CostModel()
+        for name, value in vars(costs).items():
+            assert value >= 0, name
+
+    def test_variant_overrides_one_field(self):
+        base = CostModel()
+        variant = base.variant(tlb_flush=0)
+        assert variant.tlb_flush == 0
+        assert variant.mem_access == base.mem_access
+        assert base.tlb_flush != 0  # base untouched
+
+    def test_variant_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            CostModel().variant(warp_drive=9)
+
+    def test_sgx_constants_match_paper(self):
+        """Section 8.1 cites ~3800 + ~3300 ≈ 7100 cycles."""
+        assert SGX_EENTER_CYCLES == 3800
+        assert SGX_EEXIT_CYCLES == 3300
+        assert SGX_FULL_CROSSING_CYCLES == 7100
+
+    def test_hash_dominates_table3_crypto_rows(self):
+        """Structural sanity behind Attest ≈ 12k: five SHA blocks alone
+        exceed 80% of the paper's number."""
+        costs = CostModel()
+        assert 5 * costs.sha256_block > 0.8 * 12411
+
+    def test_page_zero_dominates_mapdata(self):
+        costs = CostModel()
+        assert costs.page_zero > 0.9 * 5826 - 500

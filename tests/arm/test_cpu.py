@@ -1,0 +1,308 @@
+"""User-mode CPU execution: programs, faults, interrupts, exceptions.
+
+These tests build page tables by hand and run real instruction streams
+through the fetch/decode/execute loop, independent of the monitor.
+"""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.arm.cpu import CPU, ExitReason
+from repro.arm.machine import MachineState
+from repro.arm.modes import Mode
+from repro.arm.pagetable import l1_index, l2_index, make_l1_entry, make_l2_entry
+from repro.arm.registers import PSR
+
+CODE_VA = 0x0000_1000
+DATA_VA = 0x0000_2000
+RO_VA = 0x0000_3000
+
+
+@pytest.fixture
+def env():
+    """A machine with a hand-built enclave-style address space.
+
+    Pages: 0 = L1 table, 1 = L2 table, 2 = code (RX), 3 = data (RW),
+    4 = read-only data.
+    """
+    state = MachineState.boot(secure_pages=16)
+    memmap = state.memmap
+    l1 = memmap.page_base(0)
+    l2 = memmap.page_base(1)
+    state.memory.write_word(l1 + l1_index(CODE_VA) * 4, make_l1_entry(l2))
+    for va, page, perms in (
+        (CODE_VA, 2, (True, False, True)),
+        (DATA_VA, 3, (True, True, False)),
+        (RO_VA, 4, (True, False, False)),
+    ):
+        r, w, x = perms
+        state.memory.write_word(
+            l2 + l2_index(va) * 4,
+            make_l2_entry(memmap.page_base(page), r, w, x, True),
+        )
+    state.load_ttbr0(l1)
+    state.flush_tlb()
+    state.regs.cpsr = PSR(mode=Mode.USR, irq_masked=False, fiq_masked=False)
+    return state
+
+
+def load_program(state, asm: Assembler, va: int = CODE_VA):
+    code_base = state.memmap.page_base(2)
+    for i, word in enumerate(asm.assemble()):
+        state.memory.write_word(code_base + i * 4, word)
+
+
+def run(state, asm: Assembler, **kwargs):
+    load_program(state, asm)
+    return CPU(state).run(CODE_VA, **kwargs)
+
+
+class TestStraightLine:
+    def test_arithmetic_and_exit(self, env):
+        asm = Assembler()
+        asm.movw("r0", 20)
+        asm.movw("r1", 22)
+        asm.add("r0", "r0", "r1")
+        asm.svc(7)
+        result = run(env, asm)
+        assert result.reason is ExitReason.SVC
+        assert result.svc_number == 7
+        assert env.regs.read_gpr(0) == 42
+        assert result.steps == 4
+
+    def test_mov32(self, env):
+        asm = Assembler()
+        asm.mov32("r3", 0xDEADBEEF)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(3) == 0xDEADBEEF
+
+    def test_shifts_and_logic(self, env):
+        asm = Assembler()
+        asm.movw("r0", 0xFF)
+        asm.lsli("r1", "r0", 8)       # 0xFF00
+        asm.lsri("r2", "r1", 4)       # 0x0FF0
+        asm.orr("r3", "r1", "r2")     # 0xFFF0
+        asm.eor("r4", "r3", "r1")     # 0x00F0
+        asm.mvn("r5", "r4")
+        asm.bic("r6", "r3", "r2")     # 0xF000
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(1) == 0xFF00
+        assert env.regs.read_gpr(2) == 0x0FF0
+        assert env.regs.read_gpr(3) == 0xFFF0
+        assert env.regs.read_gpr(4) == 0x00F0
+        assert env.regs.read_gpr(5) == 0xFFFFFF0F
+        assert env.regs.read_gpr(6) == 0xF000
+
+
+class TestMemory:
+    def test_store_load(self, env):
+        asm = Assembler()
+        asm.mov32("r1", DATA_VA)
+        asm.movw("r0", 77)
+        asm.str_("r0", "r1", 4)
+        asm.ldr("r2", "r1", 4)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(2) == 77
+        assert env.memory.read_word(env.memmap.page_base(3) + 4) == 77
+
+    def test_register_offset_addressing(self, env):
+        asm = Assembler()
+        asm.mov32("r1", DATA_VA)
+        asm.movw("r2", 8)
+        asm.movw("r0", 55)
+        asm.strr("r0", "r1", "r2")
+        asm.ldrr("r3", "r1", "r2")
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(3) == 55
+
+    def test_write_to_readonly_faults(self, env):
+        asm = Assembler()
+        asm.mov32("r1", RO_VA)
+        asm.str_("r0", "r1", 0)
+        result = run(env, asm)
+        assert result.reason is ExitReason.ABORT
+        assert result.fault_address == RO_VA
+
+    def test_read_of_readonly_allowed(self, env):
+        env.memory.write_word(env.memmap.page_base(4), 31337)
+        asm = Assembler()
+        asm.mov32("r1", RO_VA)
+        asm.ldr("r0", "r1", 0)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(0) == 31337
+
+    def test_unmapped_access_faults(self, env):
+        asm = Assembler()
+        asm.mov32("r1", 0x0050_0000)
+        asm.ldr("r0", "r1", 0)
+        result = run(env, asm)
+        assert result.reason is ExitReason.ABORT
+        assert result.fault_address == 0x0050_0000
+
+    def test_misaligned_access_faults(self, env):
+        asm = Assembler()
+        asm.mov32("r1", DATA_VA + 2)
+        asm.ldr("r0", "r1", 0)
+        result = run(env, asm)
+        assert result.reason is ExitReason.ABORT
+
+
+class TestControlFlow:
+    def test_counting_loop(self, env):
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 3)
+        asm.cmpi("r0", 30)
+        asm.bne("loop")
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(0) == 30
+
+    def test_signed_branch(self, env):
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.subi("r0", "r0", 5)      # r0 = -5
+        asm.movw("r1", 3)
+        asm.cmp("r0", "r1")          # -5 < 3 (signed)
+        asm.blt("less")
+        asm.movw("r2", 0)
+        asm.svc(0)
+        asm.label("less")
+        asm.movw("r2", 1)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(2) == 1
+
+    def test_unsigned_branch(self, env):
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.subi("r0", "r0", 5)      # 0xFFFFFFFB: huge unsigned
+        asm.movw("r1", 3)
+        asm.cmp("r0", "r1")
+        asm.bcs("higher")            # unsigned >=
+        asm.movw("r2", 0)
+        asm.svc(0)
+        asm.label("higher")
+        asm.movw("r2", 1)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(2) == 1
+
+    def test_subroutine_call_and_return(self, env):
+        asm = Assembler()
+        asm.movw("r0", 10)
+        asm.bl("double")
+        asm.svc(0)
+        asm.label("double")
+        asm.add("r0", "r0", "r0")
+        asm.bxlr()
+        run(env, asm)
+        assert env.regs.read_gpr(0) == 20
+
+    def test_backward_and_forward_branches(self, env):
+        asm = Assembler()
+        asm.b("skip")
+        asm.movw("r0", 1)   # skipped
+        asm.label("skip")
+        asm.movw("r1", 2)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(0) == 0
+        assert env.regs.read_gpr(1) == 2
+
+
+class TestExceptions:
+    def test_undefined_instruction(self, env):
+        asm = Assembler()
+        asm.udf()
+        result = run(env, asm)
+        assert result.reason is ExitReason.UNDEFINED
+        assert env.regs.cpsr.mode is Mode.UND
+
+    def test_smc_from_user_is_undefined(self, env):
+        asm = Assembler()
+        asm.svc(0)  # placeholder; replaced below
+        load_program(env, asm)
+        from repro.arm.instructions import Instruction, encode
+
+        env.memory.write_word(
+            env.memmap.page_base(2), encode(Instruction("smc", imm=1))
+        )
+        result = CPU(env).run(CODE_VA)
+        assert result.reason is ExitReason.UNDEFINED
+
+    def test_garbage_instruction_word(self, env):
+        env.memory.write_word(env.memmap.page_base(2), 0xEE00_0000)
+        result = CPU(env).run(CODE_VA)
+        assert result.reason is ExitReason.UNDEFINED
+
+    def test_exec_of_nonexecutable_faults(self, env):
+        result = CPU(env).run(DATA_VA)
+        assert result.reason is ExitReason.ABORT
+
+    def test_exception_entry_banks_state(self, env):
+        asm = Assembler()
+        asm.movw("r0", 9)
+        asm.svc(42)
+        run(env, asm)
+        assert env.regs.cpsr.mode is Mode.SVC
+        assert env.regs.cpsr.irq_masked
+        # LR_svc is the instruction after the SVC; SPSR_svc holds user CPSR.
+        assert env.regs.read_lr(Mode.SVC) == CODE_VA + 8
+        assert env.regs.read_spsr(Mode.SVC).mode is Mode.USR
+
+    def test_requires_user_mode(self, env):
+        env.regs.cpsr = PSR(mode=Mode.MON)
+        with pytest.raises(RuntimeError):
+            CPU(env).run(CODE_VA)
+
+    def test_requires_consistent_tlb(self, env):
+        env.tlb.consistent = False
+        from repro.arm.tlb import TLBInconsistent
+
+        with pytest.raises(TLBInconsistent):
+            CPU(env).run(CODE_VA)
+
+
+class TestInterrupts:
+    def test_interrupt_after_n_steps(self, env):
+        asm = Assembler()
+        asm.label("spin")
+        asm.addi("r0", "r0", 1)
+        asm.b("spin")
+        result = run(env, asm, interrupt_after=7)
+        assert result.reason is ExitReason.IRQ
+        assert result.steps == 7
+        assert env.regs.cpsr.mode is Mode.IRQ
+        # Resuming at LR_irq must continue the loop consistently.
+        assert env.regs.read_lr(Mode.IRQ) in (CODE_VA, CODE_VA + 4)
+
+    def test_step_limit_behaves_like_interrupt(self, env):
+        asm = Assembler()
+        asm.label("spin")
+        asm.b("spin")
+        result = run(env, asm, max_steps=100)
+        assert result.reason is ExitReason.STEP_LIMIT
+        assert env.regs.cpsr.mode is Mode.IRQ
+
+    def test_interrupt_preserves_registers_for_resume(self, env):
+        asm = Assembler()
+        asm.movw("r5", 123)
+        asm.label("spin")
+        asm.b("spin")
+        run(env, asm, interrupt_after=5)
+        assert env.regs.read_gpr(5) == 123
+
+    def test_cycles_advance(self, env):
+        before = env.cycles
+        asm = Assembler()
+        asm.movw("r0", 1)
+        asm.svc(0)
+        run(env, asm)
+        assert env.cycles > before

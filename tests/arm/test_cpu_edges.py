@@ -1,0 +1,126 @@
+"""CPU operand and control-flow edges not covered elsewhere."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.arm.cpu import CPU, ExitReason
+from repro.arm.machine import MachineState
+from repro.arm.modes import Mode
+from repro.arm.pagetable import l1_index, l2_index, make_l1_entry, make_l2_entry
+from repro.arm.registers import PSR
+
+CODE_VA = 0x0000_1000
+DATA_VA = 0x0000_2000
+
+
+@pytest.fixture
+def env():
+    state = MachineState.boot(secure_pages=8)
+    memmap = state.memmap
+    l1 = memmap.page_base(0)
+    l2 = memmap.page_base(1)
+    state.memory.write_word(l1 + l1_index(CODE_VA) * 4, make_l1_entry(l2))
+    state.memory.write_word(
+        l2 + l2_index(CODE_VA) * 4,
+        make_l2_entry(memmap.page_base(2), True, False, True, True),
+    )
+    state.memory.write_word(
+        l2 + l2_index(DATA_VA) * 4,
+        make_l2_entry(memmap.page_base(3), True, True, False, True),
+    )
+    state.load_ttbr0(l1)
+    state.flush_tlb()
+    state.regs.cpsr = PSR(mode=Mode.USR, irq_masked=False, fiq_masked=False)
+    return state
+
+
+def run(state, asm, **kwargs):
+    base = state.memmap.page_base(2)
+    for i, word in enumerate(asm.assemble()):
+        state.memory.write_word(base + i * 4, word)
+    return CPU(state).run(CODE_VA, **kwargs)
+
+
+class TestSpLrOperands:
+    def test_sp_usable_as_gpr(self, env):
+        asm = Assembler()
+        asm.mov32("sp", DATA_VA)
+        asm.movw("r0", 11)
+        asm.str_("r0", "sp", 0)
+        asm.ldr("r1", "sp", 0)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(1) == 11
+        assert env.regs.read_sp(Mode.USR) == DATA_VA
+
+    def test_lr_survives_nested_bl(self, env):
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.bl("leaf")
+        asm.svc(0)
+        asm.label("leaf")
+        asm.addi("r0", "r0", 1)
+        asm.bxlr()
+        run(env, asm)
+        assert env.regs.read_gpr(0) == 1
+
+    def test_user_sp_lr_banked_from_privileged(self, env):
+        """User-mode writes to SP never touch the privileged banks."""
+        env.regs.write_sp(0xAAAA0000, Mode.SVC)
+        asm = Assembler()
+        asm.mov32("sp", 0x1234_0000)
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_sp(Mode.SVC) == 0xAAAA0000
+        assert env.regs.read_sp(Mode.USR) == 0x1234_0000
+
+
+class TestBranchEdges:
+    def test_branch_offset_zero_is_next_instruction(self, env):
+        asm = Assembler()
+        asm.b("next")
+        asm.label("next")
+        asm.movw("r0", 5)
+        asm.svc(0)
+        result = run(env, asm)
+        assert result.reason is ExitReason.SVC
+        assert env.regs.read_gpr(0) == 5
+
+    def test_branch_out_of_mapped_code_faults(self, env):
+        asm = Assembler()
+        # Branch far beyond the single code page.
+        asm._items.append(("b", "far"))
+        asm._labels["far"] = 5000
+        result = run(env, asm)
+        assert result.reason is ExitReason.ABORT
+
+    def test_bxlr_to_garbage_faults(self, env):
+        asm = Assembler()
+        asm.mov32("lr", 0x0FF0_0000)
+        asm.bxlr()
+        result = run(env, asm)
+        assert result.reason is ExitReason.ABORT
+
+
+class TestShiftRegisterEdges:
+    def test_shift_amount_masked_to_byte(self, env):
+        """Register shifts use only the low 8 bits, as on ARM."""
+        asm = Assembler()
+        asm.movw("r0", 1)
+        asm.mov32("r1", 0x0000_0120)  # low byte 0x20 = 32
+        asm.lsl("r2", "r0", "r1")  # shift by 32 -> 0
+        asm.mov32("r3", 0x0001_0000)  # low byte 0 -> shift by 0
+        asm.lsl("r4", "r0", "r3")
+        asm.svc(0)
+        run(env, asm)
+        assert env.regs.read_gpr(2) == 0
+        assert env.regs.read_gpr(4) == 1
+
+    def test_interrupt_at_zero_fires_before_first_instruction(self, env):
+        asm = Assembler()
+        asm.movw("r0", 1)
+        asm.svc(0)
+        result = run(env, asm, interrupt_after=0)
+        assert result.reason is ExitReason.IRQ
+        assert result.steps == 0
+        assert env.regs.read_gpr(0) == 0  # nothing executed

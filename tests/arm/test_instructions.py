@@ -1,0 +1,145 @@
+"""Instruction encoding/decoding and condition evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arm.instructions import (
+    BRANCH_OPS,
+    CONDITIONAL_BRANCHES,
+    FORMATS,
+    EncodingError,
+    Instruction,
+    condition_passes,
+    decode,
+    encode,
+)
+
+regs = st.integers(min_value=0, max_value=14)
+imm16 = st.integers(min_value=0, max_value=0xFFFF)
+branch_offsets = st.integers(min_value=-(1 << 23), max_value=(1 << 23) - 1)
+
+
+def instruction_strategy():
+    """Generate arbitrary well-formed instructions of every format."""
+
+    def build(op):
+        _, fmt = FORMATS[op]
+        if fmt in ("rrr", "mem_r"):
+            return st.builds(lambda a, b, c: Instruction(op, rd=a, rn=b, rm=c), regs, regs, regs)
+        if fmt in ("rri", "mem_i"):
+            return st.builds(lambda a, b, i: Instruction(op, rd=a, rn=b, imm=i), regs, regs, imm16)
+        if fmt == "rr":
+            return st.builds(lambda a, c: Instruction(op, rd=a, rm=c), regs, regs)
+        if fmt == "ri":
+            return st.builds(lambda a, i: Instruction(op, rd=a, imm=i), regs, imm16)
+        if fmt == "cmp_r":
+            return st.builds(lambda b, c: Instruction(op, rn=b, rm=c), regs, regs)
+        if fmt == "cmp_i":
+            return st.builds(lambda b, i: Instruction(op, rn=b, imm=i), regs, imm16)
+        if fmt == "b":
+            return st.builds(lambda i: Instruction(op, imm=i), branch_offsets)
+        if fmt == "svc":
+            return st.builds(
+                lambda i: Instruction(op, imm=i), st.integers(0, 0xFFFFFF)
+            )
+        return st.just(Instruction(op))
+
+    return st.sampled_from(sorted(FORMATS)).flatmap(build)
+
+
+class TestRoundtrip:
+    @given(instruction_strategy())
+    def test_encode_decode_roundtrip(self, instr):
+        """The trusted boundary: encode/decode must be exact inverses."""
+        assert decode(encode(instr)) == instr
+
+    def test_every_mnemonic_roundtrips_once(self):
+        for op, (_, fmt) in FORMATS.items():
+            instr = Instruction(
+                op,
+                rd=1 if fmt in ("rrr", "rri", "rr", "ri", "mem_i", "mem_r") else 0,
+                rn=2 if fmt in ("rrr", "rri", "cmp_r", "cmp_i", "mem_i", "mem_r") else 0,
+                rm=3 if fmt in ("rrr", "rr", "cmp_r", "mem_r") else 0,
+                imm=5 if fmt in ("rri", "ri", "cmp_i", "mem_i", "b", "svc") else 0,
+            )
+            assert decode(encode(instr)) == instr
+
+
+class TestEncodingErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("frobnicate"))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=15, rn=0, rm=0))
+
+    def test_immediate_too_wide(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=0, rn=0, imm=0x10000))
+
+    def test_branch_offset_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("b", imm=1 << 23))
+        encode(Instruction("b", imm=(1 << 23) - 1))  # boundary ok
+
+    def test_negative_branch_encodes(self):
+        assert decode(encode(Instruction("b", imm=-1))).imm == -1
+        assert decode(encode(Instruction("beq", imm=-(1 << 23)))).imm == -(1 << 23)
+
+
+class TestDecodeUndefined:
+    def test_unknown_opcode_is_undefined(self):
+        assert decode(0xFF00_0000) is None
+        assert decode(0x0000_0000) is None
+
+    def test_register_field_15_is_undefined(self):
+        # add with rd=15: opcode 0x01, rd field 0xF
+        word = (0x01 << 24) | (0xF << 20)
+        assert decode(word) is None
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_decode_never_crashes(self, word):
+        result = decode(word)
+        if result is not None:
+            assert result.op in FORMATS
+
+
+class TestConditions:
+    def test_eq_ne(self):
+        assert condition_passes("beq", n=False, z=True, c=False, v=False)
+        assert not condition_passes("beq", n=False, z=False, c=False, v=False)
+        assert condition_passes("bne", n=False, z=False, c=False, v=False)
+
+    def test_signed_comparisons(self):
+        # lt: N != V
+        assert condition_passes("blt", n=True, z=False, c=False, v=False)
+        assert condition_passes("blt", n=False, z=False, c=False, v=True)
+        assert not condition_passes("blt", n=True, z=False, c=False, v=True)
+        # ge: N == V
+        assert condition_passes("bge", n=True, z=False, c=False, v=True)
+        # gt: !Z and N == V
+        assert condition_passes("bgt", n=False, z=False, c=False, v=False)
+        assert not condition_passes("bgt", n=False, z=True, c=False, v=False)
+        # le: Z or N != V
+        assert condition_passes("ble", n=False, z=True, c=False, v=False)
+
+    def test_carry_conditions(self):
+        assert condition_passes("bcs", n=False, z=False, c=True, v=False)
+        assert condition_passes("bcc", n=False, z=False, c=False, v=False)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(EncodingError):
+            condition_passes("add", n=False, z=False, c=False, v=False)
+
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_complementary_conditions(self, n, z, c, v):
+        """Each condition and its complement partition the flag space."""
+        for a, b in (("beq", "bne"), ("blt", "bge"), ("bgt", "ble"), ("bcs", "bcc")):
+            assert condition_passes(a, n, z, c, v) != condition_passes(b, n, z, c, v)
+
+    def test_branch_sets(self):
+        assert "b" in BRANCH_OPS and "bl" in BRANCH_OPS
+        assert "b" not in CONDITIONAL_BRANCHES
+        assert "beq" in CONDITIONAL_BRANCHES

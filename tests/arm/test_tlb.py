@@ -1,0 +1,80 @@
+"""TLB consistency model (paper section 5.1)."""
+
+import pytest
+
+from repro.arm.memory import MemoryMap, PhysicalMemory
+from repro.arm.pagetable import make_l1_entry
+from repro.arm.tlb import TLB, TLBInconsistent
+
+
+@pytest.fixture
+def env():
+    memmap = MemoryMap(secure_pages=8)
+    memory = PhysicalMemory(memmap)
+    # L1 at page 0 referencing an L2 at page 1.
+    l1_base = memmap.page_base(0)
+    l2_base = memmap.page_base(1)
+    memory.write_word(l1_base, make_l1_entry(l2_base))
+    return memmap, memory, l1_base, l2_base
+
+
+class TestConsistencyFlag:
+    def test_starts_consistent(self):
+        assert TLB().consistent
+
+    def test_ttbr_load_poisons(self, env):
+        memmap, memory, l1_base, _ = env
+        tlb = TLB()
+        tlb.set_ttbr(memory, l1_base)
+        assert not tlb.consistent
+
+    def test_flush_restores(self, env):
+        memmap, memory, l1_base, _ = env
+        tlb = TLB()
+        tlb.set_ttbr(memory, l1_base)
+        tlb.flush()
+        assert tlb.consistent
+        assert tlb.flush_count == 1
+
+    def test_store_into_l1_poisons(self, env):
+        memmap, memory, l1_base, _ = env
+        tlb = TLB()
+        tlb.set_ttbr(memory, l1_base)
+        tlb.flush()
+        tlb.note_store(l1_base + 0x40)
+        assert not tlb.consistent
+
+    def test_store_into_l2_poisons(self, env):
+        memmap, memory, l1_base, l2_base = env
+        tlb = TLB()
+        tlb.set_ttbr(memory, l1_base)
+        tlb.flush()
+        tlb.note_store(l2_base + 8)
+        assert not tlb.consistent
+
+    def test_store_elsewhere_harmless(self, env):
+        """The 'or prove the store missed the tables' half of the rule."""
+        memmap, memory, l1_base, _ = env
+        tlb = TLB()
+        tlb.set_ttbr(memory, l1_base)
+        tlb.flush()
+        tlb.note_store(memmap.page_base(5))
+        tlb.note_store(memmap.insecure.base)
+        assert tlb.consistent
+
+    def test_require_consistent(self, env):
+        memmap, memory, l1_base, _ = env
+        tlb = TLB()
+        tlb.set_ttbr(memory, l1_base)
+        with pytest.raises(TLBInconsistent):
+            tlb.require_consistent()
+        tlb.flush()
+        tlb.require_consistent()  # no raise
+
+    def test_null_ttbr(self):
+        tlb = TLB()
+        tlb.set_ttbr(None, None)
+        assert not tlb.consistent
+        tlb.flush()
+        tlb.note_store(0x8000_0000)
+        assert tlb.consistent  # no footprint to hit

@@ -1,0 +1,79 @@
+"""Shared fixtures: booted monitors, kernels, and canned enclaves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, SHARED_VA, EnclaveBuilder
+from repro.verification.refinement import CheckedMonitor
+
+
+@pytest.fixture
+def monitor() -> KomodoMonitor:
+    """A freshly booted monitor with a small secure region."""
+    return KomodoMonitor(secure_pages=32)
+
+
+@pytest.fixture
+def kernel(monitor: KomodoMonitor) -> OSKernel:
+    return OSKernel(monitor)
+
+
+@pytest.fixture
+def checked() -> CheckedMonitor:
+    """A monitor whose every SMC is refinement- and invariant-checked."""
+    return CheckedMonitor(secure_pages=32)
+
+
+@pytest.fixture
+def checked_kernel(checked: CheckedMonitor) -> OSKernel:
+    """An OS kernel driving the checked monitor (slower, thorough)."""
+    kernel = OSKernel.__new__(OSKernel)
+    # Re-run __init__ against the wrapper so every kernel SMC is checked.
+    OSKernel.__init__(kernel, checked)  # type: ignore[arg-type]
+    return kernel
+
+
+def adder_assembler() -> Assembler:
+    """r0 = r0 + r1 + r2; exit."""
+    asm = Assembler()
+    asm.add("r0", "r0", "r1")
+    asm.add("r0", "r0", "r2")
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def spin_assembler() -> Assembler:
+    """Loop forever (for interrupt tests)."""
+    asm = Assembler()
+    asm.label("spin")
+    asm.addi("r6", "r6", 1)
+    asm.b("spin")
+    return asm
+
+
+@pytest.fixture
+def adder_enclave(kernel: OSKernel):
+    """A finalised enclave computing r0+r1+r2."""
+    return (
+        EnclaveBuilder(kernel)
+        .add_code(adder_assembler())
+        .add_shared_buffer()
+        .add_thread(CODE_VA)
+        .build()
+    )
+
+
+@pytest.fixture
+def spin_enclave(kernel: OSKernel):
+    """A finalised enclave that never exits."""
+    return (
+        EnclaveBuilder(kernel)
+        .add_code(spin_assembler())
+        .add_thread(CODE_VA)
+        .build()
+    )

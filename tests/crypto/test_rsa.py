@@ -1,0 +1,113 @@
+"""RSA: primality, keygen, sign/verify, tamper rejection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import rsa
+from repro.crypto.rng import HardwareRNG
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(512, HardwareRNG(seed=11))
+
+
+_PROPERTY_KEY = []
+
+
+def _property_key():
+    """One 512-bit key shared by the hypothesis property (keygen is slow)."""
+    if not _PROPERTY_KEY:
+        _PROPERTY_KEY.append(rsa.generate_keypair(512, HardwareRNG(seed=13)))
+    return _PROPERTY_KEY[0]
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        rng = HardwareRNG(seed=1)
+        for p in (2, 3, 5, 7, 97, 101, 65537):
+            assert rsa.is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = HardwareRNG(seed=1)
+        for c in (0, 1, 4, 9, 100, 65536, 561, 1105):  # incl. Carmichael
+            assert not rsa.is_probable_prime(c, rng)
+
+    def test_large_known_prime(self):
+        rng = HardwareRNG(seed=1)
+        assert rsa.is_probable_prime(2**127 - 1, rng)  # Mersenne prime
+        assert not rsa.is_probable_prime(2**128 - 1, rng)
+
+    def test_generated_prime_width(self):
+        rng = HardwareRNG(seed=2)
+        p = rsa.generate_prime(128, rng)
+        assert p.bit_length() == 128
+        assert p % 2 == 1
+
+
+class TestKeygen:
+    def test_key_sanity(self, keypair):
+        assert keypair.n.bit_length() == 512
+        assert keypair.e == 65537
+        # d inverts e for a random message (functional check).
+        m = 0x1234567890ABCDEF
+        assert pow(pow(m, keypair.e, keypair.n), keypair.d, keypair.n) == m
+
+    def test_deterministic_given_seed(self):
+        a = rsa.generate_keypair(256, HardwareRNG(seed=5))
+        b = rsa.generate_keypair(256, HardwareRNG(seed=5))
+        assert a.n == b.n and a.d == b.d
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(64, HardwareRNG())
+
+    def test_size_bytes(self, keypair):
+        assert keypair.size_bytes == 64
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        message = b"attested document"
+        signature = rsa.sign(keypair, message)
+        assert rsa.verify(keypair, message, signature)
+
+    def test_tampered_message_rejected(self, keypair):
+        signature = rsa.sign(keypair, b"original")
+        assert not rsa.verify(keypair, b"originaL", signature)
+
+    def test_tampered_signature_rejected(self, keypair):
+        signature = bytearray(rsa.sign(keypair, b"msg"))
+        signature[0] ^= 1
+        assert not rsa.verify(keypair, b"msg", bytes(signature))
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not rsa.verify(keypair, b"msg", b"\x00" * 63)
+
+    def test_signature_exceeding_modulus_rejected(self, keypair):
+        too_big = (keypair.n + 1).to_bytes(keypair.size_bytes, "big")
+        assert not rsa.verify(keypair, b"msg", too_big)
+
+    def test_cost_hook_invoked(self, keypair):
+        costs = []
+        rsa.sign(keypair, b"m", on_cost=costs.append)
+        assert len(costs) == 1 and costs[0] > 0
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, message):
+        key = _property_key()
+        signature = rsa.sign(key, message)
+        assert rsa.verify(key, message, signature)
+
+    def test_modulus_too_small_for_padding(self):
+        # A 256-bit modulus cannot hold the 51-byte DigestInfo + padding.
+        key = rsa.generate_keypair(256, HardwareRNG(seed=13))
+        with pytest.raises(ValueError):
+            rsa.sign(key, b"msg")
+
+    def test_cross_key_rejected(self, keypair):
+        other = rsa.generate_keypair(512, HardwareRNG(seed=14))
+        signature = rsa.sign(keypair, b"msg")
+        assert not rsa.verify(other, b"msg", signature)

@@ -1,0 +1,131 @@
+"""SHA-256: standard vectors, hashlib cross-check, incremental state."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.bits import bytes_to_words
+from repro.crypto.sha256 import BLOCK_SIZE, DIGEST_SIZE, SHA256, sha256, sha256_words
+
+# FIPS 180-4 / NIST test vectors.
+VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (b"a" * 1_000_000, "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+class TestVectors:
+    @pytest.mark.parametrize("message,expected", VECTORS[:3])
+    def test_nist_vectors(self, message, expected):
+        assert sha256(message).hex() == expected
+
+    def test_million_a(self):
+        message, expected = VECTORS[3]
+        assert sha256(message).hex() == expected
+
+    def test_digest_size(self):
+        assert len(sha256(b"x")) == DIGEST_SIZE
+
+
+class TestAgainstHashlib:
+    @given(st.binary(max_size=512))
+    @settings(max_examples=200)
+    def test_matches_hashlib(self, data):
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    @given(st.lists(st.binary(max_size=100), max_size=8))
+    def test_incremental_matches(self, chunks):
+        ours = SHA256()
+        reference = hashlib.sha256()
+        for chunk in chunks:
+            ours.update(chunk)
+            reference.update(chunk)
+        assert ours.digest() == reference.digest()
+
+    def test_boundary_lengths(self):
+        """Lengths around the padding boundary (55/56/63/64/65 bytes)."""
+        for length in (0, 1, 55, 56, 57, 63, 64, 65, 119, 120, 128):
+            data = bytes(range(256))[:length] * 1
+            data = (b"\xab" * length)
+            assert sha256(data) == hashlib.sha256(data).digest()
+
+
+class TestIncrementalState:
+    def test_block_interface_matches_bytes(self):
+        data = bytes(range(128))
+        block_wise = SHA256()
+        for i in range(0, 128, 64):
+            block_wise.update_block_words(bytes_to_words(data[i : i + 64]))
+        assert block_wise.digest() == sha256(data)
+
+    def test_save_and_resume_state(self):
+        """The monitor persists chaining state between MapSecure calls."""
+        data = bytes(range(64)) * 3
+        full = SHA256()
+        full.update(data)
+        partial = SHA256()
+        partial.update_block_words(bytes_to_words(data[:64]))
+        resumed = SHA256.from_state(partial.state_words, 64)
+        resumed.update_block_words(bytes_to_words(data[64:128]))
+        resumed.update_block_words(bytes_to_words(data[128:]))
+        assert resumed.digest() == full.digest()
+
+    def test_resume_requires_block_alignment(self):
+        with pytest.raises(ValueError):
+            SHA256.from_state([0] * 8, 63)
+
+    def test_resume_requires_eight_words(self):
+        with pytest.raises(ValueError):
+            SHA256.from_state([0] * 7, 64)
+
+    def test_block_requires_sixteen_words(self):
+        with pytest.raises(ValueError):
+            SHA256().update_block_words([0] * 15)
+
+    def test_no_update_after_digest(self):
+        hasher = SHA256()
+        hasher.digest()
+        with pytest.raises(RuntimeError):
+            hasher.update(b"late")
+        with pytest.raises(RuntimeError):
+            hasher.update_block_words([0] * 16)
+
+    def test_mixing_interfaces_rejected(self):
+        hasher = SHA256()
+        hasher.update(b"odd")  # leaves a partial buffer
+        with pytest.raises(RuntimeError):
+            hasher.update_block_words([0] * 16)
+
+    def test_digest_idempotent(self):
+        hasher = SHA256()
+        hasher.update(b"hello")
+        assert hasher.digest() == hasher.digest()
+
+    def test_digest_words(self):
+        words = SHA256()
+        words.update(b"abc")
+        assert len(words.digest_words()) == 8
+        reconstructed = b"".join(w.to_bytes(4, "big") for w in words.digest_words())
+        assert reconstructed == sha256(b"abc")
+
+
+class TestCostHook:
+    def test_on_block_called_per_compression(self):
+        calls = []
+        hasher = SHA256(on_block=lambda: calls.append(1))
+        hasher.update(b"x" * 200)  # 3 full blocks consumed, 8 bytes buffered
+        assert len(calls) == 3
+        hasher.digest()  # padding adds one more block
+        assert len(calls) == 4
+
+    def test_sha256_words_helper(self):
+        assert sha256_words([0x61626380]) == bytes_to_words(
+            hashlib.sha256(b"\x61\x62\x63\x80").digest()
+        )

@@ -1,0 +1,96 @@
+"""Attestation: boot key, MAC correctness, verification."""
+
+import pytest
+
+from repro.arm.machine import MachineState
+from repro.crypto.hmac import hmac_sha256_words
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.attestation import Attestation
+
+
+@pytest.fixture
+def attestation():
+    state = MachineState.boot(secure_pages=4)
+    att = Attestation(state, HardwareRNG(seed=99))
+    att.generate_boot_key()
+    return att
+
+
+MEAS = list(range(8))
+DATA = list(range(8, 16))
+
+
+class TestBootKey:
+    def test_key_stored_in_monitor_memory(self, attestation):
+        words = attestation._key_words()
+        assert len(words) == 8
+        assert any(words)
+
+    def test_key_deterministic_from_rng(self):
+        def boot(seed):
+            state = MachineState.boot(secure_pages=4)
+            att = Attestation(state, HardwareRNG(seed=seed))
+            att.generate_boot_key()
+            return att._key_words()
+
+        assert boot(1) == boot(1)
+        assert boot(1) != boot(2)
+
+    def test_key_unreachable_from_normal_world(self, attestation):
+        from repro.arm.memory import MemoryFault
+        from repro.arm.modes import World
+
+        with pytest.raises(MemoryFault):
+            attestation.state.memory.checked_read(
+                attestation._key_addr(0), World.NORMAL
+            )
+
+
+class TestMAC:
+    def test_matches_hmac(self, attestation):
+        mac = attestation.mac(MEAS, DATA)
+        expected = hmac_sha256_words(attestation._key_words(), MEAS + DATA)
+        assert mac == expected
+
+    def test_requires_eight_words(self, attestation):
+        with pytest.raises(ValueError):
+            attestation.mac(MEAS[:7], DATA)
+        with pytest.raises(ValueError):
+            attestation.mac(MEAS, DATA + [0])
+
+    def test_different_measurements_differ(self, attestation):
+        assert attestation.mac(MEAS, DATA) != attestation.mac(DATA, MEAS)
+
+    def test_charges_sha_blocks(self, attestation):
+        before = attestation.state.cycles
+        attestation.mac(MEAS, DATA)
+        assert attestation.state.cycles - before >= 5 * attestation.state.costs.sha256_block
+
+
+class TestVerify:
+    def test_valid(self, attestation):
+        mac = attestation.mac(MEAS, DATA)
+        assert attestation.verify(MEAS, DATA, mac)
+
+    def test_flipped_bit_rejected(self, attestation):
+        mac = attestation.mac(MEAS, DATA)
+        assert not attestation.verify(MEAS, DATA, [mac[0] ^ 1] + mac[1:])
+
+    def test_wrong_measurement_rejected(self, attestation):
+        mac = attestation.mac(MEAS, DATA)
+        assert not attestation.verify(DATA, DATA, mac)
+
+    def test_wrong_data_rejected(self, attestation):
+        mac = attestation.mac(MEAS, DATA)
+        assert not attestation.verify(MEAS, MEAS, mac)
+
+    def test_different_keys_do_not_cross_verify(self):
+        def make(seed):
+            state = MachineState.boot(secure_pages=4)
+            att = Attestation(state, HardwareRNG(seed=seed))
+            att.generate_boot_key()
+            return att
+
+        a, b = make(1), make(2)
+        mac = a.mac(MEAS, DATA)
+        assert not b.verify(MEAS, DATA, mac)

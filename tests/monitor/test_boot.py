@@ -1,0 +1,59 @@
+"""The bootloader (section 7.2): each duty performed and testable."""
+
+import pytest
+
+from repro.arm.machine import MachineState
+from repro.arm.modes import Mode, World
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.boot import Bootloader
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC
+from repro.monitor.pagedb import PageDB
+
+
+class TestBootSequence:
+    def test_hands_over_in_normal_world(self):
+        state, _, _ = Bootloader(secure_pages=8).boot()
+        assert state.world is World.NORMAL
+        assert state.regs.cpsr.mode is Mode.SVC
+        assert not state.regs.cpsr.irq_masked  # the OS takes interrupts
+
+    def test_pagedb_zeroed(self):
+        state, _, _ = Bootloader(secure_pages=8).boot()
+        pagedb = PageDB(state)
+        assert all(pagedb.is_free(p) for p in range(8))
+
+    def test_attestation_key_provisioned(self):
+        state, attestation, report = Bootloader(secure_pages=8).boot()
+        assert report.attestation_key_provisioned
+        assert any(attestation._key_words())
+
+    def test_key_source_is_configurable(self):
+        """The platform chooses the entropy source; same seed, same key
+        (the property the bisimulation harness leans on)."""
+        _, att_a, _ = Bootloader(secure_pages=8, rng=HardwareRNG(seed=4)).boot()
+        _, att_b, _ = Bootloader(secure_pages=8, rng=HardwareRNG(seed=4)).boot()
+        _, att_c, _ = Bootloader(secure_pages=8, rng=HardwareRNG(seed=5)).boot()
+        assert att_a._key_words() == att_b._key_words()
+        assert att_a._key_words() != att_c._key_words()
+
+    def test_report_describes_memory_map(self):
+        state, _, report = Bootloader(secure_pages=8).boot()
+        assert report.secure_pages == 8
+        assert report.secure_base == state.memmap.secure.base
+        assert report.insecure_base == state.memmap.insecure.base
+        assert report.monitor_image_base == state.memmap.monitor_image.base
+
+    def test_requires_secure_world(self):
+        state = MachineState.boot(secure_pages=8)
+        state.world = World.NORMAL
+        with pytest.raises(RuntimeError):
+            Bootloader(secure_pages=8).boot(state)
+
+    def test_monitor_uses_bootloader(self):
+        """KomodoMonitor construction is exactly one boot sequence."""
+        monitor = KomodoMonitor(secure_pages=8)
+        assert monitor.boot_report.secure_pages == 8
+        assert monitor.state.world is World.NORMAL
+        # And the monitor is immediately usable by the OS.
+        assert monitor.smc(SMC.GET_PHYSPAGES)[1] == 8

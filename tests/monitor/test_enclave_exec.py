@@ -1,0 +1,326 @@
+"""Enter/Resume and the exception-handling loop (paper Figure 3)."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.arm.modes import Mode, World
+from repro.monitor.enclave_exec import FAULT_ABORT, FAULT_UNDEFINED
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, SHARED_VA, EnclaveBuilder
+from tests.conftest import spin_assembler
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=48, step_budget=100_000)
+    kernel = OSKernel(monitor)
+    return monitor, kernel
+
+
+def build(kernel, asm, **kwargs):
+    builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+    for key, value in kwargs.items():
+        getattr(builder, key)(value)
+    return builder.build()
+
+
+class TestEnterValidation:
+    def test_invalid_pageno(self, env):
+        monitor, _ = env
+        assert monitor.smc(SMC.ENTER, 99, 0, 0, 0)[0] is KomErr.INVALID_PAGENO
+
+    def test_not_a_thread(self, env):
+        monitor, kernel = env
+        enclave = build(kernel, spin_assembler())
+        assert monitor.smc(SMC.ENTER, enclave.as_page, 0, 0, 0)[0] is KomErr.INVALID_THREAD
+
+    def test_requires_final(self, env):
+        monitor, kernel = env
+        as_page, _ = kernel.init_addrspace()
+        kernel.init_l2table(as_page, 0)
+        thread = kernel.init_thread(as_page, CODE_VA)
+        assert monitor.smc(SMC.ENTER, thread, 0, 0, 0)[0] is KomErr.NOT_FINAL
+
+    def test_stopped_enclave_rejected(self, env):
+        monitor, kernel = env
+        enclave = build(kernel, spin_assembler())
+        monitor.smc(SMC.STOP, enclave.as_page)
+        assert enclave.enter()[0] is KomErr.STOPPED
+
+    def test_resume_requires_entered(self, env):
+        monitor, kernel = env
+        enclave = build(kernel, spin_assembler())
+        assert enclave.resume()[0] is KomErr.NOT_ENTERED
+
+    def test_enter_on_suspended_rejected(self, env):
+        monitor, kernel = env
+        enclave = build(kernel, spin_assembler())
+        monitor.schedule_interrupt(5)
+        assert enclave.enter()[0] is KomErr.INTERRUPTED
+        assert enclave.enter()[0] is KomErr.ALREADY_ENTERED
+
+
+class TestArgumentsAndReturn:
+    def test_args_arrive_in_r0_r1_r2(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.add("r0", "r0", "r1")
+        asm.add("r0", "r0", "r2")
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        assert enclave.call(100, 20, 3) == (KomErr.SUCCESS, 123)
+
+    def test_other_registers_zeroed_on_entry(self, env):
+        """Entry state leaks nothing: r3.. are zero (integrity & confid.)."""
+        monitor, kernel = env
+        asm = Assembler()
+        # Sum r3..r12 + sp + lr into r0: must be 0.
+        for reg in [f"r{i}" for i in range(3, 13)] + ["sp", "lr"]:
+            asm.add("r0", "r0", reg)
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        # Pollute registers via a prior SMC (args land in r1-r4).
+        monitor.smc(SMC.GET_PHYSPAGES, 0xAAAA, 0xBBBB, 0xCCCC, 0xDDDD)
+        assert enclave.call(0, 0, 0) == (KomErr.SUCCESS, 0)
+
+    def test_exit_value_propagates(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", 0xCAFE)
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        assert enclave.call() == (KomErr.SUCCESS, 0xCAFE)
+
+    def test_returns_in_normal_world_svc_mode(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        enclave.call()
+        assert monitor.state.world is World.NORMAL
+        assert monitor.state.regs.cpsr.mode is Mode.SVC
+
+
+class TestFaults:
+    def test_abort_reports_only_exception_type(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r4", 0x0FF0_0000)  # unmapped
+        asm.ldr("r0", "r4", 0)
+        enclave = build(kernel, asm)
+        err, code = enclave.call()
+        assert err is KomErr.FAULT
+        assert code == FAULT_ABORT
+
+    def test_undefined_reports_only_exception_type(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.udf()
+        enclave = build(kernel, asm)
+        err, code = enclave.call()
+        assert err is KomErr.FAULT
+        assert code == FAULT_UNDEFINED
+
+    def test_registers_scrubbed_after_fault(self, env):
+        """A faulting enclave leaks nothing through registers."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r5", 0x5EC12E7)  # a "secret"
+        asm.udf()
+        enclave = build(kernel, asm)
+        enclave.call()
+        assert monitor.state.regs.read_gpr(5) == 0
+
+    def test_faulted_thread_can_be_reentered(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.cmpi("r0", 1)
+        asm.beq("ok")
+        asm.udf()
+        asm.label("ok")
+        asm.mov32("r0", 7)
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        assert enclave.call(0)[0] is KomErr.FAULT
+        assert enclave.call(1) == (KomErr.SUCCESS, 7)
+
+    def test_write_through_readonly_mapping_faults(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r4", DATA_VA)
+        asm.str_("r0", "r4", 0)
+        builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+        builder.add_data(contents=[1, 2, 3], writable=False)
+        enclave = builder.build()
+        err, code = enclave.call()
+        assert err is KomErr.FAULT and code == FAULT_ABORT
+
+
+class TestInterruptAndResume:
+    def test_interrupt_saves_and_resume_restores(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 50)
+        asm.bne("loop")
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        monitor.schedule_interrupt(30)
+        err, _ = enclave.enter()
+        assert err is KomErr.INTERRUPTED
+        assert monitor.pagedb.thread_entered(enclave.thread)
+        err, value = enclave.resume()
+        assert (err, value) == (KomErr.SUCCESS, 50)
+        assert not monitor.pagedb.thread_entered(enclave.thread)
+
+    def test_many_interrupts_still_correct(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 200)
+        asm.bne("loop")
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        monitor.schedule_interrupt(7)
+        err, value = enclave.enter()
+        resumes = 0
+        while err is KomErr.INTERRUPTED:
+            monitor.schedule_interrupt(7)
+            err, value = enclave.resume()
+            resumes += 1
+        assert (err, value) == (KomErr.SUCCESS, 200)
+        assert resumes > 10
+
+    def test_interrupt_scrubs_registers(self, env):
+        """An interrupted enclave's registers are not visible to the OS."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r7", 0xDEAD_BEEF)
+        asm.label("spin")
+        asm.b("spin")
+        enclave = build(kernel, asm)
+        monitor.schedule_interrupt(20)
+        enclave.enter()
+        assert monitor.state.regs.read_gpr(7) == 0
+
+    def test_condition_flags_survive_interrupt(self, env):
+        """Flags are part of saved context: a loop whose compare happened
+        right before the interrupt still branches correctly after resume."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 40)
+        asm.bne("loop")
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        # Interrupt at every possible offset within the loop body.
+        for deadline in range(1, 10):
+            monitor.schedule_interrupt(deadline)
+            err, value = enclave.enter() if not monitor.pagedb.thread_entered(
+                enclave.thread
+            ) else enclave.resume()
+            while err is KomErr.INTERRUPTED:
+                monitor.schedule_interrupt(deadline)
+                err, value = enclave.resume()
+            assert (err, value) == (KomErr.SUCCESS, 40)
+
+    def test_step_budget_acts_as_timer(self, env):
+        monitor, kernel = env
+        monitor.step_budget = 100
+        enclave = build(kernel, spin_assembler())
+        err, _ = enclave.enter()
+        assert err is KomErr.INTERRUPTED
+
+
+class TestSvcLoop:
+    def test_non_exit_svc_resumes_enclave(self, env):
+        """GetRandom from ARM code: the SVC returns into the enclave."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.svc(SVC.GET_RANDOM)  # result in r0
+        asm.mov("r4", "r0")
+        asm.svc(SVC.GET_RANDOM)
+        asm.eor("r0", "r0", "r4")  # two draws differ -> nonzero
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        err, value = enclave.call()
+        assert err is KomErr.SUCCESS
+        assert value != 0
+
+    def test_tlb_flushed_after_table_writing_svc(self, env):
+        """A dynamic-memory SVC writes live tables; the loop must flush
+        before re-entering user mode (TLB consistency)."""
+        monitor, kernel = env
+        from repro.monitor.layout import Mapping
+
+        mapping = Mapping(
+            va=0x0010_0000, readable=True, writable=True, executable=False
+        ).encode()
+        asm = Assembler()
+        # r0 = spare pageno (arg1), r1 = mapping low 16 bits pre-baked
+        asm.mov("r4", "r0")
+        asm.mov32("r1", mapping)
+        asm.mov("r0", "r4")
+        asm.svc(SVC.MAP_DATA)
+        asm.mov32("r4", 0x0010_0000)
+        asm.movw("r5", 42)
+        asm.str_("r5", "r4", 0)  # touch the new page through new mapping
+        asm.ldr("r0", "r4", 0)
+        asm.svc(SVC.EXIT)
+        builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+        builder.add_spares(1)
+        enclave = builder.build()
+        flushes_before = monitor.state.tlb.flush_count
+        err, value = enclave.call(enclave.spares[0])
+        assert (err, value) == (KomErr.SUCCESS, 42)
+        assert monitor.state.tlb.flush_count > flushes_before + 1  # entry + post-SVC
+
+    def test_svc_args_pass_through_registers(self, env):
+        """ARM-level attest: data words in r0-r7, MAC comes back in r0-r7."""
+        monitor, kernel = env
+        asm = Assembler()
+        for i in range(8):
+            asm.movw(f"r{i}", i + 1)
+        asm.svc(SVC.ATTEST)
+        # XOR the MAC words together; exit with the result (nonzero).
+        for i in range(1, 8):
+            asm.eor("r0", "r0", f"r{i}")
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm)
+        err, value = enclave.call()
+        assert err is KomErr.SUCCESS
+        # The value equals the XOR of the real MAC the monitor would compute.
+        from repro.monitor.measurement import measurement_of
+
+        mac = monitor.attestation.mac(
+            measurement_of(monitor.pagedb, enclave.as_page), list(range(1, 9))
+        )
+        expected = 0
+        for word in mac:
+            expected ^= word
+        assert value == expected
+
+
+class TestSharedMemory:
+    def test_enclave_and_os_communicate(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r4", SHARED_VA)
+        asm.ldr("r0", "r4", 0)  # read OS-provided value
+        asm.addi("r0", "r0", 1)
+        asm.str_("r0", "r4", 4)  # write reply
+        asm.svc(SVC.EXIT)
+        enclave = build(kernel, asm, add_shared_buffer=SHARED_VA)
+        enclave.buffer().write_words(kernel, [41])
+        err, value = enclave.call()
+        assert (err, value) == (KomErr.SUCCESS, 42)
+        assert enclave.buffer().read_words(kernel, 2)[1] == 42

@@ -1,0 +1,233 @@
+"""The dispatcher interface (paper section 9.2, implemented here):
+user-mode fault upcalls and enclave self-paging."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.enclave_exec import FAULT_ABORT, FAULT_UNDEFINED
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, EnclaveBuilder
+
+HANDLER_VA = CODE_VA + 0x800  # handler code in the second half of the page
+FAULT_VA = 0x0030_0000  # same 4 MB slice as the builder's default pages,
+#                         but distinct from CODE_VA/DATA_VA (no mapping)
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=48, step_budget=100_000)
+    kernel = OSKernel(monitor)
+    return monitor, kernel
+
+
+def pad_to_handler(asm: Assembler) -> None:
+    """Pad with NOPs so the handler lands exactly at HANDLER_VA."""
+    while asm.position < (HANDLER_VA - CODE_VA) // 4:
+        asm.nop()
+
+
+class TestFaultUpcall:
+    def build_upcall_enclave(self, kernel):
+        """Main: register handler, deliberately fault.  Handler: exit
+        with (fault code << 8) | r7 — r7 held a secret at fault time and
+        must have been scrubbed before the upcall."""
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.mov32("r7", 0x5EC)  # a value that must NOT reach the handler
+        asm.mov32("r4", FAULT_VA)  # unmapped -> abort
+        asm.ldr("r5", "r4", 0)
+        asm.udf()  # never reached: the handler exits
+        pad_to_handler(asm)
+        # Handler entry: r0 = fault code, r1 = fault VA, r7 must be 0.
+        asm.lsli("r0", "r0", 8)
+        asm.orr("r0", "r0", "r7")
+        asm.svc(SVC.EXIT)
+        return EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+
+    def test_fault_upcalls_into_handler(self, env):
+        monitor, kernel = env
+        enclave = self.build_upcall_enclave(kernel)
+        err, value = enclave.call()
+        assert err is KomErr.SUCCESS
+        assert value == FAULT_ABORT << 8  # handler ran, registers scrubbed
+
+    def test_os_sees_nothing_of_handled_fault(self, env):
+        """A handled fault is invisible to the OS: the Enter returns
+        SUCCESS with the handler's exit value, never FAULT."""
+        monitor, kernel = env
+        enclave = self.build_upcall_enclave(kernel)
+        err, _ = enclave.call()
+        assert err is not KomErr.FAULT
+
+    def test_undefined_instruction_also_upcalls(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.udf()
+        pad_to_handler(asm)
+        asm.svc(SVC.EXIT)  # exit with r0 = fault code
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = enclave.call()
+        assert (err, value) == (KomErr.SUCCESS, FAULT_UNDEFINED)
+
+    def test_double_fault_exits_to_os(self, env):
+        """A fault inside the handler cannot loop: it exits to the OS
+        with only the exception type, like an unhandled fault."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.udf()
+        pad_to_handler(asm)
+        asm.udf()  # the handler itself faults
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, code = enclave.call()
+        assert err is KomErr.FAULT
+        assert code == FAULT_UNDEFINED
+
+    def test_no_handler_faults_to_os_as_before(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.udf()
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, code = enclave.call()
+        assert (err, code) == (KomErr.FAULT, FAULT_UNDEFINED)
+
+    def test_thread_reusable_after_handled_fault(self, env):
+        monitor, kernel = env
+        enclave = self.build_upcall_enclave(kernel)
+        first = enclave.call()
+        second = enclave.call()
+        assert first == second
+
+
+def build_self_paging_enclave(kernel, mapping: Mapping, interrupt_pad: int = 0):
+    """Main: stash the donated spare pageno (arg1) in its data page,
+    register the handler, touch an unmapped page, and exit with
+    (page word + 0x1234).  Handler: map the stashed spare at the
+    prepared mapping and resume the faulting context."""
+    asm = Assembler()
+    asm.mov("r8", "r0")  # spare pageno argument
+    asm.mov32("r4", DATA_VA)
+    asm.str_("r8", "r4", 0)  # stash for the handler
+    asm.mov32("r0", HANDLER_VA)
+    asm.svc(SVC.SET_FAULT_HANDLER)
+    asm.mov32("r6", 0x1234)  # must survive the fault round trip
+    asm.mov32("r4", FAULT_VA)
+    asm.ldr("r5", "r4", 0)  # faults; re-executed after the handler maps
+    asm.add("r0", "r5", "r6")
+    asm.svc(SVC.EXIT)
+    pad_to_handler(asm)
+    for _ in range(interrupt_pad):  # optional interrupt window
+        asm.nop()
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r0", "r4", 0)  # spare pageno
+    asm.ldr("r1", "r4", 4)  # prepared mapping word
+    asm.svc(SVC.MAP_DATA)
+    asm.svc(SVC.RESUME_FAULT)
+    builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+    builder.add_spares(1)
+    return builder.add_data(contents=[0, mapping.encode()], writable=True).build()
+
+
+class TestResumeFault:
+    def test_self_paging_round_trip(self, env):
+        """The LibOS pattern: fault -> handler maps a page -> resume ->
+        the faulting load re-executes and succeeds, registers intact."""
+        monitor, kernel = env
+        mapping = Mapping(va=FAULT_VA, readable=True, writable=True, executable=False)
+        enclave = build_self_paging_enclave(kernel, mapping)
+        err, value = enclave.call(enclave.spares[0])
+        assert err is KomErr.SUCCESS
+        # r5 = word of the freshly mapped zero page (0); r6 preserved.
+        assert value == 0x1234
+
+    def test_resume_fault_without_fault_rejected(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.svc(SVC.RESUME_FAULT)  # no fault frame: error in r0
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = enclave.call()
+        assert err is KomErr.SUCCESS
+        assert value == int(KomErr.NOT_ENTERED)
+
+    def test_interrupt_in_handler_preserves_fault_frame(self, env):
+        """An interrupt while the handler runs uses the normal context
+        slot; Resume returns into the handler and the separate fault
+        frame survives, so RESUME_FAULT still works afterwards."""
+        monitor, kernel = env
+        mapping = Mapping(va=FAULT_VA, readable=True, writable=True, executable=False)
+        enclave = build_self_paging_enclave(kernel, mapping, interrupt_pad=20)
+        monitor.schedule_interrupt(25)  # lands inside the handler's NOPs
+        err, value = enclave.enter(enclave.spares[0])
+        resumes = 0
+        while err is KomErr.INTERRUPTED:
+            err, value = enclave.resume()
+            resumes += 1
+        assert (err, value) == (KomErr.SUCCESS, 0x1234)
+        assert resumes >= 1
+
+
+class TestSelfPagingStress:
+    def test_demand_paging_many_pages(self, env):
+        """Self-paging across several pages: every first touch faults
+        into the handler, which maps the next donated spare at the
+        faulting VA (computed from r1) and resumes."""
+        monitor, kernel = env
+        pages = 4
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.movw("r10", 0)  # page index
+        asm.movw("r6", 0)  # checksum
+        asm.label("touch_loop")
+        asm.mov32("r4", FAULT_VA)
+        asm.lsli("r5", "r10", 12)
+        asm.add("r4", "r4", "r5")
+        asm.str_("r10", "r4", 0)  # faults on first touch of each page
+        asm.ldr("r5", "r4", 0)
+        asm.add("r6", "r6", "r5")
+        asm.addi("r10", "r10", 1)
+        asm.cmpi("r10", pages)
+        asm.bne("touch_loop")
+        asm.mov("r0", "r6")  # 0+1+2+3 = 6
+        asm.svc(SVC.EXIT)
+        pad_to_handler(asm)
+        # Handler: r1 = faulting VA.  Pop the next spare pageno from the
+        # stash page (spare[i] at word i, cursor at word 100) and map a
+        # RW page at the faulting address.
+        asm.mov32("r4", DATA_VA)
+        asm.ldr("r2", "r4", 400)  # cursor
+        asm.lsli("r3", "r2", 2)
+        asm.ldrr("r0", "r4", "r3")  # spare pageno
+        asm.addi("r2", "r2", 1)
+        asm.str_("r2", "r4", 400)
+        asm.mov32("r3", 0x3FFFF000)
+        asm.and_("r1", "r1", "r3")
+        asm.addi("r1", "r1", 0b011)  # R|W mapping word
+        asm.svc(SVC.MAP_DATA)
+        asm.svc(SVC.RESUME_FAULT)
+
+        # Spare numbers are baked into the measured stash page; builder
+        # allocation on a *fresh* machine is deterministic, so probe on
+        # one machine, then rebuild identically on another.
+        def build(kernel_, stash):
+            builder = EnclaveBuilder(kernel_).add_code(asm).add_thread(CODE_VA)
+            builder.add_spares(pages)
+            return builder.add_data(contents=stash, writable=True).build()
+
+        probe = build(kernel, [0] * pages)
+        spares = list(probe.spares)
+        fresh_monitor = KomodoMonitor(secure_pages=48, step_budget=100_000)
+        fresh_kernel = OSKernel(fresh_monitor)
+        enclave = build(fresh_kernel, spares)
+        assert enclave.spares == spares  # deterministic allocation held
+        err, value = enclave.call()
+        assert err is KomErr.SUCCESS
+        assert value == sum(range(pages))

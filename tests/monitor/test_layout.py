@@ -1,0 +1,101 @@
+"""ABI constants: mapping words, call numbers, page layouts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arm.memory import PAGE_SIZE
+from repro.arm.pagetable import ENCLAVE_VSPACE_SIZE
+from repro.monitor.layout import (
+    AS_WORDS_USED,
+    Mapping,
+    MAPPING_PERM_MASK,
+    MAPPING_VA_MASK,
+    PageType,
+    SMC,
+    SVC,
+    TH_WORDS_USED,
+    mapping_word_valid,
+)
+
+
+class TestMappingWords:
+    def test_roundtrip(self):
+        mapping = Mapping(va=0x0123_4000, readable=True, writable=False, executable=True)
+        assert Mapping.decode(mapping.encode()) == mapping
+
+    @given(
+        st.integers(0, (ENCLAVE_VSPACE_SIZE // PAGE_SIZE) - 1),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, page_index, writable, executable):
+        mapping = Mapping(
+            va=page_index * PAGE_SIZE,
+            readable=True,
+            writable=writable,
+            executable=executable,
+        )
+        assert Mapping.decode(mapping.encode()) == mapping
+
+    def test_va_mask_covers_one_gb(self):
+        assert MAPPING_VA_MASK == ENCLAVE_VSPACE_SIZE - PAGE_SIZE
+
+    def test_decode_masks_offset_bits(self):
+        word = 0x0000_1ABC | 1  # sub-page bits outside va/perm masks
+        mapping = Mapping.decode(word)
+        assert mapping.va == 0x1000
+        assert mapping.readable
+
+    def test_validity(self):
+        readable = Mapping(va=0x1000, readable=True, writable=False, executable=False)
+        assert mapping_word_valid(readable.encode())
+        # Unreadable mappings are rejected.
+        assert not mapping_word_valid(0x1000 | 0b010)
+        # Bits above the 1 GB space are rejected.
+        assert not mapping_word_valid(0x8000_0000 | 0b001)
+
+    def test_l1_l2_index_extraction(self):
+        mapping = Mapping(va=0x0040_3000, readable=True, writable=False, executable=False)
+        assert mapping.l1index == 1
+        assert mapping.l2index == 3
+
+
+class TestCallNumbers:
+    def test_smc_numbers_distinct(self):
+        values = [int(c) for c in SMC]
+        assert len(values) == len(set(values))
+
+    def test_svc_numbers_distinct(self):
+        values = [int(c) for c in SVC]
+        assert len(values) == len(set(values))
+
+    def test_table1_smc_surface(self):
+        """All 12 OS calls of Table 1 (plus the Query probe)."""
+        names = {c.name for c in SMC}
+        assert names == {
+            "QUERY", "GET_PHYSPAGES", "INIT_ADDRSPACE", "INIT_THREAD",
+            "INIT_L2PTABLE", "MAP_SECURE", "MAP_INSECURE", "ALLOC_SPARE",
+            "FINALISE", "ENTER", "RESUME", "STOP", "REMOVE",
+        }
+
+    def test_table1_svc_surface(self):
+        """All 7 enclave calls of Table 1 (Verify split into 3 steps),
+        plus the dispatcher-interface extension of section 9.2."""
+        names = {c.name for c in SVC}
+        assert names == {
+            "EXIT", "GET_RANDOM", "ATTEST", "VERIFY_STEP0", "VERIFY_STEP1",
+            "VERIFY_STEP2", "INIT_L2PTABLE", "MAP_DATA", "UNMAP_DATA",
+            "SET_FAULT_HANDLER", "RESUME_FAULT",
+        }
+
+
+class TestPageLayouts:
+    def test_metadata_fits_in_page(self):
+        assert AS_WORDS_USED * 4 <= PAGE_SIZE
+        assert TH_WORDS_USED * 4 <= PAGE_SIZE
+
+    def test_page_types_distinct(self):
+        values = [int(t) for t in PageType]
+        assert len(values) == len(set(values))
+        assert PageType.FREE == 0

@@ -1,0 +1,299 @@
+"""SMC handlers: every call's success path and every error path.
+
+Each handler test drives the monitor through the OS-visible SMC ABI only,
+asserting on returned error codes and on OS-observable state.
+"""
+
+import pytest
+
+from repro.arm.pagetable import L1_ENTRIES
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import (
+    KOM_MAGIC,
+    Mapping,
+    PageType,
+    SMC,
+)
+
+
+@pytest.fixture
+def mon():
+    return KomodoMonitor(secure_pages=16)
+
+
+def rw_mapping(va=0x1000, x=False):
+    return Mapping(va=va, readable=True, writable=True, executable=x).encode()
+
+
+def make_addrspace(mon, as_page=0, l1pt=1, l2pt=2, l1index=0):
+    assert mon.smc(SMC.INIT_ADDRSPACE, as_page, l1pt)[0] is KomErr.SUCCESS
+    assert mon.smc(SMC.INIT_L2PTABLE, as_page, l2pt, l1index)[0] is KomErr.SUCCESS
+    return as_page
+
+
+class TestQueryAndGetPhysPages:
+    def test_query_magic(self, mon):
+        assert mon.smc(SMC.QUERY) == (KomErr.SUCCESS, KOM_MAGIC)
+
+    def test_get_physpages(self, mon):
+        assert mon.smc(SMC.GET_PHYSPAGES) == (KomErr.SUCCESS, 16)
+
+    def test_unknown_callno(self, mon):
+        err, _ = mon.smc(0x999)
+        assert err is KomErr.INVALID_CALL
+
+
+class TestInitAddrspace:
+    def test_success(self, mon):
+        assert mon.smc(SMC.INIT_ADDRSPACE, 0, 1)[0] is KomErr.SUCCESS
+        assert mon.pagedb.page_type(0) is PageType.ADDRSPACE
+        assert mon.pagedb.page_type(1) is PageType.L1PTABLE
+        assert mon.pagedb.refcount(0) == 1
+
+    def test_aliased_pages_rejected(self, mon):
+        """The section 9.1 bug: InitAddrspace(p, p) must fail."""
+        assert mon.smc(SMC.INIT_ADDRSPACE, 3, 3)[0] is KomErr.INVALID_PAGENO
+        assert mon.pagedb.is_free(3)
+
+    def test_out_of_range_pages(self, mon):
+        assert mon.smc(SMC.INIT_ADDRSPACE, 16, 0)[0] is KomErr.INVALID_PAGENO
+        assert mon.smc(SMC.INIT_ADDRSPACE, 0, 99)[0] is KomErr.INVALID_PAGENO
+
+    def test_pages_in_use(self, mon):
+        mon.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        assert mon.smc(SMC.INIT_ADDRSPACE, 0, 2)[0] is KomErr.PAGEINUSE
+        assert mon.smc(SMC.INIT_ADDRSPACE, 2, 1)[0] is KomErr.PAGEINUSE
+
+
+class TestInitThread:
+    def test_success(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.INIT_THREAD, 0, 3, 0x1000)[0] is KomErr.SUCCESS
+        assert mon.pagedb.page_type(3) is PageType.THREAD
+        assert mon.pagedb.thread_entrypoint(3) == 0x1000
+        assert not mon.pagedb.thread_entered(3)
+        assert mon.pagedb.refcount(0) == 3  # l1pt + l2pt + thread
+
+    def test_requires_addrspace(self, mon):
+        assert mon.smc(SMC.INIT_THREAD, 5, 3, 0)[0] is KomErr.INVALID_ADDRSPACE
+
+    def test_thread_page_in_use(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.INIT_THREAD, 0, 1, 0)[0] is KomErr.PAGEINUSE
+
+    def test_rejected_after_finalise(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.FINALISE, 0)
+        assert mon.smc(SMC.INIT_THREAD, 0, 3, 0)[0] is KomErr.ALREADY_FINAL
+
+    def test_entry_point_changes_measurement(self, mon):
+        make_addrspace(mon, as_page=0, l1pt=1, l2pt=2)
+        mon.smc(SMC.INIT_THREAD, 0, 3, 0x1000)
+        mon.smc(SMC.FINALISE, 0)
+        first = mon.pagedb.measurement(0)
+        make_addrspace(mon, as_page=4, l1pt=5, l2pt=6)
+        mon.smc(SMC.INIT_THREAD, 4, 7, 0x2000)
+        mon.smc(SMC.FINALISE, 4)
+        assert mon.pagedb.measurement(4) != first
+
+
+class TestInitL2PTable:
+    def test_success_and_l1_entry(self, mon):
+        mon.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        assert mon.smc(SMC.INIT_L2PTABLE, 0, 2, 5)[0] is KomErr.SUCCESS
+        assert mon.pagedb.page_type(2) is PageType.L2PTABLE
+        from repro.arm.pagetable import DESC_L1_COARSE, entry_type
+
+        l1_base = mon.pagedb.page_base(1)
+        entry = mon.state.memory.read_word(l1_base + 5 * 4)
+        assert entry_type(entry) == DESC_L1_COARSE
+
+    def test_l1index_out_of_range(self, mon):
+        mon.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        assert mon.smc(SMC.INIT_L2PTABLE, 0, 2, L1_ENTRIES)[0] is KomErr.INVALID_MAPPING
+
+    def test_slot_already_used(self, mon):
+        make_addrspace(mon, l1index=3)
+        assert mon.smc(SMC.INIT_L2PTABLE, 0, 4, 3)[0] is KomErr.ADDRINUSE
+
+    def test_multiple_l2_tables(self, mon):
+        mon.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        for i, page in enumerate((2, 3, 4)):
+            assert mon.smc(SMC.INIT_L2PTABLE, 0, page, i)[0] is KomErr.SUCCESS
+        assert mon.pagedb.refcount(0) == 4
+
+
+class TestMapSecure:
+    def test_zero_filled(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), 0)[0] is KomErr.SUCCESS
+        assert mon.pagedb.page_type(3) is PageType.DATA
+
+    def test_contents_copied_from_insecure(self, mon):
+        make_addrspace(mon)
+        source = mon.state.memmap.insecure.base
+        mon.state.memory.write_word(source, 0xFEEDFACE)
+        mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), source)
+        assert mon.state.memory.read_word(mon.pagedb.page_base(3)) == 0xFEEDFACE
+
+    def test_monitor_memory_as_source_rejected(self, mon):
+        """Section 9.1: monitor image/stack are not 'insecure' memory."""
+        make_addrspace(mon)
+        for bad in (
+            mon.state.memmap.monitor_image.base,
+            mon.state.memmap.monitor_stack.base,
+            mon.state.memmap.secure.base,
+        ):
+            err, _ = mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), bad)
+            assert err is KomErr.INSECURE_INVALID
+
+    def test_unaligned_source_rejected(self, mon):
+        make_addrspace(mon)
+        source = mon.state.memmap.insecure.base + 4
+        assert mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), source)[0] is KomErr.INSECURE_INVALID
+
+    def test_missing_l2_table(self, mon):
+        make_addrspace(mon, l1index=0)
+        far_away = Mapping(va=0x0040_0000, readable=True, writable=True, executable=False)
+        assert mon.smc(SMC.MAP_SECURE, 0, 3, far_away.encode(), 0)[0] is KomErr.INVALID_MAPPING
+
+    def test_va_already_mapped(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), 0)
+        assert mon.smc(SMC.MAP_SECURE, 0, 4, rw_mapping(), 0)[0] is KomErr.ADDRINUSE
+
+    def test_unreadable_mapping_rejected(self, mon):
+        make_addrspace(mon)
+        unreadable = Mapping(va=0x1000, readable=False, writable=True, executable=False)
+        assert mon.smc(SMC.MAP_SECURE, 0, 3, unreadable.encode(), 0)[0] is KomErr.INVALID_MAPPING
+
+    def test_contents_change_measurement(self, mon):
+        make_addrspace(mon, as_page=0, l1pt=1, l2pt=2)
+        src = mon.state.memmap.insecure.base
+        mon.state.memory.write_word(src, 1)
+        mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), src)
+        mon.smc(SMC.FINALISE, 0)
+        make_addrspace(mon, as_page=4, l1pt=5, l2pt=6)
+        mon.state.memory.write_word(src, 2)
+        mon.smc(SMC.MAP_SECURE, 4, 7, rw_mapping(), src)
+        mon.smc(SMC.FINALISE, 4)
+        assert mon.pagedb.measurement(0) != mon.pagedb.measurement(4)
+
+
+class TestMapInsecure:
+    def test_success(self, mon):
+        make_addrspace(mon)
+        target = mon.state.memmap.insecure.base
+        assert mon.smc(SMC.MAP_INSECURE, 0, rw_mapping(va=0x2000), target)[0] is KomErr.SUCCESS
+
+    def test_executable_rejected(self, mon):
+        """An executable insecure mapping would let the OS inject
+        unmeasured code — forbidden for integrity."""
+        make_addrspace(mon)
+        target = mon.state.memmap.insecure.base
+        rwx = rw_mapping(va=0x2000, x=True)
+        assert mon.smc(SMC.MAP_INSECURE, 0, rwx, target)[0] is KomErr.INVALID_MAPPING
+
+    def test_monitor_memory_rejected(self, mon):
+        make_addrspace(mon)
+        bad = mon.state.memmap.monitor_image.base
+        assert mon.smc(SMC.MAP_INSECURE, 0, rw_mapping(va=0x2000), bad)[0] is KomErr.INSECURE_INVALID
+
+    def test_secure_memory_rejected(self, mon):
+        make_addrspace(mon)
+        bad = mon.state.memmap.secure.base
+        assert mon.smc(SMC.MAP_INSECURE, 0, rw_mapping(va=0x2000), bad)[0] is KomErr.INSECURE_INVALID
+
+    def test_does_not_change_measurement(self, mon):
+        make_addrspace(mon, as_page=0, l1pt=1, l2pt=2)
+        before = mon.pagedb.hash_state(0)
+        target = mon.state.memmap.insecure.base
+        mon.smc(SMC.MAP_INSECURE, 0, rw_mapping(va=0x2000), target)
+        assert mon.pagedb.hash_state(0) == before
+
+
+class TestAllocSpare:
+    def test_success_before_and_after_finalise(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.ALLOC_SPARE, 0, 3)[0] is KomErr.SUCCESS
+        mon.smc(SMC.FINALISE, 0)
+        assert mon.smc(SMC.ALLOC_SPARE, 0, 4)[0] is KomErr.SUCCESS
+        assert mon.pagedb.page_type(4) is PageType.SPARE
+
+    def test_rejected_when_stopped(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.STOP, 0)
+        assert mon.smc(SMC.ALLOC_SPARE, 0, 3)[0] is KomErr.STOPPED
+
+    def test_does_not_change_measurement(self, mon):
+        make_addrspace(mon)
+        before = mon.pagedb.hash_state(0)
+        mon.smc(SMC.ALLOC_SPARE, 0, 3)
+        assert mon.pagedb.hash_state(0) == before
+
+
+class TestFinaliseAndStop:
+    def test_finalise_sets_measurement(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.FINALISE, 0)[0] is KomErr.SUCCESS
+        assert any(mon.pagedb.measurement(0))
+
+    def test_double_finalise_rejected(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.FINALISE, 0)
+        assert mon.smc(SMC.FINALISE, 0)[0] is KomErr.ALREADY_FINAL
+
+    def test_stop_from_any_state(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.STOP, 0)[0] is KomErr.SUCCESS
+        make_addrspace(mon, as_page=3, l1pt=4, l2pt=5)
+        mon.smc(SMC.FINALISE, 3)
+        assert mon.smc(SMC.STOP, 3)[0] is KomErr.SUCCESS
+
+    def test_finalise_requires_addrspace(self, mon):
+        assert mon.smc(SMC.FINALISE, 9)[0] is KomErr.INVALID_ADDRSPACE
+
+
+class TestRemove:
+    def test_full_teardown(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.INIT_THREAD, 0, 3, 0)
+        mon.smc(SMC.MAP_SECURE, 0, 4, rw_mapping(), 0)
+        mon.smc(SMC.STOP, 0)
+        for page in (2, 3, 4, 1):
+            assert mon.smc(SMC.REMOVE, page)[0] is KomErr.SUCCESS
+        assert mon.smc(SMC.REMOVE, 0)[0] is KomErr.SUCCESS
+        assert all(mon.pagedb.is_free(p) for p in range(5))
+
+    def test_requires_stopped(self, mon):
+        make_addrspace(mon)
+        assert mon.smc(SMC.REMOVE, 1)[0] is KomErr.NOT_STOPPED
+        assert mon.smc(SMC.REMOVE, 0)[0] is KomErr.NOT_STOPPED
+
+    def test_addrspace_removed_last(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.STOP, 0)
+        assert mon.smc(SMC.REMOVE, 0)[0] is KomErr.PAGEINUSE  # refcount > 0
+        mon.smc(SMC.REMOVE, 1)
+        mon.smc(SMC.REMOVE, 2)
+        assert mon.smc(SMC.REMOVE, 0)[0] is KomErr.SUCCESS
+
+    def test_spare_removable_while_running(self, mon):
+        make_addrspace(mon)
+        mon.smc(SMC.ALLOC_SPARE, 0, 3)
+        assert mon.smc(SMC.REMOVE, 3)[0] is KomErr.SUCCESS
+        assert mon.pagedb.is_free(3)
+
+    def test_free_page_rejected(self, mon):
+        assert mon.smc(SMC.REMOVE, 9)[0] is KomErr.INVALID_PAGENO
+
+    def test_removed_page_is_scrubbed(self, mon):
+        make_addrspace(mon)
+        source = mon.state.memmap.insecure.base
+        mon.state.memory.write_word(source, 0x5EC12E7)
+        mon.smc(SMC.MAP_SECURE, 0, 3, rw_mapping(), source)
+        mon.smc(SMC.STOP, 0)
+        mon.smc(SMC.REMOVE, 3)
+        page_base = mon.pagedb.page_base(3)
+        assert mon.state.memory.read_word(page_base) == 0

@@ -1,0 +1,271 @@
+"""SVC handlers: the enclave-facing API, driven through real execution.
+
+Most tests drive SVCs from inside a native enclave program so the full
+dispatch path (including ownership checks against the calling enclave's
+identity) is exercised.  A second enclave exists in several tests to
+check cross-enclave rejection.
+"""
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, PageType, SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import EnclaveBuilder
+from repro.sdk.native import NativeEnclaveProgram, NativeSvcError
+
+MAILBOX_VA = 0x0020_0000
+NEW_VA = 0x0010_0000
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=48)
+    kernel = OSKernel(monitor)
+    return monitor, kernel
+
+
+def run_in_enclave(kernel, body, name="svc-test", arg1=0, arg2=0, spares=0):
+    """Build a single-shot native enclave and run ``body`` inside it."""
+    builder = EnclaveBuilder(kernel).add_shared_buffer(va=MAILBOX_VA)
+    if spares:
+        builder.add_spares(spares)
+    handle = builder.set_native_program(NativeEnclaveProgram(name, body)).build()
+    err, value = handle.call(arg1, arg2)
+    return handle, err, value
+
+
+class TestGetRandom:
+    def test_returns_words(self, env):
+        monitor, kernel = env
+        seen = []
+
+        def body(ctx, a, b, c):
+            seen.extend(ctx.get_random() for _ in range(4))
+            return 0
+            yield
+
+        _, err, _ = run_in_enclave(kernel, body)
+        assert err is KomErr.SUCCESS
+        assert len(seen) == 4
+        assert len(set(seen)) == 4  # draws advance the stream
+
+
+class TestAttestVerify:
+    def test_attest_verify_roundtrip(self, env):
+        monitor, kernel = env
+        results = {}
+
+        def body(ctx, a, b, c):
+            data = [10, 20, 30, 40, 50, 60, 70, 80]
+            mac = ctx.attest(data)
+            measurement = ctx.monitor.pagedb.measurement(ctx.asno)
+            results["ok"] = ctx.verify(data, measurement, mac)
+            results["bad_mac"] = ctx.verify(data, measurement, [m ^ 1 for m in mac])
+            results["bad_data"] = ctx.verify([0] * 8, measurement, mac)
+            return 0
+            yield
+
+        _, err, _ = run_in_enclave(kernel, body)
+        assert err is KomErr.SUCCESS
+        assert results == {"ok": True, "bad_mac": False, "bad_data": False}
+
+    def test_attestation_binds_identity(self, env):
+        """A MAC from enclave A does not verify under enclave B's
+        measurement."""
+        monitor, kernel = env
+        capture = {}
+
+        def prover(ctx, a, b, c):
+            capture["mac"] = ctx.attest([1] * 8)
+            capture["meas"] = ctx.monitor.pagedb.measurement(ctx.asno)
+            return 0
+            yield
+
+        def checker(ctx, a, b, c):
+            own = ctx.monitor.pagedb.measurement(ctx.asno)
+            capture["cross"] = ctx.verify([1] * 8, own, capture["mac"])
+            capture["honest"] = ctx.verify([1] * 8, capture["meas"], capture["mac"])
+            return 0
+            yield
+
+        run_in_enclave(kernel, prover, name="prover")
+        run_in_enclave(kernel, checker, name="checker")
+        assert capture["honest"] is True
+        assert capture["cross"] is False
+
+    def test_attest_requires_finalised_measurement(self, env):
+        """Attest runs only during execution, which requires FINAL; the
+        measurement is always present by then."""
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            mac = ctx.attest(list(range(8)))
+            return len(mac)
+            yield
+
+        _, err, value = run_in_enclave(kernel, body)
+        assert err is KomErr.SUCCESS and value == 8
+
+
+class TestDynamicMemory:
+    def test_map_data_success(self, env):
+        monitor, kernel = env
+
+        def body(ctx, spare, b, c):
+            mapping = Mapping(va=NEW_VA, readable=True, writable=True, executable=False)
+            ctx.map_data(spare, mapping.encode())
+            ctx.write_word(NEW_VA, 777)
+            return ctx.read_word(NEW_VA)
+            yield
+
+        builder = EnclaveBuilder(kernel).add_spares(1)
+        handle = builder.set_native_program(NativeEnclaveProgram("md", body)).build()
+        err, value = handle.call(handle.spares[0])
+        assert err is KomErr.SUCCESS and value == 777
+        assert monitor.pagedb.page_type(handle.spares[0]) is PageType.DATA
+
+    def test_map_data_zero_fills(self, env):
+        monitor, kernel = env
+
+        def body(ctx, spare, b, c):
+            mapping = Mapping(va=NEW_VA, readable=True, writable=True, executable=False)
+            ctx.map_data(spare, mapping.encode())
+            return ctx.read_word(NEW_VA)
+            yield
+
+        builder = EnclaveBuilder(kernel).add_spares(1)
+        handle = builder.set_native_program(NativeEnclaveProgram("zf", body)).build()
+        # Scribble on the spare before the enclave maps it.
+        base = monitor.pagedb.page_base(handle.spares[0])
+        monitor.state.memory.write_word(base, 0xBAD)
+        err, value = handle.call(handle.spares[0])
+        assert err is KomErr.SUCCESS and value == 0
+
+    def test_map_data_rejects_foreign_spare(self, env):
+        monitor, kernel = env
+        # Enclave B gets a spare; enclave A tries to consume it.
+        builder_b = EnclaveBuilder(kernel).add_spares(1)
+        handle_b = builder_b.set_native_program(
+            NativeEnclaveProgram("b", lambda ctx, a, b, c: iter(()))
+        ).build()
+        foreign_spare = handle_b.spares[0]
+        outcome = {}
+
+        def body(ctx, spare, b, c):
+            mapping = Mapping(va=NEW_VA, readable=True, writable=True, executable=False)
+            try:
+                ctx.map_data(spare, mapping.encode())
+                outcome["err"] = None
+            except NativeSvcError as error:
+                outcome["err"] = error.err
+            return 0
+            yield
+
+        builder_a = EnclaveBuilder(kernel)
+        handle_a = builder_a.set_native_program(NativeEnclaveProgram("a", body)).build()
+        err, _ = handle_a.call(foreign_spare)
+        assert err is KomErr.SUCCESS
+        assert outcome["err"] is KomErr.INVALID_PAGENO
+        assert monitor.pagedb.page_type(foreign_spare) is PageType.SPARE
+
+    def test_unmap_data_returns_spare_scrubbed(self, env):
+        monitor, kernel = env
+
+        def body(ctx, spare, b, c):
+            mapping = Mapping(va=NEW_VA, readable=True, writable=True, executable=False)
+            ctx.map_data(spare, mapping.encode())
+            ctx.write_word(NEW_VA, 0x5EC12E7)
+            ctx.unmap_data(spare, mapping.encode())
+            return 0
+            yield
+
+        builder = EnclaveBuilder(kernel).add_spares(1)
+        handle = builder.set_native_program(NativeEnclaveProgram("um", body)).build()
+        spare = handle.spares[0]
+        err, _ = handle.call(spare)
+        assert err is KomErr.SUCCESS
+        assert monitor.pagedb.page_type(spare) is PageType.SPARE
+        assert monitor.state.memory.read_word(monitor.pagedb.page_base(spare)) == 0
+
+    def test_unmap_requires_matching_mapping(self, env):
+        monitor, kernel = env
+        outcome = {}
+
+        def body(ctx, spare, b, c):
+            mapping = Mapping(va=NEW_VA, readable=True, writable=True, executable=False)
+            ctx.map_data(spare, mapping.encode())
+            wrong = Mapping(va=NEW_VA + 0x1000, readable=True, writable=True, executable=False)
+            try:
+                ctx.unmap_data(spare, wrong.encode())
+                outcome["err"] = None
+            except NativeSvcError as error:
+                outcome["err"] = error.err
+            return 0
+            yield
+
+        builder = EnclaveBuilder(kernel).add_spares(1)
+        handle = builder.set_native_program(NativeEnclaveProgram("wm", body)).build()
+        err, _ = handle.call(handle.spares[0])
+        assert err is KomErr.SUCCESS
+        assert outcome["err"] is KomErr.INVALID_MAPPING
+
+    def test_init_l2ptable_grows_address_space(self, env):
+        monitor, kernel = env
+        far_va = 0x0080_0000  # l1index 2: no OS-created table there
+
+        def body(ctx, table_spare, data_spare, c):
+            from repro.arm.pagetable import l1_index
+
+            ctx.init_l2ptable(table_spare, l1_index(far_va))
+            mapping = Mapping(va=far_va, readable=True, writable=True, executable=False)
+            ctx.map_data(data_spare, mapping.encode())
+            ctx.write_word(far_va, 99)
+            return ctx.read_word(far_va)
+            yield
+
+        builder = EnclaveBuilder(kernel).add_spares(2)
+        handle = builder.set_native_program(NativeEnclaveProgram("grow", body)).build()
+        err, value = handle.call(handle.spares[0], handle.spares[1])
+        assert err is KomErr.SUCCESS and value == 99
+        assert monitor.pagedb.page_type(handle.spares[0]) is PageType.L2PTABLE
+
+    def test_init_l2ptable_rejects_used_slot(self, env):
+        monitor, kernel = env
+        outcome = {}
+
+        def body(ctx, spare, b, c):
+            try:
+                # l1index 0 is already populated by the OS-built tables.
+                ctx.init_l2ptable(spare, 0)
+                outcome["err"] = None
+            except NativeSvcError as error:
+                outcome["err"] = error.err
+            return 0
+            yield
+
+        builder = EnclaveBuilder(kernel).add_spares(1)
+        handle = builder.set_native_program(NativeEnclaveProgram("slot", body)).build()
+        err, _ = handle.call(handle.spares[0])
+        assert err is KomErr.SUCCESS
+        assert outcome["err"] is KomErr.ADDRINUSE
+
+
+class TestUnknownSvc:
+    def test_unknown_number_rejected(self, env):
+        monitor, kernel = env
+        outcome = {}
+
+        def body(ctx, a, b, c):
+            try:
+                ctx.svc(0x77)
+                outcome["err"] = None
+            except NativeSvcError as error:
+                outcome["err"] = error.err
+            return 0
+            yield
+
+        _, err, _ = run_in_enclave(kernel, body)
+        assert err is KomErr.SUCCESS
+        assert outcome["err"] is KomErr.INVALID_CALL

@@ -1,0 +1,90 @@
+"""Fuzzing the SVC interface from real ARM enclaves.
+
+A hostile *enclave* (the other half of the threat model: the monitor
+must protect the platform from enclaves too) issues random SVC numbers
+with random register contents.  The monitor must never crash, never
+break invariants, and never hand the enclave a page it does not own.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, EnclaveBuilder
+from repro.spec.invariants import collect_violations
+from repro.verification.extract import extract_pagedb
+
+svc_numbers = st.integers(min_value=0, max_value=20)
+args = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestSvcFuzz:
+    @given(st.lists(st.tuples(svc_numbers, args, args), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_hostile_enclave_svcs(self, calls):
+        monitor = KomodoMonitor(secure_pages=16, step_budget=10_000)
+        kernel = OSKernel(monitor)
+        asm = Assembler()
+        for number, arg0, arg1 in calls:
+            asm.movw("r0", arg0)
+            asm.movw("r1", arg1)
+            asm.svc(number)
+        asm.movw("r0", 0x600D)
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = enclave.call()
+        # An early EXIT (number 1 with its own retval) or our sentinel.
+        assert err in (KomErr.SUCCESS, KomErr.FAULT)
+        violations = collect_violations(
+            extract_pagedb(monitor.state), monitor.state.memmap
+        )
+        assert not violations
+
+    def test_enclave_cannot_steal_pages_via_svcs(self):
+        """A hostile enclave sweeps every page number through MAP_DATA:
+        only its own spare is ever consumed."""
+        monitor = KomodoMonitor(secure_pages=16, step_budget=100_000)
+        kernel = OSKernel(monitor)
+        from repro.monitor.layout import Mapping, PageType
+
+        mapping = Mapping(
+            va=0x0010_0000, readable=True, writable=True, executable=False
+        ).encode()
+        asm = Assembler()
+        asm.mov32("r1", mapping)
+        asm.movw("r4", 0)  # candidate page number
+        asm.label("sweep")
+        asm.mov("r0", "r4")
+        asm.svc(SVC.MAP_DATA)
+        asm.addi("r4", "r4", 1)
+        asm.cmpi("r4", 16)
+        asm.bne("sweep")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
+        victim_types = {}
+        # A victim enclave whose pages the sweep must not capture.
+        victim = (
+            EnclaveBuilder(kernel)
+            .add_code(Assembler().svc(SVC.EXIT))
+            .add_thread(CODE_VA)
+            .build()
+        )
+        for page in victim.owned_pages + [victim.as_page]:
+            victim_types[page] = monitor.pagedb.page_type(page)
+        attacker = builder.add_spares(1).build()
+        err, _ = attacker.call()
+        assert err is KomErr.SUCCESS
+        # Exactly the attacker's own spare became a data page.
+        assert monitor.pagedb.page_type(attacker.spares[0]) is PageType.DATA
+        for page, page_type in victim_types.items():
+            assert monitor.pagedb.page_type(page) is page_type
+        violations = collect_violations(
+            extract_pagedb(monitor.state), monitor.state.memmap
+        )
+        assert not violations

@@ -1,0 +1,215 @@
+"""Multi-core big-lock model: mutual exclusion, linearisability,
+invariant preservation under many interleavings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC
+from repro.multicore import MonitorLock, MultiCoreMachine
+from repro.spec.invariants import collect_violations
+from repro.verification.extract import extract_pagedb
+
+NPAGES = 24
+
+
+def fresh_machine(seed=0):
+    monitor = KomodoMonitor(secure_pages=NPAGES, rng=HardwareRNG(seed=1))
+    return MultiCoreMachine(monitor, seed=seed)
+
+
+class TestMonitorLock:
+    def test_exclusive(self):
+        lock = MonitorLock()
+        assert lock.try_acquire(0)
+        assert not lock.try_acquire(1)
+        lock.release(0)
+        assert lock.try_acquire(1)
+
+    def test_wrong_releaser_rejected(self):
+        lock = MonitorLock()
+        lock.try_acquire(0)
+        with pytest.raises(RuntimeError):
+            lock.release(1)
+
+    def test_contention_counted(self):
+        lock = MonitorLock()
+        lock.try_acquire(0)
+        lock.try_acquire(1)
+        lock.try_acquire(2)
+        assert lock.contended_waits == 2
+        assert lock.acquisitions == 1
+
+
+class TestInterleavedConstruction:
+    def test_two_cores_build_disjoint_enclaves(self):
+        """Each core builds its own enclave from disjoint pages; the
+        interleaved run must succeed exactly as two sequential builds."""
+
+        def builder(base):
+            def script(core_id):
+                err, _ = yield ("smc", SMC.INIT_ADDRSPACE, base, base + 1)
+                assert err is KomErr.SUCCESS
+                yield ("yield",)
+                err, _ = yield ("smc", SMC.INIT_L2PTABLE, base, base + 2, 0)
+                assert err is KomErr.SUCCESS
+                err, _ = yield ("smc", SMC.INIT_THREAD, base, base + 3, 0x1000)
+                assert err is KomErr.SUCCESS
+                err, _ = yield ("smc", SMC.FINALISE, base)
+                assert err is KomErr.SUCCESS
+
+            return script
+
+        machine = fresh_machine(seed=7)
+        machine.add_core(builder(0))
+        machine.add_core(builder(8))
+        machine.run()
+        violations = collect_violations(
+            extract_pagedb(machine.monitor.state), machine.monitor.state.memmap
+        )
+        assert not violations
+        assert machine.monitor.pagedb.measurement(0) == machine.monitor.pagedb.measurement(8)
+
+    def test_racing_cores_for_same_page_one_wins(self):
+        """Both cores race InitAddrspace on the same pages: exactly one
+        succeeds, the other sees PAGEINUSE — never both, never neither."""
+
+        def script(core_id):
+            yield ("smc", SMC.INIT_ADDRSPACE, 0, 1)
+
+        for seed in range(10):
+            machine = fresh_machine(seed=seed)
+            machine.add_core(script)
+            machine.add_core(script)
+            machine.run()
+            errs = sorted(
+                entry.err for entry in machine.linearisation
+            )
+            assert errs == [KomErr.SUCCESS, KomErr.PAGEINUSE]
+
+    def test_insecure_writes_concurrent_with_monitor(self):
+        """A core may mutate insecure memory while another core's SMC is
+        in flight; the monitor's own state is untouched by it."""
+
+        def monitor_user(core_id):
+            err, _ = yield ("smc", SMC.INIT_ADDRSPACE, 0, 1)
+            assert err is KomErr.SUCCESS
+            err, _ = yield ("smc", SMC.FINALISE, 0)
+            assert err is KomErr.SUCCESS
+
+        def memory_scribbler(core_id):
+            machine_ref = machines[0]
+            base = machine_ref.monitor.state.memmap.insecure.base
+            for i in range(20):
+                yield ("write", base + i * 4, i * 3)
+            total = 0
+            for i in range(20):
+                value = yield ("read", base + i * 4)
+                total += value
+            assert total == sum(i * 3 for i in range(20))
+
+        machines = [fresh_machine(seed=3)]
+        machines[0].add_core(monitor_user)
+        machines[0].add_core(memory_scribbler)
+        machines[0].run()
+
+
+class TestCrossCoreInterrupts:
+    def test_one_core_runs_enclave_another_interrupts(self):
+        """A second core raising the interrupt line against a running
+        enclave: the entering core sees INTERRUPTED and resumes."""
+        from repro.arm.assembler import Assembler
+        from repro.monitor.layout import SVC
+        from repro.osmodel.kernel import OSKernel
+        from repro.sdk.builder import CODE_VA, EnclaveBuilder
+
+        monitor = KomodoMonitor(secure_pages=NPAGES, rng=HardwareRNG(seed=1))
+        machine = MultiCoreMachine(monitor, seed=5)
+        kernel = OSKernel(monitor)
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 50)
+        asm.bne("loop")
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        outcome = {}
+
+        def runner(core_id):
+            err, value = yield ("smc", SMC.ENTER, enclave.thread, 0, 0, 0)
+            while err is KomErr.INTERRUPTED:
+                err, value = yield ("smc", SMC.RESUME, enclave.thread)
+            outcome["result"] = (err, value)
+
+        def interrupter(core_id):
+            for _ in range(3):
+                yield ("interrupt", 7)
+                yield ("yield",)
+
+        machine.add_core(interrupter)
+        machine.add_core(runner)
+        machine.run()
+        assert outcome["result"] == (KomErr.SUCCESS, 50)
+
+
+class TestLinearisability:
+    def _race_scripts(self):
+        def core_a(core_id):
+            yield ("smc", SMC.INIT_ADDRSPACE, 0, 1)
+            yield ("smc", SMC.INIT_L2PTABLE, 0, 2, 0)
+            yield ("smc", SMC.STOP, 0)
+
+        def core_b(core_id):
+            yield ("smc", SMC.INIT_ADDRSPACE, 2, 3)  # may race with A's L2
+            yield ("smc", SMC.ALLOC_SPARE, 0, 4)  # may hit stopped/INIT
+            yield ("smc", SMC.REMOVE, 2)
+
+        return core_a, core_b
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_every_interleaving_linearises(self, seed):
+        """Concurrent outcomes equal a sequential replay of the recorded
+        order, for arbitrary schedules — linearisability of the big-lock
+        monitor, checked rather than proven."""
+        core_a, core_b = self._race_scripts()
+        machine = fresh_machine(seed=seed)
+        machine.add_core(core_a)
+        machine.add_core(core_b)
+        machine.run()
+        sequential = KomodoMonitor(secure_pages=NPAGES, rng=HardwareRNG(seed=1))
+        replayed = machine.replay_sequentially(sequential)
+        assert replayed == machine.concurrent_outcomes()
+        violations = collect_violations(
+            extract_pagedb(machine.monitor.state), machine.monitor.state.memmap
+        )
+        assert not violations
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_interleavings_preserve_invariants(self, seed):
+        def chaos(pages):
+            def script(core_id):
+                yield ("smc", SMC.INIT_ADDRSPACE, pages[0], pages[1])
+                yield ("smc", SMC.INIT_THREAD, pages[0], pages[2], 0x1000)
+                yield ("smc", SMC.FINALISE, pages[0])
+                yield ("smc", SMC.STOP, pages[0])
+                yield ("smc", SMC.REMOVE, pages[2])
+                yield ("smc", SMC.REMOVE, pages[1])
+                yield ("smc", SMC.REMOVE, pages[0])
+
+            return script
+
+        machine = fresh_machine(seed=seed)
+        machine.add_core(chaos([0, 1, 2]))
+        machine.add_core(chaos([1, 2, 3]))  # deliberately overlapping pages
+        machine.add_core(chaos([4, 5, 6]))
+        machine.run()
+        violations = collect_violations(
+            extract_pagedb(machine.monitor.state), machine.monitor.state.memmap
+        )
+        assert not violations

@@ -1,0 +1,106 @@
+"""Adversarial OS strategies: the monitor survives all of them."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, SMC
+from repro.osmodel.adversary import AdversarialOS
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, EnclaveBuilder
+from repro.spec.invariants import collect_violations
+from repro.verification.extract import extract_pagedb
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=24, step_budget=300)
+    kernel = OSKernel(monitor)
+    return monitor, kernel, AdversarialOS(monitor, seed=42)
+
+
+class TestFuzzing:
+    def test_fuzz_never_breaks_invariants(self, env):
+        monitor, _, attacker = env
+        attacker.fuzz_smcs(count=300)
+        violations = collect_violations(
+            extract_pagedb(monitor.state), monitor.state.memmap
+        )
+        assert not violations
+        assert attacker.log.smcs_issued == 300
+
+    def test_fuzz_with_existing_enclave(self, env):
+        monitor, kernel, attacker = env
+        asm = Assembler()
+        asm.label("spin")
+        asm.b("spin")
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        before = extract_pagedb(monitor.state)[enclave.data_pages[CODE_VA]]
+        attacker.fuzz_smcs(count=200)
+        violations = collect_violations(
+            extract_pagedb(monitor.state), monitor.state.memmap
+        )
+        assert not violations
+        # The fuzzer (which never calls Stop+Remove in the right order on
+        # purpose) cannot have altered the enclave's measured code page.
+        after = extract_pagedb(monitor.state)[enclave.data_pages[CODE_VA]]
+        assert before == after
+
+
+class TestMemoryProbing:
+    def test_all_probes_fault(self, env):
+        _, _, attacker = env
+        log = attacker.probe_secure_memory(samples=16)
+        # Each of 3 regions x 16 samples x (read + write) faults.
+        assert log.faults_taken == 3 * 16 * 2
+
+
+class TestTargetedAttacks:
+    def test_aliased_init_addrspace(self, env):
+        monitor, kernel, attacker = env
+        page = kernel.alloc_page()
+        assert attacker.aliased_init_addrspace(page) is KomErr.INVALID_PAGENO
+        assert monitor.pagedb.is_free(page)
+
+    def test_map_secure_from_protected_memory(self, env):
+        monitor, kernel, attacker = env
+        as_page, _ = kernel.init_addrspace()
+        kernel.init_l2table(as_page, 0)
+        mapping = Mapping(va=0x1000, readable=True, writable=True, executable=False)
+        data_page = kernel.alloc_page()
+        err = attacker.map_secure_from_monitor_memory(as_page, data_page, mapping.encode())
+        assert err is KomErr.INSECURE_INVALID
+        err = attacker.map_secure_from_secure_memory(as_page, data_page, mapping.encode())
+        assert err is KomErr.INSECURE_INVALID
+        assert monitor.pagedb.is_free(data_page)
+
+    def test_interrupt_storm_preserves_correctness(self, env):
+        monitor, kernel, attacker = env
+        from repro.monitor.layout import SVC
+
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 64)
+        asm.bne("loop")
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value, interrupts = attacker.interrupt_storm(enclave.thread)
+        assert (err, value) == (KomErr.SUCCESS, 64)
+        assert interrupts > 0
+
+    def test_reenter_and_remove_rejected(self, env):
+        monitor, kernel, attacker = env
+        asm = Assembler()
+        asm.label("spin")
+        asm.b("spin")
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        monitor.schedule_interrupt(5)
+        enclave.enter()
+        assert attacker.reenter_suspended_thread(enclave.thread) is KomErr.ALREADY_ENTERED
+        assert (
+            attacker.remove_running_enclave_page(enclave.data_pages[CODE_VA])
+            is KomErr.NOT_STOPPED
+        )

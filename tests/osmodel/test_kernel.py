@@ -1,0 +1,119 @@
+"""Benign OS kernel model: allocation, staging, driver operations."""
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping, PageType, SMC
+from repro.osmodel.kernel import OSError_, OSKernel
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=16)
+    return monitor, OSKernel(monitor)
+
+
+class TestBoot:
+    def test_probes_monitor(self, env):
+        _, kernel = env
+        assert kernel.npages == 16
+        assert kernel.free_page_count == 16
+
+
+class TestPageAccounting:
+    def test_alloc_returns_distinct_pages(self, env):
+        _, kernel = env
+        pages = [kernel.alloc_page() for _ in range(16)]
+        assert sorted(pages) == list(range(16))
+        with pytest.raises(OSError_):
+            kernel.alloc_page()
+
+    def test_release_recycles(self, env):
+        _, kernel = env
+        page = kernel.alloc_page()
+        kernel.release_page(page)
+        assert kernel.free_page_count == 16
+
+    def test_double_free_detected(self, env):
+        _, kernel = env
+        page = kernel.alloc_page()
+        kernel.release_page(page)
+        with pytest.raises(OSError_):
+            kernel.release_page(page)
+
+
+class TestInsecureMemory:
+    def test_alloc_insecure_pages_distinct(self, env):
+        _, kernel = env
+        a = kernel.alloc_insecure_page()
+        b = kernel.alloc_insecure_page()
+        assert b == a + 0x1000
+
+    def test_stage_page(self, env):
+        monitor, kernel = env
+        base = kernel.stage_page([1, 2, 3])
+        assert kernel.read_insecure(base) == 1
+        assert kernel.read_insecure(base + 8) == 3
+
+    def test_stage_rejects_oversize(self, env):
+        _, kernel = env
+        with pytest.raises(OSError_):
+            kernel.stage_page([0] * 1025)
+
+    def test_writes_go_through_world_checks(self, env):
+        monitor, kernel = env
+        from repro.arm.memory import MemoryFault
+
+        with pytest.raises(MemoryFault):
+            kernel.write_insecure(monitor.state.memmap.secure.base, 1)
+
+
+class TestDriverOperations:
+    def test_init_addrspace(self, env):
+        monitor, kernel = env
+        as_page, l1pt = kernel.init_addrspace()
+        assert monitor.pagedb.page_type(as_page) is PageType.ADDRSPACE
+        assert monitor.pagedb.page_type(l1pt) is PageType.L1PTABLE
+
+    def test_smc_checked_raises_on_error(self, env):
+        _, kernel = env
+        with pytest.raises(OSError_):
+            kernel.smc_checked(SMC.FINALISE, 15)  # not an addrspace
+
+    def test_map_secure_stages_contents(self, env):
+        monitor, kernel = env
+        as_page, _ = kernel.init_addrspace()
+        kernel.init_l2table(as_page, 0)
+        mapping = Mapping(va=0x1000, readable=True, writable=False, executable=False)
+        data = kernel.map_secure(as_page, mapping, contents=[9, 8, 7])
+        base = monitor.pagedb.page_base(data)
+        assert monitor.state.memory.read_words(base, 3) == [9, 8, 7]
+
+    def test_stop_and_remove_returns_pages(self, env):
+        monitor, kernel = env
+        as_page, l1pt = kernel.init_addrspace()
+        l2 = kernel.init_l2table(as_page, 0)
+        thread = kernel.init_thread(as_page, 0x1000)
+        kernel.finalise(as_page)
+        kernel.stop_and_remove(as_page, [l1pt, l2, thread, as_page])
+        assert kernel.free_page_count == 16
+        assert all(monitor.pagedb.is_free(p) for p in (as_page, l1pt, l2, thread))
+
+    def test_run_to_completion_survives_interrupts(self, env):
+        from repro.arm.assembler import Assembler
+        from repro.monitor.layout import SVC
+        from repro.sdk.builder import CODE_VA, EnclaveBuilder
+
+        monitor, kernel = env
+        monitor.step_budget = 17  # force repeated timer interrupts
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 100)
+        asm.bne("loop")
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = kernel.run_to_completion(enclave.thread)
+        assert (err, value) == (KomErr.SUCCESS, 100)

@@ -1,0 +1,69 @@
+"""SharedBuffer and EnterOutcome glue the tests elsewhere lean on."""
+
+import pytest
+
+from repro.monitor.enclave_exec import EnterOutcome
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel, SharedBuffer
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=8)
+    return monitor, OSKernel(monitor)
+
+
+class TestSharedBuffer:
+    def test_write_read_roundtrip(self, env):
+        _, kernel = env
+        buffer = SharedBuffer(base=kernel.alloc_insecure_page())
+        buffer.write_words(kernel, [10, 20, 30])
+        assert buffer.read_words(kernel, 3) == [10, 20, 30]
+
+    def test_offset_addressing(self, env):
+        _, kernel = env
+        buffer = SharedBuffer(base=kernel.alloc_insecure_page())
+        buffer.write_words(kernel, [7], offset=5)
+        assert buffer.read_words(kernel, 1, offset=5) == [7]
+        assert buffer.read_words(kernel, 1, offset=4) == [0]
+
+    def test_va_attribute_optional(self, env):
+        _, kernel = env
+        anonymous = SharedBuffer(base=kernel.alloc_insecure_page())
+        assert anonymous.va is None
+        mapped = SharedBuffer(base=kernel.alloc_insecure_page(), va=0x2000)
+        assert mapped.va == 0x2000
+
+    def test_protected_base_faults(self, env):
+        monitor, kernel = env
+        from repro.arm.memory import MemoryFault
+
+        hostile = SharedBuffer(base=monitor.state.memmap.secure.base)
+        with pytest.raises(MemoryFault):
+            hostile.write_words(kernel, [1])
+
+
+class TestEnterOutcome:
+    def test_fields(self):
+        outcome = EnterOutcome(KomErr.SUCCESS, 42, svc_exits=3)
+        assert outcome.err is KomErr.SUCCESS
+        assert outcome.value == 42
+        assert outcome.svc_exits == 3
+
+    def test_default_svc_exits(self):
+        assert EnterOutcome(KomErr.FAULT, 1).svc_exits == 0
+
+
+class TestErrorEnum:
+    def test_values_stable(self):
+        """Error codes are OS-visible ABI: pin every value."""
+        expected = {
+            "SUCCESS": 0, "INVALID_PAGENO": 1, "PAGEINUSE": 2,
+            "INVALID_ADDRSPACE": 3, "ALREADY_FINAL": 4, "NOT_FINAL": 5,
+            "INVALID_MAPPING": 6, "ADDRINUSE": 7, "NOT_STOPPED": 8,
+            "INTERRUPTED": 9, "FAULT": 10, "ALREADY_ENTERED": 11,
+            "NOT_ENTERED": 12, "INVALID_THREAD": 13, "INVALID_CALL": 14,
+            "STOPPED": 15, "PAGES_EXHAUSTED": 16, "INSECURE_INVALID": 17,
+        }
+        assert {e.name: int(e) for e in KomErr} == expected

@@ -1,0 +1,196 @@
+"""EnclaveBuilder and EnclaveHandle: construction, execution, teardown."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import PageType, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import (
+    BuildError,
+    CODE_VA,
+    DATA_VA,
+    EnclaveBuilder,
+    SHARED_VA,
+)
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=48)
+    return monitor, OSKernel(monitor)
+
+
+def exit_asm(value=0):
+    asm = Assembler()
+    asm.mov32("r0", value)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+class TestBuilding:
+    def test_minimal_enclave(self, env):
+        monitor, kernel = env
+        enclave = (
+            EnclaveBuilder(kernel).add_code(exit_asm(5)).add_thread(CODE_VA).build()
+        )
+        assert enclave.call() == (KomErr.SUCCESS, 5)
+
+    def test_requires_thread(self, env):
+        _, kernel = env
+        with pytest.raises(BuildError):
+            EnclaveBuilder(kernel).add_code(exit_asm()).build()
+
+    def test_requires_code_or_native(self, env):
+        _, kernel = env
+        with pytest.raises(BuildError):
+            EnclaveBuilder(kernel).add_thread(CODE_VA).build()
+
+    def test_empty_program_rejected(self, env):
+        _, kernel = env
+        with pytest.raises(BuildError):
+            EnclaveBuilder(kernel).add_code(Assembler())
+
+    def test_multi_page_code(self, env):
+        """A program larger than one page spans multiple code pages."""
+        monitor, kernel = env
+        asm = Assembler()
+        for _ in range(WORDS_PER_PAGE + 10):
+            asm.addi("r0", "r0", 1)
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        assert enclave.call() == (KomErr.SUCCESS, WORDS_PER_PAGE + 10)
+        assert len(enclave.data_pages) == 2
+
+    def test_data_exceeding_page_rejected(self, env):
+        _, kernel = env
+        with pytest.raises(BuildError):
+            EnclaveBuilder(kernel).add_data(contents=[0] * (WORDS_PER_PAGE + 1))
+
+    def test_cross_4mb_layout_gets_multiple_l2_tables(self, env):
+        monitor, kernel = env
+        builder = EnclaveBuilder(kernel).add_code(exit_asm()).add_thread(CODE_VA)
+        builder.add_data(va=0x0040_0000)  # second 4 MB slice
+        enclave = builder.build()
+        l2_tables = [
+            p
+            for p in enclave.owned_pages
+            if monitor.pagedb.page_type(p) is PageType.L2PTABLE
+        ]
+        assert len(l2_tables) == 2
+
+    def test_spares_allocated(self, env):
+        monitor, kernel = env
+        builder = EnclaveBuilder(kernel).add_code(exit_asm()).add_thread(CODE_VA)
+        enclave = builder.add_spares(3).build()
+        assert len(enclave.spares) == 3
+        for spare in enclave.spares:
+            assert monitor.pagedb.page_type(spare) is PageType.SPARE
+
+
+class TestMeasurementIdentity:
+    def test_same_build_same_measurement(self, env):
+        _, kernel = env
+        a = EnclaveBuilder(kernel).add_code(exit_asm(1)).add_thread(CODE_VA).build()
+        b = EnclaveBuilder(kernel).add_code(exit_asm(1)).add_thread(CODE_VA).build()
+        assert a.measurement() == b.measurement()
+
+    def test_different_code_different_measurement(self, env):
+        _, kernel = env
+        a = EnclaveBuilder(kernel).add_code(exit_asm(1)).add_thread(CODE_VA).build()
+        b = EnclaveBuilder(kernel).add_code(exit_asm(2)).add_thread(CODE_VA).build()
+        assert a.measurement() != b.measurement()
+
+    def test_shared_buffers_not_measured(self, env):
+        _, kernel = env
+        a = EnclaveBuilder(kernel).add_code(exit_asm(1)).add_thread(CODE_VA).build()
+        b = (
+            EnclaveBuilder(kernel)
+            .add_code(exit_asm(1))
+            .add_shared_buffer()
+            .add_thread(CODE_VA)
+            .build()
+        )
+        assert a.measurement() == b.measurement()
+
+    def test_native_identity_measured(self, env):
+        from repro.sdk.native import NativeEnclaveProgram
+
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            return 0
+            yield
+
+        a = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("prog-a", body))
+            .build()
+        )
+        b = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("prog-b", body))
+            .build()
+        )
+        assert a.measurement() != b.measurement()
+
+
+class TestTeardown:
+    def test_returns_all_pages(self, env):
+        monitor, kernel = env
+        free_before = kernel.free_page_count
+        enclave = (
+            EnclaveBuilder(kernel)
+            .add_code(exit_asm())
+            .add_shared_buffer()
+            .add_thread(CODE_VA)
+            .add_spares(2)
+            .build()
+        )
+        enclave.teardown()
+        assert kernel.free_page_count == free_before
+
+    def test_teardown_idempotent(self, env):
+        _, kernel = env
+        enclave = EnclaveBuilder(kernel).add_code(exit_asm()).add_thread(CODE_VA).build()
+        enclave.teardown()
+        enclave.teardown()  # no raise
+
+    def test_enclave_unusable_after_teardown(self, env):
+        _, kernel = env
+        enclave = EnclaveBuilder(kernel).add_code(exit_asm()).add_thread(CODE_VA).build()
+        enclave.teardown()
+        err, _ = enclave.enter()
+        assert err is not KomErr.SUCCESS
+
+
+class TestMultipleThreads:
+    def test_two_threads_independent(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.add("r0", "r0", "r1")
+        asm.svc(SVC.EXIT)
+        builder = EnclaveBuilder(kernel).add_code(asm)
+        builder.add_thread(CODE_VA).add_thread(CODE_VA)
+        enclave = builder.build()
+        assert len(enclave.threads) == 2
+        assert enclave.call(1, 2, thread=enclave.threads[0]) == (KomErr.SUCCESS, 3)
+        assert enclave.call(10, 20, thread=enclave.threads[1]) == (KomErr.SUCCESS, 30)
+
+    def test_one_thread_suspended_other_runs(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.cmpi("r0", 1)
+        asm.beq("spin")
+        asm.movw("r0", 9)
+        asm.svc(SVC.EXIT)
+        asm.label("spin")
+        asm.b("spin")
+        builder = EnclaveBuilder(kernel).add_code(asm)
+        builder.add_thread(CODE_VA).add_thread(CODE_VA)
+        enclave = builder.build()
+        monitor.schedule_interrupt(10)
+        assert enclave.enter(1, thread=enclave.threads[0])[0] is KomErr.INTERRUPTED
+        assert enclave.call(0, thread=enclave.threads[1]) == (KomErr.SUCCESS, 9)

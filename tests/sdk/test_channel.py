@@ -1,0 +1,140 @@
+"""The shared-memory message channel: protocol, wrap-around, hostility."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import SHARED_VA, EnclaveBuilder
+from repro.sdk.channel import (
+    Channel,
+    ChannelError,
+    EnclaveEndpoint,
+    HostEndpoint,
+    _CAPACITY,
+)
+from repro.sdk.native import NativeEnclaveProgram
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=48)
+    kernel = OSKernel(monitor)
+    return monitor, kernel
+
+
+@pytest.fixture
+def host_channel(env):
+    _, kernel = env
+    base = kernel.alloc_insecure_page()
+    channel = Channel(HostEndpoint(kernel, base))
+    channel.reset()
+    return channel
+
+
+class TestHostToHost:
+    def test_roundtrip(self, host_channel):
+        assert host_channel.send([1, 2, 3])
+        assert host_channel.receive() == [1, 2, 3]
+        assert host_channel.receive() is None
+
+    def test_fifo_order(self, host_channel):
+        for i in range(5):
+            assert host_channel.send([i, i * 2])
+        for i in range(5):
+            assert host_channel.receive() == [i, i * 2]
+
+    def test_empty_message(self, host_channel):
+        assert host_channel.send([])
+        assert host_channel.receive() == []
+
+    def test_full_ring_rejects(self, host_channel):
+        message = [0] * 100
+        sent = 0
+        while host_channel.send(message):
+            sent += 1
+        assert sent == (_CAPACITY - 1) // 101
+        assert not host_channel.send(message)
+        host_channel.receive()
+        assert host_channel.send(message)  # space freed
+
+    def test_oversized_message_rejected(self, host_channel):
+        with pytest.raises(ChannelError):
+            host_channel.send([0] * _CAPACITY)
+
+    def test_wraparound(self, host_channel):
+        """Messages crossing the ring boundary survive intact."""
+        chunk = [7] * ((_CAPACITY // 3) - 1)
+        for _ in range(12):  # forces several wraps
+            assert host_channel.send(chunk)
+            assert host_channel.receive() == chunk
+
+    @given(st.lists(st.lists(st.integers(0, 0xFFFFFFFF), max_size=20), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_property(self, messages):
+        monitor = KomodoMonitor(secure_pages=8)
+        kernel = OSKernel(monitor)
+        channel = Channel(HostEndpoint(kernel, kernel.alloc_insecure_page()))
+        channel.reset()
+        queued = []
+        for message in messages:
+            if channel.send(list(message)):
+                queued.append(list(message))
+        received = []
+        while True:
+            message = channel.receive()
+            if message is None:
+                break
+            received.append(message)
+        assert received == queued
+
+
+class TestHostility:
+    def test_corrupt_length_detected(self, host_channel):
+        host_channel.send([1])
+        # The OS scribbles an absurd length over the queued message.
+        host_channel.access.write(2, _CAPACITY + 5)
+        with pytest.raises(ChannelError):
+            host_channel.receive()
+
+    def test_length_past_tail_detected(self, host_channel):
+        host_channel.send([1])
+        host_channel.access.write(2, 500)  # longer than what's queued
+        with pytest.raises(ChannelError):
+            host_channel.receive()
+
+
+class TestHostEnclaveChannel:
+    def test_request_reply(self, env):
+        """The OS sends requests; the enclave doubles each value and
+        replies on the same channel."""
+        monitor, kernel = env
+
+        def body(ctx, count, b, c):
+            channel = Channel(EnclaveEndpoint(ctx, SHARED_VA))
+            handled = 0
+            while handled < count:
+                request = channel.receive()
+                if request is None:
+                    yield
+                    continue
+                channel.send([w * 2 for w in request])
+                handled += 1
+            return handled
+
+        enclave = (
+            EnclaveBuilder(kernel)
+            .add_shared_buffer(va=SHARED_VA)
+            .set_native_program(NativeEnclaveProgram("doubler", body))
+            .build()
+        )
+        host = Channel(HostEndpoint(kernel, enclave.buffer().base))
+        host.reset()
+        host.send([1, 2, 3])
+        host.send([10])
+        err, handled = enclave.call(2)
+        assert (err, handled) == (KomErr.SUCCESS, 2)
+        assert host.receive() == [2, 4, 6]
+        assert host.receive() == [20]

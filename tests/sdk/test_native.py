@@ -1,0 +1,218 @@
+"""Native enclave programs: memory semantics, SVCs, preemption."""
+
+import pytest
+
+from repro.monitor.enclave_exec import NativeFault
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import Mapping
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import DATA_VA, SHARED_VA, EnclaveBuilder
+from repro.sdk.native import NativeEnclaveProgram, NativeSvcError
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=48)
+    return monitor, OSKernel(monitor)
+
+
+def build_native(kernel, body, name="native", **builder_calls):
+    builder = EnclaveBuilder(kernel)
+    for method, arg in builder_calls.items():
+        getattr(builder, method)(**arg) if isinstance(arg, dict) else getattr(
+            builder, method
+        )(arg)
+    return builder.set_native_program(NativeEnclaveProgram(name, body)).build()
+
+
+class TestMemoryAccess:
+    def test_reads_writes_through_page_tables(self, env):
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            ctx.write_word(DATA_VA, 0xABCD)
+            ctx.write_words(DATA_VA + 8, [1, 2, 3])
+            assert ctx.read_word(DATA_VA) == 0xABCD
+            assert ctx.read_words(DATA_VA + 8, 3) == [1, 2, 3]
+            return 1
+            yield
+
+        builder = EnclaveBuilder(kernel).add_data(va=DATA_VA, writable=True)
+        handle = builder.set_native_program(NativeEnclaveProgram("m", body)).build()
+        assert handle.call() == (KomErr.SUCCESS, 1)
+        # The write landed in the enclave's secure page.
+        page = handle.data_pages[DATA_VA]
+        assert monitor.state.memory.read_word(monitor.pagedb.page_base(page)) == 0xABCD
+
+    def test_unmapped_access_faults(self, env):
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            ctx.read_word(0x0FF0_0000)
+            return 0
+            yield
+
+        handle = build_native(kernel, body)
+        err, code = handle.call()
+        assert err is KomErr.FAULT
+
+    def test_write_to_readonly_faults(self, env):
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            ctx.write_word(DATA_VA, 1)
+            return 0
+            yield
+
+        builder = EnclaveBuilder(kernel).add_data(va=DATA_VA, writable=False)
+        handle = builder.set_native_program(NativeEnclaveProgram("ro", body)).build()
+        assert handle.call()[0] is KomErr.FAULT
+
+    def test_misaligned_access_faults(self, env):
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            ctx.read_word(DATA_VA + 2)
+            return 0
+            yield
+
+        builder = EnclaveBuilder(kernel).add_data(va=DATA_VA)
+        handle = builder.set_native_program(NativeEnclaveProgram("mis", body)).build()
+        assert handle.call()[0] is KomErr.FAULT
+
+    def test_read_bytes(self, env):
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            ctx.write_word(DATA_VA, 0x01020304)
+            assert ctx.read_bytes(DATA_VA, 4) == b"\x01\x02\x03\x04"
+            return 1
+            yield
+
+        builder = EnclaveBuilder(kernel).add_data(va=DATA_VA, writable=True)
+        handle = builder.set_native_program(NativeEnclaveProgram("rb", body)).build()
+        assert handle.call() == (KomErr.SUCCESS, 1)
+
+
+class TestArgumentsAndExit:
+    def test_args_passed(self, env):
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            return a * 100 + b * 10 + c
+            yield
+
+        handle = build_native(kernel, body)
+        assert handle.call(1, 2, 3) == (KomErr.SUCCESS, 123)
+
+    def test_none_return_is_zero(self, env):
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            return None
+            yield
+
+        handle = build_native(kernel, body)
+        assert handle.call() == (KomErr.SUCCESS, 0)
+
+    def test_return_truncated_to_word(self, env):
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            return 0x1_0000_0002
+            yield
+
+        handle = build_native(kernel, body)
+        assert handle.call() == (KomErr.SUCCESS, 2)
+
+
+class TestPreemption:
+    def test_yield_without_interrupt_continues(self, env):
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            total = 0
+            for i in range(10):
+                total += i
+                yield
+            return total
+
+        handle = build_native(kernel, body)
+        assert handle.call() == (KomErr.SUCCESS, 45)
+
+    def test_interrupt_suspends_at_yield(self, env):
+        monitor, kernel = env
+        progress = []
+
+        def body(ctx, a, b, c):
+            for i in range(5):
+                progress.append(i)
+                yield
+            return 99
+
+        handle = build_native(kernel, body)
+        monitor.schedule_interrupt(2)
+        err, _ = handle.enter()
+        assert err is KomErr.INTERRUPTED
+        assert progress == [0, 1]
+        assert monitor.pagedb.thread_entered(handle.thread)
+        err, value = handle.resume()
+        assert (err, value) == (KomErr.SUCCESS, 99)
+        assert progress == [0, 1, 2, 3, 4]
+
+    def test_nonconforming_yield_value_rejected(self, env):
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            yield 42  # programs must yield None
+            return 0
+
+        handle = build_native(kernel, body)
+        with pytest.raises(RuntimeError):
+            handle.enter()
+
+
+class TestSvcAccess:
+    def test_svc_error_raises(self, env):
+        _, kernel = env
+        caught = {}
+
+        def body(ctx, a, b, c):
+            try:
+                ctx.map_data(0, 0)  # page 0 is not our spare
+            except NativeSvcError as error:
+                caught["err"] = error.err
+            return 0
+            yield
+
+        handle = build_native(kernel, body)
+        assert handle.call()[0] is KomErr.SUCCESS
+        assert caught["err"] is not KomErr.SUCCESS
+
+    def test_attest_requires_eight_words(self, env):
+        _, kernel = env
+
+        def body(ctx, a, b, c):
+            try:
+                ctx.attest([1, 2, 3])
+            except ValueError:
+                return 1
+            return 0
+            yield
+
+        handle = build_native(kernel, body)
+        assert handle.call() == (KomErr.SUCCESS, 1)
+
+    def test_work_charged_to_cost_model(self, env):
+        monitor, kernel = env
+
+        def body(ctx, a, b, c):
+            ctx.charge(12345)
+            return 0
+            yield
+
+        handle = build_native(kernel, body)
+        before = monitor.state.cycles
+        handle.call()
+        assert monitor.state.cycles - before > 12345

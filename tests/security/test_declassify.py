@@ -1,0 +1,107 @@
+"""Declassification axioms (section 6.2): the delimited-release set."""
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.security.declassify import (
+    DeclassifiedOutcome,
+    outcomes_equal_modulo_declassification,
+)
+
+
+class TestDeclassifiedOutcome:
+    def test_success_releases_exit_value(self):
+        outcome = DeclassifiedOutcome.from_smc_result(KomErr.SUCCESS, 42)
+        assert outcome.exit_value == 42
+        assert outcome.fault_code is None
+
+    def test_fault_releases_only_exception_type(self):
+        outcome = DeclassifiedOutcome.from_smc_result(KomErr.FAULT, 1)
+        assert outcome.exit_value is None
+        assert outcome.fault_code == 1
+
+    def test_interrupt_releases_nothing_beyond_err(self):
+        outcome = DeclassifiedOutcome.from_smc_result(KomErr.INTERRUPTED, 0)
+        assert outcome.exit_value is None
+        assert outcome.fault_code is None
+
+    def test_equal_outcomes_compliant(self):
+        a = DeclassifiedOutcome.from_smc_result(KomErr.SUCCESS, 7)
+        b = DeclassifiedOutcome.from_smc_result(KomErr.SUCCESS, 7)
+        assert outcomes_equal_modulo_declassification(a, b)
+
+    def test_diverging_exit_values_flagged(self):
+        a = DeclassifiedOutcome.from_smc_result(KomErr.SUCCESS, 7)
+        b = DeclassifiedOutcome.from_smc_result(KomErr.SUCCESS, 8)
+        assert not outcomes_equal_modulo_declassification(a, b)
+
+    def test_diverging_exception_types_flagged(self):
+        a = DeclassifiedOutcome.from_smc_result(KomErr.FAULT, 1)
+        b = DeclassifiedOutcome.from_smc_result(KomErr.INTERRUPTED, 0)
+        assert not outcomes_equal_modulo_declassification(a, b)
+
+
+class TestDynamicAllocationChannel:
+    """Axiom 3: spare consumption is the *only* dynamic-allocation signal
+    the OS receives, and it is identical for table and data uses."""
+
+    def test_consumed_spare_signals_identically(self):
+        from repro.arm.pagetable import l1_index
+        from repro.monitor.komodo import KomodoMonitor
+        from repro.monitor.layout import Mapping, SMC
+        from repro.osmodel.kernel import OSKernel
+        from repro.sdk.builder import EnclaveBuilder
+        from repro.sdk.native import NativeEnclaveProgram
+
+        def table_user(ctx, spare, b, c):
+            ctx.init_l2ptable(spare, l1_index(0x0080_0000))
+            return 0
+            yield
+
+        def data_user(ctx, spare, b, c):
+            mapping = Mapping(
+                va=0x0010_0000, readable=True, writable=True, executable=False
+            ).encode()
+            ctx.map_data(spare, mapping)
+            return 0
+            yield
+
+        observations = []
+        for name, body in (("table", table_user), ("data", data_user)):
+            monitor = KomodoMonitor(secure_pages=32)
+            kernel = OSKernel(monitor)
+            enclave = (
+                EnclaveBuilder(kernel)
+                .add_spares(1)
+                .set_native_program(NativeEnclaveProgram(name + "-u", body))
+                .build()
+            )
+            err, _ = enclave.call(enclave.spares[0])
+            assert err is KomErr.SUCCESS
+            remove_err, _ = monitor.smc(SMC.REMOVE, enclave.spares[0])
+            observations.append(remove_err)
+        # The OS sees the *same* failure either way.
+        assert observations[0] is observations[1]
+
+    def test_unconsumed_spare_reclaim_succeeds(self):
+        from repro.monitor.komodo import KomodoMonitor
+        from repro.monitor.layout import SMC
+        from repro.osmodel.kernel import OSKernel
+        from repro.sdk.builder import EnclaveBuilder
+        from repro.sdk.native import NativeEnclaveProgram
+
+        def idle(ctx, a, b, c):
+            return 0
+            yield
+
+        monitor = KomodoMonitor(secure_pages=32)
+        kernel = OSKernel(monitor)
+        enclave = (
+            EnclaveBuilder(kernel)
+            .add_spares(1)
+            .set_native_program(NativeEnclaveProgram("idle", idle))
+            .build()
+        )
+        enclave.call()
+        err, _ = monitor.smc(SMC.REMOVE, enclave.spares[0])
+        assert err is KomErr.SUCCESS

@@ -1,0 +1,160 @@
+"""The ≈ relations: Definitions 1 and 2, and the ≈adv extension."""
+
+import pytest
+
+from repro.monitor.layout import AddrspaceState
+from repro.spec.pagedb import (
+    AbsAddrspace,
+    AbsData,
+    AbsFree,
+    AbsL1,
+    AbsL2,
+    AbsPageDb,
+    AbsSpare,
+    AbsThread,
+)
+from repro.arm.machine import MachineState
+from repro.security.equivalence import (
+    adv_equivalent,
+    enc_equivalent,
+    pages_weak_equivalent,
+)
+
+
+class TestWeakEquivalence:
+    """Definition 1: =enc over PageDB entries."""
+
+    def test_data_pages_weakly_equal_regardless_of_contents(self):
+        a = AbsData(addrspace=0, contents=(1,) * 1024)
+        b = AbsData(addrspace=0, contents=(2,) * 1024)
+        assert pages_weak_equivalent(a, b)
+
+    def test_spare_pages_weakly_equal(self):
+        assert pages_weak_equivalent(AbsSpare(addrspace=0), AbsSpare(addrspace=1))
+
+    def test_threads_compare_entered_flag_only(self):
+        a = AbsThread(addrspace=0, entrypoint=0x1000, entered=True, context=(0,) * 17)
+        b = AbsThread(addrspace=0, entrypoint=0x2000, entered=True, context=(9,) * 17)
+        assert pages_weak_equivalent(a, b)
+        c = AbsThread(addrspace=0, entrypoint=0x1000, entered=False)
+        assert not pages_weak_equivalent(a, c)
+
+    def test_structural_pages_compare_fully(self):
+        a = AbsL1(addrspace=0)
+        b = AbsL1(addrspace=0)
+        assert pages_weak_equivalent(a, b)
+        entries = list(a.entries)
+        entries[0] = 5
+        c = AbsL1(addrspace=0, entries=tuple(entries))
+        assert not pages_weak_equivalent(a, c)
+
+    def test_mismatched_types_not_equivalent(self):
+        assert not pages_weak_equivalent(AbsData(addrspace=0), AbsSpare(addrspace=0))
+        assert not pages_weak_equivalent(AbsFree(), AbsData(addrspace=0))
+
+
+def two_enclave_db(secret_a=1, secret_b=2) -> AbsPageDb:
+    """Enclave 0 (pages 0-2) and enclave 3 (pages 3-5), each with a
+    data page whose contents carry a 'secret'."""
+    db = AbsPageDb.initial(8)
+    return db.updated_many(
+        {
+            0: AbsAddrspace(state=AddrspaceState.INIT, refcount=2, l1pt=1),
+            1: AbsL1(addrspace=0),
+            2: AbsData(addrspace=0, contents=(secret_a,) * 1024),
+            3: AbsAddrspace(state=AddrspaceState.INIT, refcount=2, l1pt=4),
+            4: AbsL1(addrspace=3),
+            5: AbsData(addrspace=3, contents=(secret_b,) * 1024),
+        }
+    )
+
+
+class TestEncEquivalence:
+    """Definition 2: ≈enc over PageDBs."""
+
+    def test_identical_states_equivalent(self):
+        db = two_enclave_db()
+        assert enc_equivalent(db, db, enc=0)
+
+    def test_other_enclave_secret_invisible(self):
+        """Observer 0 cannot distinguish states differing only in
+        enclave 3's data contents."""
+        d1 = two_enclave_db(secret_b=7)
+        d2 = two_enclave_db(secret_b=8)
+        assert enc_equivalent(d1, d2, enc=0)
+
+    def test_own_pages_must_be_identical(self):
+        d1 = two_enclave_db(secret_a=7)
+        d2 = two_enclave_db(secret_a=8)
+        failures = []
+        assert not enc_equivalent(d1, d2, enc=0, failures=failures)
+        assert any("observer page 2" in f for f in failures)
+
+    def test_free_sets_must_match(self):
+        d1 = two_enclave_db()
+        d2 = d1.updated(6, AbsSpare(addrspace=3)).updated(
+            3, AbsAddrspace(state=AddrspaceState.INIT, refcount=3, l1pt=4)
+        )
+        assert not enc_equivalent(d1, d2, enc=0)
+
+    def test_observer_page_set_must_match(self):
+        d1 = two_enclave_db()
+        d2 = d1.updated(6, AbsSpare(addrspace=0))
+        assert not enc_equivalent(d1, d2, enc=0)
+
+    def test_symmetric_for_other_observer(self):
+        d1 = two_enclave_db(secret_a=7)
+        d2 = two_enclave_db(secret_a=8)
+        # Observer 3 cannot see enclave 0's secret.
+        assert enc_equivalent(d1, d2, enc=3)
+
+
+class TestAdvEquivalence:
+    def make_states(self):
+        s1 = MachineState.boot(secure_pages=8)
+        s2 = MachineState.boot(secure_pages=8)
+        return s1, s2
+
+    def test_identical_states(self):
+        s1, s2 = self.make_states()
+        db = two_enclave_db()
+        assert adv_equivalent(s1, db, s2, db, enc=0)
+
+    def test_victim_secret_invisible_to_adversary(self):
+        """The OS + colluding enclave 0 cannot distinguish states
+        differing in enclave 3's private contents."""
+        s1, s2 = self.make_states()
+        d1 = two_enclave_db(secret_b=7)
+        d2 = two_enclave_db(secret_b=8)
+        assert adv_equivalent(s1, d1, s2, d2, enc=0)
+
+    def test_gpr_difference_visible(self):
+        s1, s2 = self.make_states()
+        s2.regs.write_gpr(3, 0xDEAD)
+        db = two_enclave_db()
+        failures = []
+        assert not adv_equivalent(s1, db, s2, db, enc=0, failures=failures)
+        assert any("r3" in f for f in failures)
+
+    def test_insecure_memory_difference_visible(self):
+        s1, s2 = self.make_states()
+        s2.memory.write_word(s2.memmap.insecure.base, 5)
+        db = two_enclave_db()
+        assert not adv_equivalent(s1, db, s2, db, enc=0)
+
+    def test_banked_register_difference_visible(self):
+        from repro.arm.modes import Mode
+
+        s1, s2 = self.make_states()
+        s2.regs.write_sp(0x10, Mode.IRQ)
+        db = two_enclave_db()
+        assert not adv_equivalent(s1, db, s2, db, enc=0)
+
+    def test_monitor_mode_bank_excluded(self):
+        """Monitor-mode banked registers are the monitor's own secret."""
+        from repro.arm.modes import Mode
+
+        s1, s2 = self.make_states()
+        s2.regs.write_sp(0x999, Mode.MON)
+        db = two_enclave_db()
+        assert adv_equivalent(s1, db, s2, db, enc=0)

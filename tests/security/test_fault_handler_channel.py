@@ -1,0 +1,191 @@
+"""The dispatcher interface closes the fault channel to the OS.
+
+SGX's controlled-channel attacks work because the OS observes enclave
+page faults (paper sections 1-2).  Komodo's design already prevents the
+OS from *inducing* faults; with the dispatcher interface (section 9.2),
+an enclave that handles its own faults reveals nothing to the OS even
+when faults occur: the Enter simply returns the enclave's exit value.
+
+These tests check that property with the bisimulation harness, and pin
+the complementary modelling fact: enclave-driven *allocation layout* is
+part of the ≈-relations (Definition 1 compares page tables exactly), so
+a secret-dependent mapping choice is correctly flagged as a violation —
+enclaves must not make secret-dependent allocation decisions, the same
+discipline the paper's declassification of dynamic allocation implies.
+"""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.layout import Mapping, SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, EnclaveBuilder
+from repro.security.noninterference import (
+    BisimulationHarness,
+    NoninterferenceViolation,
+    OSAction,
+)
+
+HANDLER_VA = CODE_VA + 0x800
+FAULT_VA = 0x0030_0000
+SECRET_W1 = 0x0101_0101
+SECRET_W2 = 0x0202_0202
+
+
+def _pad_to_handler(asm: Assembler) -> None:
+    while asm.position < (HANDLER_VA - CODE_VA) // 4:
+        asm.nop()
+
+
+def self_paging_victim() -> Assembler:
+    """Reads its secret, then demand-pages a fixed address via its own
+    fault handler, and exits with a constant."""
+    asm = Assembler()
+    asm.mov("r9", "r0")  # spare pageno argument (public)
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r5", "r4", 0)  # the secret (word 0)
+    asm.str_("r9", "r4", 4)  # stash spare for the handler (word 1)
+    asm.mov32("r0", HANDLER_VA)
+    asm.svc(SVC.SET_FAULT_HANDLER)
+    asm.mov32("r4", FAULT_VA)
+    asm.str_("r5", "r4", 0)  # faults; handler maps, store re-executes
+    asm.movw("r0", 1)  # public constant out
+    asm.svc(SVC.EXIT)
+    _pad_to_handler(asm)
+    # Handler: map the stashed spare at the (fixed) faulting VA.
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r0", "r4", 4)
+    asm.mov32("r1", FAULT_VA | 0b011)  # RW mapping word
+    asm.svc(SVC.MAP_DATA)
+    asm.svc(SVC.RESUME_FAULT)
+    return asm
+
+
+class _Setup:
+    def __init__(self):
+        self.victim = None
+        self.attacker = None
+
+    def __call__(self, monitor):
+        kernel = OSKernel(monitor)
+        builder = EnclaveBuilder(kernel).add_code(self_paging_victim())
+        builder.add_data(contents=[SECRET_W1, 0], va=DATA_VA, writable=True)
+        builder.add_spares(1)
+        builder.add_thread(CODE_VA)
+        self.victim = builder.build()
+        attacker_asm = Assembler()
+        attacker_asm.svc(SVC.EXIT)
+        self.attacker = (
+            EnclaveBuilder(kernel).add_code(attacker_asm).add_thread(CODE_VA).build()
+        )
+
+
+def _perturb_secret(setup, secret):
+    def mutate(monitor):
+        page = setup.victim.data_pages[DATA_VA]
+        monitor.state.memory.write_word(monitor.pagedb.page_base(page), secret)
+
+    return mutate
+
+
+class TestHandledFaultsInvisible:
+    def test_handled_fault_run_is_noninterfering(self):
+        """The victim faults and self-pages; with different secrets in
+        the two worlds, the OS observes identical outcomes — no fault
+        report, no fault address, nothing."""
+        harness = BisimulationHarness(secure_pages=32, step_budget=100_000)
+        setup = _Setup()
+        harness.setup_both(setup)
+        harness.perturb(1, _perturb_secret(setup, SECRET_W2))
+        spare = setup.victim.spares[0]
+        trace = [
+            OSAction(SMC.ENTER, (setup.victim.thread, spare, 0, 0)),
+            OSAction(SMC.GET_PHYSPAGES),
+        ]
+        harness.run_trace(trace, enc=setup.attacker.as_page, adversary_view=True)
+
+    def test_handled_fault_interrupted_midway_still_noninterfering(self):
+        """Interrupts landing inside the fault handler expose nothing
+        either: context save/restore paths are covered by the relation."""
+        harness = BisimulationHarness(secure_pages=32, step_budget=100_000)
+        setup = _Setup()
+        harness.setup_both(setup)
+        harness.perturb(1, _perturb_secret(setup, SECRET_W2))
+        spare = setup.victim.spares[0]
+        trace = [
+            OSAction(SMC.ENTER, (setup.victim.thread, spare, 0, 0), interrupt_after=9),
+            OSAction(SMC.RESUME, (setup.victim.thread,), interrupt_after=4),
+            OSAction(SMC.RESUME, (setup.victim.thread,)),
+        ]
+        harness.run_trace(trace, enc=setup.attacker.as_page, adversary_view=True)
+
+
+class TestSecretDependentAllocationFlagged:
+    def test_secret_dependent_mapping_violates_relation(self):
+        """An enclave that maps its dynamic page at a secret-dependent
+        address breaks ≈ (page tables compare exactly) — the discipline
+        Definition 1 imposes, mirroring the declassified allocation
+        channel of section 6.2."""
+        asm = Assembler()
+        asm.mov("r9", "r0")
+        asm.mov32("r4", DATA_VA)
+        asm.ldr("r5", "r4", 0)  # the secret
+        asm.str_("r9", "r4", 4)
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        # Fault at FAULT_VA + (secret & 0x1000): address depends on secret.
+        asm.mov32("r4", FAULT_VA)
+        asm.mov32("r6", 0x1000)
+        asm.and_("r6", "r5", "r6")
+        asm.add("r4", "r4", "r6")
+        asm.str_("r5", "r4", 0)
+        asm.movw("r0", 1)
+        asm.svc(SVC.EXIT)
+        _pad_to_handler(asm)
+        # Handler maps at the faulting VA (r1), so the *page table* ends
+        # up secret-dependent.
+        asm.mov("r7", "r1")
+        asm.mov32("r4", DATA_VA)
+        asm.ldr("r0", "r4", 4)
+        asm.mov32("r3", 0x3FFFF000)
+        asm.and_("r1", "r7", "r3")
+        asm.addi("r1", "r1", 0b011)
+        asm.svc(SVC.MAP_DATA)
+        asm.svc(SVC.RESUME_FAULT)
+
+        harness = BisimulationHarness(secure_pages=32, step_budget=100_000)
+        state = {}
+
+        def build(monitor):
+            kernel = OSKernel(monitor)
+            builder = EnclaveBuilder(kernel).add_code(asm)
+            builder.add_data(contents=[SECRET_W1, 0], va=DATA_VA, writable=True)
+            builder.add_spares(1)
+            builder.add_thread(CODE_VA)
+            state["victim"] = builder.build()
+            attacker_asm = Assembler()
+            attacker_asm.svc(SVC.EXIT)
+            state["attacker"] = (
+                EnclaveBuilder(kernel)
+                .add_code(attacker_asm)
+                .add_thread(CODE_VA)
+                .build()
+            )
+
+        harness.setup_both(build)
+
+        # Secrets differing exactly in the address-selecting bit.
+        def perturb(monitor):
+            page = state["victim"].data_pages[DATA_VA]
+            monitor.state.memory.write_word(
+                monitor.pagedb.page_base(page), SECRET_W1 | 0x1000
+            )
+
+        harness.perturb(1, perturb)
+        spare = state["victim"].spares[0]
+        with pytest.raises(NoninterferenceViolation):
+            harness.run_trace(
+                [OSAction(SMC.ENTER, (state["victim"].thread, spare, 0, 0))],
+                enc=state["attacker"].as_page,
+                adversary_view=True,
+            )

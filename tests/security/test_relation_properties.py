@@ -1,0 +1,142 @@
+"""Property tests: ≈enc must actually be an equivalence relation.
+
+The bisimulation proofs lean on reflexivity, symmetry and (for chaining
+steps) transitivity of the observational-equivalence relations; if the
+executable port of Definitions 1-2 broke any of these, the harness's
+verdicts would be meaningless.  Random abstract PageDBs are generated
+and the relation properties checked directly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.arm.pagetable import L1_ENTRIES, L2_ENTRIES
+from repro.monitor.layout import AddrspaceState
+from repro.security.equivalence import enc_equivalent, pages_weak_equivalent
+from repro.spec.pagedb import (
+    AbsAddrspace,
+    AbsData,
+    AbsFree,
+    AbsL1,
+    AbsL2,
+    AbsPageDb,
+    AbsSpare,
+    AbsThread,
+)
+
+NPAGES = 6
+
+
+def entry_strategy(npages=NPAGES):
+    """Random PageDB entries (not necessarily invariant-satisfying: the
+    relations must behave on arbitrary states)."""
+    owners = st.integers(0, npages - 1)
+    return st.one_of(
+        st.just(AbsFree()),
+        st.builds(
+            AbsAddrspace,
+            state=st.sampled_from(list(AddrspaceState)),
+            refcount=st.integers(0, npages),
+            l1pt=owners,
+        ),
+        st.builds(
+            AbsThread,
+            addrspace=owners,
+            entrypoint=st.integers(0, 0xFFFF),
+            entered=st.booleans(),
+        ),
+        st.builds(AbsL1, addrspace=owners),
+        st.builds(AbsL2, addrspace=owners),
+        st.builds(
+            AbsData,
+            addrspace=owners,
+            contents=st.integers(0, 3).map(lambda v: (v,) * WORDS_PER_PAGE),
+        ),
+        st.builds(AbsSpare, addrspace=owners),
+    )
+
+
+def db_strategy():
+    return st.lists(
+        entry_strategy(), min_size=NPAGES, max_size=NPAGES
+    ).map(lambda entries: AbsPageDb(npages=NPAGES, entries=tuple(entries)))
+
+
+observers = st.integers(0, NPAGES - 1)
+
+
+class TestWeakEquivalenceProperties:
+    @given(entry_strategy())
+    def test_reflexive(self, entry):
+        if isinstance(entry, AbsFree):
+            return  # =enc is defined over allocated entries
+        assert pages_weak_equivalent(entry, entry)
+
+    @given(entry_strategy(), entry_strategy())
+    def test_symmetric(self, e1, e2):
+        assert pages_weak_equivalent(e1, e2) == pages_weak_equivalent(e2, e1)
+
+    @given(entry_strategy(), entry_strategy(), entry_strategy())
+    def test_transitive(self, e1, e2, e3):
+        if pages_weak_equivalent(e1, e2) and pages_weak_equivalent(e2, e3):
+            assert pages_weak_equivalent(e1, e3)
+
+
+class TestEncEquivalenceProperties:
+    @given(db_strategy(), observers)
+    @settings(max_examples=100)
+    def test_reflexive(self, db, enc):
+        assert enc_equivalent(db, db, enc)
+
+    @given(db_strategy(), db_strategy(), observers)
+    @settings(max_examples=100)
+    def test_symmetric(self, d1, d2, enc):
+        assert enc_equivalent(d1, d2, enc) == enc_equivalent(d2, d1, enc)
+
+    @given(db_strategy(), db_strategy(), db_strategy(), observers)
+    @settings(max_examples=100)
+    def test_transitive(self, d1, d2, d3, enc):
+        if enc_equivalent(d1, d2, enc) and enc_equivalent(d2, d3, enc):
+            assert enc_equivalent(d1, d3, enc)
+
+    @given(db_strategy(), observers)
+    @settings(max_examples=50)
+    def test_observer_page_mutation_breaks_relation(self, db, enc):
+        """Changing an observer-owned data page always breaks ≈enc."""
+        owned = [
+            p
+            for p in db.pages_of(enc)
+            if isinstance(db[p], AbsData)
+        ]
+        if not owned:
+            return
+        page = owned[0]
+        mutated = db.updated(
+            page, AbsData(addrspace=enc, contents=(0xDEAD,) * WORDS_PER_PAGE)
+        )
+        if db[page].contents == mutated[page].contents:
+            return
+        assert not enc_equivalent(db, mutated, enc)
+
+    @given(db_strategy(), observers)
+    @settings(max_examples=50)
+    def test_foreign_data_mutation_preserves_relation(self, db, enc):
+        """Changing another owner's data-page contents never breaks ≈enc
+        for this observer (Definition 1's whole point)."""
+        foreign = [
+            p
+            for p in range(db.npages)
+            if isinstance(db[p], AbsData) and db.owner_of(p) != enc
+        ]
+        if not foreign:
+            return
+        page = foreign[0]
+        mutated = db.updated(
+            page,
+            AbsData(
+                addrspace=db[page].addrspace, contents=(0xBEEF,) * WORDS_PER_PAGE
+            ),
+        )
+        assert enc_equivalent(db, mutated, enc)

@@ -1,0 +1,149 @@
+"""The side-channel analyser: catches the classic offenders, passes
+genuinely constant-time code."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.security.sidechannel import (
+    CODE_VA,
+    SECRET_VA,
+    check_constant_time,
+    profile,
+)
+
+SECRETS = [[0x00000000], [0xFFFFFFFF], [0x80000001], [0x12345678]]
+
+
+def constant_time_program() -> Assembler:
+    """Branch-free computation over the secret: XOR-fold and mask."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.eor("r6", "r5", "r5")
+    asm.lsri("r7", "r5", 16)
+    asm.eor("r6", "r6", "r7")
+    asm.and_("r0", "r6", "r5")
+    asm.svc(1)
+    return asm
+
+
+def branching_program() -> Assembler:
+    """The timing offender: a secret-dependent branch with unequal arms."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.movw("r6", 1)
+    asm.tst("r5", "r6")
+    asm.beq("even")
+    asm.nop()
+    asm.nop()
+    asm.nop()
+    asm.label("even")
+    asm.svc(1)
+    return asm
+
+
+def table_lookup_program() -> Assembler:
+    """The cache offender: a load indexed by secret bits (constant
+    instruction count, secret-dependent address trace)."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.movw("r6", 0xFC)
+    asm.and_("r5", "r5", "r6")  # secret-derived offset, word aligned
+    asm.ldrr("r0", "r4", "r5")  # table lookup at secret index
+    asm.svc(1)
+    return asm
+
+
+def balanced_branch_program() -> Assembler:
+    """Equal-length arms: constant instruction count, but the *fetch
+    trace* still differs — the analyser must catch it."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.movw("r6", 1)
+    asm.tst("r5", "r6")
+    asm.beq("even")
+    asm.movw("r0", 1)
+    asm.b("end")
+    asm.label("even")
+    asm.movw("r0", 2)
+    asm.b("end")
+    asm.label("end")
+    asm.svc(1)
+    return asm
+
+
+class TestAnalyser:
+    def test_constant_time_program_passes(self):
+        report = check_constant_time(constant_time_program(), SECRETS)
+        assert report.constant_time
+        assert report.first_divergence is None
+
+    def test_secret_branch_flagged_as_timing_leak(self):
+        report = check_constant_time(branching_program(), SECRETS)
+        assert not report.constant_time
+        assert report.instruction_count_leak
+        assert "timing" in report.first_divergence
+
+    def test_secret_indexed_load_flagged_as_trace_leak(self):
+        report = check_constant_time(table_lookup_program(), SECRETS)
+        assert not report.constant_time
+        assert report.address_trace_leak
+        assert "address-trace" in report.first_divergence
+
+    def test_balanced_branch_still_flagged(self):
+        """Padding branch arms to equal length defeats a pure timing
+        measurement but not the fetch-trace observer."""
+        report = check_constant_time(balanced_branch_program(), SECRETS)
+        assert not report.constant_time
+        assert report.address_trace_leak
+
+    def test_profile_contents(self):
+        result = profile(constant_time_program(), [0])
+        assert result.steps > 0
+        kinds = {kind for kind, _ in result.trace}
+        assert "fetch" in kinds and "load" in kinds
+
+    def test_requires_two_secrets(self):
+        with pytest.raises(ValueError):
+            check_constant_time(constant_time_program(), [[1]])
+
+    def test_analyser_flags_our_own_crc_service(self):
+        """Dogfood: the repository's bitwise CRC-32 branches on data
+        bits, so it is *not* constant time over its input — exactly what
+        the analyser must report.  (Fine for a checksum; fatal for a
+        MAC, which is why the monitor's HMAC comparison is branch-free.)"""
+        from repro.apps.checksum import CRC_POLY
+
+        asm = Assembler()
+        asm.mov32("r4", SECRET_VA)
+        asm.ldr("r6", "r4", 0)  # "secret" input word
+        asm.mov32("r9", CRC_POLY)
+        asm.movw("r10", 1)
+        asm.movw("r8", 32)
+        asm.label("bit_loop")
+        asm.tst("r6", "r10")
+        asm.beq("even")
+        asm.lsri("r6", "r6", 1)
+        asm.eor("r6", "r6", "r9")
+        asm.b("bit_done")
+        asm.label("even")
+        asm.lsri("r6", "r6", 1)
+        asm.label("bit_done")
+        asm.subi("r8", "r8", 1)
+        asm.cmpi("r8", 0)
+        asm.bne("bit_loop")
+        asm.mov("r0", "r6")
+        asm.svc(1)
+        report = check_constant_time(asm, SECRETS)
+        assert not report.constant_time
+
+    def test_trace_capture_off_by_default(self):
+        """Tracing is opt-in: normal execution never pays for it."""
+        from repro.arm.cpu import CPU
+        from repro.arm.machine import MachineState
+
+        cpu = CPU(MachineState.boot(secure_pages=4))
+        assert cpu.access_trace is None

@@ -1,0 +1,89 @@
+"""Spec-side Enter/Resume validation: every error path pinned."""
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import AddrspaceState
+from repro.spec.enter_spec import EXECUTION_RESULT_ERRORS, spec_validate_execution
+from repro.spec.pagedb import AbsAddrspace, AbsL1, AbsPageDb, AbsSpare, AbsThread
+
+
+def db_with_thread(state=AddrspaceState.FINAL, entered=False):
+    db = AbsPageDb.initial(8)
+    measurement = (1,) * 8 if state is not AddrspaceState.INIT else None
+    context = (0,) * 17 if entered else None
+    return db.updated_many(
+        {
+            0: AbsAddrspace(state=state, refcount=2, l1pt=1, measurement=measurement),
+            1: AbsL1(addrspace=0),
+            2: AbsThread(
+                addrspace=0, entrypoint=0x1000, entered=entered, context=context
+            ),
+        }
+    )
+
+
+class TestValidation:
+    def test_valid_enter(self):
+        db = db_with_thread()
+        assert spec_validate_execution(db, 2, want_entered=False) is None
+
+    def test_valid_resume(self):
+        db = db_with_thread(entered=True)
+        assert spec_validate_execution(db, 2, want_entered=True) is None
+
+    def test_invalid_pageno(self):
+        db = db_with_thread()
+        assert spec_validate_execution(db, 99, False) is KomErr.INVALID_PAGENO
+        assert spec_validate_execution(db, -1, False) is KomErr.INVALID_PAGENO
+
+    def test_not_a_thread(self):
+        db = db_with_thread().updated(3, AbsSpare(addrspace=0))
+        assert spec_validate_execution(db, 0, False) is KomErr.INVALID_THREAD
+        assert spec_validate_execution(db, 3, False) is KomErr.INVALID_THREAD
+
+    def test_not_final(self):
+        db = db_with_thread(state=AddrspaceState.INIT)
+        assert spec_validate_execution(db, 2, False) is KomErr.NOT_FINAL
+
+    def test_stopped(self):
+        db = db_with_thread(state=AddrspaceState.STOPPED)
+        assert spec_validate_execution(db, 2, False) is KomErr.STOPPED
+
+    def test_enter_on_entered(self):
+        db = db_with_thread(entered=True)
+        assert spec_validate_execution(db, 2, False) is KomErr.ALREADY_ENTERED
+
+    def test_resume_on_idle(self):
+        db = db_with_thread(entered=False)
+        assert spec_validate_execution(db, 2, True) is KomErr.NOT_ENTERED
+
+    def test_execution_error_set(self):
+        assert KomErr.SUCCESS in EXECUTION_RESULT_ERRORS
+        assert KomErr.INTERRUPTED in EXECUTION_RESULT_ERRORS
+        assert KomErr.FAULT in EXECUTION_RESULT_ERRORS
+        assert KomErr.INVALID_PAGENO not in EXECUTION_RESULT_ERRORS
+
+
+class TestAgainstImplementation:
+    """The pure validation function agrees with the real monitor on
+    every error path, via the checked monitor."""
+
+    def test_checked_monitor_uses_it(self):
+        from repro.monitor.layout import SMC
+        from repro.verification.refinement import CheckedMonitor
+
+        checked = CheckedMonitor(secure_pages=8)
+        # Every call below must agree between spec and impl or the
+        # checker raises.
+        assert checked.smc(SMC.ENTER, 99, 0, 0, 0)[0] is KomErr.INVALID_PAGENO
+        assert checked.smc(SMC.RESUME, 0)[0] is KomErr.INVALID_THREAD  # free page
+        checked.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        assert checked.smc(SMC.ENTER, 0, 0, 0, 0)[0] is KomErr.INVALID_THREAD
+        checked.smc(SMC.INIT_THREAD, 0, 2, 0x1000)
+        assert checked.smc(SMC.ENTER, 2, 0, 0, 0)[0] is KomErr.NOT_FINAL
+        assert checked.smc(SMC.RESUME, 2)[0] is KomErr.NOT_FINAL
+        checked.smc(SMC.FINALISE, 0)
+        assert checked.smc(SMC.RESUME, 2)[0] is KomErr.NOT_ENTERED
+        checked.smc(SMC.STOP, 0)
+        assert checked.smc(SMC.ENTER, 2, 0, 0, 0)[0] is KomErr.STOPPED

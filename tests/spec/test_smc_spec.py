@@ -1,0 +1,213 @@
+"""Pure spec functions: semantics and invariant preservation.
+
+Includes a property test that fires random SMC-spec sequences and checks
+every intermediate PageDB satisfies the validity invariants — the spec's
+own soundness check (the paper proves this for each call; section 5.2).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import AddrspaceState, Mapping
+from repro.spec.invariants import collect_violations
+from repro.spec.pagedb import AbsAddrspace, AbsPageDb, AbsSpare, AbsThread
+from repro.spec.smc_spec import (
+    spec_alloc_spare,
+    spec_finalise,
+    spec_init_addrspace,
+    spec_init_l2ptable,
+    spec_init_thread,
+    spec_map_insecure,
+    spec_map_secure,
+    spec_remove,
+    spec_stop,
+)
+from repro.spec.svc_spec import (
+    spec_svc_init_l2ptable,
+    spec_svc_map_data,
+    spec_svc_unmap_data,
+)
+
+NPAGES = 8
+ZEROS = (0,) * WORDS_PER_PAGE
+
+
+def mapping_word(va=0x1000, w=True, x=False):
+    return Mapping(va=va, readable=True, writable=w, executable=x).encode()
+
+
+def built_enclave():
+    """addrspace 0, l1pt 1, l2pt 2 — the standard starting point."""
+    db = AbsPageDb.initial(NPAGES)
+    _, db = spec_init_addrspace(db, 0, 1)
+    _, db = spec_init_l2ptable(db, 0, 2, 0)
+    return db
+
+
+class TestSemantics:
+    def test_init_addrspace(self):
+        err, db = spec_init_addrspace(AbsPageDb.initial(NPAGES), 0, 1)
+        assert err is KomErr.SUCCESS
+        assert isinstance(db[0], AbsAddrspace)
+        assert db[0].refcount == 1 and db[0].l1pt == 1
+
+    def test_init_addrspace_aliased(self):
+        err, db = spec_init_addrspace(AbsPageDb.initial(NPAGES), 2, 2)
+        assert err is KomErr.INVALID_PAGENO
+        assert db.is_free(2)
+
+    def test_errors_leave_db_unchanged(self):
+        db = built_enclave()
+        for err, db2 in (
+            spec_init_thread(db, 5, 3, 0),  # 5 not an addrspace
+            spec_map_secure(db, 0, 1, mapping_word(), ZEROS, True),  # 1 in use
+            spec_map_secure(db, 0, 3, 0, ZEROS, True),  # unreadable mapping
+            spec_remove(db, 7),  # free page
+            spec_alloc_spare(db, 0, 2),  # page in use
+        ):
+            assert err is not KomErr.SUCCESS
+            assert db2 == db
+
+    def test_map_secure_records_contents_and_measurement(self):
+        db = built_enclave()
+        contents = tuple(range(WORDS_PER_PAGE))
+        err, db = spec_map_secure(db, 0, 3, mapping_word(), contents, True)
+        assert err is KomErr.SUCCESS
+        assert db[3].contents == contents
+        assert len(db[0].measured) == 16 + WORDS_PER_PAGE
+
+    def test_map_secure_invalid_insecure_source(self):
+        db = built_enclave()
+        err, _ = spec_map_secure(db, 0, 3, mapping_word(), ZEROS, False)
+        assert err is KomErr.INSECURE_INVALID
+
+    def test_map_insecure_never_executable(self):
+        db = built_enclave()
+        err, _ = spec_map_insecure(db, 0, mapping_word(x=True), 0x9000_0000, True)
+        assert err is KomErr.INVALID_MAPPING
+
+    def test_finalise_computes_measurement(self):
+        db = built_enclave()
+        _, db = spec_init_thread(db, 0, 3, 0x1000)
+        err, db = spec_finalise(db, 0)
+        assert err is KomErr.SUCCESS
+        assert db[0].state is AddrspaceState.FINAL
+        assert db[0].measurement is not None
+
+    def test_measurement_depends_on_trace(self):
+        a = built_enclave()
+        _, a = spec_init_thread(a, 0, 3, 0x1000)
+        _, a = spec_finalise(a, 0)
+        b = built_enclave()
+        _, b = spec_init_thread(b, 0, 3, 0x2000)
+        _, b = spec_finalise(b, 0)
+        assert a[0].measurement != b[0].measurement
+
+    def test_stop_and_remove_lifecycle(self):
+        db = built_enclave()
+        _, db = spec_stop(db, 0)
+        err, db = spec_remove(db, 0)
+        assert err is KomErr.PAGEINUSE  # refcount nonzero
+        _, db = spec_remove(db, 2)
+        _, db = spec_remove(db, 1)
+        err, db = spec_remove(db, 0)
+        assert err is KomErr.SUCCESS
+        assert db.free_pages() == list(range(NPAGES))
+
+    def test_spare_lifecycle_via_svcs(self):
+        db = built_enclave()
+        _, db = spec_alloc_spare(db, 0, 3)
+        assert isinstance(db[3], AbsSpare)
+        err, db = spec_svc_map_data(db, 0, 3, mapping_word(va=0x2000))
+        assert err is KomErr.SUCCESS
+        assert db[3].contents == ZEROS  # zero-filled by spec
+        err, db = spec_svc_unmap_data(db, 0, 3, mapping_word(va=0x2000))
+        assert err is KomErr.SUCCESS
+        assert isinstance(db[3], AbsSpare)
+
+    def test_svc_init_l2ptable(self):
+        db = built_enclave()
+        _, db = spec_alloc_spare(db, 0, 3)
+        err, db = spec_svc_init_l2ptable(db, 0, 3, 5)
+        assert err is KomErr.SUCCESS
+        assert db[1].entries[5] == 3
+
+    def test_svc_rejects_foreign_pages(self):
+        db = built_enclave()
+        _, db = spec_init_addrspace(db, 4, 5)
+        _, db = spec_alloc_spare(db, 4, 6)  # spare belongs to enclave 4
+        err, _ = spec_svc_map_data(db, 0, 6, mapping_word(va=0x2000))
+        assert err is KomErr.INVALID_PAGENO
+
+
+# ---------------------------------------------------------------------------
+# Property: random spec traces preserve the invariants
+# ---------------------------------------------------------------------------
+
+pagenos = st.integers(min_value=0, max_value=NPAGES)  # deliberately one over
+l1indices = st.integers(min_value=0, max_value=6)
+vas = st.sampled_from([0x0, 0x1000, 0x2000, 0x5000, 0x0040_0000])
+
+
+def spec_actions():
+    return st.one_of(
+        st.tuples(st.just("init_addrspace"), pagenos, pagenos),
+        st.tuples(st.just("init_thread"), pagenos, pagenos),
+        st.tuples(st.just("init_l2pt"), pagenos, pagenos, l1indices),
+        st.tuples(st.just("map_secure"), pagenos, pagenos, vas),
+        st.tuples(st.just("map_insecure"), pagenos, vas),
+        st.tuples(st.just("alloc_spare"), pagenos, pagenos),
+        st.tuples(st.just("finalise"), pagenos),
+        st.tuples(st.just("stop"), pagenos),
+        st.tuples(st.just("remove"), pagenos),
+        st.tuples(st.just("svc_map_data"), pagenos, pagenos, vas),
+        st.tuples(st.just("svc_unmap_data"), pagenos, pagenos, vas),
+        st.tuples(st.just("svc_init_l2pt"), pagenos, pagenos, l1indices),
+    )
+
+
+def apply_action(db, action):
+    kind = action[0]
+    if kind == "init_addrspace":
+        return spec_init_addrspace(db, action[1], action[2])[1]
+    if kind == "init_thread":
+        return spec_init_thread(db, action[1], action[2], 0x1000)[1]
+    if kind == "init_l2pt":
+        return spec_init_l2ptable(db, action[1], action[2], action[3])[1]
+    if kind == "map_secure":
+        return spec_map_secure(
+            db, action[1], action[2], mapping_word(va=action[3]), ZEROS, True
+        )[1]
+    if kind == "map_insecure":
+        return spec_map_insecure(
+            db, action[1], mapping_word(va=action[2]), 0x9000_0000, True
+        )[1]
+    if kind == "alloc_spare":
+        return spec_alloc_spare(db, action[1], action[2])[1]
+    if kind == "finalise":
+        return spec_finalise(db, action[1])[1]
+    if kind == "stop":
+        return spec_stop(db, action[1])[1]
+    if kind == "remove":
+        return spec_remove(db, action[1])[1]
+    if kind == "svc_map_data":
+        return spec_svc_map_data(db, action[1], action[2], mapping_word(va=action[3]))[1]
+    if kind == "svc_unmap_data":
+        return spec_svc_unmap_data(db, action[1], action[2], mapping_word(va=action[3]))[1]
+    if kind == "svc_init_l2pt":
+        return spec_svc_init_l2ptable(db, action[1], action[2], action[3])[1]
+    raise AssertionError(kind)
+
+
+class TestInvariantPreservation:
+    @given(st.lists(spec_actions(), max_size=30))
+    @settings(max_examples=150, deadline=None)
+    def test_random_traces_preserve_invariants(self, actions):
+        db = AbsPageDb.initial(NPAGES)
+        for action in actions:
+            db = apply_action(db, action)
+            violations = collect_violations(db)
+            assert not violations, (action, violations)

@@ -1,0 +1,90 @@
+"""Direct error-path tests for the pure SVC specification."""
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import Mapping
+from repro.spec.pagedb import AbsPageDb, AbsSpare
+from repro.spec.smc_spec import (
+    spec_alloc_spare,
+    spec_init_addrspace,
+    spec_init_l2ptable,
+)
+from repro.spec.svc_spec import (
+    spec_svc_init_l2ptable,
+    spec_svc_map_data,
+    spec_svc_unmap_data,
+)
+
+
+def mapping_word(va=0x2000):
+    return Mapping(va=va, readable=True, writable=True, executable=False).encode()
+
+
+@pytest.fixture
+def db():
+    base = AbsPageDb.initial(10)
+    _, base = spec_init_addrspace(base, 0, 1)
+    _, base = spec_init_l2ptable(base, 0, 2, 0)
+    _, base = spec_alloc_spare(base, 0, 3)
+    return base
+
+
+class TestMapDataErrors:
+    def test_invalid_pageno(self, db):
+        assert spec_svc_map_data(db, 0, 99, mapping_word())[0] is KomErr.INVALID_PAGENO
+
+    def test_not_a_spare(self, db):
+        assert spec_svc_map_data(db, 0, 2, mapping_word())[0] is KomErr.PAGEINUSE
+
+    def test_foreign_spare(self, db):
+        _, db = spec_init_addrspace(db, 4, 5)
+        _, db = spec_alloc_spare(db, 4, 6)
+        assert spec_svc_map_data(db, 0, 6, mapping_word())[0] is KomErr.INVALID_PAGENO
+
+    def test_unreadable_mapping(self, db):
+        assert spec_svc_map_data(db, 0, 3, 0x2000)[0] is KomErr.INVALID_MAPPING
+
+    def test_missing_l2(self, db):
+        far = mapping_word(va=0x0080_0000)
+        assert spec_svc_map_data(db, 0, 3, far)[0] is KomErr.INVALID_MAPPING
+
+    def test_va_in_use(self, db):
+        err, db = spec_svc_map_data(db, 0, 3, mapping_word())
+        assert err is KomErr.SUCCESS
+        _, db = spec_alloc_spare(db, 0, 4)
+        assert spec_svc_map_data(db, 0, 4, mapping_word())[0] is KomErr.ADDRINUSE
+
+
+class TestUnmapDataErrors:
+    def test_not_a_data_page(self, db):
+        assert spec_svc_unmap_data(db, 0, 3, mapping_word())[0] is KomErr.PAGEINUSE
+
+    def test_wrong_mapping(self, db):
+        err, db = spec_svc_map_data(db, 0, 3, mapping_word())
+        assert err is KomErr.SUCCESS
+        wrong = mapping_word(va=0x5000)
+        assert spec_svc_unmap_data(db, 0, 3, wrong)[0] is KomErr.INVALID_MAPPING
+
+    def test_invalid_mapping_word(self, db):
+        err, db = spec_svc_map_data(db, 0, 3, mapping_word())
+        assert err is KomErr.SUCCESS
+        assert spec_svc_unmap_data(db, 0, 3, 0x8000_0000)[0] is KomErr.INVALID_MAPPING
+
+    def test_roundtrip_restores_spare(self, db):
+        err, db = spec_svc_map_data(db, 0, 3, mapping_word())
+        assert err is KomErr.SUCCESS
+        err, db = spec_svc_unmap_data(db, 0, 3, mapping_word())
+        assert err is KomErr.SUCCESS
+        assert isinstance(db[3], AbsSpare)
+
+
+class TestInitL2Errors:
+    def test_bad_l1index(self, db):
+        assert spec_svc_init_l2ptable(db, 0, 3, 10_000)[0] is KomErr.INVALID_MAPPING
+
+    def test_slot_taken(self, db):
+        assert spec_svc_init_l2ptable(db, 0, 3, 0)[0] is KomErr.ADDRINUSE
+
+    def test_not_a_spare(self, db):
+        assert spec_svc_init_l2ptable(db, 0, 1, 5)[0] is KomErr.PAGEINUSE

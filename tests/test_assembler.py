@@ -1,0 +1,138 @@
+"""Assembler: label resolution, operand handling, program building."""
+
+import pytest
+
+from repro.arm.assembler import Assembler, AssemblerError, reg
+from repro.arm.instructions import decode
+
+
+class TestRegOperands:
+    def test_named(self):
+        assert reg("r0") == 0
+        assert reg("r12") == 12
+        assert reg("sp") == 13
+        assert reg("lr") == 14
+        assert reg("SP") == 13
+
+    def test_numeric(self):
+        assert reg(5) == 5
+        assert reg(14) == 14
+
+    def test_rejects_bad(self):
+        with pytest.raises(AssemblerError):
+            reg("r13")  # sp must be named 'sp'
+        with pytest.raises(AssemblerError):
+            reg("pc")
+        with pytest.raises(AssemblerError):
+            reg(15)
+        with pytest.raises(AssemblerError):
+            reg(-1)
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        asm = Assembler()
+        asm.b("end")
+        asm.nop()
+        asm.label("end")
+        asm.svc(0)
+        instrs = asm.instructions()
+        # b at index 0 targeting index 2: offset = 2 - 0 - 1 = 1
+        assert instrs[0].imm == 1
+
+    def test_backward_branch(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.nop()
+        asm.b("top")
+        instrs = asm.instructions()
+        # b at index 1 targeting index 0: offset = 0 - 1 - 1 = -2
+        assert instrs[1].imm == -2
+
+    def test_branch_to_self(self):
+        asm = Assembler()
+        asm.label("spin")
+        asm.b("spin")
+        assert asm.instructions()[0].imm == -1
+
+    def test_undefined_label(self):
+        asm = Assembler()
+        asm.b("nowhere")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_duplicate_label(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblerError):
+            asm.label("x")
+
+    def test_conditional_branches_resolve(self):
+        asm = Assembler()
+        for branch in ("beq", "bne", "blt", "bge", "bgt", "ble", "bcs", "bcc", "bl"):
+            getattr(asm, branch)("target")
+        asm.label("target")
+        asm.nop()
+        words = asm.assemble()
+        assert len(words) == 10
+
+
+class TestAssembly:
+    def test_emits_decodable_words(self):
+        asm = Assembler()
+        asm.movw("r0", 1)
+        asm.add("r1", "r0", "r0")
+        asm.ldr("r2", "r1", 8)
+        asm.str_("r2", "r1", 12)
+        asm.cmp("r1", "r2")
+        asm.svc(3)
+        for word in asm.assemble():
+            assert decode(word) is not None
+
+    def test_mov32_small_value_single_instruction(self):
+        asm = Assembler()
+        asm.mov32("r0", 0x1234)
+        assert asm.position == 1
+
+    def test_mov32_large_value_two_instructions(self):
+        asm = Assembler()
+        asm.mov32("r0", 0x12345678)
+        assert asm.position == 2
+        instrs = asm.instructions()
+        assert instrs[0].op == "movw" and instrs[0].imm == 0x5678
+        assert instrs[1].op == "movt" and instrs[1].imm == 0x1234
+
+    def test_size_bytes(self):
+        asm = Assembler()
+        asm.nop()
+        asm.nop()
+        assert asm.size_bytes() == 8
+
+    def test_fluent_chaining(self):
+        words = (
+            Assembler()
+            .movw("r0", 5)
+            .addi("r0", "r0", 1)
+            .svc(0)
+            .assemble()
+        )
+        assert len(words) == 3
+
+    def test_all_emitters_produce_words(self):
+        asm = Assembler()
+        asm.add("r0", "r1", "r2").sub("r0", "r1", "r2").rsb("r0", "r1", "r2")
+        asm.and_("r0", "r1", "r2").orr("r0", "r1", "r2").eor("r0", "r1", "r2")
+        asm.bic("r0", "r1", "r2").mul("r0", "r1", "r2")
+        asm.lsl("r0", "r1", "r2").lsr("r0", "r1", "r2").asr("r0", "r1", "r2")
+        asm.ror("r0", "r1", "r2")
+        asm.lsli("r0", "r1", 3).lsri("r0", "r1", 3).asri("r0", "r1", 3)
+        asm.addi("r0", "r1", 3).subi("r0", "r1", 3)
+        asm.mov("r0", "r1").mvn("r0", "r1")
+        asm.movw("r0", 1).movt("r0", 1)
+        asm.cmp("r0", "r1").cmpi("r0", 1).tst("r0", "r1")
+        asm.ldr("r0", "r1").str_("r0", "r1").ldrr("r0", "r1", "r2").strr("r0", "r1", "r2")
+        asm.bxlr().svc(1).udf().nop()
+        words = asm.assemble()
+        assert len(words) == asm.position
+        for word in words:
+            assert decode(word) is not None

@@ -1,0 +1,33 @@
+"""Every example must run to completion (they assert internally)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_all_five_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "notary.py",
+        "sealed_counter.py",
+        "attested_channel.py",
+        "malicious_os.py",
+    } <= names

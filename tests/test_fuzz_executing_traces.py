@@ -1,0 +1,109 @@
+"""Heavy property test: hostile traces with real enclave execution.
+
+Extends the pure-PageDB fuzzing of the refinement tests with actual
+Enter/Resume on live ARM enclaves: random interleavings of construction,
+execution (with adversarial interrupt timing), teardown, and garbage
+calls, every step refinement-checked and invariant-checked.  This is the
+closest executable analogue of "the monitor is correct under any OS".
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import Mapping, SMC, SVC
+from repro.verification.refinement import CheckedMonitor
+
+NPAGES = 14
+CODE_VA = 0x1000
+
+
+def counting_program_words():
+    asm = Assembler()
+    asm.movw("r3", 0)
+    asm.label("loop")
+    asm.addi("r3", "r3", 1)
+    asm.cmpi("r3", 25)
+    asm.bne("loop")
+    asm.mov("r0", "r3")
+    asm.svc(SVC.EXIT)
+    return asm.assemble()
+
+
+def build_enclave(checked: CheckedMonitor):
+    """Construct one enclave on pages 0-4; returns the thread page or
+    None when construction failed (pages already taken)."""
+    insecure = checked.state.memmap.insecure.base
+    for i, word in enumerate(counting_program_words()):
+        checked.state.memory.write_word(insecure + i * 4, word)
+    mapping = Mapping(va=CODE_VA, readable=True, writable=False, executable=True)
+    steps = [
+        (SMC.INIT_ADDRSPACE, (0, 1)),
+        (SMC.INIT_L2PTABLE, (0, 2, 0)),
+        (SMC.MAP_SECURE, (0, 3, mapping.encode(), insecure)),
+        (SMC.INIT_THREAD, (0, 4, CODE_VA)),
+        (SMC.FINALISE, (0,)),
+    ]
+    for callno, args in steps:
+        err, _ = checked.smc(callno, *args)
+        if err is not KomErr.SUCCESS:
+            return None
+    return 4
+
+
+actions = st.one_of(
+    st.tuples(st.just("enter"), st.integers(0, 40)),
+    st.tuples(st.just("resume"), st.integers(0, 40)),
+    st.tuples(st.just("stop"), st.just(0)),
+    st.tuples(st.just("spare"), st.integers(5, NPAGES)),
+    st.tuples(st.just("remove"), st.integers(0, NPAGES)),
+    st.tuples(st.just("garbage"), st.integers(0, 40)),
+)
+
+
+class TestExecutingTraces:
+    @given(st.lists(actions, max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_checked_execution_under_hostile_os(self, trace):
+        checked = CheckedMonitor(secure_pages=NPAGES, step_budget=500)
+        thread = build_enclave(checked)
+        if thread is None:  # pragma: no cover - construction is clean here
+            return
+        for kind, arg in trace:
+            if kind == "enter":
+                if arg % 3 == 0:
+                    checked.schedule_interrupt(arg)
+                checked.smc(SMC.ENTER, thread, arg, 0, 0)
+            elif kind == "resume":
+                if arg % 2 == 0:
+                    checked.schedule_interrupt(arg)
+                checked.smc(SMC.RESUME, thread)
+            elif kind == "stop":
+                checked.smc(SMC.STOP, 0)
+            elif kind == "spare":
+                checked.smc(SMC.ALLOC_SPARE, 0, arg)
+            elif kind == "remove":
+                checked.smc(SMC.REMOVE, arg)
+            elif kind == "garbage":
+                checked.smc(999, arg, arg, arg, arg)
+        # Every step was refinement- and invariant-checked internally;
+        # reaching here without RefinementError is the property.
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_result_independent_of_interrupt_timing(self, deadline):
+        """The enclave's final result never depends on where the OS
+        chops its execution."""
+        checked = CheckedMonitor(secure_pages=NPAGES, step_budget=100_000)
+        thread = build_enclave(checked)
+        checked.schedule_interrupt(deadline)
+        err, value = checked.smc(SMC.ENTER, thread, 0, 0, 0)
+        bounces = 0
+        while err is KomErr.INTERRUPTED:
+            if bounces % 2:
+                checked.schedule_interrupt(deadline)
+            err, value = checked.smc(SMC.RESUME, thread)
+            bounces += 1
+        assert (err, value) == (KomErr.SUCCESS, 25)

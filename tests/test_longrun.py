@@ -1,0 +1,94 @@
+"""Long-run soak: hundreds of checked SMCs, many enclave generations.
+
+The paper's noninterference proof is structured so "our result
+generalises to an infinite sequence of SMCs" (section 6.1); this soak
+test is the executable shadow of that property — a long mixed workload
+over the refinement-checked monitor, with periodic whole-state audits.
+"""
+
+import random
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, EnclaveBuilder
+from repro.spec.invariants import collect_violations
+from repro.verification.extract import extract_pagedb
+from repro.verification.refinement import CheckedMonitor
+
+
+def adder_asm() -> Assembler:
+    asm = Assembler()
+    asm.add("r0", "r0", "r1")
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+class TestSoak:
+    def test_many_generations_of_enclaves(self):
+        """Build/run/destroy enclaves repeatedly with interleaved hostile
+        calls; every SMC refinement-checked; state audited each round."""
+        checked = CheckedMonitor(secure_pages=20, step_budget=5_000)
+        kernel = OSKernel(checked)  # type: ignore[arg-type]
+        rng = random.Random(2024)
+        for generation in range(12):
+            enclave = (
+                EnclaveBuilder(kernel)
+                .add_code(adder_asm())
+                .add_thread(CODE_VA)
+                .add_spares(rng.randrange(3))
+                .build()
+            )
+            a, b = rng.getrandbits(16), rng.getrandbits(16)
+            assert enclave.call(a, b) == (KomErr.SUCCESS, a + b)
+            # A few hostile pokes between legitimate operations.
+            for _ in range(5):
+                checked.smc(
+                    rng.choice([SMC.REMOVE, SMC.FINALISE, SMC.STOP, 999]),
+                    rng.randrange(24),
+                )
+            # Only tear down if the hostile pokes didn't stop us first.
+            err, _ = checked.smc(SMC.GET_PHYSPAGES)
+            assert err is KomErr.SUCCESS
+            try:
+                enclave.teardown()
+            except Exception:
+                # A hostile Stop may have half-dismantled the enclave;
+                # finish the job page by page.
+                checked.smc(SMC.STOP, enclave.as_page)
+                for page in enclave.owned_pages:
+                    if page == enclave.as_page:
+                        continue
+                    err, _ = checked.smc(SMC.REMOVE, page)
+                    if err is KomErr.SUCCESS and page not in kernel._free_pages:
+                        kernel.release_page(page)
+                err, _ = checked.smc(SMC.REMOVE, enclave.as_page)
+                if err is KomErr.SUCCESS and enclave.as_page not in kernel._free_pages:
+                    kernel.release_page(enclave.as_page)
+                kernel._free_pages = list(range(20))
+                for page in range(20):
+                    if not checked.pagedb.is_free(page):
+                        kernel._free_pages.remove(page)
+            violations = collect_violations(
+                extract_pagedb(checked.state), checked.state.memmap
+            )
+            assert not violations, (generation, violations)
+        assert checked.checks_performed > 100
+
+    def test_hundreds_of_crossings_stable_cost(self):
+        """Crossing cost does not drift over hundreds of entries (no
+        hidden state accumulating in the monitor)."""
+        from repro.monitor.komodo import KomodoMonitor
+
+        monitor = KomodoMonitor(secure_pages=12)
+        kernel = OSKernel(monitor)
+        enclave = EnclaveBuilder(kernel).add_code(adder_asm()).add_thread(CODE_VA).build()
+        costs = []
+        for _ in range(300):
+            before = monitor.state.cycles
+            assert enclave.call(1, 2) == (KomErr.SUCCESS, 3)
+            costs.append(monitor.state.cycles - before)
+        assert len(set(costs)) == 1  # perfectly deterministic

@@ -1,0 +1,44 @@
+"""The public API surface: imports, doctest, exports."""
+
+import doctest
+
+import repro
+
+
+class TestPublicApi:
+    def test_package_doctest(self):
+        """The README-style doctest in the package docstring runs."""
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1
+
+    def test_all_exports_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        import repro.apps
+        import repro.arm
+        import repro.crypto
+        import repro.monitor
+        import repro.multicore
+        import repro.osmodel
+        import repro.sdk
+        import repro.security
+        import repro.spec
+        import repro.tools
+        import repro.verification
+
+    def test_every_public_module_has_docstring(self):
+        """Documentation discipline: every module documents itself."""
+        import importlib
+        import pathlib
+        import pkgutil
+
+        package_root = pathlib.Path(repro.__file__).parent
+        for info in pkgutil.walk_packages([str(package_root)], prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a docstring"

@@ -1,0 +1,211 @@
+"""Composite scenarios: the applications chained as a real deployment.
+
+Each test is a miniature product built from the public API, exercising
+several subsystems against each other: attestation feeding sealing,
+quoting feeding remote verification, channels carrying sealed payloads.
+These are the "does the whole thing compose" tests a downstream adopter
+would write first.
+"""
+
+import pytest
+
+from repro.apps.remote_attestation import QuotingEnclave, verify_quote
+from repro.apps.sealed_storage import SealError, seal, unseal
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import SHARED_VA, EnclaveBuilder
+from repro.sdk.channel import Channel, EnclaveEndpoint, HostEndpoint
+from repro.sdk.native import NativeEnclaveProgram
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=96, step_budget=10**9)
+    return monitor, OSKernel(monitor)
+
+
+class TestSealedDatabaseService:
+    """A key-value enclave that persists its state through the OS as a
+    sealed blob across a full stop/remove/rebuild cycle."""
+
+    def test_state_survives_enclave_destruction(self, env):
+        monitor, kernel = env
+        blob_out = {}
+
+        def writer(ctx, a, b, c):
+            state = [0x1001, 0x2002, 0x3003]
+            blob_out["blob"] = seal(ctx, state)
+            return len(state)
+            yield
+
+        first = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("kv-store", writer))
+            .build()
+        )
+        assert first.call()[0] is KomErr.SUCCESS
+        # The OS destroys the enclave entirely and keeps only the blob.
+        first.teardown()
+        recovered = {}
+
+        def reader(ctx, a, b, c):
+            try:
+                recovered["state"] = unseal(ctx, blob_out["blob"])
+                return 1
+            except SealError:
+                return 0
+            yield
+
+        second = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("kv-store", reader))
+            .build()
+        )
+        err, ok = second.call()
+        assert (err, ok) == (KomErr.SUCCESS, 1)
+        assert recovered["state"] == [0x1001, 0x2002, 0x3003]
+
+    def test_impostor_cannot_recover_state(self, env):
+        monitor, kernel = env
+        blob_out = {}
+
+        def writer(ctx, a, b, c):
+            blob_out["blob"] = seal(ctx, [42])
+            return 0
+            yield
+
+        owner = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("kv-owner", writer))
+            .build()
+        )
+        owner.call()
+
+        def impostor(ctx, a, b, c):
+            try:
+                unseal(ctx, blob_out["blob"])
+                return 1
+            except SealError:
+                return 0
+            yield
+
+        thief = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("kv-impostor", impostor))
+            .build()
+        )
+        assert thief.call() == (KomErr.SUCCESS, 0)
+
+
+class TestQuotedServiceHandshake:
+    """Remote party verifies a service's quote before sending it work
+    over the shared-memory channel."""
+
+    def test_full_handshake(self, env):
+        monitor, kernel = env
+        qe = QuotingEnclave(kernel)
+        qe.init()
+        captured = {}
+
+        def service(ctx, phase, b, c):
+            if phase == 0:
+                captured["data"] = [0xFEED + i for i in range(8)]
+                captured["mac"] = ctx.attest(captured["data"])
+                captured["meas"] = ctx.monitor.pagedb.measurement(ctx.asno)
+                return 0
+            # Phase 1: serve requests over the channel (sum the words).
+            channel = Channel(EnclaveEndpoint(ctx, SHARED_VA))
+            request = channel.receive()
+            total = sum(request) & 0xFFFFFFFF
+            channel.send([total])
+            return 1
+            yield
+
+        handle = (
+            EnclaveBuilder(kernel)
+            .add_shared_buffer(va=SHARED_VA)
+            .set_native_program(NativeEnclaveProgram("summer", service))
+            .build()
+        )
+        assert handle.call(0)[0] is KomErr.SUCCESS
+        # Remote side: verify the quote before trusting the service.
+        quote = qe.quote(captured["meas"], captured["data"], captured["mac"])
+        assert quote is not None
+        assert verify_quote(quote, qe.pubkey_n, expected_measurement=captured["meas"])
+        # Trust established: send work through the untrusted channel.
+        host = Channel(HostEndpoint(kernel, handle.buffer().base))
+        host.reset()
+        host.send([10, 20, 30])
+        assert handle.call(1) == (KomErr.SUCCESS, 1)
+        assert host.receive() == [60]
+
+    def test_rejected_service_gets_no_work(self, env):
+        monitor, kernel = env
+        qe = QuotingEnclave(kernel)
+        qe.init()
+        # A service whose attestation the OS corrupts never yields a
+        # quote, so the remote party never sends it anything.
+        captured = {}
+
+        def service(ctx, a, b, c):
+            captured["data"] = [1] * 8
+            captured["mac"] = ctx.attest(captured["data"])
+            captured["meas"] = ctx.monitor.pagedb.measurement(ctx.asno)
+            return 0
+            yield
+
+        handle = (
+            EnclaveBuilder(kernel)
+            .set_native_program(NativeEnclaveProgram("shady", service))
+            .build()
+        )
+        handle.call()
+        corrupted = [m ^ 0xFF for m in captured["mac"]]
+        assert qe.quote(captured["meas"], captured["data"], corrupted) is None
+
+
+class TestCrossMachineStory:
+    """Machines have different boot secrets: nothing local transfers."""
+
+    def test_quotes_and_seals_are_machine_local(self):
+        machine_a = KomodoMonitor(
+            secure_pages=96, step_budget=10**9, rng=HardwareRNG(seed=100)
+        )
+        kernel_a = OSKernel(machine_a)
+        blob_out = {}
+
+        def sealer(ctx, a, b, c):
+            blob_out["blob"] = seal(ctx, [7, 8, 9])
+            return 0
+            yield
+
+        roamer_a = (
+            EnclaveBuilder(kernel_a)
+            .set_native_program(NativeEnclaveProgram("roamer", sealer))
+            .build()
+        )
+        roamer_a.call()
+
+        machine_b = KomodoMonitor(
+            secure_pages=96, step_budget=10**9, rng=HardwareRNG(seed=200)
+        )
+        kernel_b = OSKernel(machine_b)
+        outcome = {}
+
+        def unsealer(ctx, a, b, c):
+            try:
+                unseal(ctx, blob_out["blob"])
+                return 1
+            except SealError:
+                return 0
+            yield
+
+        # Same program (same measurement!) on the other machine.
+        roamer_b = (
+            EnclaveBuilder(kernel_b)
+            .set_native_program(NativeEnclaveProgram("roamer", unsealer))
+            .build()
+        )
+        assert roamer_b.call() == (KomErr.SUCCESS, 0)

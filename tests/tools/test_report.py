@@ -1,0 +1,40 @@
+"""The one-command report tool: each generator produces sane rows."""
+
+import pytest
+
+from repro.tools.report import Row, figure5_rows, table3_rows
+
+
+class TestReportGenerators:
+    def test_table3_rows_complete(self):
+        rows = table3_rows()
+        names = {row.name for row in rows}
+        assert {
+            "GetPhysPages (null SMC)",
+            "Enter only (no return)",
+            "Enter + Exit (full crossing)",
+            "Resume only (no return)",
+            "Attest",
+            "Verify",
+            "AllocSpare",
+            "MapData",
+        } == names
+
+    def test_table3_all_measured_positive(self):
+        for row in table3_rows():
+            assert row.measured > 0, row.name
+
+    def test_table3_within_factor_two_of_paper(self):
+        for row in table3_rows():
+            assert 0.5 < row.measured / row.paper < 2.0, row.name
+
+    def test_figure5_rows_small(self):
+        rows = figure5_rows(max_kb=8)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.measured >= row.paper  # enclave >= native
+            assert row.measured / row.paper < 1.10
+
+    def test_row_render(self):
+        line = Row("thing", 100, 106).render()
+        assert "thing" in line and "1.06x" in line

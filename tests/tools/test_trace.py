@@ -1,0 +1,97 @@
+"""SMC trace record/replay: determinism, serialisation, divergence."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.errors import KomErr
+from repro.monitor.layout import Mapping, SMC, SVC
+from repro.tools.trace import ReplayDivergence, Trace, TracingMonitor, replay
+
+
+def record_enclave_session() -> TracingMonitor:
+    """Record a full ARM-enclave lifecycle including execution and an
+    interrupt, entirely through the recorded interface."""
+    tracer = TracingMonitor(secure_pages=16, rng_seed=99)
+    asm = Assembler()
+    asm.movw("r3", 0)
+    asm.label("loop")
+    asm.addi("r3", "r3", 1)
+    asm.cmpi("r3", 30)
+    asm.bne("loop")
+    asm.add("r0", "r0", "r3")
+    asm.svc(SVC.EXIT)
+    insecure = tracer.state.memmap.insecure.base
+    for i, word in enumerate(asm.assemble()):
+        tracer.write_insecure(insecure + i * 4, word)
+    code_mapping = Mapping(
+        va=0x1000, readable=True, writable=False, executable=True
+    ).encode()
+    tracer.smc(SMC.INIT_ADDRSPACE, 0, 1)
+    tracer.smc(SMC.INIT_L2PTABLE, 0, 2, 0)
+    tracer.smc(SMC.MAP_SECURE, 0, 3, code_mapping, insecure)
+    tracer.smc(SMC.INIT_THREAD, 0, 4, 0x1000)
+    tracer.smc(SMC.FINALISE, 0)
+    tracer.schedule_interrupt(10)
+    tracer.smc(SMC.ENTER, 4, 12, 0, 0)
+    tracer.smc(SMC.RESUME, 4)
+    tracer.smc(SMC.STOP, 0)
+    return tracer
+
+
+class TestRecordReplay:
+    def test_session_replays_exactly(self):
+        tracer = record_enclave_session()
+        final = replay(tracer.trace)  # raises on any divergence
+        # The replayed monitor reaches the same PageDB state.
+        from repro.verification.extract import extract_pagedb
+
+        assert extract_pagedb(final.state) == extract_pagedb(tracer.state)
+
+    def test_recorded_results_present(self):
+        tracer = record_enclave_session()
+        enters = [s for s in tracer.trace.steps if s.callno == SMC.ENTER]
+        assert enters[0].err == int(KomErr.INTERRUPTED)
+        resumes = [s for s in tracer.trace.steps if s.callno == SMC.RESUME]
+        assert resumes[0].err == int(KomErr.SUCCESS)
+        assert resumes[0].value == 42  # 12 + 30
+
+    def test_json_roundtrip(self):
+        tracer = record_enclave_session()
+        text = tracer.trace.to_json()
+        restored = Trace.from_json(text)
+        assert restored == tracer.trace
+        replay(restored)
+
+    def test_divergence_detected(self):
+        tracer = record_enclave_session()
+        tracer.trace.steps[-1].err = int(KomErr.INVALID_PAGENO)  # falsify
+        with pytest.raises(ReplayDivergence):
+            replay(tracer.trace)
+
+    def test_rng_seed_matters(self):
+        """A trace containing RNG-dependent results only replays under
+        the recorded seed."""
+        tracer = TracingMonitor(secure_pages=16, rng_seed=5)
+        asm = Assembler()
+        asm.svc(SVC.GET_RANDOM)
+        asm.svc(SVC.EXIT)
+        insecure = tracer.state.memmap.insecure.base
+        for i, word in enumerate(asm.assemble()):
+            tracer.write_insecure(insecure + i * 4, word)
+        mapping = Mapping(
+            va=0x1000, readable=True, writable=False, executable=True
+        ).encode()
+        tracer.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        tracer.smc(SMC.INIT_L2PTABLE, 0, 2, 0)
+        tracer.smc(SMC.MAP_SECURE, 0, 3, mapping, insecure)
+        tracer.smc(SMC.INIT_THREAD, 0, 4, 0x1000)
+        tracer.smc(SMC.FINALISE, 0)
+        tracer.smc(SMC.ENTER, 4, 0, 0, 0)
+        replay(tracer.trace)  # same seed: fine
+        tracer.trace.rng_seed = 6
+        with pytest.raises(ReplayDivergence):
+            replay(tracer.trace)
+
+    def test_empty_trace_replays(self):
+        trace = Trace(secure_pages=8, rng_seed=1)
+        replay(trace)

@@ -1,0 +1,107 @@
+"""Extraction: abstract PageDB reconstruction from machine state."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import AddrspaceState, Mapping, SMC, SVC
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, EnclaveBuilder
+from repro.spec.pagedb import (
+    AbsAddrspace,
+    AbsData,
+    AbsFree,
+    AbsL1,
+    AbsL2,
+    AbsSpare,
+    AbsThread,
+)
+from repro.verification.extract import ExtractionError, extract_pagedb
+
+
+@pytest.fixture
+def env():
+    monitor = KomodoMonitor(secure_pages=24)
+    return monitor, OSKernel(monitor)
+
+
+class TestExtraction:
+    def test_fresh_monitor_all_free(self, env):
+        monitor, _ = env
+        db = extract_pagedb(monitor.state)
+        assert all(isinstance(db[p], AbsFree) for p in range(24))
+
+    def test_full_enclave_extraction(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.svc(SVC.EXIT)
+        enclave = (
+            EnclaveBuilder(kernel)
+            .add_code(asm)
+            .add_shared_buffer()
+            .add_thread(CODE_VA)
+            .add_spares(1)
+            .build()
+        )
+        db = extract_pagedb(monitor.state)
+        aspace = db[enclave.as_page]
+        assert isinstance(aspace, AbsAddrspace)
+        assert aspace.state is AddrspaceState.FINAL
+        assert aspace.measurement is not None
+        assert isinstance(db[enclave.thread], AbsThread)
+        assert db[enclave.thread].entrypoint == CODE_VA
+        assert isinstance(db[enclave.spares[0]], AbsSpare)
+        code_page = enclave.data_pages[CODE_VA]
+        assert isinstance(db[code_page], AbsData)
+        # The code page's extracted contents begin with the program words.
+        assert list(db[code_page].contents[: len(asm.assemble())]) == asm.assemble()
+
+    def test_page_table_structure_extracted(self, env):
+        monitor, kernel = env
+        as_page, l1pt = kernel.init_addrspace()
+        l2pt = kernel.init_l2table(as_page, 3)
+        mapping = Mapping(va=0x00C0_1000, readable=True, writable=True, executable=False)
+        data = kernel.map_secure(as_page, mapping)
+        db = extract_pagedb(monitor.state)
+        l1 = db[l1pt]
+        assert isinstance(l1, AbsL1)
+        assert l1.entries[3] == l2pt
+        l2 = db[l2pt]
+        assert isinstance(l2, AbsL2)
+        entry = l2.entries[1]
+        assert entry is not None
+        assert entry.secure_page == data
+        assert entry.writable and entry.readable and not entry.executable
+
+    def test_insecure_mapping_extracted(self, env):
+        monitor, kernel = env
+        as_page, l1pt = kernel.init_addrspace()
+        l2pt = kernel.init_l2table(as_page, 0)
+        buffer = kernel.map_insecure(
+            as_page, Mapping(va=0x2000, readable=True, writable=True, executable=False)
+        )
+        db = extract_pagedb(monitor.state)
+        entry = db[l2pt].entries[2]
+        assert entry.secure_page is None
+        assert entry.insecure_base == buffer.base
+
+    def test_entered_thread_context_extracted(self, env):
+        monitor, kernel = env
+        asm = Assembler()
+        asm.label("spin")
+        asm.b("spin")
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        monitor.schedule_interrupt(5)
+        enclave.enter()
+        db = extract_pagedb(monitor.state)
+        thread = db[enclave.thread]
+        assert thread.entered
+        assert thread.context is not None and len(thread.context) == 17
+
+    def test_malformed_l1_detected(self, env):
+        monitor, kernel = env
+        as_page, l1pt = kernel.init_addrspace()
+        # Corrupt the L1 table with a section descriptor (type bits 0b10).
+        monitor.state.memory.write_word(monitor.pagedb.page_base(l1pt), 0b10)
+        with pytest.raises(ExtractionError):
+            extract_pagedb(monitor.state)
