@@ -1,0 +1,65 @@
+"""Static analysis of enclave and monitor-visible machine code.
+
+The dynamic side-channel checker (``repro.security.sidechannel``) runs a
+program under chosen secrets and diffs traces; this package is its
+static complement, in the spirit of the paper's verified SHA-256 (§7.2):
+prove well-formedness and constant-time discipline over *all* paths
+before the program ever runs.
+
+Passes (see each module):
+
+* ``cfg`` — basic blocks, edges, reachability, structural findings;
+* ``dataflow`` — secret-taint and value abstract interpretation plus
+  privilege/ABI rules;
+* ``lint`` — the orchestrating entry points and config builders;
+* ``findings`` — the ``Finding``/``Report`` model and the KA rule table;
+* ``corpus`` — programs both checkers are cross-validated on.
+
+Typical use::
+
+    from repro.analysis import analyze_assembler, sidechannel_config
+    report = analyze_assembler(program, sidechannel_config())
+    assert report.ok, report.render()
+
+or, at enclave build time, ``EnclaveBuilder.build(lint="error")``.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow import (
+    AnalysisConfig,
+    AnalysisError,
+    MappedRange,
+    TaintAnalysis,
+)
+from repro.analysis.findings import (
+    Finding,
+    Report,
+    RULES,
+    Rule,
+    Severity,
+    make_finding,
+)
+from repro.analysis.lint import (
+    analyze_assembler,
+    analyze_words,
+    sidechannel_config,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisError",
+    "BasicBlock",
+    "CFG",
+    "Finding",
+    "MappedRange",
+    "Report",
+    "RULES",
+    "Rule",
+    "Severity",
+    "TaintAnalysis",
+    "analyze_assembler",
+    "analyze_words",
+    "build_cfg",
+    "make_finding",
+    "sidechannel_config",
+]

@@ -1,0 +1,294 @@
+"""Shared corpus: programs both the static analyser and the dynamic
+side-channel checker are judged against.
+
+Each entry names a program factory, the analysis configuration for the
+world it runs in, and the rule IDs the analyser is *expected* to report
+(empty for constant-time programs).  The corpus serves three customers:
+
+* the cross-validation tests, which assert the static analyser and
+  ``repro.security.sidechannel`` agree on every entry;
+* ``python -m repro.tools.lint``, which runs the corpus by default and
+  fails if a clean program regresses *or* a leaky fixture stops being
+  caught (guarding the analyser itself in CI);
+* documentation: these are the canonical examples of what KA1xx rules
+  mean.
+
+The constant-time set includes an eight-step SHA-256 message-schedule
+expansion — the paper's flagship constant-time artifact is its SHA-256
+(§7.2), and the schedule's σ0/σ1 mixing is the part with interesting
+data flow: every word of the secret block feeds the output through
+rotates, shifts and XORs, yet no address or branch ever depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.dataflow import AnalysisConfig, MappedRange
+from repro.analysis.lint import sidechannel_config
+from repro.arm.assembler import Assembler
+from repro.arm.memory import PAGE_SIZE
+from repro.monitor.layout import SVC
+from repro.security.sidechannel import SECRET_VA
+
+#: The dynamic harness maps a read-write scratch page after the secret.
+SCRATCH_VA = SECRET_VA + PAGE_SIZE
+
+
+# ---------------------------------------------------------------------------
+# Constant-time programs
+# ---------------------------------------------------------------------------
+
+
+def xor_fold_program() -> Assembler:
+    """Branch-free mixing of one secret word into a result."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.lsri("r6", "r5", 16)
+    asm.eor("r6", "r6", "r5")
+    asm.movw("r7", 0x5A5A)
+    asm.and_("r0", "r6", "r7")
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def ct_compare_program() -> Assembler:
+    """Constant-time comparison of two 4-word values in the secret page:
+    accumulate XOR differences, test once at the end, branch-free."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.movw("r7", 0)  # index
+    asm.movw("r9", 0)  # difference accumulator
+    asm.label("loop")
+    asm.lsli("r8", "r7", 2)
+    asm.ldrr("r5", "r4", "r8")  # a[i]
+    asm.addi("r8", "r8", 16)
+    asm.ldrr("r6", "r4", "r8")  # b[i]
+    asm.eor("r5", "r5", "r6")
+    asm.orr("r9", "r9", "r5")
+    asm.addi("r7", "r7", 1)
+    asm.cmpi("r7", 4)
+    asm.bne("loop")
+    asm.subi("r9", "r9", 1)  # 0 -> borrow; nonzero -> top bit clear
+    asm.lsri("r0", "r9", 31)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def sha256_schedule_program() -> Assembler:
+    """Eight steps of the SHA-256 message-schedule expansion.
+
+    The secret page holds w[0..15]; the program computes
+    ``w[j] = σ1(w[j-2]) + w[j-7] + σ0(w[j-15]) + w[j-16]`` for
+    j = 16..23, writing the new words just past the block.  All
+    addresses follow the public loop index; all data flow from the
+    secret goes through rotates/shifts/XORs/adds — the access pattern
+    the paper's SHA-256 proof establishes (§7.2), in miniature.
+    """
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.movw("r6", 0)  # k = j - 16
+    asm.label("loop")
+    asm.lsli("r8", "r6", 2)
+    asm.add("r8", "r4", "r8")  # &w[k]
+    asm.ldr("r0", "r8", 0)  # w[j-16]
+    asm.ldr("r1", "r8", 4)  # w[j-15]
+    asm.ldr("r2", "r8", 36)  # w[j-7]
+    asm.ldr("r3", "r8", 56)  # w[j-2]
+    # sigma0(w[j-15]) = ror7 ^ ror18 ^ shr3
+    asm.movw("r11", 7)
+    asm.ror("r10", "r1", "r11")
+    asm.movw("r11", 18)
+    asm.ror("r12", "r1", "r11")
+    asm.eor("r10", "r10", "r12")
+    asm.lsri("r12", "r1", 3)
+    asm.eor("r10", "r10", "r12")
+    asm.add("r0", "r0", "r10")
+    # sigma1(w[j-2]) = ror17 ^ ror19 ^ shr10
+    asm.movw("r11", 17)
+    asm.ror("r10", "r3", "r11")
+    asm.movw("r11", 19)
+    asm.ror("r12", "r3", "r11")
+    asm.eor("r10", "r10", "r12")
+    asm.lsri("r12", "r3", 10)
+    asm.eor("r10", "r10", "r12")
+    asm.add("r0", "r0", "r10")
+    asm.add("r0", "r0", "r2")  # + w[j-7]
+    asm.str_("r0", "r8", 64)  # w[j] = result (stays in the secret page)
+    asm.addi("r6", "r6", 1)
+    asm.cmpi("r6", 8)
+    asm.bne("loop")
+    asm.movw("r0", 0)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+# ---------------------------------------------------------------------------
+# Deliberately leaky fixtures
+# ---------------------------------------------------------------------------
+
+
+def secret_branch_program() -> Assembler:
+    """The timing offender: a branch with unequal arms on a secret bit."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.movw("r6", 1)
+    asm.tst("r5", "r6")
+    asm.beq("even")
+    asm.nop()
+    asm.nop()
+    asm.nop()
+    asm.label("even")
+    asm.movw("r0", 0)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def secret_indexed_load_program() -> Assembler:
+    """The cache offender: a table lookup indexed by secret bits."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.movw("r6", 0xFC)
+    asm.and_("r5", "r5", "r6")
+    asm.ldrr("r0", "r4", "r5")  # load at secret-derived offset
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def secret_indexed_store_program() -> Assembler:
+    """The write-side cache offender: a store at a secret-derived
+    address in the scratch page."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.movw("r6", 0xFC)
+    asm.and_("r5", "r5", "r6")
+    asm.mov32("r7", SCRATCH_VA)
+    asm.movw("r0", 1)
+    asm.strr("r0", "r7", "r5")  # store at secret-derived offset
+    asm.movw("r0", 0)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def early_exit_compare_program() -> Assembler:
+    """The tutorial PIN-compare bug: exit at the first mismatching word,
+    leaking the matching-prefix length through the iteration count."""
+    asm = Assembler()
+    asm.mov32("r4", SECRET_VA)
+    asm.movw("r7", 0)
+    asm.label("loop")
+    asm.lsli("r8", "r7", 2)
+    asm.ldrr("r5", "r4", "r8")  # a[i]
+    asm.addi("r8", "r8", 16)
+    asm.ldrr("r6", "r4", "r8")  # b[i]
+    asm.cmp("r5", "r6")
+    asm.bne("fail")  # early exit: iteration count leaks
+    asm.addi("r7", "r7", 1)
+    asm.cmpi("r7", 4)
+    asm.bne("loop")
+    asm.movw("r0", 1)
+    asm.svc(SVC.EXIT)
+    asm.label("fail")
+    asm.movw("r0", 0)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+# ---------------------------------------------------------------------------
+# The corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One program plus the verdict the analyser must reach."""
+
+    name: str
+    build: Callable[[], Assembler]
+    config: Callable[[], AnalysisConfig]
+    expect: Tuple[str, ...] = ()  # error rule IDs that MUST be reported
+    #: False for programs whose world the dynamic harness cannot map
+    #: (they are still linted statically).
+    dynamic: bool = True
+    #: Secrets the dynamic checker varies; None = DYNAMIC_SECRETS.
+    secrets: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+    @property
+    def leaky(self) -> bool:
+        return bool(self.expect)
+
+    def dynamic_secrets(self) -> List[List[int]]:
+        if self.secrets is not None:
+            return [list(words) for words in self.secrets]
+        return [list(words) for words in DYNAMIC_SECRETS]
+
+
+def _checksum_config() -> AnalysisConfig:
+    """The checksum enclave's world: code page plus a shared buffer.
+
+    Nothing is secret — the CRC input comes from the OS — so data-
+    dependent branching on it is fine; only well-formedness and ABI
+    rules apply.
+    """
+    from repro.sdk.builder import CODE_VA, SHARED_VA
+
+    return AnalysisConfig(
+        base_va=CODE_VA,
+        mapped_ranges=(
+            MappedRange(CODE_VA, CODE_VA + PAGE_SIZE, True, False, True),
+            MappedRange(SHARED_VA, SHARED_VA + PAGE_SIZE, True, True, False),
+        ),
+    )
+
+
+def _checksum_program() -> Assembler:
+    from repro.apps.checksum import crc_program
+
+    return crc_program()
+
+
+CORPUS: List[CorpusEntry] = [
+    CorpusEntry("ct/xor-fold", xor_fold_program, sidechannel_config),
+    CorpusEntry("ct/compare", ct_compare_program, sidechannel_config),
+    CorpusEntry("ct/sha256-schedule", sha256_schedule_program, sidechannel_config),
+    CorpusEntry(
+        "apps/checksum", _checksum_program, _checksum_config, dynamic=False
+    ),
+    CorpusEntry(
+        "leaky/secret-branch", secret_branch_program, sidechannel_config,
+        expect=("KA101",),
+    ),
+    CorpusEntry(
+        "leaky/secret-indexed-load", secret_indexed_load_program,
+        sidechannel_config, expect=("KA102",),
+    ),
+    CorpusEntry(
+        "leaky/secret-indexed-store", secret_indexed_store_program,
+        sidechannel_config, expect=("KA103",),
+    ),
+    CorpusEntry(
+        "leaky/early-exit-compare", early_exit_compare_program,
+        sidechannel_config, expect=("KA101",),
+        # Words 0-3 are the PIN, 4-7 the guess: vary where the first
+        # mismatch lands so the early exit shows up dynamically.
+        secrets=(
+            (9, 2, 3, 4, 9, 9, 9, 9),  # mismatch at word 1
+            (1, 2, 3, 4, 9, 9, 9, 9),  # mismatch at word 0
+            (9, 9, 9, 4, 9, 9, 9, 9),  # mismatch at word 3
+        ),
+    ),
+]
+
+#: Secrets the dynamic checker varies when cross-validating the corpus.
+#: 16 words fill a SHA-256 block; the compare programs read words 0-7.
+DYNAMIC_SECRETS: List[List[int]] = [
+    [0x00000000] * 16,
+    [0xFFFFFFFF] * 16,
+    [0x80000001, 0x7FFFFFFE] * 8,
+    list(range(0x1000, 0x1010)),
+]

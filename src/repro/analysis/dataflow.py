@@ -1,0 +1,575 @@
+"""Secret-taint and ABI abstract interpretation over the CFG.
+
+A worklist fixpoint computes, for every basic block, an abstract state
+describing all executions reaching it:
+
+* **taint** — one bit per register (r0-r12, SP, LR) plus the NZCV
+  flags: does the value depend on declared secret memory?
+* **values** — a small constant/interval domain per register, enough to
+  resolve the ``movw``/``movt`` address idiom and loop-index arithmetic
+  so memory rules can reason about *which* addresses are touched;
+* **memory** — the set of statically-known addresses holding secret
+  data, plus a conservative flag once a secret is stored through a
+  pointer the analysis cannot resolve;
+* **LR discipline** — whether LR holds a live return address.
+
+After the fixpoint converges a final emission pass walks each reachable
+block once and reports violations: secret-dependent branches (KA101),
+secret-indexed loads/stores (KA102/KA103), declassification notes
+(KA104), privilege violations (KA201-KA203), LR misuse (KA204), and
+memory-safety lint (KA205-KA207).
+
+This is a lint, not a proof: the value domain widens aggressively on
+loops, so a program that walks public memory with a moving pointer
+*while also* holding secrets nearby may be flagged conservatively.  The
+dynamic checker in ``repro.security.sidechannel`` is the precision
+complement; the two are cross-validated on a shared corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.findings import Finding, make_finding
+from repro.arm.bits import (
+    WORD_MASK,
+    add_wrap,
+    asr,
+    lsl,
+    lsr,
+    mul_wrap,
+    not_word,
+    ror,
+    sub_wrap,
+)
+from repro.arm.instructions import REG_LR, REG_SP, Instruction, metadata
+from repro.arm.memory import WORDSIZE
+from repro.monitor.layout import SVC
+
+NUM_REGS = 15  # r0-r12, sp, lr
+
+#: An abstract value: None is "any word"; otherwise an inclusive
+#: (lo, hi) interval, with lo == hi for an exactly-known constant.
+Interval = Optional[Tuple[int, int]]
+
+#: Cap on tracked secret addresses before collapsing to the
+#: unknown-store flag (keeps the state finite on generated code).
+_MAX_SECRET_ADDRS = 4096
+
+#: Joins at a block head before unstable values are widened to ``any``.
+_WIDEN_AFTER = 2
+
+
+class AnalysisError(Exception):
+    """The fixpoint failed to converge (should never happen)."""
+
+
+@dataclass(frozen=True)
+class MappedRange:
+    """One mapped region of the enclave's virtual address space."""
+
+    start: int
+    end: int  # exclusive
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+
+    def __contains__(self, va: int) -> bool:
+        return self.start <= va < self.end
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """What the analyser knows about the program's environment."""
+
+    base_va: int = 0
+    #: VA ranges whose contents are secret (seed the taint lattice).
+    secret_ranges: Tuple[Tuple[int, int], ...] = ()
+    #: VA ranges shared with the untrusted OS (KA104 escape notes).
+    shared_ranges: Tuple[Tuple[int, int], ...] = ()
+    #: The full memory map, when known (enables KA205).  None disables
+    #: mapped-range checking entirely.
+    mapped_ranges: Optional[Tuple[MappedRange, ...]] = None
+    #: SVC numbers the program may issue; None = every defined SVC.
+    allowed_svcs: Optional[FrozenSet[int]] = None
+    #: Known register values at entry (the monitor zeroes SP and LR).
+    entry_values: Tuple[Tuple[int, int], ...] = ((REG_SP, 0), (REG_LR, 0))
+
+    def svc_allowed(self, number: int) -> bool:
+        if self.allowed_svcs is not None:
+            return number in self.allowed_svcs
+        return number in set(int(v) for v in SVC)
+
+
+def _ranges_overlap(lo: int, hi: int, ranges: Sequence[Tuple[int, int]]) -> bool:
+    return any(lo < end and hi >= start for start, end in ranges)
+
+
+@dataclass
+class AbsState:
+    """The abstract machine state at one program point.
+
+    ``mem`` maps statically-known word addresses to the taint of what
+    the program stored there, *overriding* the configured range default
+    (a secret page the program fully overwrote with public data reads
+    back public; a secret parked in a public page reads back secret).
+    """
+
+    taint: List[bool]
+    value: List[Interval]
+    flags_taint: bool = False
+    mem: Dict[int, bool] = field(default_factory=dict)
+    unknown_secret_store: bool = False
+    lr_live: bool = False
+
+    @classmethod
+    def entry(cls, config: AnalysisConfig) -> "AbsState":
+        state = cls(taint=[False] * NUM_REGS, value=[None] * NUM_REGS)
+        for reg, val in config.entry_values:
+            state.value[reg] = (val, val)
+        return state
+
+    def copy(self) -> "AbsState":
+        return AbsState(
+            taint=list(self.taint),
+            value=list(self.value),
+            flags_taint=self.flags_taint,
+            mem=dict(self.mem),
+            unknown_secret_store=self.unknown_secret_store,
+            lr_live=self.lr_live,
+        )
+
+
+def _join_value(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _const(value: Interval) -> Optional[int]:
+    if value is not None and value[0] == value[1]:
+        return value[0]
+    return None
+
+
+def _interval_add(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    lo, hi = a[0] + b[0], a[1] + b[1]
+    if hi > WORD_MASK:
+        return None  # may wrap: give up rather than model modular intervals
+    return (lo, hi)
+
+
+def _interval_sub(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    lo, hi = a[0] - b[1], a[1] - b[0]
+    if lo < 0:
+        return None
+    return (lo, hi)
+
+
+#: Exact evaluators for constant operands, mirroring the CPU.
+_CONST_OPS = {
+    "add": add_wrap,
+    "sub": sub_wrap,
+    "rsb": lambda a, b: sub_wrap(b, a),
+    "and": lambda a, b: a & b,
+    "orr": lambda a, b: a | b,
+    "eor": lambda a, b: a ^ b,
+    "bic": lambda a, b: a & not_word(b),
+    "mul": mul_wrap,
+    "lsl": lambda a, b: lsl(a, b & 0xFF),
+    "lsr": lambda a, b: lsr(a, b & 0xFF),
+    "asr": lambda a, b: asr(a, b & 0xFF),
+    "ror": lambda a, b: ror(a, b & 0xFF),
+}
+
+
+class TaintAnalysis:
+    """Fixpoint dataflow over one CFG under one configuration."""
+
+    def __init__(self, cfg: CFG, config: AnalysisConfig):
+        self.cfg = cfg
+        self.config = config
+        self.in_states: Dict[int, AbsState] = {}
+        self._join_counts: Dict[int, int] = {}
+        self._findings: List[Finding] = []
+        self._emitted: Set[Tuple[str, int]] = set()
+        self._emitting = False
+
+    # -- lattice ----------------------------------------------------------
+
+    def _range_secret(self, addr: int) -> bool:
+        """The taint an address holds before the program touches it."""
+        return _ranges_overlap(addr, addr, self.config.secret_ranges)
+
+    def _join(self, a: AbsState, b: AbsState) -> AbsState:
+        mem: Dict[int, bool] = {}
+        for addr in set(a.mem) | set(b.mem):
+            default = self._range_secret(addr)
+            mem[addr] = a.mem.get(addr, default) or b.mem.get(addr, default)
+        return AbsState(
+            taint=[x or y for x, y in zip(a.taint, b.taint)],
+            value=[_join_value(x, y) for x, y in zip(a.value, b.value)],
+            flags_taint=a.flags_taint or b.flags_taint,
+            mem=mem,
+            unknown_secret_store=a.unknown_secret_store
+            or b.unknown_secret_store,
+            lr_live=a.lr_live and b.lr_live,
+        )
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        cfg = self.cfg
+        entry_state = AbsState.entry(self.config)
+        self.in_states[cfg.entry] = entry_state
+        worklist: List[int] = [cfg.entry]
+        visits = 0
+        while worklist:
+            visits += 1
+            if visits > 50 * max(1, len(cfg.blocks)):
+                raise AnalysisError("taint fixpoint did not converge")
+            start = worklist.pop(0)
+            block = cfg.blocks[start]
+            state = self.in_states[start].copy()
+            for index in range(block.start, block.end):
+                state = self._transfer(state, index)
+            for succ in block.successors:
+                incoming = self.in_states.get(succ)
+                if incoming is None:
+                    self.in_states[succ] = state.copy()
+                    worklist.append(succ)
+                    continue
+                joined = self._join(incoming, state)
+                if joined == incoming:
+                    continue
+                count = self._join_counts.get(succ, 0) + 1
+                self._join_counts[succ] = count
+                if count > _WIDEN_AFTER:
+                    joined = self._widen(incoming, joined)
+                self.in_states[succ] = joined
+                if succ not in worklist:
+                    worklist.append(succ)
+        # Emission pass: states are stable; walk each reachable block
+        # once and report findings.
+        self._emitting = True
+        for start in sorted(self.cfg.reachable):
+            block = cfg.blocks[start]
+            state = self.in_states[start].copy()
+            for index in range(block.start, block.end):
+                state = self._transfer(state, index)
+        return self._findings
+
+    @staticmethod
+    def _widen(old: AbsState, new: AbsState) -> AbsState:
+        """Discard interval bounds that are still growing."""
+        widened = new.copy()
+        for i in range(NUM_REGS):
+            if old.value[i] != new.value[i]:
+                widened.value[i] = None
+        return widened
+
+    # -- findings ---------------------------------------------------------
+
+    def _emit(self, rule: str, message: str, index: int) -> None:
+        if not self._emitting or (rule, index) in self._emitted:
+            return
+        self._emitted.add((rule, index))
+        self._findings.append(
+            make_finding(rule, message, index, self.cfg.base_va)
+        )
+
+    # -- transfer function ------------------------------------------------
+
+    def _transfer(self, state: AbsState, index: int) -> AbsState:
+        instr = self.cfg.instructions[index]
+        if instr is None:
+            return state  # undecodable: CFG already reported KA001
+        op = instr.op
+        meta = metadata(instr)
+        if meta.is_privileged:
+            self._emit(
+                "KA201",
+                f"{op} is undefined in user mode: enclaves cannot make "
+                "monitor calls reserved for the OS",
+                index,
+            )
+            return state
+        if meta.is_trap:
+            self._emit("KA202", "reachable udf always faults the thread", index)
+            return state
+        if meta.sets_flags:
+            state.flags_taint = any(state.taint[r] for r in meta.reads)
+            return state
+        if meta.is_conditional:
+            if state.flags_taint:
+                self._emit(
+                    "KA101",
+                    f"{op} tests flags derived from secret data: iteration "
+                    "count and fetch trace depend on the secret",
+                    index,
+                )
+            return state
+        if meta.is_call:
+            state.value[REG_LR] = ((index + 1) * WORDSIZE + self.cfg.base_va,) * 2
+            state.taint[REG_LR] = False
+            state.lr_live = True
+            return state
+        if meta.is_return:
+            self._check_return(state, index)
+            return state
+        if meta.is_branch:
+            return state
+        if meta.is_svc:
+            return self._transfer_svc(state, instr, index)
+        if meta.memory is not None:
+            return self._transfer_memory(state, instr, meta, index)
+        # Plain ALU / move instruction.
+        return self._transfer_alu(state, instr, meta, index)
+
+    # -- instruction classes ----------------------------------------------
+
+    def _transfer_alu(self, state, instr: Instruction, meta, index: int):
+        dest = instr.rd
+        state.taint[dest] = any(state.taint[r] for r in meta.reads)
+        state.value[dest] = self._eval(state, instr)
+        if dest == REG_LR:
+            state.lr_live = True
+        return state
+
+    def _eval(self, state: AbsState, instr: Instruction) -> Interval:
+        op = instr.op
+        if op == "movw":
+            return (instr.imm, instr.imm)
+        if op == "movt":
+            low = _const(state.value[instr.rd])
+            if low is None:
+                return None
+            value = (low & 0xFFFF) | (instr.imm << 16)
+            return (value, value)
+        if op == "mov":
+            return state.value[instr.rm]
+        if op == "mvn":
+            operand = _const(state.value[instr.rm])
+            return None if operand is None else (not_word(operand),) * 2
+        if op in ("addi", "subi"):
+            rhs: Interval = (instr.imm, instr.imm)
+            lhs = state.value[instr.rn]
+            if op == "addi":
+                return _interval_add(lhs, rhs)
+            return _interval_sub(lhs, rhs)
+        if op in ("add", "sub"):
+            lhs, rhs = state.value[instr.rn], state.value[instr.rm]
+            return (
+                _interval_add(lhs, rhs)
+                if op == "add"
+                else _interval_sub(lhs, rhs)
+            )
+        if op == "lsli":
+            operand = state.value[instr.rn]
+            if operand is None or operand[1] << instr.imm > WORD_MASK:
+                return None
+            return (operand[0] << instr.imm, operand[1] << instr.imm)
+        if op in ("lsri", "asri"):
+            operand = _const(state.value[instr.rn])
+            if operand is None:
+                return None
+            result = (lsr if op == "lsri" else asr)(operand, instr.imm)
+            return (result, result)
+        if op == "and":
+            # Masking with a known constant bounds the result even when
+            # the other operand is unknown (the table-lookup idiom).
+            lhs, rhs = state.value[instr.rn], state.value[instr.rm]
+            lhs_c, rhs_c = _const(lhs), _const(rhs)
+            if lhs_c is not None and rhs_c is not None:
+                return (lhs_c & rhs_c,) * 2
+            mask = rhs_c if rhs_c is not None else lhs_c
+            return None if mask is None else (0, mask)
+        evaluator = _CONST_OPS.get(op)
+        if evaluator is not None:
+            lhs = _const(state.value[instr.rn])
+            rhs = _const(state.value[instr.rm])
+            if lhs is not None and rhs is not None:
+                return (evaluator(lhs, rhs),) * 2
+        return None
+
+    def _transfer_svc(self, state: AbsState, instr: Instruction, index: int):
+        number = instr.imm
+        if not self.config.svc_allowed(number):
+            self._emit(
+                "KA203",
+                f"svc #{number} is not a defined monitor call",
+                index,
+            )
+        if number == SVC.EXIT:
+            if state.taint[0]:
+                self._emit(
+                    "KA104",
+                    "exit value in r0 is derived from secret data and is "
+                    "returned to the OS",
+                    index,
+                )
+            return state
+        # The monitor reads r0-r12 as arguments and writes results back
+        # into the same window; SP, LR and the flags are preserved.
+        for reg in range(13):
+            state.taint[reg] = False
+            state.value[reg] = None
+        return state
+
+    def _transfer_memory(self, state, instr: Instruction, meta, index: int):
+        base = state.value[instr.rn]
+        base_taint = state.taint[instr.rn]
+        if instr.op in ("ldr", "str"):
+            offset: Interval = (instr.imm, instr.imm)
+            offset_taint = False
+        else:
+            offset = state.value[instr.rm]
+            offset_taint = state.taint[instr.rm]
+        addr = _interval_add(base, offset)
+        addr_taint = base_taint or offset_taint
+        is_store = meta.memory == "store"
+        if addr_taint:
+            self._emit(
+                "KA103" if is_store else "KA102",
+                f"{instr.op} address depends on secret data: the "
+                f"{'store' if is_store else 'load'} trace indexes the secret",
+                index,
+            )
+        self._check_address(state, instr, addr, is_store, index)
+        if is_store:
+            self._store(state, addr, state.taint[instr.rd], index)
+            return state
+        state.taint[instr.rd] = addr_taint or self._load_taint(state, addr)
+        state.value[instr.rd] = None
+        if instr.rd == REG_LR:
+            state.lr_live = True
+        return state
+
+    def _load_taint(self, state: AbsState, addr: Interval) -> bool:
+        if state.unknown_secret_store:
+            return True
+        if addr is None:
+            # The pointer could alias anything: secret if any secret
+            # exists to alias.
+            return bool(self.config.secret_ranges) or any(
+                state.mem.values()
+            )
+        exact = _const(addr)
+        if exact is not None:
+            return state.mem.get(exact, self._range_secret(exact))
+        lo, hi = addr
+        if _ranges_overlap(lo, hi, self.config.secret_ranges):
+            return True
+        return any(lo <= a <= hi and t for a, t in state.mem.items())
+
+    def _store(
+        self, state: AbsState, addr: Interval, value_taint: bool, index: int
+    ) -> None:
+        if value_taint and addr is not None:
+            if _ranges_overlap(addr[0], addr[1], self.config.shared_ranges):
+                self._emit(
+                    "KA104",
+                    "secret-derived value stored to OS-shared memory",
+                    index,
+                )
+        exact = _const(addr)
+        if exact is not None:
+            state.mem[exact] = value_taint
+            if len(state.mem) > _MAX_SECRET_ADDRS:
+                state.unknown_secret_store = (
+                    state.unknown_secret_store or any(state.mem.values())
+                )
+                state.mem.clear()
+            return
+        if value_taint:
+            # A secret went somewhere we cannot name — unless the
+            # pointer provably stays inside already-secret memory.
+            if addr is not None and self.config.secret_ranges:
+                lo, hi = addr
+                if any(
+                    start <= lo and hi < end
+                    for start, end in self.config.secret_ranges
+                ):
+                    return
+            state.unknown_secret_store = True
+        # An imprecise *public* store needs no action: it can only lower
+        # the taint of whatever it overwrites, so existing entries and
+        # range defaults remain an over-approximation.
+
+    # -- ABI checks -------------------------------------------------------
+
+    def _check_return(self, state: AbsState, index: int) -> None:
+        lr = _const(state.value[REG_LR])
+        code_end = self.cfg.base_va + len(self.cfg.words) * WORDSIZE
+        if not state.lr_live:
+            self._emit(
+                "KA204",
+                "bxlr executes before any bl or explicit LR setup: LR still "
+                "holds the monitor's entry value",
+                index,
+            )
+        elif lr is not None and not (
+            self.cfg.base_va <= lr < code_end and lr % WORDSIZE == 0
+        ):
+            self._emit(
+                "KA204",
+                f"bxlr returns to {lr:#010x}, outside the code region",
+                index,
+            )
+
+    def _check_address(
+        self,
+        state: AbsState,
+        instr: Instruction,
+        addr: Interval,
+        is_store: bool,
+        index: int,
+    ) -> None:
+        exact = _const(addr)
+        if exact is None:
+            return
+        kind = "store" if is_store else "load"
+        if exact % WORDSIZE:
+            self._emit(
+                "KA206",
+                f"{kind} from {exact:#010x} is not word aligned and will "
+                "abort",
+                index,
+            )
+            return
+        ranges = self.config.mapped_ranges
+        if ranges is not None:
+            hit = next((r for r in ranges if exact in r), None)
+            if hit is None:
+                self._emit(
+                    "KA205",
+                    f"{kind} at {exact:#010x} hits no mapped page and will "
+                    "abort",
+                    index,
+                )
+            elif is_store and not hit.writable:
+                self._emit(
+                    "KA205",
+                    f"store to read-only memory at {exact:#010x} will abort",
+                    index,
+                )
+            elif not is_store and not hit.readable:
+                self._emit(
+                    "KA205",
+                    f"load from unreadable memory at {exact:#010x} will "
+                    "abort",
+                    index,
+                )
+        elif instr.rn == REG_SP and _const(state.value[REG_SP]) == 0:
+            self._emit(
+                "KA207",
+                "stack access through SP before the program established a "
+                "stack (SP is zero at enclave entry)",
+                index,
+            )

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 from repro.arm.instructions import (
     BRANCH_OPS,
     FORMATS,
+    OPERAND_LAYOUT,
     Instruction,
     decode,
 )
@@ -27,32 +28,33 @@ def _reg(index: int) -> str:
     return _REG_NAMES.get(index, f"?{index}")
 
 
-def render(instr: Instruction) -> str:
-    """Render one instruction in the assembler's notation."""
-    op = instr.op
-    fmt = FORMATS[op][1]
-    if fmt == "rrr":
-        return f"{op} {_reg(instr.rd)}, {_reg(instr.rn)}, {_reg(instr.rm)}"
-    if fmt == "rri":
-        return f"{op} {_reg(instr.rd)}, {_reg(instr.rn)}, #{instr.imm:#x}"
-    if fmt == "rr":
-        return f"{op} {_reg(instr.rd)}, {_reg(instr.rm)}"
-    if fmt == "ri":
-        return f"{op} {_reg(instr.rd)}, #{instr.imm:#x}"
-    if fmt == "cmp_r":
-        return f"{op} {_reg(instr.rn)}, {_reg(instr.rm)}"
-    if fmt == "cmp_i":
-        return f"{op} {_reg(instr.rn)}, #{instr.imm:#x}"
-    if fmt == "mem_i":
-        return f"{op} {_reg(instr.rd)}, [{_reg(instr.rn)}, #{instr.imm:#x}]"
-    if fmt == "mem_r":
-        return f"{op} {_reg(instr.rd)}, [{_reg(instr.rn)}, {_reg(instr.rm)}]"
-    if fmt == "b":
+def _operand(token: str, instr: Instruction) -> str:
+    """Render one OPERAND_LAYOUT token against a concrete instruction."""
+    if token == "offset":
         sign = "+" if instr.imm >= 0 else ""
-        return f"{op} .{sign}{instr.imm + 1}"
-    if fmt == "svc":
-        return f"{op} #{instr.imm}"
-    return op
+        return f".{sign}{instr.imm + 1}"
+    if token == "#imm":
+        # Branch/SVC call numbers read naturally in decimal; data
+        # immediates in hex (addresses, masks, constants).
+        style = "#{imm}" if FORMATS[instr.op][1] == "svc" else "#{imm:#x}"
+        return style.format(imm=instr.imm)
+    if token.startswith("["):
+        inner = token[1:-1].split(", ")
+        return "[" + ", ".join(_operand(part, instr) for part in inner) + "]"
+    return _reg(getattr(instr, token))
+
+
+def render(instr: Instruction) -> str:
+    """Render one instruction in the assembler's notation.
+
+    Operand order and grouping come from ``OPERAND_LAYOUT`` — the same
+    table the static analyser uses — so the disassembler cannot drift
+    from the instruction set's own description of its formats.
+    """
+    layout = OPERAND_LAYOUT[FORMATS[instr.op][1]]
+    if not layout:
+        return instr.op
+    return f"{instr.op} " + ", ".join(_operand(tok, instr) for tok in layout)
 
 
 def disassemble_word(word: int) -> str:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.arm.bits import WORD_MASK, get_bits, to_signed
+from repro.arm.bits import WORD_MASK, get_bits, to_signed  # noqa: F401
 
 REG_SP = 13
 REG_LR = 14
@@ -110,6 +110,146 @@ _BY_OPCODE = {opcode: (name, fmt) for name, (opcode, fmt) in FORMATS.items()}
 
 BRANCH_OPS = frozenset(op for op, (_, fmt) in FORMATS.items() if fmt == "b")
 CONDITIONAL_BRANCHES = BRANCH_OPS - {"b", "bl"}
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction metadata
+# ---------------------------------------------------------------------------
+
+#: Operand rendering layout per format: which fields appear, in order,
+#: and how.  ``#imm`` renders as an immediate; ``[rn, …]`` groups the
+#: address operand of memory forms.  The disassembler and the static
+#: analyser both consume this table, so there is exactly one place that
+#: knows what a format's operands are.
+OPERAND_LAYOUT: Dict[str, Tuple[str, ...]] = {
+    "rrr": ("rd", "rn", "rm"),
+    "rri": ("rd", "rn", "#imm"),
+    "rr": ("rd", "rm"),
+    "ri": ("rd", "#imm"),
+    "cmp_r": ("rn", "rm"),
+    "cmp_i": ("rn", "#imm"),
+    "mem_i": ("rd", "[rn, #imm]"),
+    "mem_r": ("rd", "[rn, rm]"),
+    "b": ("offset",),
+    "svc": ("#imm",),
+    "none": (),
+}
+
+_GPR_ARGS = tuple(range(13))  # r0-r12: the SVC argument/result window
+
+#: Mnemonics that read the NZCV flags (conditional branches).
+FLAG_READERS = CONDITIONAL_BRANCHES
+#: Mnemonics that set flags (the compare family).
+FLAG_SETTERS = frozenset({"cmp", "cmpi", "tst"})
+
+
+@dataclass(frozen=True)
+class InstrMeta:
+    """Static facts about one decoded instruction.
+
+    ``reads``/``writes`` are register indices (13 = SP, 14 = LR).  SVCs
+    conservatively read and write the whole r0-r12 window: the monitor
+    passes r0-r12 as arguments and writes results back into it.
+    """
+
+    reads: Tuple[int, ...]
+    writes: Tuple[int, ...]
+    sets_flags: bool
+    reads_flags: bool
+    is_branch: bool
+    is_conditional: bool
+    is_call: bool
+    is_return: bool
+    memory: Optional[str]  # "load" | "store" | None
+    is_svc: bool
+    is_privileged: bool  # SMC-class: undefined from user mode
+    is_trap: bool  # udf
+
+    @property
+    def is_memory_op(self) -> bool:
+        return self.memory is not None
+
+    @property
+    def falls_through(self) -> bool:
+        """Can execution continue at the next instruction?
+
+        Unconditional branches and returns never fall through; neither
+        do privileged/trap instructions (they raise an exception).  An
+        SVC resumes at the next instruction unless the monitor ends the
+        thread (``svc EXIT``), which the analyser decides from the call
+        number, not from here.
+        """
+        if self.is_branch and not (self.is_conditional or self.is_call):
+            return False
+        if self.is_return or self.is_privileged or self.is_trap:
+            return False
+        return True
+
+
+def metadata(instr: Instruction) -> InstrMeta:
+    """Compute the metadata for one instruction."""
+    op = instr.op
+    if op not in FORMATS:
+        raise EncodingError(f"unknown mnemonic {op!r}")
+    fmt = FORMATS[op][1]
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    memory: Optional[str] = None
+    if fmt == "rrr":
+        reads, writes = (instr.rn, instr.rm), (instr.rd,)
+    elif fmt == "rri":
+        reads, writes = (instr.rn,), (instr.rd,)
+    elif fmt == "rr":
+        reads, writes = (instr.rm,), (instr.rd,)
+    elif fmt == "ri":
+        # movt inserts into the destination's top half: it reads rd too.
+        reads = (instr.rd,) if op == "movt" else ()
+        writes = (instr.rd,)
+    elif fmt == "cmp_r":
+        reads = (instr.rn, instr.rm)
+    elif fmt == "cmp_i":
+        reads = (instr.rn,)
+    elif fmt == "mem_i":
+        if op == "ldr":
+            reads, writes, memory = (instr.rn,), (instr.rd,), "load"
+        else:  # str
+            reads, memory = (instr.rn, instr.rd), "store"
+    elif fmt == "mem_r":
+        if op == "ldrr":
+            reads, writes, memory = (instr.rn, instr.rm), (instr.rd,), "load"
+        else:  # strr
+            reads, memory = (instr.rn, instr.rm, instr.rd), "store"
+    elif fmt == "svc":
+        if op == "svc":
+            reads, writes = _GPR_ARGS, _GPR_ARGS
+    elif fmt == "b":
+        if op == "bl":
+            writes = (REG_LR,)
+    elif fmt == "none":
+        if op == "bxlr":
+            reads = (REG_LR,)
+    return InstrMeta(
+        reads=reads,
+        writes=writes,
+        sets_flags=op in FLAG_SETTERS,
+        reads_flags=op in FLAG_READERS,
+        is_branch=op in BRANCH_OPS,
+        is_conditional=op in CONDITIONAL_BRANCHES,
+        is_call=op == "bl",
+        is_return=op == "bxlr",
+        memory=memory,
+        is_svc=op == "svc",
+        is_privileged=op == "smc",
+        is_trap=op == "udf",
+    )
+
+
+def branch_target_index(instr: Instruction, index: int) -> Optional[int]:
+    """Word index a branch at ``index`` transfers to, or None if the
+    instruction is not a PC-relative branch (``bxlr`` is indirect)."""
+    if instr.op in BRANCH_OPS:
+        return index + instr.imm + 1
+    return None
 
 
 def _check_reg(index: int) -> int:

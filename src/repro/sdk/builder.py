@@ -13,6 +13,7 @@ verification against an expected measurement, and teardown.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,10 @@ IDENTITY_VA = 0x0030_0000
 
 class BuildError(Exception):
     """The enclave description cannot be realised."""
+
+
+class EnclaveLintWarning(UserWarning):
+    """The enclave's code failed static analysis (``build(lint="warn")``)."""
 
 
 @dataclass
@@ -59,6 +64,7 @@ class EnclaveBuilder:
         self._threads: List[int] = []  # entry points
         self._spares = 0
         self._native: Optional[NativeEnclaveProgram] = None
+        self._code_regions: List[Tuple[int, List[int]]] = []  # (va, words)
 
     # -- description -------------------------------------------------------
 
@@ -67,6 +73,7 @@ class EnclaveBuilder:
         words = asm.assemble()
         if not words:
             raise BuildError("empty program")
+        self._code_regions.append((va, list(words)))
         for offset in range(0, len(words), WORDS_PER_PAGE):
             chunk = words[offset : offset + WORDS_PER_PAGE]
             self._pages.append(
@@ -123,13 +130,91 @@ class EnclaveBuilder:
             self._threads.append(identity_va)
         return self
 
+    # -- static analysis ---------------------------------------------------
+
+    def lint_config(self):
+        """The analysis configuration implied by this description.
+
+        The builder knows the enclave's whole memory map, so the
+        analyser gets real ground truth: every pending page becomes a
+        mapped range with its permissions, secure *writable* data pages
+        (the enclave's private state) seed the secret-taint lattice, and
+        insecure shared buffers are the OS-visible ranges for
+        declassification notes.
+        """
+        from repro.analysis.dataflow import AnalysisConfig, MappedRange
+
+        mapped = [
+            MappedRange(p.va, p.va + PAGE_SIZE, *p.perms) for p in self._pages
+        ]
+        mapped.extend(
+            MappedRange(s.va, s.va + PAGE_SIZE, True, s.writable, False)
+            for s in self._shared
+        )
+        secrets = tuple(
+            (p.va, p.va + PAGE_SIZE)
+            for p in self._pages
+            if p.perms[1] and not p.perms[2]  # writable, non-executable
+        )
+        shared = tuple((s.va, s.va + PAGE_SIZE) for s in self._shared)
+        return AnalysisConfig(
+            secret_ranges=secrets,
+            shared_ranges=shared,
+            mapped_ranges=tuple(mapped),
+        )
+
+    def lint(self) -> List["object"]:
+        """Statically analyse every code region against the enclave's
+        own memory map; returns one report per (region, entry point)."""
+        from dataclasses import replace
+
+        from repro.analysis.lint import analyze_words
+
+        config = self.lint_config()
+        reports = []
+        for va, words in self._code_regions:
+            end = va + len(words) * 4
+            entries = [e for e in self._threads if va <= e < end] or [va]
+            for entry in entries:
+                reports.append(
+                    analyze_words(
+                        words,
+                        config=replace(config, base_va=va),
+                        program=f"code@{va:#x}+entry@{entry:#x}",
+                        entry_va=entry,
+                    )
+                )
+        return reports
+
+    def _run_lint(self, mode: str) -> None:
+        if mode == "off" or not self._code_regions:
+            return
+        if mode not in ("warn", "error"):
+            raise BuildError(f"unknown lint mode {mode!r}")
+        for report in self.lint():
+            if report.ok:
+                continue
+            rendered = report.render()
+            if mode == "error":
+                raise BuildError(f"enclave code fails static analysis:\n{rendered}")
+            warnings.warn(rendered, EnclaveLintWarning, stacklevel=3)
+
     # -- realisation ------------------------------------------------------------
 
-    def build(self) -> "EnclaveHandle":
+    def build(self, lint: str = "warn") -> "EnclaveHandle":
+        """Realise the enclave through the monitor API.
+
+        ``lint`` selects what happens when the static analyser finds
+        error-severity problems in the enclave's code: ``"error"``
+        refuses to build (the SDK-level analogue of the paper's
+        verify-before-run discipline), ``"warn"`` (the default) emits an
+        ``EnclaveLintWarning``, ``"off"`` skips analysis.
+        """
         if not self._threads:
             raise BuildError("an enclave needs at least one thread")
         if not self._pages and self._native is None:
             raise BuildError("an enclave needs code or a native program")
+        self._run_lint(lint)
         kernel = self.kernel
         as_page, l1pt_page = kernel.init_addrspace()
         owned = [l1pt_page]

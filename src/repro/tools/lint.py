@@ -1,0 +1,214 @@
+"""Static-analysis CLI: lint enclave programs before they are measured.
+
+Default mode runs the built-in corpus — the repository's assembled
+enclave programs, the example programs, and the deliberately-leaky
+fixtures — in *expectation* mode: clean programs must produce no
+error-severity findings, and every leaky fixture must still be caught
+with its expected rule ID.  Either kind of regression fails the run, so
+CI guards both the programs and the analyser itself::
+
+    python -m repro.tools.lint
+
+Explicit targets are linted raw: name a factory returning an
+``Assembler`` as ``module:function`` (or ``path/to/file.py:function``)
+and the exit status reflects the findings — nonzero when any
+error-severity finding fires::
+
+    python -m repro.tools.lint repro.analysis.corpus:secret_branch_program
+
+Options select the environment for explicit targets; the default is the
+side-channel harness layout (code at 0x1000, secret page at 0x2000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import pathlib
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.corpus import CORPUS, CorpusEntry
+from repro.analysis.dataflow import AnalysisConfig
+from repro.analysis.findings import Report, Severity
+from repro.analysis.lint import analyze_assembler, sidechannel_config
+from repro.arm.assembler import Assembler
+
+#: Example programs linted by default mode, with expected error rules.
+#: (file under examples/, factory function, expected rule IDs)
+EXAMPLE_PROGRAMS: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
+    ("constant_time_check.py", "naive_compare", ("KA101",)),
+    ("constant_time_check.py", "constant_time_compare", ()),
+)
+
+
+def _examples_dir() -> Optional[pathlib.Path]:
+    root = pathlib.Path(__file__).resolve().parents[3] / "examples"
+    return root if root.is_dir() else None
+
+
+def _load_from_file(path: pathlib.Path, function: str) -> Callable[[], Assembler]:
+    if not path.is_file():
+        raise SystemExit(f"lint: no such file {path}")
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"lint: cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    factory = getattr(module, function, None)
+    if factory is None:
+        raise SystemExit(f"lint: {path} has no attribute {function!r}")
+    return factory
+
+
+def _resolve_target(target: str) -> Tuple[str, Callable[[], Assembler]]:
+    """Resolve ``module:function`` or ``file.py:function`` to a factory."""
+    if ":" not in target:
+        raise SystemExit(
+            f"lint: target {target!r} must be module:function or file.py:function"
+        )
+    location, function = target.rsplit(":", 1)
+    if location.endswith(".py"):
+        factory = _load_from_file(pathlib.Path(location), function)
+    else:
+        module = importlib.import_module(location)
+        factory = getattr(module, function, None)
+        if factory is None:
+            raise SystemExit(f"lint: {location} has no attribute {function!r}")
+    return target, factory
+
+
+def _parse_range(text: str) -> Tuple[int, int]:
+    if ":" not in text:
+        raise SystemExit(f"lint: range {text!r} must be START:END (hex ok)")
+    start, end = (int(part, 0) for part in text.split(":", 1))
+    return start, end
+
+
+def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
+    if not (args.secret or args.base_va is not None):
+        return sidechannel_config()
+    base = sidechannel_config()
+    return AnalysisConfig(
+        base_va=base.base_va if args.base_va is None else args.base_va,
+        secret_ranges=tuple(_parse_range(r) for r in args.secret)
+        or base.secret_ranges,
+        mapped_ranges=None,  # custom worlds: skip mapped-range checking
+    )
+
+
+def _print_report(report: Report, verbose: bool) -> None:
+    if verbose or report.findings:
+        print(report.render())
+
+
+def _check_entry(
+    name: str,
+    factory: Callable[[], Assembler],
+    config: AnalysisConfig,
+    expect: Tuple[str, ...],
+    verbose: bool,
+) -> Tuple[bool, Report]:
+    report = analyze_assembler(factory(), config, program=name)
+    if expect:
+        missed = [rule for rule in expect if rule not in report.rule_ids()]
+        ok = not missed
+        verdict = (
+            f"expected {', '.join(expect)} caught"
+            if ok
+            else f"ANALYSER MISSED {', '.join(missed)}"
+        )
+    else:
+        ok = report.ok
+        verdict = "clean" if ok else f"errors: {', '.join(report.rule_ids())}"
+    print(f"{'ok  ' if ok else 'FAIL'} {name:34} {verdict}")
+    if verbose or not ok:
+        for finding in report.sorted():
+            print("      " + finding.render())
+    return ok, report
+
+
+def _default_entries() -> List[Tuple[str, Callable[[], Assembler], AnalysisConfig, Tuple[str, ...]]]:
+    entries: List[
+        Tuple[str, Callable[[], Assembler], AnalysisConfig, Tuple[str, ...]]
+    ] = [
+        (entry.name, entry.build, entry.config(), entry.expect)
+        for entry in CORPUS
+    ]
+    examples = _examples_dir()
+    if examples is not None:
+        for filename, function, expect in EXAMPLE_PROGRAMS:
+            path = examples / filename
+            if not path.is_file():
+                continue
+            factory = _load_from_file(path, function)
+            entries.append(
+                (
+                    f"examples/{path.stem}:{function}",
+                    factory,
+                    sidechannel_config(),
+                    expect,
+                )
+            )
+    return entries
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="statically analyse enclave programs (KA rule set)",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="module:function or file.py:function factories returning an "
+        "Assembler; with no targets the built-in corpus runs in "
+        "expectation mode",
+    )
+    parser.add_argument(
+        "--base-va", type=lambda v: int(v, 0), default=None,
+        help="code base VA for explicit targets (default: 0x1000)",
+    )
+    parser.add_argument(
+        "--secret", action="append", default=[], metavar="START:END",
+        help="declare a secret VA range (repeatable; hex accepted)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list corpus entries and exit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print every finding"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for entry in CORPUS:
+            expectation = ", ".join(entry.expect) if entry.expect else "clean"
+            print(f"{entry.name:30} expects: {expectation}")
+        return 0
+
+    if args.targets:
+        config = _config_from_args(args)
+        failed = False
+        for target in args.targets:
+            name, factory = _resolve_target(target)
+            report = analyze_assembler(factory(), config, program=name)
+            print(report.render())
+            failed = failed or not report.ok
+        return 1 if failed else 0
+
+    # Default expectation mode over the corpus + examples.
+    failures = 0
+    for name, factory, config, expect in _default_entries():
+        ok, _ = _check_entry(name, factory, config, expect, args.verbose)
+        failures += 0 if ok else 1
+    if failures:
+        print(f"lint: {failures} program(s) failed")
+        return 1
+    print("lint: all programs passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Static analysis wired into ``EnclaveBuilder.build``.
+
+The builder knows the enclave's full memory map, so it can hand the
+analyser ground truth: which pages exist, their permissions, which are
+secret (writable secure data) and which are OS-shared.  ``build`` runs
+the lint by default and warns; ``lint="error"`` refuses to build leaky
+code — the SDK-level analogue of verify-before-run.
+"""
+
+import warnings
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SVC
+from repro.osmodel.kernel import OSKernel
+from repro.arm.assembler import Assembler
+from repro.sdk.builder import (
+    BuildError,
+    CODE_VA,
+    DATA_VA,
+    SHARED_VA,
+    EnclaveBuilder,
+    EnclaveLintWarning,
+)
+
+
+@pytest.fixture
+def kernel():
+    return OSKernel(KomodoMonitor(secure_pages=48))
+
+
+def clean_asm():
+    asm = Assembler()
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.eor("r5", "r5", "r5")
+    asm.movw("r0", 7)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def leaky_asm():
+    """Branches on a word of the enclave's private (secret) data page."""
+    asm = Assembler()
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.tst("r5", "r5")
+    asm.beq("out")
+    asm.nop()
+    asm.label("out")
+    asm.movw("r0", 0)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def builder_for(kernel, asm, writable=True):
+    builder = EnclaveBuilder(kernel).add_code(asm)
+    builder.add_data(contents=[0x5EC2E7], va=DATA_VA, writable=writable)
+    builder.add_thread(CODE_VA)
+    return builder
+
+
+class TestLintConfig:
+    def test_writable_data_pages_are_secret(self, kernel):
+        config = builder_for(kernel, clean_asm()).lint_config()
+        assert any(start <= DATA_VA < end for start, end in config.secret_ranges)
+
+    def test_readonly_data_pages_are_not_secret(self, kernel):
+        config = builder_for(kernel, clean_asm(), writable=False).lint_config()
+        assert not any(
+            start <= DATA_VA < end for start, end in config.secret_ranges
+        )
+
+    def test_memory_map_covers_code_and_shared(self, kernel):
+        builder = builder_for(kernel, clean_asm()).add_shared_buffer()
+        config = builder.lint_config()
+        assert any(CODE_VA in r for r in config.mapped_ranges)
+        shared_range = next(r for r in config.mapped_ranges if SHARED_VA in r)
+        assert not shared_range.executable
+        assert any(
+            start <= SHARED_VA < end for start, end in config.shared_ranges
+        )
+
+    def test_code_pages_not_writable_in_map(self, kernel):
+        config = builder_for(kernel, clean_asm()).lint_config()
+        code_range = next(r for r in config.mapped_ranges if CODE_VA in r)
+        assert code_range.executable and not code_range.writable
+
+
+class TestBuildModes:
+    def test_clean_enclave_builds_without_warning(self, kernel):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EnclaveLintWarning)
+            enclave = builder_for(kernel, clean_asm()).build()
+        assert enclave.call() == (KomErr.SUCCESS, 7)
+
+    def test_leaky_enclave_warns_by_default(self, kernel):
+        with pytest.warns(EnclaveLintWarning, match="KA101"):
+            builder_for(kernel, leaky_asm()).build()
+
+    def test_lint_error_refuses_to_build(self, kernel):
+        with pytest.raises(BuildError, match="KA101"):
+            builder_for(kernel, leaky_asm()).build(lint="error")
+
+    def test_lint_off_builds_silently(self, kernel):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EnclaveLintWarning)
+            enclave = builder_for(kernel, leaky_asm()).build(lint="off")
+        assert enclave.call()[0] is KomErr.SUCCESS
+
+    def test_unknown_lint_mode_rejected(self, kernel):
+        with pytest.raises(BuildError):
+            builder_for(kernel, clean_asm()).build(lint="sometimes")
+
+    def test_lint_error_still_allows_clean_code(self, kernel):
+        enclave = builder_for(kernel, clean_asm()).build(lint="error")
+        assert enclave.call() == (KomErr.SUCCESS, 7)
+
+    def test_reports_name_region_and_entry(self, kernel):
+        reports = builder_for(kernel, leaky_asm()).lint()
+        assert len(reports) == 1
+        assert f"{CODE_VA:#x}" in reports[0].program
+        assert not reports[0].ok
+
+    def test_multiple_threads_each_analysed(self, kernel):
+        """Each entry point inside a code region gets its own report."""
+        asm = Assembler()
+        asm.movw("r0", 1)
+        asm.svc(SVC.EXIT)
+        asm.movw("r0", 2)  # second thread's entry (word 2)
+        asm.svc(SVC.EXIT)
+        builder = EnclaveBuilder(kernel).add_code(asm)
+        builder.add_thread(CODE_VA)
+        builder.add_thread(CODE_VA + 8)
+        reports = builder.lint()
+        assert len(reports) == 2
+        assert all(r.ok for r in reports)

@@ -1,0 +1,104 @@
+"""Static/dynamic cross-validation over the shared corpus.
+
+The static taint analyser and the dynamic side-channel checker are two
+implementations of the same judgement — "is this program constant-time
+in its secrets?" — built on entirely different mechanisms (abstract
+interpretation vs. trace differencing).  These tests pin their agreement
+on every corpus entry: each clean program passes both, each leaky
+fixture is caught by both, and for the same reason (branch vs. access
+pattern).
+"""
+
+import pytest
+
+from repro.analysis.corpus import CORPUS, DYNAMIC_SECRETS
+from repro.analysis.lint import analyze_assembler
+from repro.security.sidechannel import check_constant_time
+
+STATIC_IDS = [entry.name for entry in CORPUS]
+DYNAMIC_ENTRIES = [entry for entry in CORPUS if entry.dynamic]
+DYNAMIC_IDS = [entry.name for entry in DYNAMIC_ENTRIES]
+
+
+class TestStaticVerdicts:
+    @pytest.mark.parametrize("entry", CORPUS, ids=STATIC_IDS)
+    def test_expected_rules(self, entry):
+        report = analyze_assembler(
+            entry.build(), entry.config(), program=entry.name
+        )
+        if entry.leaky:
+            missing = set(entry.expect) - set(report.rule_ids())
+            assert not missing, (
+                f"analyser missed {sorted(missing)}; got {report.render()}"
+            )
+        else:
+            assert report.ok, report.render()
+
+    @pytest.mark.parametrize("entry", CORPUS, ids=STATIC_IDS)
+    def test_findings_are_locatable(self, entry):
+        """Every reported finding names a real instruction address."""
+        report = analyze_assembler(entry.build(), entry.config())
+        size = len(entry.build().assemble())
+        for finding in report.findings:
+            assert 0 <= finding.index < size
+            assert finding.va == report.base_va + finding.index * 4
+
+
+class TestDynamicVerdicts:
+    @pytest.mark.parametrize("entry", DYNAMIC_ENTRIES, ids=DYNAMIC_IDS)
+    def test_dynamic_checker_agrees(self, entry):
+        report = check_constant_time(entry.build(), entry.dynamic_secrets())
+        if entry.leaky:
+            assert not report.constant_time, (
+                f"{entry.name}: static analysis flags {entry.expect} but "
+                "the dynamic checker saw no divergence"
+            )
+        else:
+            assert report.constant_time, (
+                f"{entry.name}: dynamically leaks ({report.first_divergence}) "
+                "but static analysis calls it clean"
+            )
+
+    def test_leak_kind_matches_rule_family(self):
+        """KA101 manifests as a timing or fetch-trace leak; KA102/KA103
+        as a data-access-trace leak at matching event kind."""
+        by_name = {entry.name: entry for entry in CORPUS}
+        branch = by_name["leaky/secret-branch"]
+        report = check_constant_time(branch.build(), branch.dynamic_secrets())
+        assert report.instruction_count_leak or report.address_trace_leak
+
+        load = by_name["leaky/secret-indexed-load"]
+        report = check_constant_time(load.build(), load.dynamic_secrets())
+        assert report.address_trace_leak
+        assert "load" in report.first_divergence
+
+        store = by_name["leaky/secret-indexed-store"]
+        report = check_constant_time(store.build(), store.dynamic_secrets())
+        assert report.address_trace_leak
+        assert "store" in report.first_divergence
+
+    def test_corpus_programs_actually_run(self):
+        """Clean corpus programs exit normally under every secret (the
+        agreement test would be vacuous over crashing programs)."""
+        from repro.arm.cpu import ExitReason
+        from repro.security.sidechannel import profile
+
+        for entry in DYNAMIC_ENTRIES:
+            for secret in entry.dynamic_secrets():
+                run = profile(entry.build(), secret)
+                assert run.exit_reason is ExitReason.SVC, (
+                    f"{entry.name} under {secret[:4]}…: {run.exit_reason}"
+                )
+
+
+class TestCorpusShape:
+    def test_every_ct_rule_has_a_leaky_witness(self):
+        """The corpus covers each constant-time rule with at least one
+        fixture, so a regression in any rule is caught by default CI."""
+        expected = {rule for entry in CORPUS for rule in entry.expect}
+        assert {"KA101", "KA102", "KA103"} <= expected
+
+    def test_secrets_are_plural(self):
+        assert len(DYNAMIC_SECRETS) >= 2
+        for entry in DYNAMIC_ENTRIES:
+            assert len(entry.dynamic_secrets()) >= 2

@@ -1,0 +1,361 @@
+"""The taint/ABI abstract interpretation, rule by rule (KA1xx, KA2xx)."""
+
+import pytest
+
+from repro.analysis.dataflow import AnalysisConfig, MappedRange
+from repro.analysis.lint import analyze_assembler, sidechannel_config
+from repro.arm.assembler import Assembler
+from repro.arm.memory import PAGE_SIZE
+from repro.monitor.layout import SVC
+from repro.security.sidechannel import CODE_VA, SECRET_VA
+
+SCRATCH_VA = SECRET_VA + PAGE_SIZE
+
+
+def rules(report):
+    return set(report.rule_ids())
+
+
+def analyze(asm, config=None):
+    return analyze_assembler(asm, config or sidechannel_config())
+
+
+def load_secret(asm, reg="r5"):
+    asm.mov32("r4", SECRET_VA)
+    asm.ldr(reg, "r4", 0)
+
+
+class TestConstantTimeRules:
+    def test_secret_branch_ka101(self):
+        asm = Assembler()
+        load_secret(asm)
+        asm.cmpi("r5", 0)
+        branch_index = asm.position
+        asm.beq("out")
+        asm.nop()
+        asm.label("out")
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA101" in rules(report)
+        finding = next(f for f in report.findings if f.rule == "KA101")
+        assert finding.index == branch_index
+        assert finding.va == CODE_VA + branch_index * 4
+        assert not report.ok
+
+    def test_public_branch_clean(self):
+        asm = Assembler()
+        asm.movw("r5", 3)
+        asm.cmpi("r5", 0)
+        asm.beq("out")
+        asm.nop()
+        asm.label("out")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        assert analyze(asm).findings == []
+
+    def test_taint_through_arithmetic(self):
+        """Taint survives any chain of ALU ops into a branch."""
+        asm = Assembler()
+        load_secret(asm)
+        asm.eor("r6", "r5", "r5")  # still tainted (no SSA-style zeroing)
+        asm.addi("r6", "r6", 1)
+        asm.lsli("r6", "r6", 2)
+        asm.cmpi("r6", 4)
+        asm.bne("out")
+        asm.label("out")
+        asm.svc(SVC.EXIT)
+        assert "KA101" in rules(analyze(asm))
+
+    def test_overwrite_clears_taint(self):
+        asm = Assembler()
+        load_secret(asm)
+        asm.movw("r5", 0)  # overwritten with a constant
+        asm.cmpi("r5", 0)
+        asm.beq("out")
+        asm.label("out")
+        asm.svc(SVC.EXIT)
+        assert "KA101" not in rules(analyze(asm))
+
+    def test_secret_indexed_load_ka102(self):
+        asm = Assembler()
+        load_secret(asm)
+        asm.ldrr("r0", "r4", "r5")
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA102" in rules(report)
+
+    def test_secret_indexed_store_ka103(self):
+        asm = Assembler()
+        load_secret(asm)
+        asm.mov32("r7", SCRATCH_VA)
+        asm.movw("r0", 1)
+        asm.strr("r0", "r7", "r5")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        assert "KA103" in rules(analyze(asm))
+
+    def test_public_indexed_access_clean(self):
+        asm = Assembler()
+        asm.mov32("r4", SECRET_VA)
+        asm.movw("r5", 8)
+        asm.ldrr("r0", "r4", "r5")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA102" not in rules(report)
+
+    def test_secret_exit_value_is_a_note(self):
+        asm = Assembler()
+        load_secret(asm, "r0")
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA104" in rules(report)
+        assert report.ok  # notes do not fail the build
+
+    def test_store_to_shared_memory_is_a_note(self):
+        shared = (0x8000, 0x8000 + PAGE_SIZE)
+        base = sidechannel_config()
+        config = AnalysisConfig(
+            base_va=base.base_va,
+            secret_ranges=base.secret_ranges,
+            shared_ranges=(shared,),
+            mapped_ranges=base.mapped_ranges
+            + (MappedRange(shared[0], shared[1], True, True, False),),
+        )
+        asm = Assembler()
+        load_secret(asm)
+        asm.mov32("r6", shared[0])
+        asm.str_("r5", "r6", 0)
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        report = analyze(asm, config)
+        assert "KA104" in rules(report)
+        assert report.ok
+
+    def test_svc_launders_the_argument_window(self):
+        """The monitor overwrites r0-r12 on return from a non-exit SVC,
+        so secrets held there beforehand are gone afterwards."""
+        asm = Assembler()
+        load_secret(asm, "r0")
+        asm.mov32("r0", CODE_VA)  # plausible handler address
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.cmpi("r0", 0)  # r0 now monitor-written: public
+        asm.beq("out")
+        asm.label("out")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA101" not in rules(report)
+        assert "KA104" not in rules(report)
+
+
+class TestMemoryModel:
+    def test_public_overwrite_of_secret_address_reads_back_public(self):
+        """A store of public data to a known secret-page address makes a
+        later load from that exact address public."""
+        asm = Assembler()
+        asm.mov32("r4", SECRET_VA)
+        asm.movw("r5", 7)
+        asm.str_("r5", "r4", 0)  # secret[0] = public 7
+        asm.ldr("r0", "r4", 0)  # reads back public
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA104" not in rules(report)
+
+    def test_secret_parked_in_scratch_reads_back_secret(self):
+        asm = Assembler()
+        load_secret(asm)
+        asm.mov32("r6", SCRATCH_VA)
+        asm.str_("r5", "r6", 0)  # park the secret in public memory
+        asm.movw("r5", 0)
+        asm.ldr("r0", "r6", 0)  # it is still secret on the way back
+        asm.svc(SVC.EXIT)
+        assert "KA104" in rules(analyze(asm))
+
+    def test_loop_with_moving_pointer_terminates(self):
+        """Widening must make an unbounded pointer walk converge."""
+        asm = Assembler()
+        asm.mov32("r4", SECRET_VA)
+        asm.label("loop")
+        asm.ldr("r5", "r4", 0)
+        asm.addi("r4", "r4", 4)
+        asm.cmpi("r5", 0)
+        asm.bne("loop")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        analyze(asm)  # must not raise AnalysisError
+
+
+class TestPrivilegeAndABIRules:
+    def test_smc_ka201(self):
+        from repro.analysis.lint import analyze_words
+        from repro.arm.instructions import Instruction, encode
+
+        # The assembler refuses to emit smc (enclave code never should);
+        # hand-encode it, as an adversarial loader would.
+        words = [
+            encode(Instruction("smc", imm=1)),
+            encode(Instruction("svc", imm=SVC.EXIT)),
+        ]
+        report = analyze_words(words, sidechannel_config())
+        assert "KA201" in rules(report)
+        assert not report.ok
+
+    def test_udf_ka202_warning(self):
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.udf()
+        report = analyze(asm)
+        assert "KA202" in rules(report)
+        assert report.ok  # warning severity
+
+    def test_unknown_svc_ka203(self):
+        asm = Assembler()
+        asm.svc(0x123456)
+        asm.svc(SVC.EXIT)
+        assert "KA203" in rules(analyze(asm))
+
+    def test_every_defined_svc_accepted(self):
+        for number in SVC:
+            asm = Assembler()
+            asm.svc(int(number))
+            asm.svc(SVC.EXIT)
+            assert "KA203" not in rules(analyze(asm)), number
+
+    def test_allowed_svcs_restriction(self):
+        base = sidechannel_config()
+        config = AnalysisConfig(
+            base_va=base.base_va,
+            secret_ranges=base.secret_ranges,
+            mapped_ranges=base.mapped_ranges,
+            allowed_svcs=frozenset({int(SVC.EXIT)}),
+        )
+        asm = Assembler()
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.svc(SVC.EXIT)
+        assert "KA203" in rules(analyze(asm, config))
+
+    def test_bxlr_before_any_call_ka204(self):
+        asm = Assembler()
+        asm.bxlr()
+        report = analyze(asm)
+        assert "KA204" in rules(report)
+
+    def test_call_return_pairing_clean(self):
+        asm = Assembler()
+        asm.bl("func")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        asm.label("func")
+        asm.movw("r1", 1)
+        asm.bxlr()
+        report = analyze(asm)
+        assert "KA204" not in rules(report)
+        assert report.ok
+
+    def test_clobbered_lr_ka204(self):
+        asm = Assembler()
+        asm.bl("func")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        asm.label("func")
+        asm.mov32("lr", 0x9000_0000)  # points far outside the region
+        asm.bxlr()
+        assert "KA204" in rules(analyze(asm))
+
+    def test_unmapped_load_ka205(self):
+        asm = Assembler()
+        asm.mov32("r4", 0x0050_0000)
+        asm.ldr("r0", "r4", 0)
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        assert "KA205" in rules(report)
+
+    def test_store_to_readonly_code_ka205(self):
+        asm = Assembler()
+        asm.mov32("r4", CODE_VA)
+        asm.movw("r5", 1)
+        asm.str_("r5", "r4", 0)  # code page is r-x
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        assert "KA205" in rules(analyze(asm))
+
+    def test_mapped_access_clean(self):
+        asm = Assembler()
+        asm.mov32("r4", SCRATCH_VA)
+        asm.movw("r5", 1)
+        asm.str_("r5", "r4", 0)
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        assert "KA205" not in rules(analyze(asm))
+
+    def test_no_map_means_no_ka205(self):
+        config = AnalysisConfig(base_va=CODE_VA, mapped_ranges=None)
+        asm = Assembler()
+        asm.mov32("r4", 0x0050_0000)
+        asm.ldr("r0", "r4", 0)
+        asm.svc(SVC.EXIT)
+        assert "KA205" not in rules(analyze(asm, config))
+
+    def test_misaligned_access_ka206(self):
+        asm = Assembler()
+        asm.mov32("r4", SECRET_VA)
+        asm.ldr("r0", "r4", 2)  # halfway into a word
+        asm.svc(SVC.EXIT)
+        assert "KA206" in rules(analyze(asm))
+
+    def test_stack_access_before_setup_ka207(self):
+        """Without a memory map, a push through the still-zero SP is the
+        classic missing-prologue bug."""
+        config = AnalysisConfig(base_va=CODE_VA, mapped_ranges=None)
+        asm = Assembler()
+        asm.movw("r0", 1)
+        asm.str_("r0", "sp", 0)
+        asm.svc(SVC.EXIT)
+        report = analyze(asm, config)
+        assert "KA207" in rules(report)
+        assert report.ok  # warning severity
+
+    def test_established_stack_clean(self):
+        config = AnalysisConfig(base_va=CODE_VA, mapped_ranges=None)
+        asm = Assembler()
+        asm.mov32("sp", SCRATCH_VA + 0x100)
+        asm.movw("r0", 1)
+        asm.str_("r0", "sp", 0)
+        asm.svc(SVC.EXIT)
+        assert "KA207" not in rules(analyze(asm, config))
+
+
+class TestReportModel:
+    def test_findings_carry_addresses_and_paper_anchors(self):
+        asm = Assembler()
+        load_secret(asm)
+        asm.cmpi("r5", 0)
+        asm.beq("out")
+        asm.label("out")
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        finding = next(f for f in report.findings if f.rule == "KA101")
+        assert finding.va == CODE_VA + finding.index * 4
+        assert finding.paper == "§7.2"
+        rendered = finding.render()
+        assert "KA101" in rendered and f"{finding.va:#010x}" in rendered
+
+    def test_findings_deduplicated_across_loop_iterations(self):
+        """A leak inside a loop is reported once, not once per visit."""
+        asm = Assembler()
+        asm.mov32("r4", SECRET_VA)
+        asm.movw("r7", 0)
+        asm.label("loop")
+        asm.ldr("r5", "r4", 0)
+        asm.cmpi("r5", 0)
+        asm.beq("skip")
+        asm.label("skip")
+        asm.addi("r7", "r7", 1)
+        asm.cmpi("r7", 4)
+        asm.bne("loop")
+        asm.movw("r0", 0)
+        asm.svc(SVC.EXIT)
+        report = analyze(asm)
+        ka101 = [f for f in report.findings if f.rule == "KA101"]
+        assert len(ka101) == 1

@@ -46,7 +46,13 @@ class TestFaultUpcall:
         asm.lsli("r0", "r0", 8)
         asm.orr("r0", "r0", "r7")
         asm.svc(SVC.EXIT)
-        return EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        # Faults on purpose (the handler is under test): skip the lint.
+        return (
+            EnclaveBuilder(kernel)
+            .add_code(asm)
+            .add_thread(CODE_VA)
+            .build(lint="off")
+        )
 
     def test_fault_upcalls_into_handler(self, env):
         monitor, kernel = env
@@ -132,7 +138,8 @@ def build_self_paging_enclave(kernel, mapping: Mapping, interrupt_pad: int = 0):
     asm.svc(SVC.RESUME_FAULT)
     builder = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA)
     builder.add_spares(1)
-    return builder.add_data(contents=[0, mapping.encode()], writable=True).build()
+    builder.add_data(contents=[0, mapping.encode()], writable=True)
+    return builder.build(lint="off")  # self-paging: faults on purpose
 
 
 class TestResumeFault:

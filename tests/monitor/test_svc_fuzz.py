@@ -36,7 +36,13 @@ class TestSvcFuzz:
             asm.svc(number)
         asm.movw("r0", 0x600D)
         asm.svc(SVC.EXIT)
-        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        # Fuzzes arbitrary (often undefined) SVC numbers: skip the lint.
+        enclave = (
+            EnclaveBuilder(kernel)
+            .add_code(asm)
+            .add_thread(CODE_VA)
+            .build(lint="off")
+        )
         err, value = enclave.call()
         # An early EXIT (number 1 with its own retval) or our sentinel.
         assert err in (KomErr.SUCCESS, KomErr.FAULT)

@@ -72,7 +72,9 @@ class _Setup:
         builder.add_data(contents=[SECRET_W1, 0], va=DATA_VA, writable=True)
         builder.add_spares(1)
         builder.add_thread(CODE_VA)
-        self.victim = builder.build()
+        # The victim faults on purpose (self-paging): skip the static
+        # lint, which correctly predicts the aborts.
+        self.victim = builder.build(lint="off")
         attacker_asm = Assembler()
         attacker_asm.svc(SVC.EXIT)
         self.attacker = (

@@ -80,7 +80,9 @@ class _Setup:
         if self.shared:
             builder.add_shared_buffer(va=SHARED_VA)
         builder.add_thread(CODE_VA)
-        self.victim = builder.build()
+        # Some victims fault on purpose: skip the static lint, which
+        # correctly predicts the aborts.
+        self.victim = builder.build(lint="off")
         # A colluding attacker enclave (trivial: exits immediately).
         attacker_asm = Assembler()
         attacker_asm.svc(SVC.EXIT)
