@@ -22,10 +22,11 @@ variants differ only in which *physical* attacker they defeat).
 
 from __future__ import annotations
 
-from typing import Dict
+from array import array
+from typing import Dict, Iterable, List
 
-from repro.arm.bits import to_word
-from repro.arm.memory import MemoryFault, MemoryMap, PhysicalMemory
+from repro.arm.bits import WORDSIZE, to_word
+from repro.arm.memory import WORDS_PER_PAGE, MemoryFault, MemoryMap, PhysicalMemory
 from repro.crypto.sha256 import sha256
 
 
@@ -95,6 +96,26 @@ class EncryptedMemory(PhysicalMemory):
         super().write_word(address, ciphertext)
         self._tags[address] = self._tag(address, ciphertext)
 
+    # -- bulk helpers --------------------------------------------------------
+    # The base class implements these as raw slice operations on the flat
+    # store; here every word must pass through the engine (per-address
+    # keystream and tags), so they go word by word through the overrides.
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        return [self.read_word(address + i * WORDSIZE) for i in range(count)]
+
+    def write_words(self, address: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.write_word(address + i * WORDSIZE, value)
+
+    def zero_page(self, base: int) -> None:
+        for i in range(WORDS_PER_PAGE):
+            self.write_word(base + i * WORDSIZE, 0)
+
+    def copy_page(self, src: int, dst: int) -> None:
+        for i in range(WORDS_PER_PAGE):
+            self.write_word(dst + i * WORDSIZE, self.read_word(src + i * WORDSIZE))
+
     # -- the physical attacker's interface ----------------------------------
 
     def physical_read(self, address: int) -> int:
@@ -117,6 +138,6 @@ class EncryptedMemory(PhysicalMemory):
 
     def copy(self) -> "EncryptedMemory":
         dup = EncryptedMemory(self.map, device_key=self._device_key)
-        dup._words = dict(self._words)
+        dup._store = array(self._store.typecode, self._store)
         dup._tags = dict(self._tags)
         return dup

@@ -19,6 +19,27 @@ from repro.arm.registers import PSR, RegisterFile
 from repro.arm.tlb import TLB
 
 
+class UArchState:
+    """Microarchitectural caches owned by the fast-path execution engine.
+
+    Nothing here is architecturally visible: the caches hold decoded
+    instructions (keyed by physical address, validated against
+    ``PhysicalMemory.generation``) and translations (keyed by virtual
+    page, validated against ``TLB.version``).  A ``MachineState.copy()``
+    never shares this state — each snapshot warms its own caches.
+    """
+
+    __slots__ = ("icache", "utlb", "utlb_version")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.icache = {}
+        self.utlb = {}
+        self.utlb_version = -1
+
+
 @dataclass
 class MachineState:
     """Registers + memory + control state of the simulated platform."""
@@ -32,6 +53,7 @@ class MachineState:
     pending_interrupt: bool = False
     cycles: int = 0
     costs: CostModel = field(default_factory=CostModel)
+    uarch: UArchState = field(default_factory=UArchState)
 
     @classmethod
     def boot(cls, secure_pages: int = 64, insecure_size: int = 0x100000) -> "MachineState":
@@ -71,31 +93,32 @@ class MachineState:
         self.tlb.note_store(address)
 
     def mon_zero_page(self, base: int) -> None:
-        from repro.arm.memory import WORDS_PER_PAGE
-
         self.charge(self.costs.page_zero)
         self.memory.zero_page(base)
+        # Zeroing a page that holds a live page table must poison the
+        # TLB exactly like a word store would; one probe covers the page.
+        self.tlb.note_store(base)
 
     def mon_copy_page(self, src: int, dst: int) -> None:
-        from repro.arm.memory import WORDS_PER_PAGE
-
         self.charge(self.costs.page_copy)
         self.memory.copy_page(src, dst)
+        self.tlb.note_store(dst)
 
     # -- snapshots -----------------------------------------------------------
 
     def copy(self) -> "MachineState":
         """Deep copy (used by the refinement and noninterference harnesses)."""
+        memory = self.memory.copy()
         dup = MachineState(
             memmap=self.memmap,
-            memory=self.memory.copy(),
+            memory=memory,
             regs=self.regs.copy(),
-            tlb=TLB(),
+            tlb=self.tlb.copy(memory=memory),
             world=self.world,
             ttbr0=self.ttbr0,
             pending_interrupt=self.pending_interrupt,
             cycles=self.cycles,
             costs=self.costs,
+            uarch=UArchState(),
         )
-        dup.tlb.consistent = self.tlb.consistent
         return dup

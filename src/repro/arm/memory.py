@@ -10,18 +10,30 @@ a monitor image region (code and globals), a monitor stack, a region of
 *secure pages* reserved for enclaves and protected by hardware from
 normal-world access, and the remaining RAM as *insecure* memory fully
 accessible to the OS.
+
+Storage is a flat ``array``-backed word store covering the whole RAM
+range (the regions tile one contiguous span by construction), so word
+access is an index operation and the bulk page helpers are slice
+operations.  ``generation`` counts every mutation; the fast-path
+execution engine uses it to invalidate its decoded-instruction cache
+(see DESIGN.md, "Fast-path engine").  ``read_ops`` counts read
+*transactions* — a bulk ``read_words`` is one burst — which the page
+-table walker's regression tests use to pin its access complexity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
 from typing import Dict, Iterable, List
 
-from repro.arm.bits import WORDSIZE, to_word, word_aligned
+from repro.arm.bits import WORDSIZE, word_aligned
 from repro.arm.modes import World
 
 PAGE_SIZE = 0x1000
 WORDS_PER_PAGE = PAGE_SIZE // WORDSIZE
+
+#: Typecode of a 32-bit unsigned array element on this platform.
+_TYPECODE = next(tc for tc in ("I", "L") if array(tc).itemsize == 4)
 
 
 class MemoryFault(Exception):
@@ -34,23 +46,34 @@ class MemoryFault(Exception):
         self.reason = reason
 
 
-@dataclass(frozen=True)
 class Region:
     """A contiguous physical region ``[base, base+size)``."""
 
-    name: str
-    base: int
-    size: int
+    __slots__ = ("name", "base", "size", "limit")
 
-    @property
-    def limit(self) -> int:
-        return self.base + self.size
+    def __init__(self, name: str, base: int, size: int):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.limit = base + size
 
     def contains(self, address: int) -> bool:
         return self.base <= address < self.limit
 
     def overlaps(self, other: "Region") -> bool:
         return self.base < other.limit and other.base < self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.name!r}, {self.base:#x}, {self.size:#x})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Region)
+            and (self.name, self.base, self.size) == (other.name, other.base, other.size)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.base, self.size))
 
 
 class MemoryMap:
@@ -143,23 +166,42 @@ class PhysicalMemory:
 
     def __init__(self, memmap: MemoryMap):
         self.map = memmap
-        self._words: Dict[int, int] = {}
+        regions = memmap.regions()
+        base = min(region.base for region in regions)
+        limit = max(region.limit for region in regions)
+        if sum(region.size for region in regions) != limit - base:
+            # Flat addressing requires the regions to tile one span; the
+            # MemoryMap constructor lays them out back to back.
+            raise ValueError("memory map regions must tile a contiguous range")
+        self._base = base
+        self._size = limit - base
+        self._store = array(_TYPECODE, bytes(self._size))
+        #: Bumped on every mutation; invalidates fast-path caches.
+        self.generation = 0
+        #: Read transactions issued (a bulk read counts once).
+        self.read_ops = 0
 
     # -- raw access (no protection; used by the monitor and the loader) --
 
     def read_word(self, address: int) -> int:
-        if not word_aligned(address):
-            raise MemoryFault(address, "misaligned word read")
-        if not self.map.is_valid(address):
-            raise MemoryFault(address, "read of unmapped address")
-        return self._words.get(address, 0)
+        offset = address - self._base
+        if not offset & 3 and 0 <= offset < self._size:
+            self.read_ops += 1
+            return self._store[offset >> 2]
+        raise self._fault(address, "read")
 
     def write_word(self, address: int, value: int) -> None:
+        offset = address - self._base
+        if not offset & 3 and 0 <= offset < self._size:
+            self._store[offset >> 2] = value & 0xFFFFFFFF
+            self.generation += 1
+            return
+        raise self._fault(address, "write")
+
+    def _fault(self, address: int, what: str) -> MemoryFault:
         if not word_aligned(address):
-            raise MemoryFault(address, "misaligned word write")
-        if not self.map.is_valid(address):
-            raise MemoryFault(address, "write of unmapped address")
-        self._words[address] = to_word(value)
+            return MemoryFault(address, f"misaligned word {what}")
+        return MemoryFault(address, f"{what} of unmapped address")
 
     # -- world-checked access (used by OS code and devices) --------------
 
@@ -177,14 +219,33 @@ class PhysicalMemory:
         ):
             raise MemoryFault(address, f"normal-world {what} of protected memory")
 
-    # -- bulk helpers -----------------------------------------------------
+    # -- bulk helpers (slice operations on the flat store) ----------------
+
+    def _span(self, address: int, count: int) -> int:
+        """Word index of ``address`` when ``[address, address+4*count)``
+        lies inside the store, else a fault."""
+        offset = address - self._base
+        if not offset & 3 and 0 <= offset and offset + count * WORDSIZE <= self._size:
+            return offset >> 2
+        raise self._fault(address, "read")
 
     def read_words(self, address: int, count: int) -> List[int]:
-        return [self.read_word(address + i * WORDSIZE) for i in range(count)]
+        if count == 0:
+            return []
+        start = self._span(address, count)
+        self.read_ops += 1
+        return self._store[start : start + count].tolist()
 
     def write_words(self, address: int, values: Iterable[int]) -> None:
-        for i, value in enumerate(values):
-            self.write_word(address + i * WORDSIZE, value)
+        words = [value & 0xFFFFFFFF for value in values]
+        if not words:
+            return
+        offset = address - self._base
+        if offset & 3 or offset < 0 or offset + len(words) * WORDSIZE > self._size:
+            raise self._fault(address, "write")
+        start = offset >> 2
+        self._store[start : start + len(words)] = array(_TYPECODE, words)
+        self.generation += 1
 
     def read_page(self, base: int) -> List[int]:
         """Read a whole page as a list of words."""
@@ -192,23 +253,39 @@ class PhysicalMemory:
 
     def zero_page(self, base: int) -> None:
         """Zero-fill a whole page."""
-        for i in range(WORDS_PER_PAGE):
-            self.write_word(base + i * WORDSIZE, 0)
+        offset = base - self._base
+        if offset & 3 or offset < 0 or offset + PAGE_SIZE > self._size:
+            raise self._fault(base, "write")
+        start = offset >> 2
+        self._store[start : start + WORDS_PER_PAGE] = _ZERO_PAGE
+        self.generation += 1
 
     def copy_page(self, src: int, dst: int) -> None:
         """Copy one page of words from ``src`` to ``dst``."""
-        for i in range(WORDS_PER_PAGE):
-            self.write_word(dst + i * WORDSIZE, self.read_word(src + i * WORDSIZE))
+        src_start = self._span(src, WORDS_PER_PAGE)
+        self.read_ops += 1
+        offset = dst - self._base
+        if offset & 3 or offset < 0 or offset + PAGE_SIZE > self._size:
+            raise self._fault(dst, "write")
+        dst_start = offset >> 2
+        self._store[dst_start : dst_start + WORDS_PER_PAGE] = self._store[
+            src_start : src_start + WORDS_PER_PAGE
+        ]
+        self.generation += 1
 
     def snapshot_region(self, region: Region) -> Dict[int, int]:
         """Sparse snapshot of the words stored within ``region``."""
+        start = self._span(region.base, region.size // WORDSIZE)
+        words = self._store[start : start + region.size // WORDSIZE]
+        base = region.base
         return {
-            addr: value
-            for addr, value in self._words.items()
-            if region.contains(addr) and value != 0
+            base + (i << 2): value for i, value in enumerate(words) if value
         }
 
     def copy(self) -> "PhysicalMemory":
         dup = PhysicalMemory(self.map)
-        dup._words = dict(self._words)
+        dup._store = array(_TYPECODE, self._store)
         return dup
+
+
+_ZERO_PAGE = array(_TYPECODE, bytes(PAGE_SIZE))

@@ -147,29 +147,22 @@ class PageTableWalker:
         user code may have modified exactly these frames.
         """
         frames = []
-        for i in range(L1_ENTRIES):
-            l1_entry = self.memory.read_word(l1_base + i * WORDSIZE)
+        for l1_entry in self.memory.read_words(l1_base, L1_ENTRIES):
             if entry_type(l1_entry) != DESC_L1_COARSE:
                 continue
-            l2_base = entry_target(l1_entry)
-            for j in range(L2_ENTRIES):
-                l2_entry = self.memory.read_word(l2_base + j * WORDSIZE)
-                if entry_type(l2_entry) != DESC_L2_SMALL:
-                    continue
-                if l2_entry & PERM_W:
+            for l2_entry in self.memory.read_words(entry_target(l1_entry), L2_ENTRIES):
+                if entry_type(l2_entry) == DESC_L2_SMALL and l2_entry & PERM_W:
                     frames.append(entry_target(l2_entry))
         return frames
 
     def mapped_vaddrs(self, l1_base: int) -> List[int]:
         """Page-aligned virtual addresses with a valid mapping."""
         vaddrs = []
-        for i in range(L1_ENTRIES):
-            l1_entry = self.memory.read_word(l1_base + i * WORDSIZE)
+        for i, l1_entry in enumerate(self.memory.read_words(l1_base, L1_ENTRIES)):
             if entry_type(l1_entry) != DESC_L1_COARSE:
                 continue
-            l2_base = entry_target(l1_entry)
-            for j in range(L2_ENTRIES):
-                l2_entry = self.memory.read_word(l2_base + j * WORDSIZE)
+            l2_entries = self.memory.read_words(entry_target(l1_entry), L2_ENTRIES)
+            for j, l2_entry in enumerate(l2_entries):
                 if entry_type(l2_entry) == DESC_L2_SMALL:
                     vaddrs.append((i << 22) | (j << 12))
         return vaddrs

@@ -7,15 +7,23 @@ live first-level table or any second-level table it references, marks the
 TLB inconsistent.  The monitor must re-establish consistency (or prove a
 store did not touch the tables) before entering an enclave; the model
 enforces the "or flush" half by requiring the flag to be set at entry.
+
+``version`` is the fast-path coherence hook: it is bumped by every event
+after which cached translations may no longer match a fresh page-table
+walk — a flush, a TTBR load, or a store that poisons consistency.  The
+execution engine's micro-TLB (machine.UArchState) discards itself when
+the version changes, so the architectural flush discipline is exactly
+what keeps the fast path coherent.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Set
 
-from repro.arm.bits import WORDSIZE
 from repro.arm.memory import PAGE_SIZE, PhysicalMemory
 from repro.arm.pagetable import DESC_L1_COARSE, L1_ENTRIES, entry_target, entry_type
+
+_PAGE_MASK = ~(PAGE_SIZE - 1)
 
 
 class TLB:
@@ -25,34 +33,70 @@ class TLB:
         self.consistent = True
         self._table_pages: Set[int] = set()
         self.flush_count = 0
+        #: Bumped whenever cached translations may have gone stale.
+        self.version = 0
+        self._memory: Optional[PhysicalMemory] = None
+        self._l1_base: Optional[int] = None
 
     def flush(self) -> None:
         """A full TLB flush re-establishes consistency."""
         self.consistent = True
         self.flush_count += 1
+        self.version += 1
 
     def set_ttbr(self, memory: Optional[PhysicalMemory], l1_base: Optional[int]) -> None:
         """Model a TTBR0 load: recompute the watched footprint; the TLB
         becomes inconsistent until flushed."""
         self.consistent = False
+        self.version += 1
+        self._memory = memory
+        self._l1_base = l1_base
+        self._recompute_footprint()
+
+    def _recompute_footprint(self) -> None:
         self._table_pages = set()
+        memory, l1_base = self._memory, self._l1_base
         if memory is None or l1_base is None:
             return
-        self._table_pages.add(l1_base & ~(PAGE_SIZE - 1))
-        for i in range(L1_ENTRIES):
-            entry = memory.read_word(l1_base + i * WORDSIZE)
+        self._table_pages.add(l1_base & _PAGE_MASK)
+        for entry in memory.read_words(l1_base, L1_ENTRIES):
             if entry_type(entry) == DESC_L1_COARSE:
                 self._table_pages.add(entry_target(entry))
 
     def note_store(self, address: int) -> None:
-        """Record a store; stores into the live tables poison the TLB."""
-        if (address & ~(PAGE_SIZE - 1)) in self._table_pages:
+        """Record a store; stores into the live tables poison the TLB.
+
+        A store into the first-level table may install a pointer to a new
+        second-level table, so the watched footprint is recomputed there —
+        subsequent stores into that L2 page must poison too, even before
+        the next TTBR load.
+        """
+        page = address & _PAGE_MASK
+        if page in self._table_pages:
             self.consistent = False
+            self.version += 1
+            if self._l1_base is not None and page == self._l1_base & _PAGE_MASK:
+                self._recompute_footprint()
 
     def require_consistent(self) -> None:
         """Entry-time check the monitor relies on before running user code."""
         if not self.consistent:
             raise TLBInconsistent("enclave entry with inconsistent TLB")
+
+    def copy(self, memory: Optional[PhysicalMemory] = None) -> "TLB":
+        """Duplicate the consistency state, rebinding the watched memory.
+
+        ``memory`` should be the copied machine's PhysicalMemory so the
+        duplicate watches (and on L1 stores, re-walks) the right store.
+        """
+        dup = TLB()
+        dup.consistent = self.consistent
+        dup._table_pages = set(self._table_pages)
+        dup.flush_count = self.flush_count
+        dup.version = self.version
+        dup._memory = memory if memory is not None else self._memory
+        dup._l1_base = self._l1_base
+        return dup
 
 
 class TLBInconsistent(Exception):

@@ -211,7 +211,7 @@ def _execution_loop(
     Mirrors the paper's single-entry-point loop (section 7.2): user-mode
     entry happens at one place; every exception handler funnels back here.
     """
-    cpu = CPU(mon.state)
+    cpu = CPU(mon.state, engine=getattr(mon, "cpu_engine", None))
     svc_exits = 0
     # The attacker's interrupt deadline counts enclave instructions for
     # the whole Enter, surviving SVC returns and fault upcalls (the

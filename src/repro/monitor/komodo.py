@@ -54,11 +54,15 @@ class KomodoMonitor:
         secure_pages: int = 64,
         insecure_size: int = 0x100000,
         step_budget: int = 1_000_000,
+        cpu_engine: Optional[str] = None,
     ):
         self.state = state or MachineState.boot(
             secure_pages=secure_pages, insecure_size=insecure_size
         )
         self.rng = rng or HardwareRNG()
+        #: Execution engine for enclave code ("fast" | "reference" |
+        #: None for the repro.arm.cpu default).
+        self.cpu_engine = cpu_engine
         self.pagedb = PageDB(self.state)
         self.attestation = Attestation(self.state, self.rng)
         #: Max enclave instructions per entry before the harness injects a

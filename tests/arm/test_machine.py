@@ -72,6 +72,40 @@ class TestChargedHelpers:
         state.mon_write_word(l2 + 16, 0)  # store into the live L2
         assert not state.tlb.consistent
 
+    def _install_live_l2(self, state):
+        from repro.arm.pagetable import make_l1_entry
+
+        l1 = state.memmap.page_base(0)
+        l2 = state.memmap.page_base(1)
+        state.memory.write_word(l1, make_l1_entry(l2))
+        state.load_ttbr0(l1)
+        state.flush_tlb()
+        return l2
+
+    def test_zero_of_live_table_trips_consistency(self, state):
+        """mon_zero_page of an active L2 table is a page-table mutation
+        like any other store: the TLB must demand a flush before the
+        next walk (the PR-2 fast path relies on this poisoning)."""
+        from repro.arm.tlb import TLBInconsistent
+
+        l2 = self._install_live_l2(state)
+        state.mon_zero_page(l2)
+        assert not state.tlb.consistent
+        with pytest.raises(TLBInconsistent):
+            state.tlb.require_consistent()
+        state.flush_tlb()
+        state.tlb.require_consistent()
+
+    def test_copy_onto_live_table_trips_consistency(self, state):
+        l2 = self._install_live_l2(state)
+        state.mon_copy_page(state.memmap.insecure.base, l2)
+        assert not state.tlb.consistent
+
+    def test_zero_of_inert_page_leaves_tlb_alone(self, state):
+        self._install_live_l2(state)
+        state.mon_zero_page(state.memmap.page_base(3))  # not a table page
+        assert state.tlb.consistent
+
 
 class TestCopy:
     def test_copy_is_deep(self, state):

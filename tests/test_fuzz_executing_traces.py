@@ -91,6 +91,50 @@ class TestExecutingTraces:
         # Every step was refinement- and invariant-checked internally;
         # reaching here without RefinementError is the property.
 
+    @given(st.lists(actions, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_fast_engine_refines_reference_engine(self, trace):
+        """Monitor-level engine differential: the same hostile trace on
+        a fast-engine monitor and a reference-engine monitor must yield
+        identical SMC returns and identical cycle counters — enclave
+        execution through the fast path is observationally equivalent."""
+        monitors = {
+            engine: CheckedMonitor(
+                secure_pages=NPAGES, step_budget=500, cpu_engine=engine
+            )
+            for engine in ("fast", "reference")
+        }
+        threads = {
+            engine: build_enclave(checked) for engine, checked in monitors.items()
+        }
+        assert threads["fast"] == threads["reference"]
+        if threads["fast"] is None:  # pragma: no cover
+            return
+        for kind, arg in trace:
+            returns = {}
+            for engine, checked in monitors.items():
+                thread = threads[engine]
+                if kind == "enter":
+                    if arg % 3 == 0:
+                        checked.schedule_interrupt(arg)
+                    returns[engine] = checked.smc(SMC.ENTER, thread, arg, 0, 0)
+                elif kind == "resume":
+                    if arg % 2 == 0:
+                        checked.schedule_interrupt(arg)
+                    returns[engine] = checked.smc(SMC.RESUME, thread)
+                elif kind == "stop":
+                    returns[engine] = checked.smc(SMC.STOP, 0)
+                elif kind == "spare":
+                    returns[engine] = checked.smc(SMC.ALLOC_SPARE, 0, arg)
+                elif kind == "remove":
+                    returns[engine] = checked.smc(SMC.REMOVE, arg)
+                else:
+                    returns[engine] = checked.smc(999, arg, arg, arg, arg)
+            assert returns["fast"] == returns["reference"]
+            assert (
+                monitors["fast"].state.cycles == monitors["reference"].state.cycles
+            )
+
     @given(st.integers(1, 30))
     @settings(max_examples=30, deadline=None)
     def test_result_independent_of_interrupt_timing(self, deadline):
