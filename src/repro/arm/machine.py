@@ -5,6 +5,19 @@ platform: the register file, physical memory, TrustZone world, the
 control registers the monitor touches (TTBR0, SCR.NS, the VBAR-selected
 exception vector is implicit), the TLB consistency flag, the pending
 interrupt line, and the cycle counter driven by the cost model.
+
+Two hooks support the crash-consistency subsystem (``repro.faults``):
+
+* ``fault_plan`` — when set, every machine-visible monitor operation
+  (``mon_write_word``, ``mon_zero_page``, ``mon_copy_page``, journal
+  stage/commit/apply) first passes through ``fault_point``, which lets
+  an injection plan abort execution there by raising ``FaultInjected``
+  — simulating a watchdog reset or power loss inside the monitor.
+* ``txn`` — when set, monitor stores are buffered in the attached
+  transaction (``repro.monitor.journal.MonitorTransaction``) instead of
+  hitting physical memory; monitor reads merge the buffered view.  The
+  cycle cost of a buffered store is charged at record time, so the cost
+  model is unchanged from the eager-write monitor.
 """
 
 from __future__ import annotations
@@ -17,6 +30,25 @@ from repro.arm.memory import MemoryMap, PhysicalMemory
 from repro.arm.modes import Mode, World
 from repro.arm.registers import PSR, RegisterFile
 from repro.arm.tlb import TLB
+
+
+class FaultInjected(Exception):
+    """A simulated crash (watchdog reset / power loss) inside the monitor.
+
+    Raised by a fault-injection plan at a machine-visible monitor
+    operation.  Everything volatile — registers, the monitor's Python
+    call stack, a buffered transaction — is conceptually lost with the
+    machine; only physical memory survives.  The OS-visible way back is
+    ``KomodoMonitor.recover()``.
+    """
+
+    def __init__(self, op_index: int, kind: str, detail: int = 0):
+        super().__init__(
+            f"injected fault at monitor operation #{op_index} ({kind} {detail:#x})"
+        )
+        self.op_index = op_index
+        self.kind = kind
+        self.detail = detail
 
 
 class UArchState:
@@ -54,6 +86,11 @@ class MachineState:
     cycles: int = 0
     costs: CostModel = field(default_factory=CostModel)
     uarch: UArchState = field(default_factory=UArchState)
+    #: Active fault-injection plan (duck-typed; see repro.faults.injector).
+    fault_plan: Optional[object] = None
+    #: Active monitor transaction (see repro.monitor.journal); monitor
+    #: stores buffer here until the commit point.
+    txn: Optional[object] = None
 
     @classmethod
     def boot(cls, secure_pages: int = 64, insecure_size: int = 0x100000) -> "MachineState":
@@ -81,19 +118,54 @@ class MachineState:
         self.tlb.flush()
         self.charge(self.costs.tlb_flush)
 
+    # -- fault injection ---------------------------------------------------
+
+    def fault_point(self, kind: str, detail: int = 0) -> None:
+        """An injection point: a watchdog reset may fire here.
+
+        Called immediately *before* each machine-visible monitor
+        operation takes effect, so an abort at operation N leaves the
+        effects of operations 1..N-1 only.
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            plan.visit(self, kind, detail)
+
     # -- monitor-visible memory helpers (cycle charged) ---------------------
 
     def mon_read_word(self, address: int) -> int:
         self.charge(self.costs.mem_access)
+        if self.txn is not None:
+            buffered = self.txn.read(address)
+            if buffered is not None:
+                return buffered
         return self.memory.read_word(address)
+
+    def mon_read_words(self, address: int, count: int):
+        """Bulk monitor read merging any buffered transaction state.
+
+        Uncharged, like the raw ``memory.read_words`` burst it replaces
+        (callers charge the work that consumes the data, e.g. hashing).
+        """
+        if self.txn is not None:
+            return self.txn.read_words(self.memory, address, count)
+        return self.memory.read_words(address, count)
 
     def mon_write_word(self, address: int, value: int) -> None:
         self.charge(self.costs.mem_access)
+        self.fault_point("write", address)
+        if self.txn is not None:
+            self.txn.record_write(address, value)
+            return
         self.memory.write_word(address, value)
         self.tlb.note_store(address)
 
     def mon_zero_page(self, base: int) -> None:
         self.charge(self.costs.page_zero)
+        self.fault_point("zero-page", base)
+        if self.txn is not None:
+            self.txn.record_zero(base)
+            return
         self.memory.zero_page(base)
         # Zeroing a page that holds a live page table must poison the
         # TLB exactly like a word store would; one probe covers the page.
@@ -101,6 +173,10 @@ class MachineState:
 
     def mon_copy_page(self, src: int, dst: int) -> None:
         self.charge(self.costs.page_copy)
+        self.fault_point("copy-page", dst)
+        if self.txn is not None:
+            self.txn.record_copy_page(self.memory, src, dst)
+            return
         self.memory.copy_page(src, dst)
         self.tlb.note_store(dst)
 

@@ -1,0 +1,36 @@
+"""Fault injection and crash-consistency auditing for the monitor.
+
+The paper's proofs quantify over *every* reachable state; this package
+makes the states a watchdog reset can expose mid-SMC reachable in the
+executable model and checks them:
+
+* :mod:`repro.faults.injector` — deterministic plans that abort
+  execution at the N-th machine-visible monitor operation;
+* :mod:`repro.faults.audit` — post-crash consistency checking (spec
+  invariants via extraction plus an independent machine-level walk);
+* :mod:`repro.faults.campaign` — exhaustive per-step fault campaigns
+  over a full enclave lifecycle, with OS-side retry to completion and
+  a fast/reference differential mode.
+"""
+
+from repro.faults.audit import audit_monitor, machine_consistency, secure_state_digest
+from repro.faults.campaign import (
+    CampaignReport,
+    LifecycleCampaign,
+    StepReport,
+    run_differential,
+)
+from repro.faults.injector import FaultInjected, FaultPlan, inject
+
+__all__ = [
+    "CampaignReport",
+    "FaultInjected",
+    "FaultPlan",
+    "LifecycleCampaign",
+    "StepReport",
+    "audit_monitor",
+    "inject",
+    "machine_consistency",
+    "run_differential",
+    "secure_state_digest",
+]

@@ -1,0 +1,85 @@
+"""Deterministic fault-injection plans.
+
+A :class:`FaultPlan` attaches to ``MachineState.fault_plan`` and sees
+every machine-visible monitor operation via ``fault_point`` — buffered
+stores, journal stage/commit/apply/clear, and the quiescent
+``txn-boundary`` marker at the end of each transaction.  Plans are pure
+counters: a *discovery* pass (``abort_at=None``) counts the operations a
+call performs and records quiescent snapshots, and a *trial* pass
+(``abort_at=n``) raises :class:`FaultInjected` at the n-th operation,
+modelling a watchdog reset at exactly that point.  Campaigns enumerate
+``n`` from 1 to the discovered count — every step of every call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.arm.machine import FaultInjected, MachineState
+
+__all__ = ["FaultInjected", "FaultPlan", "inject"]
+
+
+class FaultPlan:
+    """Count monitor operations; optionally crash at the n-th.
+
+    Parameters
+    ----------
+    abort_at:
+        1-based operation index at which to raise ``FaultInjected``,
+        or None to only count (discovery mode).
+    kinds:
+        restrict counting/aborting to these fault-point kinds
+        (e.g. ``{"write", "zero-page"}``); None counts everything.
+    on_boundary:
+        discovery hook called with the machine state at every
+        ``txn-boundary`` point — campaigns use it to snapshot the
+        quiescent states an interrupted call may legally land in.
+    """
+
+    def __init__(
+        self,
+        abort_at: Optional[int] = None,
+        kinds: Optional[Set[str]] = None,
+        on_boundary: Optional[Callable[[MachineState], None]] = None,
+    ) -> None:
+        if abort_at is not None and abort_at < 1:
+            raise ValueError("abort_at is a 1-based operation index")
+        self.abort_at = abort_at
+        self.kinds = kinds
+        self.on_boundary = on_boundary
+        self.count = 0
+        self.fired = False
+        #: Every operation seen, as (kind, detail) — the campaign uses
+        #: the trace to label which operation a trial crashed at.
+        self.trace: List[Tuple[str, int]] = []
+
+    def visit(self, state: MachineState, kind: str, detail: int) -> None:
+        """Called from ``MachineState.fault_point`` before the operation."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.count += 1
+        self.trace.append((kind, detail))
+        if kind == "txn-boundary" and self.on_boundary is not None:
+            self.on_boundary(state)
+        if self.abort_at is not None and not self.fired and self.count == self.abort_at:
+            self.fired = True
+            raise FaultInjected(self.count, kind, detail)
+
+
+@contextmanager
+def inject(state: MachineState, plan: FaultPlan):
+    """Attach ``plan`` to ``state`` for the duration of the block.
+
+    The plan is detached on exit even when the injected fault (or any
+    other exception) propagates, so post-crash recovery and auditing
+    run without further injections.
+    """
+    if state.fault_plan is not None:
+        raise RuntimeError("a fault plan is already attached")
+    state.fault_plan = plan
+    try:
+        yield plan
+    finally:
+        state.fault_plan = None

@@ -30,6 +30,7 @@ from repro.arm.cpu import CPU, ExecutionResult, ExitReason
 from repro.arm.modes import Mode
 from repro.arm.registers import PSR
 from repro.monitor.errors import KomErr
+from repro.monitor.journal import run_transactional
 from repro.monitor.layout import AddrspaceState, PageType, SVC
 from repro.monitor.svc import (
     svc_attest,
@@ -64,6 +65,18 @@ class NativeYield:
     """Values a native program may yield at a preemption point."""
 
     PREEMPT = None  # plain `yield` — a preemption point
+
+
+def _atomically(mon: "KomodoMonitor", fn):
+    """Run a bookkeeping window as an always-committed transaction.
+
+    Enter/Resume cannot be atomic wholesale (user-mode stores hit memory
+    architecturally), so each multi-word monitor mutation — context
+    saves, entered/in-handler flag flips — is its own crash-atomic
+    window, and the quiescent states between windows are the ones a
+    crash audit accepts.
+    """
+    return run_transactional(mon.state, fn, commit_if=lambda _: True)
 
 
 def _validate_thread_for_execution(
@@ -178,7 +191,7 @@ def smc_resume(mon: "KomodoMonitor", thread_page: int) -> EnterOutcome:
     _setup_mmu(mon, asno)
     native = mon.native_program_for(thread_page)
     if native is not None:
-        pagedb.set_thread_entered(thread_page, False)
+        _atomically(mon, lambda: pagedb.set_thread_entered(thread_page, False))
         return _run_native(mon, thread_page, asno, native, resume=True)
     gprs, sp, lr, pc, cpsr_word = pagedb.load_thread_context(thread_page)
     # Context restore: 17 words loaded from the thread page into live
@@ -189,7 +202,7 @@ def smc_resume(mon: "KomodoMonitor", thread_page: int) -> EnterOutcome:
         regs.write_gpr(i, value)
     regs.write_sp(sp, Mode.USR)
     regs.write_lr(lr, Mode.USR)
-    pagedb.set_thread_entered(thread_page, False)
+    _atomically(mon, lambda: pagedb.set_thread_entered(thread_page, False))
     user_psr = PSR.from_word(cpsr_word)
     _enter_user_mode(mon, pc)
     # Restore the user-mode condition flags saved at interrupt time.
@@ -239,12 +252,17 @@ def _execution_loop(
             # upcall into the enclave instead of telling the OS anything.
             handler = mon.pagedb.fault_handler(thread_page)
             if handler != 0 and not mon.pagedb.in_fault_handler(thread_page):
-                pc = _save_fault_context(mon, thread_page, result)
+
+                def _upcall_bookkeeping():
+                    pc = _save_fault_context(mon, thread_page, result)
+                    mon.pagedb.set_in_fault_handler(thread_page, True)
+                    return pc
+
+                pc = _atomically(mon, _upcall_bookkeeping)
                 regs = mon.state.regs
                 regs.scrub_gprs()
                 regs.write_gpr(0, code)
                 regs.write_gpr(1, result.fault_address)
-                mon.pagedb.set_in_fault_handler(thread_page, True)
                 mon.state.regs.cpsr = PSR(
                     mode=Mode.USR, irq_masked=False, fiq_masked=False
                 )
@@ -254,7 +272,10 @@ def _execution_loop(
             # No handler (or double fault): the thread exits with an
             # error code but no other information, to avoid side-channel
             # leaks (paper section 4).
-            mon.pagedb.set_in_fault_handler(thread_page, False)
+            _atomically(
+                mon,
+                lambda: mon.pagedb.set_in_fault_handler(thread_page, False),
+            )
             _leave_user_mode(mon)
             _scrub_return_registers(mon)
             return EnterOutcome(KomErr.FAULT, code, svc_exits)
@@ -307,15 +328,22 @@ def _save_interrupted_context(
     pc = regs.read_lr(Mode.IRQ)
     spsr = regs.read_spsr(Mode.IRQ)
     gprs = [regs.read_gpr(i) for i in range(13)]
-    mon.pagedb.save_thread_context(
-        thread_page,
-        gprs,
-        regs.read_sp(Mode.USR),
-        regs.read_lr(Mode.USR),
-        pc,
-        spsr.to_word(),
-    )
-    mon.pagedb.set_thread_entered(thread_page, True)
+
+    def _save():
+        mon.pagedb.save_thread_context(
+            thread_page,
+            gprs,
+            regs.read_sp(Mode.USR),
+            regs.read_lr(Mode.USR),
+            pc,
+            spsr.to_word(),
+        )
+        mon.pagedb.set_thread_entered(thread_page, True)
+
+    # The 17-word context save plus the entered flag commit together: a
+    # crash mid-save must not leave a thread marked entered with a
+    # half-written frame (or a full frame it will never see).
+    _atomically(mon, _save)
     _scrub_return_registers(mon)
 
 
@@ -346,7 +374,9 @@ def _handle_svc(
         retval = args[0]
         # Registers are not saved: the thread may be re-entered.  An
         # exit from inside a fault handler abandons the faulting frame.
-        mon.pagedb.set_in_fault_handler(thread_page, False)
+        _atomically(
+            mon, lambda: mon.pagedb.set_in_fault_handler(thread_page, False)
+        )
         _scrub_return_registers(mon)
         return (EnterOutcome(KomErr.SUCCESS, retval), resume_pc)
     if number == SVC.RESUME_FAULT:
@@ -360,7 +390,9 @@ def _handle_svc(
             regs.write_gpr(i, value)
         regs.write_sp(sp, Mode.USR)
         regs.write_lr(lr, Mode.USR)
-        mon.pagedb.set_in_fault_handler(thread_page, False)
+        _atomically(
+            mon, lambda: mon.pagedb.set_in_fault_handler(thread_page, False)
+        )
         saved_psr = PSR.from_word(cpsr_word)
         regs.cpsr.n, regs.cpsr.z = saved_psr.n, saved_psr.z
         regs.cpsr.c, regs.cpsr.v = saved_psr.c, saved_psr.v
@@ -385,10 +417,32 @@ def dispatch_svc(
     """Route an SVC number to its handler (shared with native programs).
 
     ``thread_page`` identifies the calling thread, needed only by the
-    dispatcher-interface SVCs.
+    dispatcher-interface SVCs.  Runs under a transaction committed only
+    on SUCCESS, so every SVC is crash-atomic and error paths leave no
+    partial mutations.
     """
+    return run_transactional(
+        mon.state,
+        lambda: _dispatch_svc_pure(mon, asno, number, args, thread_page),
+        commit_if=lambda result: result[0] is KomErr.SUCCESS,
+    )
+
+
+def _dispatch_svc_pure(
+    mon: "KomodoMonitor",
+    asno: int,
+    number: int,
+    args: List[int],
+    thread_page: Optional[int] = None,
+) -> Tuple[KomErr, List[int]]:
     if number == SVC.SET_FAULT_HANDLER:
         if thread_page is None:
+            return (KomErr.INVALID_CALL, [])
+        if args[0] == 0 and mon.pagedb.in_fault_handler(thread_page):
+            # Clearing the handler from inside it would strand the saved
+            # faulting frame: RESUME_FAULT still works, but a *second*
+            # fault in the handler would then exit to the OS while the
+            # thread still claims to be in a handler.  Reject it.
             return (KomErr.INVALID_CALL, [])
         mon.pagedb.set_fault_handler(thread_page, args[0])
         return (KomErr.SUCCESS, [])
@@ -451,7 +505,9 @@ def _run_native(
         steps += 1
         if deadline is not None and steps >= deadline:
             mon.suspend_native_thread(thread_page, generator)
-            mon.pagedb.set_thread_entered(thread_page, True)
+            _atomically(
+                mon, lambda: mon.pagedb.set_thread_entered(thread_page, True)
+            )
             mon.state.charge(mon.state.costs.exception_entry)
             _leave_user_mode(mon)
             _scrub_return_registers(mon)

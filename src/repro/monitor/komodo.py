@@ -12,15 +12,18 @@ of the specification demands (paper section 5.2).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.arm.machine import MachineState
 from repro.arm.modes import Mode, World
 from repro.arm.registers import PSR
 from repro.crypto.rng import HardwareRNG
+from repro.monitor import journal
 from repro.monitor.attestation import Attestation
 from repro.monitor.enclave_exec import EnterOutcome, smc_enter, smc_resume
 from repro.monitor.errors import KomErr
+from repro.monitor.journal import run_transactional
 from repro.monitor.layout import SMC
 from repro.monitor.pagedb import PageDB
 from repro.monitor.smc import (
@@ -36,6 +39,14 @@ from repro.monitor.smc import (
     smc_remove,
     smc_stop,
 )
+
+
+@dataclass
+class RecoveryReport:
+    """What ``KomodoMonitor.recover`` found and did after a crash."""
+
+    journal: str  # journal.RECOVERY_CLEAN | _DISCARDED | _REPLAYED
+    native_threads_dropped: int = 0
 
 
 class KomodoMonitor:
@@ -83,6 +94,9 @@ class KomodoMonitor:
         #: moment user-mode execution begins (the paper's "(no return)"
         #: measurement point in Table 3).
         self.on_user_entry = None
+        #: Hook invoked at the end of ``recover()`` (the multicore
+        #: scheduler uses it to break a crashed core's monitor lock).
+        self.on_recover = None
         self.smc_count = 0
         self._boot()
 
@@ -188,9 +202,30 @@ class KomodoMonitor:
         state.charge(state.costs.exception_return + state.costs.world_switch)
 
     def _dispatch(self, callno: int, args) -> Tuple[KomErr, int]:
-        """Route an SMC number to its handler."""
+        """Route an SMC number to its handler.
+
+        Non-executing calls run under a transaction committed only on
+        SUCCESS, making each atomic against crashes and pure on error
+        paths.  Enter/Resume run enclave code whose user-mode stores are
+        architecturally immediate, so they manage their own smaller
+        transaction windows inside ``enclave_exec``.
+        """
         state = self.state
         state.charge(4 * state.costs.instruction)  # call-number compare chain
+        if callno == SMC.ENTER:
+            outcome = smc_enter(self, args[0], args[1], args[2], args[3])
+            return (outcome.err, outcome.value)
+        if callno == SMC.RESUME:
+            outcome = smc_resume(self, args[0])
+            return (outcome.err, outcome.value)
+        return run_transactional(
+            state,
+            lambda: self._dispatch_pure(callno, args),
+            commit_if=lambda result: result[0] is KomErr.SUCCESS,
+        )
+
+    def _dispatch_pure(self, callno: int, args) -> Tuple[KomErr, int]:
+        """The non-executing SMC handlers (run inside a transaction)."""
         if callno == SMC.QUERY:
             return smc_query(self)
         if callno == SMC.GET_PHYSPAGES:
@@ -211,12 +246,48 @@ class KomodoMonitor:
             return smc_remove(self, args[0])
         if callno == SMC.FINALISE:
             return smc_finalise(self, args[0])
-        if callno == SMC.ENTER:
-            outcome = smc_enter(self, args[0], args[1], args[2], args[3])
-            return (outcome.err, outcome.value)
-        if callno == SMC.RESUME:
-            outcome = smc_resume(self, args[0])
-            return (outcome.err, outcome.value)
         if callno == SMC.STOP:
             return smc_stop(self, args[0])
         return (KomErr.INVALID_CALL, 0)
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """The warm-boot path after a watchdog reset mid-monitor.
+
+        Models the bootloader re-entering the monitor after a crash:
+        physical memory survived, everything volatile did not.  Replays
+        or discards the commit journal, then re-establishes the boot
+        handover state (normal world, SVC mode, scrubbed registers, no
+        live enclave translation regime).  Idempotent — recovery itself
+        may crash and be re-run.
+        """
+        state = self.state
+        # The buffered transaction was monitor-stack state; it died with
+        # the machine.
+        state.txn = None
+        journal_status = journal.recover(state)
+        # Volatile execution state: translation regime, caches, the
+        # interrupt line, and suspended native generators (stand-ins for
+        # banked context that a real reset would lose; their threads
+        # stay `entered` in the PageDB and can only be Removed after a
+        # Stop, exactly like a thread whose context page went stale).
+        state.load_ttbr0(None)
+        state.flush_tlb()
+        state.uarch.reset()
+        state.pending_interrupt = False
+        self._interrupt_deadline = None
+        dropped = len(self._native_threads)
+        self._native_threads.clear()
+        # Handover to the OS, as the bootloader does (section 7.2).
+        regs = state.regs
+        regs.scrub_gprs()
+        regs.write_sp(0, Mode.USR)
+        regs.write_lr(0, Mode.USR)
+        regs.cpsr = PSR(mode=Mode.SVC, irq_masked=False, fiq_masked=True)
+        state.world = World.NORMAL
+        if self.on_recover is not None:
+            self.on_recover()
+        return RecoveryReport(
+            journal=journal_status, native_threads_dropped=dropped
+        )

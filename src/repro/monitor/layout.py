@@ -179,6 +179,26 @@ def pagedb_entry_addr(monitor_image_base: int, pageno: int) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Commit journal (redo log) layout, in monitor data memory
+# ---------------------------------------------------------------------------
+
+#: Offset of the journal region within the monitor image region.  The
+#: PageDB array above it ends at PAGEDB_OFFSET + npages * 8 bytes, far
+#: below this for any supported secure-page count.
+JOURNAL_OFFSET = 0x8000
+JOURNAL_SIZE = 0x8000
+#: First header word; distinguishes a journal from boot-zeroed memory.
+JOURNAL_MAGIC = 0x4A524E4C  # "JRNL"
+#: Header: [magic, committed flag, payload length in words].
+JOURNAL_HEADER_WORDS = 3
+
+#: Journal entry opcodes (first word of each payload entry).
+JE_WRITE = 1  # [JE_WRITE, address, value]
+JE_ZERO = 2  # [JE_ZERO, page base]
+JE_PAGE = 3  # [JE_PAGE, dst page base, 1024 content words]
+
+
+# ---------------------------------------------------------------------------
 # Addrspace page layout (metadata lives in the addrspace page itself)
 # ---------------------------------------------------------------------------
 

@@ -226,7 +226,9 @@ def smc_map_secure(
     pagedb.adjust_refcount(as_page, +1)
     measure = MeasurementContext(pagedb, as_page)
     measure.measure_record(MEASURE_MAPSECURE, mapping_word, 0)
-    measure.measure_page_contents(mon.state.memory.read_words(page_base, WORDS_PER_PAGE))
+    # mon_read_words (not a raw memory read) so the measurement sees the
+    # zero/copy above even while it is still buffered in a transaction.
+    measure.measure_page_contents(mon.state.mon_read_words(page_base, WORDS_PER_PAGE))
     mon.state.mon_write_word(
         l2_entry_addr,
         make_l2_entry(

@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.arm.machine import FaultInjected
 from repro.arm.modes import World
 from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
@@ -42,10 +43,15 @@ class MonitorLock:
         self._holder: Optional[int] = None
         self.acquisitions = 0
         self.contended_waits = 0
+        self.recovery_releases = 0
 
     @property
     def held(self) -> bool:
         return self._holder is not None
+
+    @property
+    def holder(self) -> Optional[int]:
+        return self._holder
 
     def try_acquire(self, core_id: int) -> bool:
         if self._holder is not None:
@@ -59,6 +65,19 @@ class MonitorLock:
         if self._holder != core_id:
             raise RuntimeError(f"core {core_id} released a lock it does not hold")
         self._holder = None
+
+    def break_for_recovery(self) -> None:
+        """Forcibly free the lock during crash recovery.
+
+        A core that dies inside the monitor can never release the lock
+        itself; the recovery path (which runs after the journal has been
+        replayed or discarded, so the monitor is quiescent) breaks it so
+        the surviving cores can make progress.  No-op when unheld, so
+        recovery stays idempotent.
+        """
+        if self._holder is not None:
+            self._holder = None
+            self.recovery_releases += 1
 
 
 @dataclass
@@ -93,6 +112,10 @@ class MultiCoreMachine:
         self.random = random.Random(seed)
         self.cores: List[Core] = []
         self.linearisation: List[LinearisationEntry] = []
+        #: Injected crashes observed: (core_id, callno, args, FaultInjected).
+        self.crashes: List[tuple] = []
+        # Recovery after a mid-SMC crash must break the dead core's lock.
+        monitor.on_recover = self.lock.break_for_recovery
 
     def add_core(self, script_factory) -> Core:
         """Register a core; ``script_factory(core_id)`` returns its
@@ -118,6 +141,32 @@ class MultiCoreMachine:
         core.results.append((err, value))
         return (err, value)
 
+    def _run_locked_smc(self, core: Core, callno: int, args: Tuple[int, ...]) -> None:
+        """Run one SMC under the already-acquired monitor lock.
+
+        The lock is released only if the call returns.  An injected
+        crash (watchdog reset mid-SMC) leaves it held — the hazard a
+        dead core poses — until the recovery path breaks it via the
+        monitor's ``on_recover`` hook; the crashed core's script sees
+        ``None`` instead of an (err, value) result.
+        """
+        try:
+            core.pending_send = self._issue_smc(core, callno, args)
+        except FaultInjected as fault:
+            self._crash_recover(core, callno, args, fault)
+            return
+        self.lock.release(core.core_id)
+
+    def _crash_recover(
+        self, core: Core, callno: int, args: Tuple[int, ...], fault: FaultInjected
+    ) -> None:
+        self.crashes.append((core.core_id, callno, tuple(args), fault))
+        # The watchdog reboots the monitor: the journal is replayed or
+        # discarded and (via on_recover) the dead core's lock is broken
+        # so the surviving cores can make progress.
+        self.monitor.recover()
+        core.pending_send = None
+
     def _step_core(self, core: Core) -> None:
         # A core blocked on the lock retries acquisition before anything
         # else; it does not advance its script until the SMC completes.
@@ -126,10 +175,7 @@ class MultiCoreMachine:
                 return
             callno, args = core.blocked_on_lock
             core.blocked_on_lock = None
-            try:
-                core.pending_send = self._issue_smc(core, callno, args)
-            finally:
-                self.lock.release(core.core_id)
+            self._run_locked_smc(core, callno, args)
             return
         try:
             action = core.script.send(core.pending_send)
@@ -141,10 +187,7 @@ class MultiCoreMachine:
         if kind == "smc":
             callno, args = action[1], tuple(action[2:])
             if self.lock.try_acquire(core.core_id):
-                try:
-                    core.pending_send = self._issue_smc(core, callno, args)
-                finally:
-                    self.lock.release(core.core_id)
+                self._run_locked_smc(core, callno, args)
             else:
                 core.blocked_on_lock = (callno, args)
         elif kind == "write":

@@ -196,3 +196,59 @@ class OSKernel:
             self.release_page(pageno)
         self.smc_checked(SMC.REMOVE, as_page)
         self.release_page(as_page)
+
+    # -- crash recovery (the kernel driver's watchdog path) --------------------------
+
+    #: For each idempotent-on-retry SMC, the errors that mean "the
+    #: interrupted call actually completed before the crash".  The
+    #: monitor's commit protocol guarantees an interrupted call landed in
+    #: exactly the pre-call or the completed state; re-issuing it
+    #: therefore either succeeds (pre-call) or fails with one of these
+    #: (completed), and nothing else.
+    _RETRY_COMPLETED_ERRORS = {
+        SMC.INIT_ADDRSPACE: (KomErr.PAGEINUSE,),
+        SMC.INIT_THREAD: (KomErr.PAGEINUSE,),
+        SMC.INIT_L2PTABLE: (KomErr.PAGEINUSE, KomErr.ADDRINUSE),
+        SMC.MAP_SECURE: (KomErr.PAGEINUSE, KomErr.ADDRINUSE),
+        SMC.MAP_INSECURE: (KomErr.ADDRINUSE,),
+        SMC.ALLOC_SPARE: (KomErr.PAGEINUSE,),
+        SMC.FINALISE: (KomErr.ALREADY_FINAL,),
+        SMC.REMOVE: (KomErr.INVALID_PAGENO,),
+        SMC.STOP: (),
+    }
+
+    def retry_after_crash(self, callno: int, *args: int) -> Tuple[KomErr, int]:
+        """Re-issue an SMC that was interrupted by a monitor crash.
+
+        Call after ``monitor.recover()``.  Returns SUCCESS both when the
+        retry completes the call and when the first attempt already had
+        (detected via the call's characteristic already-done error), so
+        the driver's state machine can continue as if the crash never
+        happened.  Stop is naturally idempotent; Enter/Resume are
+        execution calls handled by ``recover_execution`` instead.
+        """
+        err, value = self.smc(callno, *args)
+        if err in self._RETRY_COMPLETED_ERRORS.get(callno, ()):
+            return (KomErr.SUCCESS, value)
+        return (err, value)
+
+    def recover_execution(
+        self, thread_page: int, arg1: int = 0, arg2: int = 0, arg3: int = 0
+    ) -> Tuple[KomErr, int]:
+        """Resume running a thread whose Enter/Resume crashed.
+
+        Depending on where the crash hit, the thread is either still
+        suspended (entered, context saved — Resume it) or was never /
+        no longer entered (Enter it fresh).  Either way, keep resuming
+        across interrupts as ``run_to_completion`` does.
+        """
+        err, value = self.resume(thread_page)
+        if err in (KomErr.NOT_ENTERED, KomErr.INVALID_THREAD):
+            return self.run_to_completion(thread_page, arg1, arg2, arg3)
+        resumes = 0
+        while err is KomErr.INTERRUPTED:
+            resumes += 1
+            if resumes > 10_000:
+                raise OSError_("enclave did not terminate after recovery")
+            err, value = self.resume(thread_page)
+        return (err, value)

@@ -137,6 +137,11 @@ def _check_thread(db: AbsPageDb, pageno: int, entry: AbsThread) -> List[str]:
         failures.append(f"thread {pageno} has stale context")
     if entry.context is not None and len(entry.context) != 17:
         failures.append(f"thread {pageno} context has wrong arity")
+    if entry.in_handler and entry.fault_handler == 0:
+        # A live handler frame with no registered handler is unreachable:
+        # the upcall requires a handler, and clearing it from inside the
+        # handler is rejected (INVALID_CALL).  Catches torn crash states.
+        failures.append(f"thread {pageno} in fault handler without a registered handler")
     return failures
 
 

@@ -1,0 +1,126 @@
+"""Fault-injection campaign CLI.
+
+Runs the exhaustive per-step crash campaign over a full enclave
+lifecycle (see ``repro.faults.campaign``): for every machine-visible
+monitor operation of every lifecycle step, kill the monitor there,
+recover, audit, and have the OS retry path finish the lifecycle.
+
+Usage::
+
+    python -m repro.tools.faultcamp                 # run, print a table
+    python -m repro.tools.faultcamp --check         # CI gate (exit 1 on any violation)
+    python -m repro.tools.faultcamp --engine both   # fast/reference differential
+    python -m repro.tools.faultcamp --steps init_addrspace,map_secure,remove
+
+``--steps`` restricts *injection* to the named steps (prefix match, so
+``remove`` covers every Remove); the lifecycle itself always runs in
+full.  ``--stride N`` injects at every N-th operation for a bounded
+smoke campaign.  Every run is deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.faults.campaign import (
+    CampaignReport,
+    LifecycleCampaign,
+    run_differential,
+)
+
+
+def _print_report(report: CampaignReport) -> None:
+    print(f"engine={report.engine} seed={report.seed:#x}")
+    print(f"{'step':<16} {'ops':>5} {'trials':>7} {'violations':>11}")
+    for step in report.steps:
+        print(
+            f"{step.name:<16} {step.fault_points:>5} {step.trials:>7} "
+            f"{len(step.violations):>11}"
+        )
+    print(
+        f"{'total':<16} {report.total_fault_points:>5} "
+        f"{report.total_trials:>7} {len(report.violations):>11}"
+    )
+
+
+def _print_violations(violations: List[str], limit: int = 20) -> None:
+    for violation in violations[:limit]:
+        print(f"  FAIL: {violation}")
+    if len(violations) > limit:
+        print(f"  ... and {len(violations) - limit} more")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.faultcamp",
+        description="monitor crash-consistency campaign",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any violation (CI gate)",
+    )
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=0xC0FFEE)
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference", "both"),
+        default="fast",
+        help="execution engine; 'both' runs the differential harness",
+    )
+    parser.add_argument(
+        "--steps",
+        default=None,
+        help="comma-separated step names (prefix match) to inject on",
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        help="inject at every N-th operation (1 = exhaustive)",
+    )
+    parser.add_argument("--secure-pages", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    inject_steps = None
+    if args.steps:
+        inject_steps = [token.strip() for token in args.steps.split(",") if token.strip()]
+
+    failures: List[str] = []
+    if args.engine == "both":
+        fast, reference, mismatches = run_differential(
+            seed=args.seed,
+            inject_steps=inject_steps,
+            stride=args.stride,
+            secure_pages=args.secure_pages,
+        )
+        for report in (fast, reference):
+            _print_report(report)
+            failures.extend(report.violations)
+        if mismatches:
+            print("engine differential mismatches:")
+            _print_violations(mismatches)
+        failures.extend(mismatches)
+    else:
+        campaign = LifecycleCampaign(
+            seed=args.seed,
+            engine=args.engine,
+            secure_pages=args.secure_pages,
+            inject_steps=inject_steps,
+            stride=args.stride,
+        )
+        report = campaign.run()
+        _print_report(report)
+        failures.extend(report.violations)
+
+    if failures:
+        _print_violations(failures)
+        print(f"faultcamp: {len(failures)} violation(s)")
+        return 1
+    print("faultcamp: every injection point recovered to a quiescent state")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

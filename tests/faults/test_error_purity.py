@@ -1,0 +1,135 @@
+"""Error-path purity: a failing SMC must leave no trace.
+
+Every handler runs inside a transaction committed only on SUCCESS, so
+any ``KomErr != SUCCESS`` return must leave the PageDB and all secure
+memory bit-identical — checked here with whole-region digests over a
+fuzzed battery of malformed calls against a live enclave lifecycle.
+"""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm.pagetable import l1_index
+from repro.faults.audit import secure_state_digest
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC, Mapping
+from repro.sdk.builder import CODE_VA
+from tests.conftest import adder_assembler
+
+NPAGES = 16
+AS_PAGE, L1_PAGE, L2_PAGE, CODE_PAGE, THREAD_PAGE = 0, 1, 2, 3, 4
+
+ALL_SMCS = sorted(int(c) for c in SMC)
+
+
+def build_enclave_monitor() -> KomodoMonitor:
+    """A monitor holding one finalised single-thread enclave."""
+    monitor = KomodoMonitor(secure_pages=NPAGES)
+    state = monitor.state
+    staged = state.memmap.insecure.base
+    state.memory.write_words(staged, adder_assembler().assemble())
+    mapping = Mapping(va=CODE_VA, readable=True, writable=False, executable=True)
+    for callno, args in (
+        (SMC.INIT_ADDRSPACE, (AS_PAGE, L1_PAGE)),
+        (SMC.INIT_L2PTABLE, (AS_PAGE, L2_PAGE, l1_index(CODE_VA))),
+        (SMC.MAP_SECURE, (AS_PAGE, CODE_PAGE, mapping.encode(), staged)),
+        (SMC.INIT_THREAD, (AS_PAGE, THREAD_PAGE, CODE_VA)),
+        (SMC.FINALISE, (AS_PAGE,)),
+    ):
+        err, _ = monitor.smc(callno, *args)
+        assert err is KomErr.SUCCESS
+    return monitor
+
+
+@pytest.fixture(scope="module")
+def enclave_monitor() -> KomodoMonitor:
+    return build_enclave_monitor()
+
+
+class TestDeterministicBattery:
+    """Every SMC with clearly-invalid arguments: error, zero residue."""
+
+    BAD_ARG_SETS = (
+        (NPAGES, NPAGES + 1, 0, 0),  # out-of-range pages
+        (AS_PAGE, AS_PAGE, 0, 0),  # reuse of a live page
+        (CODE_PAGE, THREAD_PAGE, 0xFFFF_FFFF, 0xFFFF_FFFF),  # non-addrspace
+        (L1_PAGE, 0, 0, 0),  # wrong page type for the role
+    )
+
+    def test_every_callno_error_path_is_pure(self, enclave_monitor):
+        monitor = copy.deepcopy(enclave_monitor)
+        baseline = secure_state_digest(monitor.state)
+        for callno in ALL_SMCS + [0, 3, 99]:
+            for args in self.BAD_ARG_SETS:
+                err, _ = monitor.smc(callno, *args)
+                if err is KomErr.SUCCESS or err is KomErr.INTERRUPTED:
+                    # A call that legitimately succeeded moved the
+                    # baseline; re-pin it and keep fuzzing from there.
+                    baseline = secure_state_digest(monitor.state)
+                    continue
+                assert secure_state_digest(monitor.state) == baseline, (
+                    f"SMC {callno}{args} returned {err!r} "
+                    "but mutated secure state"
+                )
+
+    def test_failed_map_secure_leaves_no_partial_page(self, enclave_monitor):
+        """MapSecure zeroes + copies + measures; an ALREADY_FINAL bail
+        must discard all of it (the addrspace is FINAL here)."""
+        monitor = copy.deepcopy(enclave_monitor)
+        before = secure_state_digest(monitor.state)
+        mapping = Mapping(
+            va=CODE_VA + 0x1000, readable=True, writable=False, executable=False
+        ).encode()
+        err, _ = monitor.smc(
+            SMC.MAP_SECURE,
+            AS_PAGE,
+            CODE_PAGE + 2,
+            mapping,
+            monitor.state.memmap.insecure.base,
+        )
+        assert err is KomErr.ALREADY_FINAL
+        assert secure_state_digest(monitor.state) == before
+
+
+class TestFuzzedPurity:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        callno=st.sampled_from(ALL_SMCS + [0, 7, 42, 0x1000]),
+        args=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=NPAGES + 4),
+                st.sampled_from([0xFFFF_FFFF, 0x8000_0000, 0x4000_0000]),
+            ),
+            min_size=0,
+            max_size=5,
+        ),
+    )
+    def test_non_success_leaves_state_bit_identical(self, callno, args):
+        monitor = copy.deepcopy(_FUZZ_BASE)
+        before = secure_state_digest(monitor.state)
+        db_before = {
+            pageno: (
+                monitor.pagedb.page_type(pageno),
+                monitor.pagedb.owner(pageno),
+            )
+            for pageno in range(NPAGES)
+        }
+        err, _ = monitor.smc(callno, *args)
+        if err is KomErr.SUCCESS or err is KomErr.INTERRUPTED:
+            return
+        assert secure_state_digest(monitor.state) == before
+        db_after = {
+            pageno: (
+                monitor.pagedb.page_type(pageno),
+                monitor.pagedb.owner(pageno),
+            )
+            for pageno in range(NPAGES)
+        }
+        assert db_after == db_before
+
+
+_FUZZ_BASE = build_enclave_monitor()

@@ -1,0 +1,186 @@
+"""The redo journal: encoding, commit point, replay-or-discard recovery."""
+
+import pytest
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.memory import WORDS_PER_PAGE
+from repro.faults.injector import FaultInjected, FaultPlan, inject
+from repro.monitor import journal
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import JE_PAGE, JE_WRITE, JE_ZERO, JOURNAL_MAGIC
+
+
+@pytest.fixture
+def state():
+    return KomodoMonitor(secure_pages=8).state
+
+
+def page(state, n):
+    return state.memmap.page_base(n)
+
+
+class TestEncoding:
+    def test_roundtrip_mixed_ops(self, state):
+        ops = [
+            (JE_WRITE, 0x8000_0100, 0xDEAD_BEEF),
+            (JE_ZERO, page(state, 1)),
+            (JE_PAGE, page(state, 2), tuple(range(WORDS_PER_PAGE))),
+            (JE_WRITE, 0x8000_0104, 7),
+        ]
+        assert journal.decode_ops(journal.encode_ops(ops)) == ops
+
+    def test_corrupt_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            journal.decode_ops([99, 0, 0])
+
+
+class TestCommitProtocol:
+    def test_stage_then_commit_then_clear(self, state):
+        payload = journal.encode_ops([(JE_WRITE, page(state, 0), 42)])
+        journal.stage(state, payload)
+        assert journal.is_present(state)
+        magic, committed, length = journal.read_header(state)
+        assert (magic, committed, length) == (JOURNAL_MAGIC, 0, len(payload))
+        assert journal.payload_words(state) == payload
+        journal.mark_committed(state)
+        assert journal.read_header(state)[1] == 1
+        journal.clear(state)
+        assert not journal.is_present(state)
+        # The whole region is scrubbed, not just the magic word.
+        words = state.memory.read_words(
+            journal.journal_base(state), journal.JOURNAL_SIZE // WORDSIZE
+        )
+        assert not any(words)
+
+    def test_overflow_rejected(self, state):
+        with pytest.raises(RuntimeError):
+            journal.stage(state, [0] * (journal.JOURNAL_CAPACITY_WORDS + 1))
+
+
+class TestRecovery:
+    def test_clean_when_no_journal(self, state):
+        assert journal.recover(state) == journal.RECOVERY_CLEAN
+
+    def test_uncommitted_journal_discarded(self, state):
+        target = page(state, 0)
+        before = state.memory.read_word(target)
+        journal.stage(state, journal.encode_ops([(JE_WRITE, target, 0x1234)]))
+        assert journal.recover(state) == journal.RECOVERY_DISCARDED
+        assert state.memory.read_word(target) == before  # never applied
+        assert not journal.is_present(state)
+
+    def test_committed_journal_replayed(self, state):
+        target = page(state, 0)
+        ops = [(JE_WRITE, target, 0x1234), (JE_ZERO, page(state, 1))]
+        state.memory.write_word(page(state, 1), 0xFFFF)
+        journal.stage(state, journal.encode_ops(ops))
+        journal.mark_committed(state)
+        assert journal.recover(state) == journal.RECOVERY_REPLAYED
+        assert state.memory.read_word(target) == 0x1234
+        assert state.memory.read_word(page(state, 1)) == 0
+        assert not journal.is_present(state)
+
+    def test_recovery_idempotent(self, state):
+        target = page(state, 0)
+        journal.stage(state, journal.encode_ops([(JE_WRITE, target, 5)]))
+        journal.mark_committed(state)
+        assert journal.recover(state) == journal.RECOVERY_REPLAYED
+        assert journal.recover(state) == journal.RECOVERY_CLEAN
+        assert state.memory.read_word(target) == 5
+
+    def test_crash_during_replay_rerun_completes(self, state):
+        """Recovery itself may be interrupted; re-running it finishes
+        the same replay (all redo entries are absolute)."""
+        a, b = page(state, 0), page(state, 1)
+        ops = [(JE_WRITE, a, 1), (JE_WRITE, b, 2)]
+        journal.stage(state, journal.encode_ops(ops))
+        journal.mark_committed(state)
+        # Crash at the second apply: a written, b not, journal intact.
+        plan = FaultPlan(abort_at=2, kinds={"apply"})
+        with inject(state, plan):
+            with pytest.raises(FaultInjected):
+                journal.recover(state)
+        assert state.memory.read_word(a) == 1
+        assert journal.is_present(state)
+        assert journal.recover(state) == journal.RECOVERY_REPLAYED
+        assert state.memory.read_word(a) == 1
+        assert state.memory.read_word(b) == 2
+
+
+class TestMonitorTransaction:
+    def test_read_your_writes(self, state):
+        txn = journal.MonitorTransaction()
+        addr = page(state, 0)
+        txn.record_write(addr, 0xABCD)
+        assert txn.read(addr) == 0xABCD
+        assert txn.read(addr + WORDSIZE) is None
+        merged = txn.read_words(state.memory, addr, 2)
+        assert merged[0] == 0xABCD
+
+    def test_record_zero_overlays_whole_page(self, state):
+        base = page(state, 0)
+        state.memory.write_word(base + 8, 0x77)
+        txn = journal.MonitorTransaction()
+        txn.record_zero(base)
+        assert txn.read(base + 8) == 0
+        # Physical memory untouched until commit.
+        assert state.memory.read_word(base + 8) == 0x77
+
+    def test_copy_page_snapshots_source_at_record_time(self, state):
+        src = state.memmap.insecure.base
+        dst = page(state, 0)
+        state.memory.write_word(src, 0x1111)
+        txn = journal.MonitorTransaction()
+        txn.record_copy_page(state.memory, src, dst)
+        # The OS scribbles over its page after the copy was recorded;
+        # replay must still produce the value read at record time.
+        state.memory.write_word(src, 0x2222)
+        txn.commit(state)
+        assert state.memory.read_word(dst) == 0x1111
+
+    def test_commit_applies_buffered_ops(self, state):
+        addr = page(state, 0)
+        txn = journal.MonitorTransaction()
+        txn.record_write(addr, 9)
+        txn.commit(state)
+        assert state.memory.read_word(addr) == 9
+        assert not journal.is_present(state)
+
+
+class TestRunTransactional:
+    def test_discard_on_commit_if_false(self, state):
+        addr = page(state, 0)
+        before = state.memory.read_word(addr)
+
+        def handler():
+            state.mon_write_word(addr, 0xBAD)
+            return "error"
+
+        result = journal.run_transactional(
+            state, handler, commit_if=lambda r: r == "ok"
+        )
+        assert result == "error"
+        assert state.memory.read_word(addr) == before
+        assert state.txn is None
+
+    def test_commit_on_commit_if_true(self, state):
+        addr = page(state, 0)
+        journal.run_transactional(
+            state,
+            lambda: state.mon_write_word(addr, 0x600D),
+            commit_if=lambda _: True,
+        )
+        assert state.memory.read_word(addr) == 0x600D
+
+    def test_no_nesting(self, state):
+        def nested():
+            return journal.run_transactional(state, lambda: None, lambda _: False)
+
+        with pytest.raises(RuntimeError, match="nest"):
+            journal.run_transactional(state, nested, lambda _: False)
+        assert state.txn is None
+
+    def test_harness_exception_detaches_txn(self, state):
+        with pytest.raises(ZeroDivisionError):
+            journal.run_transactional(state, lambda: 1 // 0, lambda _: True)
+        assert state.txn is None

@@ -238,3 +238,77 @@ class TestSelfPagingStress:
         err, value = enclave.call()
         assert err is KomErr.SUCCESS
         assert value == sum(range(pages))
+
+
+class TestHandlerFrameLifecycle:
+    """Corner cases of the saved fault frame: abandoning it via Exit,
+    clearing the handler from inside it, and double-fault cleanup."""
+
+    def test_exit_inside_handler_abandons_frame(self, env):
+        """Exit from inside the handler discards the faulting frame:
+        the in-handler flag clears and the thread restarts cleanly."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.udf()  # fault into the handler
+        pad_to_handler(asm)
+        asm.mov32("r0", 0x77)
+        asm.svc(SVC.EXIT)  # exit without RESUME_FAULT
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = enclave.call()
+        assert (err, value) == (KomErr.SUCCESS, 0x77)
+        assert not monitor.pagedb.in_fault_handler(enclave.thread)
+        # The abandoned frame must not leak into the next run.
+        assert enclave.call() == (KomErr.SUCCESS, 0x77)
+
+    def test_clearing_handler_inside_handler_rejected(self, env):
+        """SET_FAULT_HANDLER(0) from inside the handler would strand
+        the saved frame; the monitor refuses with INVALID_CALL."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.udf()
+        pad_to_handler(asm)
+        asm.movw("r0", 0)
+        asm.svc(SVC.SET_FAULT_HANDLER)  # r0 <- error
+        asm.svc(SVC.EXIT)  # exit with the error value
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = enclave.call()
+        assert err is KomErr.SUCCESS
+        assert value == int(KomErr.INVALID_CALL)
+        # The registration survives the rejected clear.
+        assert monitor.pagedb.fault_handler(enclave.thread) == HANDLER_VA
+
+    def test_reregistering_nonzero_handler_inside_handler_allowed(self, env):
+        """Only *clearing* is rejected: pointing the handler elsewhere
+        (still non-zero) from inside it is fine."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.udf()
+        pad_to_handler(asm)
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)  # r0 <- SUCCESS (0)
+        asm.svc(SVC.EXIT)
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        err, value = enclave.call()
+        assert (err, value) == (KomErr.SUCCESS, int(KomErr.SUCCESS))
+
+    def test_double_fault_clears_handler_flag(self, env):
+        """After a double fault exits to the OS, the thread is no
+        longer marked in-handler and can be re-entered."""
+        monitor, kernel = env
+        asm = Assembler()
+        asm.mov32("r0", HANDLER_VA)
+        asm.svc(SVC.SET_FAULT_HANDLER)
+        asm.udf()
+        pad_to_handler(asm)
+        asm.udf()  # the handler faults too
+        enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+        first = enclave.call()
+        assert first[0] is KomErr.FAULT
+        assert not monitor.pagedb.in_fault_handler(enclave.thread)
+        assert enclave.call() == first  # deterministic, no stale frame

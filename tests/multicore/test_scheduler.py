@@ -213,3 +213,58 @@ class TestLinearisability:
             extract_pagedb(machine.monitor.state), machine.monitor.state.memmap
         )
         assert not violations
+
+
+class TestCrashRecovery:
+    """A core dying mid-SMC (watchdog reset) must not strand the big
+    lock: recovery breaks it and the surviving cores make progress."""
+
+    def test_break_for_recovery_idempotent(self):
+        lock = MonitorLock()
+        lock.break_for_recovery()  # unheld: no-op
+        assert lock.recovery_releases == 0
+        lock.try_acquire(0)
+        lock.break_for_recovery()
+        assert not lock.held
+        assert lock.recovery_releases == 1
+        lock.break_for_recovery()
+        assert lock.recovery_releases == 1
+
+    def test_crashed_core_does_not_strand_the_lock(self):
+        """Inject a crash into the first SMC issued: the dying core's
+        script sees None, retries, and BOTH cores finish their builds —
+        possible only if recovery released the dead core's lock."""
+        from repro.faults.injector import FaultInjected, FaultPlan, inject
+
+        def resilient(base):
+            def script(core_id):
+                result = yield ("smc", SMC.INIT_ADDRSPACE, base, base + 1)
+                if result is None:  # our SMC crashed: OS-style retry
+                    result = yield ("smc", SMC.INIT_ADDRSPACE, base, base + 1)
+                err, _ = result
+                assert err in (KomErr.SUCCESS, KomErr.PAGEINUSE)
+                err, _ = yield ("smc", SMC.FINALISE, base)
+                assert err is KomErr.SUCCESS
+
+            return script
+
+        machine = fresh_machine(seed=11)
+        machine.add_core(resilient(0))
+        machine.add_core(resilient(8))
+        plan = FaultPlan(abort_at=1)  # kill the very first monitor op
+        with inject(machine.monitor.state, plan):
+            machine.run()
+        assert len(machine.crashes) == 1
+        crashed_core, callno, _, fault = machine.crashes[0]
+        assert callno == SMC.INIT_ADDRSPACE
+        assert isinstance(fault, FaultInjected)
+        # Recovery (not the dead core) released the lock exactly once.
+        assert machine.lock.recovery_releases == 1
+        assert not machine.lock.held
+        # Both enclaves finished building and measure identically.
+        assert all(core.finished for core in machine.cores)
+        violations = collect_violations(
+            extract_pagedb(machine.monitor.state), machine.monitor.state.memmap
+        )
+        assert not violations
+        assert machine.monitor.pagedb.measurement(0) == machine.monitor.pagedb.measurement(8)
