@@ -180,6 +180,29 @@ class MachineState:
         self.memory.copy_page(src, dst)
         self.tlb.note_store(dst)
 
+    # -- fault injection (corruption) ---------------------------------------
+
+    def flip_bit(self, address: int, bit: int) -> int:
+        """Model a DRAM disturbance: invert one bit of a stored word.
+
+        This is not a CPU access — it bypasses world checks, charges no
+        cycles, counts no read transaction, and does not pass through an
+        open transaction's buffer (the flip hits the physical cell, not
+        the monitor's pending store).  TLB consistency is poisoned as
+        for any store so cached translations cannot outlive the flipped
+        word.  Returns the new word value.
+        """
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit index {bit} out of range")
+        saved = self.memory.read_ops
+        try:
+            value = self.memory.read_word(address) ^ (1 << bit)
+        finally:
+            self.memory.read_ops = saved
+        self.memory.write_word(address, value)
+        self.tlb.note_store(address)
+        return value
+
     # -- snapshots -----------------------------------------------------------
 
     def copy(self) -> "MachineState":

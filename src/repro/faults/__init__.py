@@ -10,10 +10,25 @@ executable model and checks them:
   invariants via extraction plus an independent machine-level walk);
 * :mod:`repro.faults.campaign` — exhaustive per-step fault campaigns
   over a full enclave lifecycle, with OS-side retry to completion and
-  a fast/reference differential mode.
+  a fast/reference differential mode;
+* :mod:`repro.faults.bitflip` — exhaustive single-bit-flip campaigns
+  against the memory-integrity engine: every injection must end
+  benign, repaired, or quarantined-and-contained, never in a silent
+  wrong result.
 """
 
-from repro.faults.audit import audit_monitor, machine_consistency, secure_state_digest
+from repro.faults.audit import (
+    audit_monitor,
+    integrity_consistency,
+    machine_consistency,
+    secure_state_digest,
+)
+from repro.faults.bitflip import (
+    BitflipCampaign,
+    BitflipReport,
+    FlipSite,
+)
+from repro.faults.bitflip import run_differential as run_bitflip_differential
 from repro.faults.campaign import (
     CampaignReport,
     LifecycleCampaign,
@@ -23,14 +38,19 @@ from repro.faults.campaign import (
 from repro.faults.injector import FaultInjected, FaultPlan, inject
 
 __all__ = [
+    "BitflipCampaign",
+    "BitflipReport",
     "CampaignReport",
     "FaultInjected",
     "FaultPlan",
+    "FlipSite",
     "LifecycleCampaign",
     "StepReport",
     "audit_monitor",
     "inject",
+    "integrity_consistency",
     "machine_consistency",
+    "run_bitflip_differential",
     "run_differential",
     "secure_state_digest",
 ]

@@ -260,3 +260,31 @@ def audit_monitor(mon: "KomodoMonitor") -> List[str]:
         problems.extend(collect_violations(db, memmap=state.memmap))
     problems.extend(machine_consistency(state))
     return problems
+
+
+def integrity_consistency(state: MachineState) -> List[str]:
+    """Audit the memory-integrity engine's own metadata.
+
+    Engine-level (tags/replica/flags agree with memory) plus the
+    spec-level containment property: every quarantined page belongs to a
+    stopped addrspace — corruption never spreads past one enclave.
+
+    Deliberately *not* folded into :func:`audit_monitor`: harness code
+    (e.g. the journal-protocol tests) legitimately drives monitor memory
+    directly without maintaining tags, and plain crash audits must stay
+    meaningful there.  The bit-flip campaign calls both.
+    """
+    from repro.monitor import integrity
+    from repro.spec.invariants import collect_quarantine_violations
+    from repro.verification.extract import ExtractionError, extract_pagedb
+
+    problems = list(integrity.consistency_problems(state))
+    quarantined = integrity.quarantined_pages(state)
+    if quarantined:
+        try:
+            db = extract_pagedb(state)
+        except (ExtractionError, ValueError) as exc:
+            problems.append(f"pagedb extraction failed under quarantine: {exc}")
+        else:
+            problems.extend(collect_quarantine_violations(db, quarantined))
+    return problems

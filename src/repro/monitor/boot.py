@@ -22,6 +22,7 @@ from repro.arm.machine import MachineState
 from repro.arm.modes import Mode, World
 from repro.arm.registers import PSR
 from repro.crypto.rng import HardwareRNG
+from repro.monitor import integrity
 from repro.monitor.attestation import Attestation
 from repro.monitor.pagedb import PageDB
 
@@ -74,6 +75,7 @@ class Bootloader:
         pagedb = PageDB(state)
         for pageno in range(pagedb.npages):
             pagedb.free_entry(pageno)
+        integrity.initialise(state)
         attestation = Attestation(state, self.rng)
         attestation.generate_boot_key()
         state.world = World.NORMAL

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 from repro.arm.cpu import CPU, ExecutionResult, ExitReason
 from repro.arm.modes import Mode
 from repro.arm.registers import PSR
+from repro.monitor import integrity
 from repro.monitor.errors import KomErr
 from repro.monitor.journal import run_transactional
 from repro.monitor.layout import AddrspaceState, PageType, SVC
@@ -160,6 +161,9 @@ def smc_enter(
     if err is not KomErr.SUCCESS:
         return EnterOutcome(err, 0)
     pagedb = mon.pagedb
+    # User-mode stores are about to become possible: declare the
+    # addrspace's DATA tags stale before the first one can land.
+    integrity.mark_dirty(mon, asno)
     _save_banked_registers(mon)
     _setup_mmu(mon, asno)
     # Fresh register state: args in R0-R2, everything else zeroed so no
@@ -187,6 +191,7 @@ def smc_resume(mon: "KomodoMonitor", thread_page: int) -> EnterOutcome:
     if err is not KomErr.SUCCESS:
         return EnterOutcome(err, 0)
     pagedb = mon.pagedb
+    integrity.mark_dirty(mon, asno)
     _save_banked_registers(mon)
     _setup_mmu(mon, asno)
     native = mon.native_program_for(thread_page)
@@ -278,12 +283,14 @@ def _execution_loop(
             )
             _leave_user_mode(mon)
             _scrub_return_registers(mon)
+            integrity.refresh_data_tags(mon, asno)
             return EnterOutcome(KomErr.FAULT, code, svc_exits)
         # An SVC: dispatch it.  Exit returns to the OS; everything else
         # resumes the enclave at the instruction after the SVC.
         outcome, resume_pc = _handle_svc(mon, thread_page, asno, result)
         if outcome is not None:
             _leave_user_mode(mon)
+            integrity.refresh_data_tags(mon, asno)
             return EnterOutcome(outcome.err, outcome.value, svc_exits)
         svc_exits += 1
         pc = resume_pc
@@ -420,7 +427,16 @@ def dispatch_svc(
     dispatcher-interface SVCs.  Runs under a transaction committed only
     on SUCCESS, so every SVC is crash-atomic and error paths leave no
     partial mutations.
+
+    Like the SMC dispatcher, the handler's trusted inputs — the PageDB
+    and metadata pages — are integrity-checked first; a quarantine
+    surfaces to the enclave as ``PAGE_QUARANTINED`` in R0 (its own
+    addrspace may just have been stopped, in which case it will never
+    run to observe it).
     """
+    report = integrity.precheck(mon)
+    if report.quarantined:
+        return (KomErr.PAGE_QUARANTINED, [])
     return run_transactional(
         mon.state,
         lambda: _dispatch_svc_pure(mon, asno, number, args, thread_page),
@@ -494,11 +510,13 @@ def _run_native(
             mon.discard_native_thread(thread_page)
             _leave_user_mode(mon)
             _scrub_return_registers(mon)
+            integrity.refresh_data_tags(mon, asno)
             return EnterOutcome(KomErr.SUCCESS, int(retval) & 0xFFFFFFFF)
         except NativeFault as fault:
             mon.discard_native_thread(thread_page)
             _leave_user_mode(mon)
             _scrub_return_registers(mon)
+            integrity.refresh_data_tags(mon, asno)
             return EnterOutcome(KomErr.FAULT, fault.code)
         if yielded is not None:
             raise RuntimeError("native programs must yield None at preemption points")

@@ -32,3 +32,5 @@ class KomErr(enum.IntEnum):
     STOPPED = 15  # addrspace is stopped; no execution or mapping
     PAGES_EXHAUSTED = 16  # no spare page available (SVC-side allocation)
     INSECURE_INVALID = 17  # insecure address outside insecure RAM
+    PAGE_QUARANTINED = 18  # a page failed its integrity check and was
+    #                        quarantined; the owning addrspace is stopped

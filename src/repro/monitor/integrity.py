@@ -1,0 +1,686 @@
+"""Monitor-side memory-integrity engine: tags, repair, quarantine.
+
+Komodo's attestation argument (paper section 3.3) is only as strong as
+the integrity of the PageDB and the enclave pages it measures; a DRAM
+bit flip silently falsifies that assumption.  This module is the
+monitor's defense, modeled on a memory-encryption-engine-style hardware
+block (Gueron's MEE): word-granularity checksums over everything only
+the monitor may write, verified before the monitor trusts it and
+updated transactionally alongside the data they cover.
+
+Coverage derives from the (repaired) PageDB instead of a stored status
+word — a corruptible "checking disabled" bit would itself be a silent
+failure mode:
+
+* the PageDB array is covered by triple redundancy (primary entry +
+  replica + per-entry checksum); any single corrupted word identifies
+  itself and is *repaired* from the other two copies;
+* ADDRSPACE, THREAD, L1PTABLE and L2PTABLE pages always carry a content
+  tag (the monitor is their only writer);
+* DATA pages carry a valid tag exactly while their addrspace's *dirty
+  flag* is clear: user-mode stores are architecturally immediate and
+  invisible to the engine, so the flag is set (transactionally) before
+  Enter/Resume drops to user mode and cleared in the same transaction
+  that refreshes the DATA tags once execution finally leaves the
+  enclave — at every point in between, including any crash-recovery
+  state, the flag says the tags are not to be trusted;
+* FREE and SPARE pages are untagged: their contents are dead (both are
+  zero-filled before any read) — a flip there is provably benign, and
+  ``SMC_SCRUB`` heals them back to zero.
+
+A tag mismatch cannot be repaired — the page's true contents are gone —
+so the monitor **quarantines** the page: zero it, force-stop the owning
+addrspace (sanitizing the addrspace page itself if that is what was
+hit), retag over the sanitized contents, and record the quarantine
+flag.  The SMC that tripped the check returns ``KomErr.PAGE_QUARANTINED``
+with the page number; every other enclave and the OS stay fully
+operational, and the OS reclaims the pages through the normal
+Stop/Remove path (Remove clears the quarantine flag).
+
+All engine work — verification, repair, retagging — charges **zero
+cycles** (it models a hardware pipeline stage, not monitor software),
+and engine reads do not count as CPU read transactions, so the cost
+model and the fast-path engine's regression anchors are untouched.
+Tag updates ride inside the PR-3 commit journal: ``run_transactional``
+asks :func:`record_tag_ops` to append tag writes to the transaction at
+its commit point, so data and tags are crash-atomic together.
+"""
+
+from __future__ import annotations
+
+import zlib
+from array import array
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Set, Tuple
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.machine import MachineState
+from repro.arm.memory import WORDS_PER_PAGE, _TYPECODE, PhysicalMemory
+from repro.monitor.layout import (
+    AS_REFCOUNT_WORD,
+    AS_STATE_WORD,
+    AddrspaceState,
+    ITAG_MAGIC,
+    JE_WRITE,
+    JOURNAL_OFFSET,
+    ITAG_OFFSET,
+    PAGEDB_ENTRY_WORDS,
+    PAGEDB_OFFSET,
+    PageType,
+    itag_dirty_addr,
+    itag_entry_sum_addr,
+    itag_magic_addr,
+    itag_page_tag_addr,
+    itag_quarantine_addr,
+    itag_replica_addr,
+    itag_words_used,
+    pagedb_entry_addr,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.komodo import KomodoMonitor
+
+#: Page types whose contents only the monitor writes; always tagged.
+_ALWAYS_TAGGED = frozenset(
+    int(t)
+    for t in (PageType.ADDRSPACE, PageType.THREAD, PageType.L1PTABLE, PageType.L2PTABLE)
+)
+
+#: Page types whose contents are dead until zero-filled; never tagged.
+_NEVER_TAGGED = frozenset((int(PageType.FREE), int(PageType.SPARE)))
+
+
+@dataclass
+class PrecheckReport:
+    """What an integrity check found and did."""
+
+    repaired: int = 0  # PageDB entries repaired from redundancy
+    healed: int = 0  # free/spare pages scrubbed back to zero
+    quarantined: List[int] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Checksums and engine-private accesses
+# ---------------------------------------------------------------------------
+
+
+def page_checksum(words: Iterable[int]) -> int:
+    """Content tag over one page of words.
+
+    CRC-32 detects every single-bit (indeed every burst-of-32) error,
+    which is exactly the fault model; it is not keyed because the tag
+    region lives in monitor data memory the OS can never read or write.
+    """
+    return zlib.crc32(array(_TYPECODE, words).tobytes()) & 0xFFFFFFFF
+
+
+def entry_checksum(type_word: int, owner_word: int) -> int:
+    """Checksum of one PageDB entry."""
+    return zlib.crc32(array(_TYPECODE, (type_word, owner_word)).tobytes()) & 0xFFFFFFFF
+
+
+def _peek(memory: PhysicalMemory, address: int) -> int:
+    """An engine read: does not count as a CPU read transaction."""
+    saved = memory.read_ops
+    try:
+        return memory.read_word(address)
+    finally:
+        memory.read_ops = saved
+
+
+def _peek_words(memory: PhysicalMemory, address: int, count: int) -> List[int]:
+    saved = memory.read_ops
+    try:
+        return memory.read_words(address, count)
+    finally:
+        memory.read_ops = saved
+
+
+def _twrite(state: MachineState, address: int, value: int) -> None:
+    """An engine write: zero cycles, buffered if a transaction is open."""
+    if state.txn is not None:
+        state.txn.record_write(address, value)
+        return
+    state.memory.write_word(address, value)
+    state.tlb.note_store(address)
+
+
+def _tzero(state: MachineState, base: int) -> None:
+    if state.txn is not None:
+        state.txn.record_zero(base)
+        return
+    state.memory.zero_page(base)
+    state.tlb.note_store(base)
+
+
+# ---------------------------------------------------------------------------
+# Region lifecycle
+# ---------------------------------------------------------------------------
+
+
+def enabled(state: MachineState) -> bool:
+    """True once the bootloader initialised the tag region."""
+    return (
+        _peek(state.memory, itag_magic_addr(state.memmap.monitor_image.base))
+        == ITAG_MAGIC
+    )
+
+
+def initialise(state: MachineState) -> None:
+    """Bootloader duty: lay out the tag region over the zeroed PageDB.
+
+    Runs after the PageDB itself is zeroed, so the replica (all zeros,
+    already true of boot-scrubbed RAM) and the per-entry checksums are
+    consistent from the first instruction the OS ever runs.
+    """
+    base = state.memmap.monitor_image.base
+    npages = state.memmap.secure_pages
+    if itag_words_used(npages) * WORDSIZE > JOURNAL_OFFSET - ITAG_OFFSET:
+        raise ValueError(f"integrity-tag region cannot cover {npages} pages")
+    free_sum = entry_checksum(int(PageType.FREE), 0)
+    state.memory.write_words(
+        itag_entry_sum_addr(base, npages, 0), [free_sum] * npages
+    )
+    state.memory.write_word(itag_magic_addr(base), ITAG_MAGIC)
+
+
+def quarantined_pages(state: MachineState) -> List[int]:
+    """Secure pages currently flagged as quarantined."""
+    if not enabled(state):
+        return []
+    base = state.memmap.monitor_image.base
+    npages = state.memmap.secure_pages
+    flags = _peek_words(state.memory, itag_quarantine_addr(base, npages, 0), npages)
+    return [pageno for pageno, flag in enumerate(flags) if flag]
+
+
+# ---------------------------------------------------------------------------
+# Transactional tag maintenance (the run_transactional commit hook)
+# ---------------------------------------------------------------------------
+
+
+def record_tag_ops(state: MachineState, txn) -> None:
+    """Append tag-update writes for a transaction about to commit.
+
+    Derives, from the buffered operations, every PageDB entry and secure
+    page the commit will change, and appends the matching replica /
+    checksum / content-tag stores to the same transaction — data and
+    tags reach memory through one journal commit, so a crash at any
+    point leaves them consistent together.
+    """
+    memmap = state.memmap
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    if _peek(state.memory, itag_magic_addr(base)) != ITAG_MAGIC:
+        return
+    pagedb_base = base + PAGEDB_OFFSET
+    pagedb_limit = pagedb_base + npages * PAGEDB_ENTRY_WORDS * WORDSIZE
+    touched_pages: Set[int] = set()
+    touched_entries: Set[int] = set()
+    for op in list(txn.ops):
+        address = op[1]
+        if memmap.is_secure(address):
+            touched_pages.add(memmap.pageno_of(address))
+        elif op[0] == JE_WRITE and pagedb_base <= address < pagedb_limit:
+            touched_entries.add(
+                (address - pagedb_base) // (PAGEDB_ENTRY_WORDS * WORDSIZE)
+            )
+    if not touched_pages and not touched_entries:
+        return
+    saved = state.memory.read_ops
+    try:
+        for pageno in sorted(touched_entries):
+            type_word, owner_word = txn.read_words(
+                state.memory, pagedb_entry_addr(base, pageno), PAGEDB_ENTRY_WORDS
+            )
+            txn.record_write(itag_replica_addr(base, pageno), type_word)
+            txn.record_write(itag_replica_addr(base, pageno) + WORDSIZE, owner_word)
+            txn.record_write(
+                itag_entry_sum_addr(base, npages, pageno),
+                entry_checksum(type_word, owner_word),
+            )
+            if type_word == int(PageType.FREE):
+                # Deallocation retires the quarantine and dirty flags.
+                txn.record_write(itag_quarantine_addr(base, npages, pageno), 0)
+                txn.record_write(itag_dirty_addr(base, npages, pageno), 0)
+        for pageno in sorted(touched_pages):
+            type_word = txn.read(pagedb_entry_addr(base, pageno))
+            if type_word is None:
+                type_word = _peek(state.memory, pagedb_entry_addr(base, pageno))
+            if type_word in _NEVER_TAGGED:
+                tag = 0
+            else:
+                tag = page_checksum(
+                    txn.read_words(
+                        state.memory, memmap.page_base(pageno), WORDS_PER_PAGE
+                    )
+                )
+            txn.record_write(itag_page_tag_addr(base, npages, pageno), tag)
+    finally:
+        state.memory.read_ops = saved
+
+
+def resync(state: MachineState) -> None:
+    """Rebuild every tag from current memory (engine resynchronisation).
+
+    Harness-only: test fixtures that mutate secure memory behind the
+    machine's back (e.g. the noninterference perturbations) use this to
+    model the perturbation as part of the world's history rather than as
+    a corruption event.  Never called by monitor code.
+    """
+    if not enabled(state):
+        return
+    memmap = state.memmap
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    memory = state.memory
+    saved = memory.read_ops
+    try:
+        for pageno in range(npages):
+            type_word, owner_word = memory.read_words(
+                pagedb_entry_addr(base, pageno), PAGEDB_ENTRY_WORDS
+            )
+            memory.write_word(itag_replica_addr(base, pageno), type_word)
+            memory.write_word(itag_replica_addr(base, pageno) + WORDSIZE, owner_word)
+            memory.write_word(
+                itag_entry_sum_addr(base, npages, pageno),
+                entry_checksum(type_word, owner_word),
+            )
+            if type_word in _NEVER_TAGGED:
+                tag = 0
+            else:
+                tag = page_checksum(
+                    memory.read_words(memmap.page_base(pageno), WORDS_PER_PAGE)
+                )
+            memory.write_word(itag_page_tag_addr(base, npages, pageno), tag)
+    finally:
+        memory.read_ops = saved
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+
+def check_pagedb(
+    state: MachineState,
+) -> Tuple[Dict[int, int], Dict[int, int], List[Tuple[int, int]], int]:
+    """Verify the PageDB against its replica and checksums.
+
+    Returns ``(types, owners, fixes, repaired_entries)`` where *types* /
+    *owners* are the repaired view (raw words) and *fixes* are the
+    ``(address, value)`` stores that realise the repairs.  A single
+    corrupted word always identifies itself: the checksum arbitrates
+    between primary and replica, and the two copies arbitrate a
+    corrupted checksum.
+    """
+    memmap = state.memmap
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    memory = state.memory
+    primary = _peek_words(memory, pagedb_entry_addr(base, 0), npages * 2)
+    replica = _peek_words(memory, itag_replica_addr(base, 0), npages * 2)
+    sums = _peek_words(memory, itag_entry_sum_addr(base, npages, 0), npages)
+    types: Dict[int, int] = {}
+    owners: Dict[int, int] = {}
+    fixes: List[Tuple[int, int]] = []
+    repaired = 0
+    for pageno in range(npages):
+        pt, po = primary[2 * pageno], primary[2 * pageno + 1]
+        rt, ro = replica[2 * pageno], replica[2 * pageno + 1]
+        stored = sums[pageno]
+        entry_addr = pagedb_entry_addr(base, pageno)
+        replica_addr = itag_replica_addr(base, pageno)
+        sum_addr = itag_entry_sum_addr(base, npages, pageno)
+        if (pt, po) == (rt, ro) and entry_checksum(pt, po) == stored:
+            pass
+        elif entry_checksum(pt, po) == stored:  # replica corrupted
+            fixes.extend(((replica_addr, pt), (replica_addr + WORDSIZE, po)))
+            repaired += 1
+        elif entry_checksum(rt, ro) == stored:  # primary corrupted
+            fixes.extend(((entry_addr, rt), (entry_addr + WORDSIZE, ro)))
+            pt, po = rt, ro
+            repaired += 1
+        elif (pt, po) == (rt, ro):  # checksum corrupted
+            fixes.append((sum_addr, entry_checksum(pt, po)))
+            repaired += 1
+        else:
+            # Multi-word corruption (outside the single-flip model):
+            # trust the primary, rewrite the redundancy around it.
+            fixes.extend(
+                (
+                    (replica_addr, pt),
+                    (replica_addr + WORDSIZE, po),
+                    (sum_addr, entry_checksum(pt, po)),
+                )
+            )
+            repaired += 1
+        types[pageno] = pt
+        owners[pageno] = po
+    return types, owners, fixes, repaired
+
+
+def _page_tag_ok(state: MachineState, pageno: int) -> bool:
+    base = state.memmap.monitor_image.base
+    npages = state.memmap.secure_pages
+    content = _peek_words(state.memory, state.memmap.page_base(pageno), WORDS_PER_PAGE)
+    return page_checksum(content) == _peek(
+        state.memory, itag_page_tag_addr(base, npages, pageno)
+    )
+
+
+def _dirty_addrspaces(state: MachineState) -> Set[int]:
+    """Addrspaces whose DATA tags are currently stale by protocol."""
+    base = state.memmap.monitor_image.base
+    npages = state.memmap.secure_pages
+    flags = _peek_words(state.memory, itag_dirty_addr(base, npages, 0), npages)
+    return {asno for asno, flag in enumerate(flags) if flag}
+
+
+def mark_dirty(mon: "KomodoMonitor", asno: int) -> None:
+    """Declare ``asno``'s DATA tags stale before dropping to user mode.
+
+    Committed through its own journal window *before* the first user
+    instruction can store, so no reachable state — including any
+    crash-recovery state — has fresh-looking tags over user-modified
+    pages.  Idempotent and write-free when the flag is already set
+    (Resume of a suspended thread, re-entry after an interrupt).
+    """
+    from repro.monitor.journal import run_transactional
+
+    state = mon.state
+    if not enabled(state):
+        return
+    address = itag_dirty_addr(
+        state.memmap.monitor_image.base, state.memmap.secure_pages, asno
+    )
+    if _peek(state.memory, address):
+        return
+    run_transactional(
+        state, lambda: _twrite(state, address, 1), commit_if=lambda _: True
+    )
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+
+def _quarantine_in_txn(
+    state: MachineState,
+    types: Dict[int, int],
+    owners: Dict[int, int],
+    suspects: List[int],
+) -> None:
+    """Quarantine ``suspects``: zero, force-stop owner, flag.
+
+    Must run inside an open transaction (the caller's always-commit
+    window), so the whole containment action is crash-atomic and the
+    commit hook retags the sanitized pages.
+
+    The page keeps its PageDB entry — refcounts stay consistent and the
+    OS reclaims it through the ordinary Stop/Remove path.  If the
+    corrupted page *is* an addrspace page, its metadata is rebuilt
+    minimally sane: state STOPPED, refcount recomputed from the PageDB,
+    nothing else — the enclave is gone, but the teardown ABI still works.
+    """
+    memmap = state.memmap
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    # Sanitize addrspace pages first so force-stops of sibling suspects
+    # land on the rebuilt state word, not the about-to-be-zeroed page.
+    for pageno in sorted(suspects, key=lambda p: types[p] != int(PageType.ADDRSPACE)):
+        page_base = memmap.page_base(pageno)
+        _tzero(state, page_base)
+        if types[pageno] == int(PageType.ADDRSPACE):
+            refcount = sum(
+                1
+                for other, type_word in types.items()
+                if other != pageno
+                and type_word != int(PageType.FREE)
+                and owners[other] == pageno
+            )
+            _twrite(
+                state,
+                page_base + AS_STATE_WORD * WORDSIZE,
+                int(AddrspaceState.STOPPED),
+            )
+            _twrite(state, page_base + AS_REFCOUNT_WORD * WORDSIZE, refcount)
+        else:
+            owner = owners[pageno]
+            if types.get(owner) == int(PageType.ADDRSPACE):
+                _twrite(
+                    state,
+                    memmap.page_base(owner) + AS_STATE_WORD * WORDSIZE,
+                    int(AddrspaceState.STOPPED),
+                )
+        _twrite(state, itag_quarantine_addr(base, npages, pageno), 1)
+
+
+# ---------------------------------------------------------------------------
+# The lazy precheck (SMC/SVC entry) and the scrub sweep
+# ---------------------------------------------------------------------------
+
+
+def precheck(mon: "KomodoMonitor", enter_thread: int = None) -> PrecheckReport:
+    """Verify what the next handler will trust; repair or quarantine.
+
+    Always: the PageDB (repairable) and every metadata page (addrspace,
+    thread, page-table — only the monitor writes these, so their tags
+    are always live).  With ``enter_thread`` (an Enter/Resume target):
+    additionally that thread's addrspace's DATA pages, provided its
+    dirty flag is clear (a set flag means user stores made the tags
+    stale — they are refreshed in the exit window instead).
+
+    Zero cycles, zero effect on a clean state: the repair/quarantine
+    transaction is opened only when something is wrong, so fault-point
+    sequences and state digests of uncorrupted runs are unchanged.
+    """
+    from repro.monitor.journal import run_transactional
+
+    state = mon.state
+    report = PrecheckReport()
+    if not enabled(state):
+        return report
+    types, owners, fixes, repaired = check_pagedb(state)
+    report.repaired = repaired
+    suspects: List[int] = []
+    for pageno, type_word in types.items():
+        if type_word in _ALWAYS_TAGGED and not _page_tag_ok(state, pageno):
+            suspects.append(pageno)
+    enter_asno = (
+        owners[enter_thread]
+        if enter_thread in types and types[enter_thread] == int(PageType.THREAD)
+        else None
+    )
+    if (
+        enter_asno is not None
+        and types.get(enter_asno) == int(PageType.ADDRSPACE)
+        and enter_asno not in _dirty_addrspaces(state)
+    ):
+        for pageno, type_word in types.items():
+            if (
+                type_word == int(PageType.DATA)
+                and owners[pageno] == enter_asno
+                and pageno not in suspects
+                and not _page_tag_ok(state, pageno)
+            ):
+                suspects.append(pageno)
+    if fixes or suspects:
+
+        def _contain():
+            for address, value in fixes:
+                _twrite(state, address, value)
+            _quarantine_in_txn(state, types, owners, suspects)
+
+        run_transactional(state, _contain, commit_if=lambda _: True)
+    report.quarantined = sorted(suspects)
+    return report
+
+
+def scrub(mon: "KomodoMonitor") -> PrecheckReport:
+    """The full periodic sweep behind ``SMC_SCRUB``.
+
+    Everything :func:`precheck` covers, over every page, plus healing:
+    FREE and SPARE pages (whose contents are dead) are re-zeroed if a
+    flip landed in them, and DATA pages of every clean (non-dirty)
+    addrspace are verified.  Runs inside the dispatching SMC's
+    transaction.
+    """
+    state = mon.state
+    report = PrecheckReport()
+    if not enabled(state):
+        return report
+    memmap = state.memmap
+    types, owners, fixes, repaired = check_pagedb(state)
+    report.repaired = repaired
+    for address, value in fixes:
+        _twrite(state, address, value)
+    suspects: List[int] = []
+    for pageno, type_word in types.items():
+        if type_word in _ALWAYS_TAGGED and not _page_tag_ok(state, pageno):
+            suspects.append(pageno)
+    dirty = _dirty_addrspaces(state)
+    distrust = set(suspects)
+    for pageno, type_word in types.items():
+        if (
+            type_word == int(PageType.DATA)
+            and owners[pageno] not in dirty
+            and owners[pageno] not in distrust
+            and not _page_tag_ok(state, pageno)
+        ):
+            suspects.append(pageno)
+    for pageno, type_word in types.items():
+        if type_word in _NEVER_TAGGED:
+            content = _peek_words(
+                state.memory, memmap.page_base(pageno), WORDS_PER_PAGE
+            )
+            if any(content):
+                _tzero(state, memmap.page_base(pageno))
+                report.healed += 1
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    # Heal corrupted engine flags.  A genuine quarantine stops its owner
+    # in the same commit that sets the flag, and a genuine dirty flag
+    # belongs to an addrspace page — any other combination can only be a
+    # flip landing in the flag arrays themselves.
+    quar_flags = _peek_words(
+        state.memory, itag_quarantine_addr(base, npages, 0), npages
+    )
+    for pageno, flag in enumerate(quar_flags):
+        if not flag or pageno in suspects:
+            continue
+        type_word = types[pageno]
+        owner = pageno if type_word == int(PageType.ADDRSPACE) else owners[pageno]
+        owner_stopped = (
+            types.get(owner) == int(PageType.ADDRSPACE)
+            and _peek(
+                state.memory, memmap.page_base(owner) + AS_STATE_WORD * WORDSIZE
+            )
+            == int(AddrspaceState.STOPPED)
+        )
+        if type_word == int(PageType.FREE) or not owner_stopped:
+            _twrite(state, itag_quarantine_addr(base, npages, pageno), 0)
+            report.healed += 1
+    dirty_flags = _peek_words(state.memory, itag_dirty_addr(base, npages, 0), npages)
+    for asno, flag in enumerate(dirty_flags):
+        if flag and types[asno] != int(PageType.ADDRSPACE):
+            _twrite(state, itag_dirty_addr(base, npages, asno), 0)
+            report.healed += 1
+    _quarantine_in_txn(state, types, owners, suspects)
+    report.quarantined = sorted(suspects)
+    return report
+
+
+def refresh_data_tags(mon: "KomodoMonitor", asno: int) -> None:
+    """Exit-window retag of an addrspace's DATA pages.
+
+    Called from the Enter/Resume exit bookkeeping once execution has
+    finally left the enclave (Exit or fault — not interrupt suspension,
+    which keeps the dirty flag set): user-mode stores changed data pages
+    without the engine seeing them, so their tags are recomputed here
+    and the dirty flag cleared, in one crash-atomic window — tags are
+    declared trustworthy only in the same commit that makes them so.
+    """
+    from repro.monitor.journal import run_transactional
+
+    state = mon.state
+    if not enabled(state):
+        return
+    memmap = state.memmap
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    if not _peek(state.memory, itag_dirty_addr(base, npages, asno)):
+        return
+    entries = _peek_words(state.memory, pagedb_entry_addr(base, 0), npages * 2)
+    data_pages = [
+        pageno
+        for pageno in range(npages)
+        if entries[2 * pageno] == int(PageType.DATA)
+        and entries[2 * pageno + 1] == asno
+    ]
+
+    def _retag():
+        for pageno in data_pages:
+            content = _peek_words(
+                state.memory, memmap.page_base(pageno), WORDS_PER_PAGE
+            )
+            _twrite(
+                state,
+                itag_page_tag_addr(base, npages, pageno),
+                page_checksum(content),
+            )
+        _twrite(state, itag_dirty_addr(base, npages, asno), 0)
+
+    run_transactional(state, _retag, commit_if=lambda _: True)
+
+
+# ---------------------------------------------------------------------------
+# Audit support (repro.faults / spec invariants)
+# ---------------------------------------------------------------------------
+
+
+def consistency_problems(state: MachineState) -> List[str]:
+    """Raw engine-level consistency walk for post-injection audits.
+
+    Checks, with the machine quiescent: PageDB triple redundancy agrees;
+    every expected-live tag matches its page; every quarantine flag sits
+    on a page whose owner is stopped.  Shares the arbitration code with
+    the engine on purpose — the *independent* cross-check is the dual
+    spec+machine audit in ``repro.faults.audit``, which never reads tags.
+    """
+    if not enabled(state):
+        return []
+    problems: List[str] = []
+    memmap = state.memmap
+    base = memmap.monitor_image.base
+    npages = memmap.secure_pages
+    types, owners, fixes, _repaired = check_pagedb(state)
+    if fixes:
+        problems.append(f"pagedb redundancy disagrees ({len(fixes)} pending fixes)")
+    dirty = _dirty_addrspaces(state)
+    for pageno, type_word in types.items():
+        expected = type_word in _ALWAYS_TAGGED or (
+            type_word == int(PageType.DATA) and owners[pageno] not in dirty
+        )
+        if expected and not _page_tag_ok(state, pageno):
+            problems.append(f"page {pageno} content does not match its tag")
+    flags = _peek_words(state.memory, itag_quarantine_addr(base, npages, 0), npages)
+    for pageno, flag in enumerate(flags):
+        if not flag:
+            continue
+        if types[pageno] == int(PageType.FREE):
+            problems.append(f"free page {pageno} still flagged quarantined")
+            continue
+        owner = pageno if types[pageno] == int(PageType.ADDRSPACE) else owners[pageno]
+        state_word = _peek(
+            state.memory, memmap.page_base(owner) + AS_STATE_WORD * WORDSIZE
+        )
+        if (
+            types.get(owner) != int(PageType.ADDRSPACE)
+            or state_word != int(AddrspaceState.STOPPED)
+        ):
+            problems.append(
+                f"quarantined page {pageno}: owner {owner} is not a stopped addrspace"
+            )
+    return problems

@@ -324,6 +324,12 @@ def run_transactional(
         raise
     state.txn = None
     if commit_if(result):
+        if txn.ops:
+            # Let the integrity engine append tag updates covering the
+            # buffered stores, so data and tags commit atomically.
+            from repro.monitor import integrity
+
+            integrity.record_tag_ops(state, txn)
         txn.commit(state)
     # A quiescent boundary: the machine state here is one the crash
     # audit accepts as "pre-call or completed".

@@ -19,7 +19,7 @@ from repro.arm.machine import MachineState
 from repro.arm.modes import Mode, World
 from repro.arm.registers import PSR
 from repro.crypto.rng import HardwareRNG
-from repro.monitor import journal
+from repro.monitor import integrity, journal
 from repro.monitor.attestation import Attestation
 from repro.monitor.enclave_exec import EnterOutcome, smc_enter, smc_resume
 from repro.monitor.errors import KomErr
@@ -37,6 +37,7 @@ from repro.monitor.smc import (
     smc_map_secure,
     smc_query,
     smc_remove,
+    smc_scrub,
     smc_stop,
 )
 
@@ -212,6 +213,18 @@ class KomodoMonitor:
         """
         state = self.state
         state.charge(4 * state.costs.instruction)  # call-number compare chain
+        # Lazy integrity check: before trusting the PageDB or any
+        # metadata page, verify what this call will read.  Query /
+        # GetPhysPages reveal nothing corruptible; Scrub is itself the
+        # sweep.  Zero cycles and zero state changes when memory is
+        # clean, so uncorrupted runs are bit-identical to before.
+        if callno not in (SMC.QUERY, SMC.GET_PHYSPAGES, SMC.SCRUB):
+            enter_thread = (
+                args[0] if callno in (SMC.ENTER, SMC.RESUME) else None
+            )
+            report = integrity.precheck(self, enter_thread=enter_thread)
+            if report.quarantined:
+                return (KomErr.PAGE_QUARANTINED, report.quarantined[0])
         if callno == SMC.ENTER:
             outcome = smc_enter(self, args[0], args[1], args[2], args[3])
             return (outcome.err, outcome.value)
@@ -248,6 +261,8 @@ class KomodoMonitor:
             return smc_finalise(self, args[0])
         if callno == SMC.STOP:
             return smc_stop(self, args[0])
+        if callno == SMC.SCRUB:
+            return smc_scrub(self)
         return (KomErr.INVALID_CALL, 0)
 
     # -- crash recovery ----------------------------------------------------

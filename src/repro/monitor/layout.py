@@ -42,6 +42,7 @@ class SMC(enum.IntEnum):
     ENTER = 22
     RESUME = 23
     STOP = 24
+    SCRUB = 25  # integrity sweep: verify/repair tags, quarantine bad pages
 
 
 class SVC(enum.IntEnum):
@@ -176,6 +177,69 @@ def pagedb_entry_addr(monitor_image_base: int, pageno: int) -> int:
         + PAGEDB_OFFSET
         + pageno * PAGEDB_ENTRY_WORDS * WORDSIZE
     )
+
+
+# ---------------------------------------------------------------------------
+# Integrity-tag region (ITAG), in monitor data memory
+# ---------------------------------------------------------------------------
+#
+# The memory-integrity engine (repro.monitor.integrity) keeps its
+# metadata between the PageDB array and the journal:
+#
+#   word 0                     magic (distinguishes from boot-zeroed RAM)
+#   words [1, 1+2n)            PageDB replica (type, owner per page)
+#   words [1+2n, 1+3n)         per-entry checksums over (type, owner)
+#   words [1+3n, 1+4n)         per-page content tags
+#   words [1+4n, 1+5n)         quarantine flags
+#   words [1+5n, 1+6n)         dirty flags (indexed by addrspace pageno)
+#
+# where n = secure page count.  The replica + checksum give the PageDB
+# triple redundancy: any single corrupted word identifies itself and is
+# repaired from the other two copies.  Content tags cover pages whose
+# contents only the monitor may write: metadata pages always, DATA pages
+# while their addrspace's dirty flag is clear.  The dirty flag is set
+# (transactionally) before Enter/Resume drops to user mode — user stores
+# are architecturally immediate and invisible to the engine — and
+# cleared in the same transaction that refreshes the DATA tags once
+# execution has finally left the enclave.  A mismatch on a covered page
+# quarantines it.
+
+ITAG_OFFSET = 0x4000
+ITAG_MAGIC = 0x49544147  # "ITAG"
+
+
+def itag_words_used(npages: int) -> int:
+    """Size of the ITAG region in words for ``npages`` secure pages."""
+    return 1 + 6 * npages
+
+
+def itag_magic_addr(monitor_image_base: int) -> int:
+    return monitor_image_base + ITAG_OFFSET
+
+
+def itag_replica_addr(monitor_image_base: int, pageno: int) -> int:
+    """Address of page ``pageno``'s two-word PageDB replica entry."""
+    return monitor_image_base + ITAG_OFFSET + (1 + 2 * pageno) * WORDSIZE
+
+
+def itag_entry_sum_addr(monitor_image_base: int, npages: int, pageno: int) -> int:
+    """Address of page ``pageno``'s PageDB entry checksum word."""
+    return monitor_image_base + ITAG_OFFSET + (1 + 2 * npages + pageno) * WORDSIZE
+
+
+def itag_page_tag_addr(monitor_image_base: int, npages: int, pageno: int) -> int:
+    """Address of page ``pageno``'s content-tag word."""
+    return monitor_image_base + ITAG_OFFSET + (1 + 3 * npages + pageno) * WORDSIZE
+
+
+def itag_quarantine_addr(monitor_image_base: int, npages: int, pageno: int) -> int:
+    """Address of page ``pageno``'s quarantine flag word."""
+    return monitor_image_base + ITAG_OFFSET + (1 + 4 * npages + pageno) * WORDSIZE
+
+
+def itag_dirty_addr(monitor_image_base: int, npages: int, asno: int) -> int:
+    """Address of addrspace ``asno``'s execution dirty-flag word."""
+    return monitor_image_base + ITAG_OFFSET + (1 + 5 * npages + asno) * WORDSIZE
 
 
 # ---------------------------------------------------------------------------

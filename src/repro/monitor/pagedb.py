@@ -253,3 +253,15 @@ class PageDB:
             self.valid_pageno(pageno)
             and self.page_type(pageno) is PageType.ADDRSPACE
         )
+
+    def live_addrspaces(self) -> List[int]:
+        """Pagenos of every allocated ADDRSPACE page, in page order.
+
+        Quarantine containment checks use this to assert that corrupting
+        one enclave leaves every *other* addrspace's lifecycle state
+        untouched."""
+        return [
+            pageno
+            for pageno in range(self.npages)
+            if self.page_type(pageno) is PageType.ADDRSPACE
+        ]

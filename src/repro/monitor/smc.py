@@ -325,3 +325,24 @@ def smc_remove(mon: "KomodoMonitor", pageno: int) -> Result:
     pagedb.free_entry(pageno)
     pagedb.adjust_refcount(owner, -1)
     return _OK
+
+
+def smc_scrub(mon: "KomodoMonitor") -> Result:
+    """Integrity sweep: verify every tag, repair, heal, quarantine.
+
+    The periodic counterpart to the lazy per-call precheck: walks the
+    whole PageDB and every page's content tag, repairs PageDB redundancy
+    disagreements, re-zeroes corrupted free/spare pages (their contents
+    are dead, so a flip there is healed rather than quarantined), and
+    quarantines unrepairable pages exactly as the precheck would.
+
+    Returns ``(SUCCESS, (repaired + healed) << 16 | quarantined)`` so
+    the OS can see what the sweep did without access to the tag region.
+    """
+    from repro.monitor import integrity
+
+    report = integrity.scrub(mon)
+    summary = ((report.repaired + report.healed) << 16) | (
+        len(report.quarantined) & 0xFFFF
+    )
+    return (KomErr.SUCCESS, summary)

@@ -114,6 +114,9 @@ class MultiCoreMachine:
         self.linearisation: List[LinearisationEntry] = []
         #: Injected crashes observed: (core_id, callno, args, FaultInjected).
         self.crashes: List[tuple] = []
+        #: Quarantine events observed: (core_id, callno, pageno) — an SMC
+        #: on this core tripped the integrity precheck.
+        self.quarantines: List[tuple] = []
         # Recovery after a mid-SMC crash must break the dead core's lock.
         monitor.on_recover = self.lock.break_for_recovery
 
@@ -139,6 +142,8 @@ class MultiCoreMachine:
             )
         )
         core.results.append((err, value))
+        if err is KomErr.PAGE_QUARANTINED:
+            self.quarantines.append((core.core_id, callno, value))
         return (err, value)
 
     def _run_locked_smc(self, core: Core, callno: int, args: Tuple[int, ...]) -> None:

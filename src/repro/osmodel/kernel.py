@@ -232,6 +232,57 @@ class OSKernel:
             return (KomErr.SUCCESS, value)
         return (err, value)
 
+    # -- transient failures (the kernel driver's patience) ---------------------------
+
+    def retry_with_backoff(
+        self,
+        issue,
+        *,
+        transient: Tuple[KomErr, ...] = (KomErr.PAGE_QUARANTINED,),
+        attempts: int = 4,
+        seed: int = 0,
+        base_delay: int = 64,
+    ) -> Tuple[KomErr, int]:
+        """Bounded retry of a transient SMC outcome, with seeded backoff.
+
+        ``issue`` is a zero-argument callable returning ``(err, value)``
+        — typically a lambda re-issuing one SMC.  Outcomes in
+        ``transient`` may clear up after the system state changes:
+        ``PAGE_QUARANTINED`` from a precheck that contained corruption
+        in *some* page (the next attempt runs against the repaired
+        state), or a contended monitor lock on a multicore platform.
+
+        The backoff between attempts is a deterministic, seeded,
+        exponentially growing spin charged to the machine's cycle
+        counter — never wall-clock — so campaign runs that exercise this
+        path are bit-reproducible and the cost model sees the waiting.
+        Returns the final ``(err, value)`` after at most ``attempts``
+        issues (the last error, still transient, if none succeeded).
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        state = self.monitor.state
+        word = (seed ^ 0x9E3779B9) & 0xFFFFFFFF
+        err, value = issue()
+        for attempt in range(1, attempts):
+            if err not in transient:
+                break
+            # Linear congruential jitter (Numerical Recipes constants):
+            # deterministic for a given seed, different across attempts.
+            word = (word * 1664525 + 1013904223) & 0xFFFFFFFF
+            state.charge(base_delay * (1 << (attempt - 1)) + word % base_delay)
+            err, value = issue()
+        return (err, value)
+
+    def scrub(self) -> Tuple[int, int]:
+        """Run the monitor's integrity sweep (``SMC_SCRUB``).
+
+        Returns ``(fixed, quarantined)``: how many tags/pages the sweep
+        repaired or healed, and how many pages it had to quarantine.
+        """
+        value = self.smc_checked(SMC.SCRUB)
+        return (value >> 16, value & 0xFFFF)
+
     def recover_execution(
         self, thread_page: int, arg1: int = 0, arg2: int = 0, arg3: int = 0
     ) -> Tuple[KomErr, int]:

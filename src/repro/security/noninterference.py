@@ -30,6 +30,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.arm.machine import MachineState
 from repro.crypto.rng import HardwareRNG
+from repro.monitor import integrity
 from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.monitor.layout import SMC
@@ -139,8 +140,15 @@ class BisimulationHarness:
         adversary-controlled state.  The caller is responsible for
         keeping the perturbed pair inside the intended ≈L relation, which
         ``require_related`` can confirm before running the trace.
+
+        The perturbation is part of the world's *history*, not a memory
+        fault, so the integrity engine's tags are resynchronised over
+        the mutated contents — otherwise the monitor would (correctly,
+        but unhelpfully for these experiments) quarantine the perturbed
+        page as corrupted.
         """
         mutate(self.worlds[world_index].monitor)
+        integrity.resync(self.worlds[world_index].state)
 
     # -- relation checks -----------------------------------------------------------
 

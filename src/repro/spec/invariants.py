@@ -73,6 +73,35 @@ def collect_violations(db: AbsPageDb, memmap=None) -> List[str]:
     return failures
 
 
+def collect_quarantine_violations(db: AbsPageDb, quarantined) -> List[str]:
+    """The graceful-degradation property of the memory-integrity layer.
+
+    A quarantined page keeps its PageDB entry (so refcounts and audits
+    stay consistent), and quarantining force-stops exactly the owning
+    addrspace: every page in ``quarantined`` must therefore still be
+    allocated, and its owner must be a stopped addrspace.  Anything else
+    means corruption escaped containment — the one thing the subsystem
+    exists to prevent.
+    """
+    failures: List[str] = []
+    for pageno in quarantined:
+        if not db.valid_pageno(pageno):
+            failures.append(f"quarantined page {pageno} out of range")
+            continue
+        entry = db[pageno]
+        if isinstance(entry, AbsFree):
+            failures.append(
+                f"quarantined page {pageno} is free (flag not retired on Remove)"
+            )
+            continue
+        owner = pageno if isinstance(entry, AbsAddrspace) else entry.addrspace
+        if not _owner_stopped(db, owner):
+            failures.append(
+                f"quarantined page {pageno}: owner {owner} is not a stopped addrspace"
+            )
+    return failures
+
+
 def _owner_stopped(db: AbsPageDb, addrspace: int) -> bool:
     """Page-table well-formedness is not required of *stopped* enclaves:
     the OS may Remove their pages in any order, leaving dangling table

@@ -71,12 +71,13 @@ class TestCallNumbers:
         assert len(values) == len(set(values))
 
     def test_table1_smc_surface(self):
-        """All 12 OS calls of Table 1 (plus the Query probe)."""
+        """All 12 OS calls of Table 1 (plus the Query probe and the
+        memory-integrity Scrub extension)."""
         names = {c.name for c in SMC}
         assert names == {
             "QUERY", "GET_PHYSPAGES", "INIT_ADDRSPACE", "INIT_THREAD",
             "INIT_L2PTABLE", "MAP_SECURE", "MAP_INSECURE", "ALLOC_SPARE",
-            "FINALISE", "ENTER", "RESUME", "STOP", "REMOVE",
+            "FINALISE", "ENTER", "RESUME", "STOP", "REMOVE", "SCRUB",
         }
 
     def test_table1_svc_surface(self):

@@ -268,3 +268,54 @@ class TestCrashRecovery:
         )
         assert not violations
         assert machine.monitor.pagedb.measurement(0) == machine.monitor.pagedb.measurement(8)
+
+
+class TestQuarantineReporting:
+    def test_precheck_quarantine_is_recorded_per_core(self):
+        """A flip in one core's enclave trips the integrity precheck on
+        whichever core issues the next SMC; the scheduler records the
+        event and the other core's work is unaffected."""
+        machine = fresh_machine(seed=3)
+        monitor = machine.monitor
+        # Core 0's enclave exists before the storm; corrupt its thread page.
+        err, _ = monitor.smc(SMC.INIT_ADDRSPACE, 0, 1)
+        assert err is KomErr.SUCCESS
+        err, _ = monitor.smc(SMC.INIT_THREAD, 0, 2, 0x1000)
+        assert err is KomErr.SUCCESS
+        monitor.state.flip_bit(monitor.state.memmap.page_base(2), 19)
+
+        def victim_core(core_id):
+            def script(_):
+                err, value = yield ("smc", SMC.FINALISE, 0)
+                assert err is KomErr.PAGE_QUARANTINED
+                assert value == 2
+
+            return script
+
+        def builder_core(base):
+            def script(_):
+                err, _ = yield ("smc", SMC.INIT_ADDRSPACE, base, base + 1)
+                # The precheck may have fired here instead; retry once.
+                if err is KomErr.PAGE_QUARANTINED:
+                    err, _ = yield ("smc", SMC.INIT_ADDRSPACE, base, base + 1)
+                assert err is KomErr.SUCCESS
+                err, _ = yield ("smc", SMC.FINALISE, base)
+                assert err is KomErr.SUCCESS
+
+            return script
+
+        machine.add_core(victim_core(0))
+        machine.add_core(builder_core(8))
+        machine.run()
+        assert len(machine.quarantines) == 1
+        core_id, callno, pageno = machine.quarantines[0]
+        assert pageno == 2
+        assert callno in (SMC.FINALISE, SMC.INIT_ADDRSPACE)
+        # Containment: the builder core's enclave finalised regardless.
+        from repro.monitor.layout import AddrspaceState
+
+        assert machine.monitor.pagedb.addrspace_state(8) is AddrspaceState.FINAL
+        violations = collect_violations(
+            extract_pagedb(machine.monitor.state), machine.monitor.state.memmap
+        )
+        assert not violations

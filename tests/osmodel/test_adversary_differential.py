@@ -1,0 +1,83 @@
+"""Adversarial strategies are engine-independent.
+
+The fast execution engine (decode cache, micro-TLB, flat memory) must
+be bit-identical to the reference interpreter even under adversarial
+schedules: interrupt storms that slice execution at attacker-chosen
+points, and normal-world probes of protected memory.  Divergence here
+would mean the fast path caches state the adversary can desynchronise.
+"""
+
+from repro.arm.assembler import Assembler
+from repro.crypto.rng import HardwareRNG
+from repro.faults.audit import secure_state_digest
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SVC
+from repro.osmodel.adversary import AdversarialOS
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, EnclaveBuilder
+
+
+def _counting_asm() -> Assembler:
+    asm = Assembler()
+    asm.movw("r0", 0)
+    asm.label("loop")
+    asm.addi("r0", "r0", 1)
+    asm.cmpi("r0", 64)
+    asm.bne("loop")
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def _fresh(engine):
+    monitor = KomodoMonitor(
+        rng=HardwareRNG(0xD1FF), secure_pages=24, cpu_engine=engine
+    )
+    kernel = OSKernel(monitor)
+    attacker = AdversarialOS(monitor, seed=42)
+    return monitor, kernel, attacker
+
+
+def _storm_observation(engine):
+    monitor, kernel, attacker = _fresh(engine)
+    enclave = (
+        EnclaveBuilder(kernel).add_code(_counting_asm()).add_thread(CODE_VA).build()
+    )
+    err, value, interrupts = attacker.interrupt_storm(enclave.thread)
+    return (
+        err,
+        value,
+        interrupts,
+        monitor.state.cycles,
+        secure_state_digest(monitor.state),
+    )
+
+
+def _probe_observation(engine):
+    monitor, kernel, attacker = _fresh(engine)
+    enclave = (
+        EnclaveBuilder(kernel).add_code(_counting_asm()).add_thread(CODE_VA).build()
+    )
+    enclave.call()
+    log = attacker.probe_secure_memory(samples=24)
+    return (
+        log.faults_taken,
+        monitor.state.cycles,
+        secure_state_digest(monitor.state),
+    )
+
+
+class TestEngineDifferential:
+    def test_interrupt_storm_is_bit_identical(self):
+        fast = _storm_observation("fast")
+        reference = _storm_observation("reference")
+        assert fast == reference
+        assert (fast[0], fast[1]) == (KomErr.SUCCESS, 64)
+        assert fast[2] > 0  # interrupts actually landed
+
+    def test_probe_secure_memory_is_bit_identical(self):
+        fast = _probe_observation("fast")
+        reference = _probe_observation("reference")
+        assert fast == reference
+        # Every probe faulted: 3 regions x 24 samples x (read + write).
+        assert fast[0] == 3 * 24 * 2

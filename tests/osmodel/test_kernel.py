@@ -117,3 +117,84 @@ class TestDriverOperations:
         enclave = EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
         err, value = kernel.run_to_completion(enclave.thread)
         assert (err, value) == (KomErr.SUCCESS, 100)
+
+
+class TestRetryWithBackoff:
+    def test_success_passes_through_untouched(self, env):
+        monitor, kernel = env
+        calls = []
+
+        def issue():
+            calls.append(1)
+            return (KomErr.SUCCESS, 42)
+
+        before = monitor.state.cycles
+        assert kernel.retry_with_backoff(issue) == (KomErr.SUCCESS, 42)
+        assert len(calls) == 1
+        assert monitor.state.cycles == before  # no backoff charged
+
+    def test_bounded_attempts_on_persistent_transient(self, env):
+        monitor, kernel = env
+        calls = []
+
+        def issue():
+            calls.append(1)
+            return (KomErr.PAGE_QUARANTINED, 7)
+
+        err, value = kernel.retry_with_backoff(issue, attempts=3, seed=1)
+        assert (err, value) == (KomErr.PAGE_QUARANTINED, 7)
+        assert len(calls) == 3
+
+    def test_transient_clears_after_retry(self, env):
+        _, kernel = env
+        outcomes = [(KomErr.PAGE_QUARANTINED, 3), (KomErr.SUCCESS, 0)]
+
+        def issue():
+            return outcomes.pop(0)
+
+        assert kernel.retry_with_backoff(issue, seed=9) == (KomErr.SUCCESS, 0)
+        assert not outcomes
+
+    def test_non_transient_error_returns_immediately(self, env):
+        monitor, kernel = env
+        calls = []
+
+        def issue():
+            calls.append(1)
+            return (KomErr.INVALID_PAGENO, 0)
+
+        before = monitor.state.cycles
+        err, _ = kernel.retry_with_backoff(issue, attempts=4, seed=2)
+        assert err is KomErr.INVALID_PAGENO
+        assert len(calls) == 1
+        assert monitor.state.cycles == before
+
+    def test_backoff_is_deterministic_and_cycle_charged(self, env):
+        def charged(seed):
+            monitor = KomodoMonitor(secure_pages=16)
+            kernel = OSKernel(monitor)
+            before = monitor.state.cycles
+            kernel.retry_with_backoff(
+                lambda: (KomErr.PAGE_QUARANTINED, 0), attempts=4, seed=seed
+            )
+            return monitor.state.cycles - before
+
+        assert charged(seed=5) == charged(seed=5) > 0
+        # Exponential floor: 64 + 128 + 256 spin cycles minimum.
+        assert charged(seed=5) >= 64 + 128 + 256
+
+    def test_rejects_zero_attempts(self, env):
+        _, kernel = env
+        with pytest.raises(ValueError):
+            kernel.retry_with_backoff(lambda: (KomErr.SUCCESS, 0), attempts=0)
+
+
+class TestScrubHelper:
+    def test_scrub_unpacks_counts(self, env):
+        monitor, kernel = env
+        assert kernel.scrub() == (0, 0)
+        # Leave residue in a free page; the sweep heals it.
+        monitor.state.memory.write_word(monitor.state.memmap.page_base(3), 0xBAD)
+        fixed, quarantined = kernel.scrub()
+        assert fixed == 1
+        assert quarantined == 0

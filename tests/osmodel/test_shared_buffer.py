@@ -65,5 +65,6 @@ class TestErrorEnum:
             "INTERRUPTED": 9, "FAULT": 10, "ALREADY_ENTERED": 11,
             "NOT_ENTERED": 12, "INVALID_THREAD": 13, "INVALID_CALL": 14,
             "STOPPED": 15, "PAGES_EXHAUSTED": 16, "INSECURE_INVALID": 17,
+            "PAGE_QUARANTINED": 18,
         }
         assert {e.name: int(e) for e in KomErr} == expected

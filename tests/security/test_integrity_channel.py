@@ -1,0 +1,131 @@
+"""The memory-integrity engine must not be a side channel.
+
+Integrity tags are CRCs *of enclave secrets* stored in monitor memory,
+and ``SMC_SCRUB`` reports counts derived from them to the OS.  These
+bisimulation checks drive two worlds whose victims differ only in their
+secret data and assert every engine-mediated observable — scrub return
+values, precheck verdicts, quarantine error codes and page numbers —
+is identical across the worlds.
+"""
+
+from repro.arm.assembler import Assembler
+from repro.monitor import integrity
+from repro.monitor.layout import SMC, SVC, itag_page_tag_addr
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, EnclaveBuilder
+from repro.security.noninterference import BisimulationHarness, OSAction
+
+SECRET_W1 = 0x1111_1111
+SECRET_W2 = 0x2222_2222
+
+
+def victim_asm() -> Assembler:
+    """Computes on its secret, releases a constant."""
+    asm = Assembler()
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.add("r6", "r5", "r5")
+    asm.movw("r0", 7)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+class _Setup:
+    def __init__(self):
+        self.victim = None
+        self.attacker = None
+
+    def __call__(self, monitor):
+        kernel = OSKernel(monitor)
+        self.victim = (
+            EnclaveBuilder(kernel)
+            .add_code(victim_asm())
+            .add_data(contents=[SECRET_W1], va=DATA_VA)
+            .add_thread(CODE_VA)
+            .build()
+        )
+        # The colluding observer enclave (trivial: exits immediately).
+        attacker_asm = Assembler()
+        attacker_asm.svc(SVC.EXIT)
+        self.attacker = (
+            EnclaveBuilder(kernel).add_code(attacker_asm).add_thread(CODE_VA).build()
+        )
+
+
+def _perturb_secret(setup, new_secret):
+    def mutate(monitor):
+        page = setup.victim.data_pages[DATA_VA]
+        monitor.state.memory.write_word(
+            monitor.pagedb.page_base(page), new_secret
+        )
+
+    return mutate
+
+
+def _harness_with_differing_secrets():
+    harness = BisimulationHarness(secure_pages=32, step_budget=100_000)
+    setup = _Setup()
+    harness.setup_both(setup)
+    harness.perturb(1, _perturb_secret(setup, SECRET_W2))
+    return harness, setup
+
+
+def _data_tag(world, setup):
+    state = world.state
+    return state.memory.read_word(
+        itag_page_tag_addr(
+            state.memmap.monitor_image.base,
+            state.memmap.secure_pages,
+            setup.victim.data_pages[DATA_VA],
+        )
+    )
+
+
+class TestScrubChannel:
+    def test_tags_differ_but_scrub_observables_do_not(self):
+        harness, setup = _harness_with_differing_secrets()
+        # Vacuity guard: the stored tags really are secret-dependent.
+        assert _data_tag(harness.worlds[0], setup) != _data_tag(
+            harness.worlds[1], setup
+        )
+        trace = [
+            OSAction(SMC.SCRUB),
+            OSAction(SMC.ENTER, (setup.victim.thread, 0, 0, 0)),
+            OSAction(SMC.SCRUB),
+            OSAction(SMC.ENTER, (setup.victim.thread, 0, 0, 0)),
+            OSAction(SMC.SCRUB),
+        ]
+        harness.run_trace(trace, enc=setup.attacker.as_page, adversary_view=True)
+
+    def test_scrub_after_interrupted_run_is_uniform(self):
+        # A suspended victim keeps its dirty flag set; the sweep skips
+        # its DATA pages in both worlds identically.
+        harness, setup = _harness_with_differing_secrets()
+        trace = [
+            OSAction(SMC.ENTER, (setup.victim.thread, 0, 0, 0), interrupt_after=3),
+            OSAction(SMC.SCRUB),
+            OSAction(SMC.RESUME, (setup.victim.thread,)),
+            OSAction(SMC.SCRUB),
+        ]
+        harness.run_trace(trace, enc=setup.attacker.as_page, adversary_view=True)
+
+
+class TestQuarantineChannel:
+    def test_quarantine_verdict_is_secret_independent(self):
+        # The same physical fault (same address, same bit) lands in the
+        # victim's *secret* page in both worlds; the contents differ, but
+        # everything the OS sees — the PAGE_QUARANTINED error, the page
+        # number, the scrub counts afterwards — must be identical.
+        harness, setup = _harness_with_differing_secrets()
+        page = setup.victim.data_pages[DATA_VA]
+        for world in harness.worlds:
+            base = world.state.memmap.page_base(page)
+            world.state.flip_bit(base + 4, 17)
+        trace = [
+            OSAction(SMC.ENTER, (setup.victim.thread, 0, 0, 0)),
+            OSAction(SMC.SCRUB),
+        ]
+        harness.run_trace(trace, enc=setup.attacker.as_page, adversary_view=True)
+        # Both worlds quarantined the same page.
+        for world in harness.worlds:
+            assert integrity.quarantined_pages(world.state) == [page]
