@@ -1,0 +1,459 @@
+"""Basic-block compiler for the turbo execution tier.
+
+The fast engine (``cpu.FastCPU``) removed page-table walks and decode
+work from the hot loop but still pays one Python dispatch — closure
+call, trace check, step/cycle bookkeeping, two ``try`` frames — per
+instruction.  The turbo tier removes that too: straight-line runs of
+instructions are discovered at their first execution and compiled into
+a single Python function whose body chains the operand semantics of
+every instruction in the run, with register values and NZCV flags held
+in Python locals.  One call then retires the whole block.
+
+Block discovery stops at any *unconditional* control transfer
+(``b``/``bl``/``bxlr``), at ``svc`` (exception exit), before any op
+that is undefined from user mode (``udf``/``smc``, left to the
+single-step path so exception entry stays in one place), and at a page
+boundary — the next word sits behind a different translation, which
+must be re-checked.  Conditional branches do *not* end a block: they
+compile into side exits (taken path returns to the dispatch loop, fall
+through continues inside the block), so a loop body with early-outs
+still dispatches as one superblock.
+
+Cycle accuracy (DESIGN.md, "Turbo engine"): the generated code charges
+``costs.instruction`` once per *retired* instruction via a running
+counter flushed in a ``finally`` block, charges branch/memory costs at
+the same program points as the reference interpreter, and appends the
+same ``("fetch", pc)`` access-trace entries instruction by instruction.
+If a load or store faults mid-block, the ``finally`` flush writes back
+exactly the registers and flags of the instructions that completed —
+straight-line locals hold precisely the architectural state as of the
+last retired instruction — so an abort observes the same machine as
+under single-step execution.
+
+Invalidation reuses the fast engine's machinery:
+
+* ``PhysicalMemory.generation`` — a compiled block caches the words it
+  was built from; on a generation mismatch the words are re-read and
+  compared, so self-modifying code rebuilds exactly where the
+  reference engine would see new words.
+* ``TLB.version`` — a store inside a block re-checks the version and
+  the block's own physical span, and bails out to the dispatch loop if
+  either changed (an architecturally invisible early exit: the loop
+  refetches through the live page tables, faulting where the reference
+  engine would).
+
+The block cache lives in ``MachineState.uarch.bcache`` (never shared by
+snapshots) and is bounded by ``BLOCK_CACHE_CAP`` with LRU eviction so
+long fault campaigns cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.arm.bits import asr, lsl, lsr, to_signed
+from repro.arm.bits import ror as ror_word
+from repro.arm.instructions import (
+    BRANCH_OPS,
+    CONDITIONAL_BRANCHES,
+    FORMATS,
+    Instruction,
+    decode,
+)
+from repro.arm.memory import PAGE_SIZE, MemoryFault, PhysicalMemory, WORDSIZE
+from repro.arm.modes import Mode, bank_for
+
+_M = 0xFFFFFFFF
+_USR_BANK = bank_for(Mode.USR)
+
+#: Ops that end a basic block: control *unconditionally* leaves the
+#: straight line.  Conditional branches compile into side exits instead.
+TERMINATORS = frozenset({"b", "bl", "bxlr", "svc"})
+#: Ops never compiled into a block: undefined from user mode, handled
+#: by the single-step path so exception entry has one implementation.
+EXCLUDED = frozenset({"udf", "smc"})
+
+#: LRU bound on compiled blocks per machine (``uarch.bcache``).
+BLOCK_CACHE_CAP = 2048
+
+#: Conditional-branch predicates over the flag locals (same truth table
+#: as cpu._CONDITIONS, restated over ``fn_``/``fz_``/``fc_``/``fv_``).
+_COND_EXPR = {
+    "beq": "fz_",
+    "bne": "not fz_",
+    "blt": "fn_ != fv_",
+    "bge": "fn_ == fv_",
+    "bgt": "not fz_ and fn_ == fv_",
+    "ble": "fz_ or fn_ != fv_",
+    "bcs": "fc_",
+    "bcc": "not fc_",
+}
+assert set(_COND_EXPR) == set(CONDITIONAL_BRANCHES)
+
+#: Globals visible to generated block bodies.
+_CODEGEN_GLOBALS = {
+    "_USRB": _USR_BANK,
+    "_lsl": lsl,
+    "_lsr": lsr,
+    "_asr": asr,
+    "_ror": ror_word,
+    "_ts": to_signed,
+}
+
+_FLAG_SETTERS = frozenset({"cmp", "cmpi", "tst"})
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+
+def _read_line(memory: PhysicalMemory, paddr: int, count: int) -> List[int]:
+    """Read up to ``count`` words at ``paddr``, truncating at the first
+    unreadable word.
+
+    Discovery reads ahead of execution, so it may touch words the
+    program never reaches; ``EncryptedMemory`` raises on tampered words
+    the reference engine would never read.  Truncating keeps those words
+    out of the block — execution then reaches them (or not) through the
+    single-step path, faulting exactly where the reference does.
+    """
+    try:
+        return memory.read_words(paddr, count)
+    except MemoryFault:
+        words: List[int] = []
+        for i in range(count):
+            try:
+                words.append(memory.read_word(paddr + i * WORDSIZE))
+            except MemoryFault:
+                break
+        return words
+
+
+def discover(
+    memory: PhysicalMemory, paddr: int
+) -> Tuple[List[Instruction], List[int]]:
+    """Decode the basic block starting at physical address ``paddr``.
+
+    Returns the decoded instructions and the words they came from
+    (equal length).  The block ends at the first unconditional
+    terminator (included), before the first undecodable/excluded word,
+    or at the page boundary; conditional branches are included and
+    decoding continues past them (they become side exits).
+    """
+    count = (PAGE_SIZE - (paddr & (PAGE_SIZE - 1))) // WORDSIZE
+    raw = _read_line(memory, paddr, count)
+    instrs: List[Instruction] = []
+    words: List[int] = []
+    for word in raw:
+        instr = decode(word)
+        if instr is None or instr.op in EXCLUDED:
+            break
+        instrs.append(instr)
+        words.append(word)
+        if instr.op in TERMINATORS:
+            break
+    return instrs, words
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+def _operands(instr: Instruction) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """(registers read, registers written) by one instruction."""
+    op = instr.op
+    fmt = FORMATS[op][1]
+    if fmt == "rrr":
+        return (instr.rn, instr.rm), (instr.rd,)
+    if fmt == "rri":
+        return (instr.rn,), (instr.rd,)
+    if fmt == "rr":
+        return (instr.rm,), (instr.rd,)
+    if fmt == "ri":
+        if op == "movt":
+            return (instr.rd,), (instr.rd,)
+        return (), (instr.rd,)
+    if fmt == "cmp_r":
+        return (instr.rn, instr.rm), ()
+    if fmt == "cmp_i":
+        return (instr.rn,), ()
+    if fmt == "mem_i":
+        if op == "ldr":
+            return (instr.rn,), (instr.rd,)
+        return (instr.rn, instr.rd), ()
+    if fmt == "mem_r":
+        if op == "ldrr":
+            return (instr.rn, instr.rm), (instr.rd,)
+        return (instr.rn, instr.rm, instr.rd), ()
+    if op == "bl":
+        return (), (14,)
+    if op == "bxlr":
+        return (14,), ()
+    return (), ()  # b, conditionals, svc, nop
+
+
+def _alu_expr(instr: Instruction) -> str:
+    """The rd-value expression for an ALU-class instruction, over the
+    register locals.  Mirrors cpu._ALU_RRR/_ALU_RRI/_ALU_RR exactly."""
+    op = instr.op
+    a = f"r{instr.rn}_"
+    b = f"r{instr.rm}_"
+    imm = instr.imm
+    if op == "add":
+        return f"({a} + {b}) & 0xFFFFFFFF"
+    if op == "sub":
+        return f"({a} - {b}) & 0xFFFFFFFF"
+    if op == "rsb":
+        return f"({b} - {a}) & 0xFFFFFFFF"
+    if op == "and":
+        return f"{a} & {b}"
+    if op == "orr":
+        return f"{a} | {b}"
+    if op == "eor":
+        return f"{a} ^ {b}"
+    if op == "bic":
+        return f"{a} & ~{b} & 0xFFFFFFFF"
+    if op == "mul":
+        return f"({a} * {b}) & 0xFFFFFFFF"
+    if op in ("lsl", "lsr", "asr", "ror"):
+        return f"_{op}({a}, {b} & 0xFF)"
+    if op == "addi":
+        return f"({a} + {imm}) & 0xFFFFFFFF" if imm else a
+    if op == "subi":
+        return f"({a} - {imm}) & 0xFFFFFFFF" if imm else a
+    if op == "lsli":
+        if imm >= 32:
+            return "0"
+        return f"(({a} << {imm}) & 0xFFFFFFFF)" if imm else a
+    if op == "lsri":
+        if imm >= 32:
+            return "0"
+        return f"({a} >> {imm})" if imm else a
+    if op == "asri":
+        return f"_asr({a}, {imm})"
+    if op == "mov":
+        return b
+    if op == "mvn":
+        return f"~{b} & 0xFFFFFFFF"
+    if op == "movw":
+        return str(imm)
+    if op == "movt":
+        return f"(r{instr.rd}_ & 0xFFFF) | {imm << 16}"
+    raise AssertionError(f"not an ALU op: {op}")  # pragma: no cover
+
+
+_ALU_OPS = frozenset(
+    op
+    for op, (_, fmt) in FORMATS.items()
+    if fmt in ("rrr", "rri", "rr", "ri")
+)
+
+
+def compile_block(instrs: List[Instruction], paddr: int) -> Callable:
+    """Compile a decoded basic block into one Python function.
+
+    The function has signature ``fn(cpu, pc) -> (next_pc, svc_or_None)``
+    where ``pc`` is the virtual address of the block's first
+    instruction.  It sets ``cpu._retired`` to the number of retired
+    instructions and charges their ``costs.instruction`` cycles even
+    when a memory op raises mid-block.
+    """
+    length = len(instrs)
+    reads, writes = set(), set()
+    for instr in instrs:
+        r, w = _operands(instr)
+        reads.update(r)
+        writes.update(w)
+    touched = reads | writes
+    sets_flags = any(instr.op in _FLAG_SETTERS for instr in instrs)
+    reads_flags = any(instr.op in CONDITIONAL_BRANCHES for instr in instrs)
+    has_load = any(instr.op in ("ldr", "ldrr") for instr in instrs)
+    has_store = any(instr.op in ("str", "strr") for instr in instrs)
+
+    lines: List[str] = []
+    emit = lines.append
+    emit("def _block(cpu, pc):")
+    emit("    state = cpu.state")
+    emit("    regs = state.regs")
+    if any(index < 13 for index in touched):
+        emit("    gprs = regs.gprs")
+    emit("    trace = cpu.access_trace")
+    emit("    _costs = state.costs")
+    emit("    n = 0")
+    for index in sorted(touched):
+        if index == 13:
+            emit("    r13_ = regs.sp_bank[_USRB]")
+        elif index == 14:
+            emit("    r14_ = regs.lr_bank[_USRB]")
+        else:
+            emit(f"    r{index}_ = gprs[{index}]")
+    if sets_flags or reads_flags:
+        emit("    _psr = regs.cpsr")
+        emit("    fn_ = _psr.n; fz_ = _psr.z; fc_ = _psr.c; fv_ = _psr.v")
+    if has_load:
+        emit("    load = cpu._load")
+    if has_store:
+        emit("    store = cpu._store")
+        emit("    _tlb = state.tlb")
+        emit("    _tv = _tlb.version")
+    emit("    try:")
+
+    span_lo, span_hi = paddr, paddr + length * WORDSIZE
+    terminated = False
+    for i, instr in enumerate(instrs):
+        op = instr.op
+        off = i * WORDSIZE
+        fetch_pc = "pc" if i == 0 else f"pc + {off}"
+        emit(f"        if trace is not None: trace.append(('fetch', {fetch_pc}))")
+        if op in _ALU_OPS:
+            emit(f"        r{instr.rd}_ = {_alu_expr(instr)}")
+        elif op == "cmp" or op == "cmpi":
+            a = f"r{instr.rn}_"
+            b = f"r{instr.rm}_" if op == "cmp" else str(instr.imm)
+            emit(f"        _r = ({a} - {b}) & 0xFFFFFFFF")
+            emit("        fn_ = _r >= 0x80000000")
+            emit("        fz_ = _r == 0")
+            emit(f"        fc_ = {a} >= {b}")
+            emit(f"        fv_ = (_ts({a}) - _ts({b})) != _ts(_r)")
+        elif op == "tst":
+            emit(f"        _r = r{instr.rn}_ & r{instr.rm}_")
+            emit("        fn_ = _r >= 0x80000000")
+            emit("        fz_ = _r == 0")
+        elif op in ("ldr", "ldrr"):
+            if op == "ldr":
+                addr = (
+                    f"(r{instr.rn}_ + {instr.imm}) & 0xFFFFFFFF"
+                    if instr.imm
+                    else f"r{instr.rn}_"
+                )
+            else:
+                addr = f"(r{instr.rn}_ + r{instr.rm}_) & 0xFFFFFFFF"
+            emit(f"        n = {i}")
+            emit(f"        r{instr.rd}_ = load({addr})")
+        elif op in ("str", "strr"):
+            if op == "str":
+                addr = (
+                    f"(r{instr.rn}_ + {instr.imm}) & 0xFFFFFFFF"
+                    if instr.imm
+                    else f"r{instr.rn}_"
+                )
+            else:
+                addr = f"(r{instr.rn}_ + r{instr.rm}_) & 0xFFFFFFFF"
+            emit(f"        n = {i}")
+            emit(f"        _sp = store({addr}, r{instr.rd}_)")
+            emit(f"        n = {i + 1}")
+            # The store may have rewritten the block's own remaining
+            # words, or poisoned a translation the remaining fetches
+            # depend on; bail to the dispatch loop, which refetches
+            # through the live tables (an invisible early exit).
+            emit(
+                f"        if _tv != _tlb.version or"
+                f" {span_lo} <= _sp < {span_hi}:"
+            )
+            emit(f"            return ((pc + {off + WORDSIZE}) & 0xFFFFFFFF, None)")
+        elif op == "nop":
+            pass
+        elif op in ("b", "bl"):
+            emit(f"        n = {length}")
+            if op == "bl":
+                emit(f"        r14_ = (pc + {off + WORDSIZE}) & 0xFFFFFFFF")
+            emit("        state.cycles = state.cycles + _costs.branch")
+            delta = off + (instr.imm + 1) * WORDSIZE
+            emit(f"        return ((pc + {delta}) & 0xFFFFFFFF, None)")
+            terminated = True
+        elif op in CONDITIONAL_BRANCHES:
+            # Side exit: taken returns to the dispatch loop, not taken
+            # falls through to the rest of the block.
+            delta = off + (instr.imm + 1) * WORDSIZE
+            emit(f"        if {_COND_EXPR[op]}:")
+            emit(f"            n = {i + 1}")
+            emit("            state.cycles = state.cycles + _costs.branch")
+            emit(f"            return ((pc + {delta}) & 0xFFFFFFFF, None)")
+        elif op == "bxlr":
+            emit(f"        n = {length}")
+            emit("        state.cycles = state.cycles + _costs.branch")
+            emit("        return (r14_, None)")
+            terminated = True
+        elif op == "svc":
+            emit(f"        n = {length}")
+            emit(f"        return ((pc + {off + WORDSIZE}) & 0xFFFFFFFF, {instr.imm})")
+            terminated = True
+        else:  # pragma: no cover - discovery admits only the ops above
+            raise AssertionError(f"uncompilable op in block: {op}")
+    if not terminated:
+        # Page-boundary fall-through: continue at the next page's first
+        # word through the dispatch loop (fresh translation check).
+        emit(f"        n = {length}")
+        emit(f"        return ((pc + {length * WORDSIZE}) & 0xFFFFFFFF, None)")
+
+    emit("    finally:")
+    emit("        cpu._retired = n")
+    emit("        state.cycles = state.cycles + n * _costs.instruction")
+    for index in sorted(writes):
+        if index == 13:
+            emit("        regs.sp_bank[_USRB] = r13_")
+        elif index == 14:
+            emit("        regs.lr_bank[_USRB] = r14_")
+        else:
+            emit(f"        gprs[{index}] = r{index}_")
+    if sets_flags:
+        emit("        _psr.n = fn_; _psr.z = fz_; _psr.c = fc_; _psr.v = fv_")
+
+    source = "\n".join(lines)
+    namespace = dict(_CODEGEN_GLOBALS)
+    exec(compile(source, f"<block@{paddr:#x}>", "exec"), namespace)
+    fn = namespace["_block"]
+    fn.__source__ = source  # introspection hook for tests/debugging
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# The block cache
+# ---------------------------------------------------------------------------
+
+#: bcache entry layout: [generation, words, fn, length]
+_GEN, _WORDS, _FN, _LEN = range(4)
+
+
+def lookup(cpu, paddr: int) -> Optional[list]:
+    """Find or build the compiled block at physical address ``paddr``.
+
+    Entries are validated like the fast engine's decode cache: reused
+    while ``memory.generation`` is unchanged; on a mismatch the source
+    words are re-read and compared, so an unrelated store revalidates
+    cheaply while self-modifying code recompiles.  Returns ``None``
+    when no block starts here (first word undecodable or excluded).
+    """
+    state = cpu.state
+    memory = state.memory
+    bcache = state.uarch.bcache
+    entry = bcache.get(paddr)
+    if entry is not None:
+        if entry[_GEN] != memory.generation:
+            try:
+                words = memory.read_words(paddr, entry[_LEN])
+            except MemoryFault:
+                words = None
+            if words == entry[_WORDS]:
+                entry[_GEN] = memory.generation
+            else:
+                del bcache[paddr]
+                entry = None
+        if entry is not None:
+            # Recency is only tracked once the cache could plausibly
+            # evict (at least half full): below that, eviction order is
+            # irrelevant and the touch is pure per-dispatch overhead.
+            if 2 * len(bcache) >= BLOCK_CACHE_CAP and next(reversed(bcache)) != paddr:
+                bcache[paddr] = bcache.pop(paddr)  # LRU touch
+            return entry
+    instrs, words = discover(memory, paddr)
+    if not instrs:
+        return None
+    fn = compile_block(instrs, paddr)
+    if len(bcache) >= BLOCK_CACHE_CAP:
+        del bcache[next(iter(bcache))]
+    entry = [memory.generation, words, fn, len(instrs)]
+    bcache[paddr] = entry
+    return entry

@@ -10,25 +10,32 @@ the target mode's LR and the CPSR into its SPSR — and reports the
 exception to the caller (the monitor's exception-handler state machine,
 paper Figure 3).
 
-Two engines implement the same architecture (DESIGN.md, "Fast-path
-engine"):
+Three engines implement the same architecture (DESIGN.md, "Fast-path
+engine" and "Turbo engine"):
 
 * ``CPU(state, engine="reference")`` — the reference interpreter.  Every
   fetch re-walks the page tables and re-decodes the instruction word;
   per-op handlers come from a dispatch table built out of the
   ``arm.instructions`` format metadata.
 
-* ``CPU(state, engine="fast")`` (the default, overridable via the
-  ``REPRO_CPU_ENGINE`` environment variable) — layers two
+* ``CPU(state, engine="fast")`` (the default) — layers two
   microarchitectural caches on top: a decoded-instruction cache keyed by
   physical address and validated against ``PhysicalMemory.generation``,
   and a micro-TLB keyed by virtual page and validated against
   ``TLB.version``.  Both live in ``MachineState.uarch`` so snapshots
   never share them.
 
-The engines share one table of operand semantics, so an instruction
-means the same thing in both by construction; the differential test
-suite (tests/arm/test_engine_differential.py) checks the rest — cycle
+* ``CPU(state, engine="turbo")`` — compiles straight-line basic blocks
+  into single Python functions (``arm.blocks``) and dispatches whole
+  blocks, with one interrupt-window check and one cycle-accounting
+  flush per block; it inherits the fast engine's caches for its
+  single-step fallback and reuses the same invalidation contracts.
+
+The default tier comes from the ``KOMODO_ENGINE`` environment variable
+(``REPRO_CPU_ENGINE`` is honoured as a legacy alias).  The engines
+share one table of operand semantics, so an instruction means the same
+thing in all of them by construction; the differential test suite
+(tests/arm/test_engine_differential.py) checks the rest — cycle
 counts, access traces, faults — is bit-identical too.
 """
 
@@ -50,6 +57,7 @@ from repro.arm.bits import (
     to_word,
 )
 from repro.arm.bits import ror as ror_word
+from repro.arm import blocks as _blocks
 from repro.arm.instructions import (
     CONDITIONAL_BRANCHES,
     FORMATS,
@@ -66,8 +74,10 @@ from repro.arm.registers import PSR
 _M = 0xFFFFFFFF
 _USR_BANK = bank_for(Mode.USR)
 
-ENGINES = ("fast", "reference")
-DEFAULT_ENGINE = os.environ.get("REPRO_CPU_ENGINE", "fast")
+ENGINES = ("fast", "reference", "turbo")
+DEFAULT_ENGINE = os.environ.get(
+    "KOMODO_ENGINE", os.environ.get("REPRO_CPU_ENGINE", "fast")
+)
 
 
 class ExitReason(enum.Enum):
@@ -129,6 +139,8 @@ class CPU:
             resolved = engine if engine is not None else DEFAULT_ENGINE
             if resolved == "fast":
                 return super().__new__(FastCPU)
+            if resolved == "turbo":
+                return super().__new__(TurboCPU)
             if resolved != "reference":
                 raise ValueError(f"unknown CPU engine {resolved!r} (expected one of {ENGINES})")
         return super().__new__(cls)
@@ -167,7 +179,7 @@ class CPU:
         self.state.charge(self.state.costs.mem_access)
         return self.state.memory.read_word(paddr)
 
-    def _store(self, vaddr: int, value: int) -> None:
+    def _store(self, vaddr: int, value: int) -> int:
         if vaddr % WORDSIZE:
             raise _UserFault(vaddr)
         paddr = self._translate(vaddr, write=True, execute=False)
@@ -176,6 +188,9 @@ class CPU:
         self.state.charge(self.state.costs.mem_access)
         self.state.memory.write_word(paddr, value)
         self.state.tlb.note_store(paddr)
+        # The physical address lets the turbo tier's compiled blocks
+        # detect stores into their own span (self-modifying code).
+        return paddr
 
     def _fetch(self, pc: int):
         if pc % WORDSIZE:
@@ -883,3 +898,154 @@ class FastCPU(CPU):
             # route it through the shared dispatch table.
             return CPU._execute(self, instr, pc)
         return instr(self, pc)
+
+
+# ---------------------------------------------------------------------------
+# Turbo engine: basic-block compilation on top of the fast engine
+# ---------------------------------------------------------------------------
+
+
+class TurboCPU(FastCPU):
+    """The turbo tier: compiled basic blocks dispatched whole.
+
+    Straight-line instruction runs are compiled once (``arm.blocks``)
+    and then executed as a single Python call, with registers and flags
+    in locals.  Architectural behaviour is identical to the reference
+    engine:
+
+    * asynchronous exceptions (``interrupt_after``, ``max_steps``) are
+      delivered at exactly the reference engine's instruction
+      boundaries — a block is only dispatched when it fits entirely
+      inside the remaining window, otherwise execution falls back to
+      single-stepping through the inherited fast-engine path;
+    * a mid-block data abort retires exactly the instructions before
+      the faulting one (``cpu._retired``, maintained by the generated
+      code) and flushes their register/flag/cycle effects;
+    * stores re-check ``TLB.version`` and the block's own physical span
+      and bail out to the dispatch loop when stale, so self-modifying
+      code and translation changes behave as under single-step;
+    * the block cache is validated against ``PhysicalMemory.generation``
+      with word-compare revalidation and bounded by an LRU cap
+      (``blocks.BLOCK_CACHE_CAP``).
+    """
+
+    engine = "turbo"
+
+    def __init__(self, state: MachineState, engine: Optional[str] = None):
+        super().__init__(state)
+        #: Instructions retired by the innermost compiled-block call;
+        #: written by generated code in its ``finally`` flush.
+        self._retired = 0
+
+    def run(
+        self,
+        entry_pc: int,
+        max_steps: int = 1_000_000,
+        interrupt_after: Optional[int] = None,
+    ) -> ExecutionResult:
+        state = self.state
+        if state.regs.cpsr.mode is not Mode.USR:
+            raise RuntimeError("CPU.run requires user mode (use monitor entry paths)")
+        state.tlb.require_consistent()
+        pc = to_word(entry_pc)
+        steps = 0
+        # Hot-loop locals.  The one-entry fetch-translation cache
+        # (vpage/pbase, guarded by TLB.version) and the inline block
+        # lookup shave two dict probes off every block dispatch; both
+        # fall back to the full paths on any miss or version change.
+        tlb = state.tlb
+        memory = state.memory
+        bcache = state.uarch.bcache
+        cap = _blocks.BLOCK_CACHE_CAP
+        last_vpage = -1
+        last_pbase = 0
+        last_tv = -1
+        while True:
+            if interrupt_after is not None and steps >= interrupt_after:
+                self._exception_entry(ExceptionKind.IRQ, pc)
+                return ExecutionResult(ExitReason.IRQ, steps=steps)
+            if steps >= max_steps:
+                self._exception_entry(ExceptionKind.IRQ, pc)
+                return ExecutionResult(ExitReason.STEP_LIMIT, steps=steps)
+            entry = None
+            if not pc & 3:
+                tv = tlb.version
+                vpage = pc >> 12
+                if vpage == last_vpage and tv == last_tv:
+                    paddr = last_pbase | (pc & 0xFFF)
+                else:
+                    try:
+                        paddr = self._translate(pc, write=False, execute=True)
+                    except _UserFault as fault:
+                        self._exception_entry(ExceptionKind.ABORT, pc)
+                        return ExecutionResult(
+                            ExitReason.ABORT, fault_address=fault.vaddr, steps=steps
+                        )
+                    last_vpage = vpage
+                    last_pbase = paddr & ~0xFFF
+                    last_tv = tv
+                entry = bcache.get(paddr)
+                if entry is None or entry[0] != memory.generation:
+                    entry = _blocks.lookup(self, paddr)
+                elif 2 * len(bcache) >= cap and next(reversed(bcache)) != paddr:
+                    bcache[paddr] = bcache.pop(paddr)  # LRU touch
+                budget = max_steps - steps
+                if interrupt_after is not None:
+                    window = interrupt_after - steps
+                    if window < budget:
+                        budget = window
+                if entry is not None and entry[3] > budget:
+                    # The block would run through an asynchronous
+                    # exception boundary; single-step up to it instead.
+                    entry = None
+            if entry is not None:
+                self._retired = 0
+                try:
+                    next_pc, svc = entry[2](self, pc)
+                except _UserFault as fault:
+                    steps += self._retired
+                    self._exception_entry(
+                        ExceptionKind.ABORT, (pc + self._retired * WORDSIZE) & _M
+                    )
+                    return ExecutionResult(
+                        ExitReason.ABORT, fault_address=fault.vaddr, steps=steps
+                    )
+                steps += self._retired
+                if svc is not None:
+                    self._exception_entry(ExceptionKind.SVC, next_pc)
+                    return ExecutionResult(
+                        ExitReason.SVC, svc_number=svc, steps=steps
+                    )
+                pc = next_pc
+                continue
+            # Single-step fallback: misaligned pc, an op the block
+            # compiler excludes (udf/smc), or a block longer than the
+            # remaining interrupt/step window.  Uses the inherited
+            # fast-engine fetch/execute path, which matches the
+            # reference loop instruction for instruction.
+            try:
+                fn = self._fetch(pc)
+            except _UserFault as fault:
+                self._exception_entry(ExceptionKind.ABORT, pc)
+                return ExecutionResult(
+                    ExitReason.ABORT, fault_address=fault.vaddr, steps=steps
+                )
+            except _UserUndefined:
+                self._exception_entry(ExceptionKind.UNDEFINED, pc)
+                return ExecutionResult(ExitReason.UNDEFINED, steps=steps)
+            try:
+                next_pc, svc = self._execute(fn, pc)
+            except _UserFault as fault:
+                self._exception_entry(ExceptionKind.ABORT, pc)
+                return ExecutionResult(
+                    ExitReason.ABORT, fault_address=fault.vaddr, steps=steps
+                )
+            except _UserUndefined:
+                self._exception_entry(ExceptionKind.UNDEFINED, pc)
+                return ExecutionResult(ExitReason.UNDEFINED, steps=steps)
+            steps += 1
+            state.charge(state.costs.instruction)
+            if svc is not None:
+                self._exception_entry(ExceptionKind.SVC, add_wrap(pc, WORDSIZE))
+                return ExecutionResult(ExitReason.SVC, svc_number=svc, steps=steps)
+            pc = next_pc

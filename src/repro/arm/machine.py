@@ -52,16 +52,17 @@ class FaultInjected(Exception):
 
 
 class UArchState:
-    """Microarchitectural caches owned by the fast-path execution engine.
+    """Microarchitectural caches owned by the fast and turbo engines.
 
     Nothing here is architecturally visible: the caches hold decoded
-    instructions (keyed by physical address, validated against
-    ``PhysicalMemory.generation``) and translations (keyed by virtual
-    page, validated against ``TLB.version``).  A ``MachineState.copy()``
-    never shares this state — each snapshot warms its own caches.
+    instructions and compiled basic blocks (keyed by physical address,
+    validated against ``PhysicalMemory.generation``) and translations
+    (keyed by virtual page, validated against ``TLB.version``).  A
+    ``MachineState.copy()`` never shares this state — each snapshot
+    warms its own caches.
     """
 
-    __slots__ = ("icache", "utlb", "utlb_version")
+    __slots__ = ("icache", "utlb", "utlb_version", "bcache")
 
     def __init__(self) -> None:
         self.reset()
@@ -70,6 +71,7 @@ class UArchState:
         self.icache = {}
         self.utlb = {}
         self.utlb_version = -1
+        self.bcache = {}
 
 
 @dataclass
@@ -205,6 +207,62 @@ class MachineState:
 
     # -- snapshots -----------------------------------------------------------
 
+    def snapshot(self) -> "MachineSnapshot":
+        """Capture an O(memory) checkpoint for in-place ``restore``.
+
+        Much cheaper than ``copy``/``copy.deepcopy``: physical memory is
+        one flat ``array`` slice, registers and the TLB are small.  The
+        fault campaigns use this to capture a lifecycle prefix once and
+        restore it per injected fault instead of re-running from boot.
+
+        The machine must be quiescent: no open monitor transaction (a
+        transaction buffers stores outside physical memory, so a
+        checkpoint through it would tear).
+        """
+        if self.txn is not None:
+            raise ValueError("cannot snapshot with an open monitor transaction")
+        memory = self.memory
+        tags = getattr(memory, "_tags", None)  # EncryptedMemory tag store
+        return MachineSnapshot(
+            store=memory._store[:],
+            generation=memory.generation,
+            read_ops=memory.read_ops,
+            tags=dict(tags) if tags is not None else None,
+            regs=self.regs.copy(),
+            tlb=self.tlb.copy(),
+            world=self.world,
+            ttbr0=self.ttbr0,
+            pending_interrupt=self.pending_interrupt,
+            cycles=self.cycles,
+        )
+
+    def restore(self, snap: "MachineSnapshot") -> None:
+        """Rewind this machine, in place, to a ``snapshot()`` checkpoint.
+
+        Physical memory is restored by slice assignment (object identity
+        is preserved, so the page-table walker and TLB keep watching the
+        same store), registers and the TLB are replaced by fresh copies
+        of the checkpoint, and the microarchitectural caches are reset —
+        exactly the cold-cache state a deep copy would start from, so
+        snapshot-accelerated campaigns are bit-identical to re-execution.
+        A snapshot can be restored any number of times.
+        """
+        memory = self.memory
+        memory._store[:] = snap.store
+        memory.generation = snap.generation
+        memory.read_ops = snap.read_ops
+        if snap.tags is not None:
+            memory._tags = dict(snap.tags)
+        self.regs = snap.regs.copy()
+        self.tlb = snap.tlb.copy(memory=memory)
+        self.world = snap.world
+        self.ttbr0 = snap.ttbr0
+        self.pending_interrupt = snap.pending_interrupt
+        self.cycles = snap.cycles
+        self.uarch.reset()
+        self.fault_plan = None
+        self.txn = None
+
     def copy(self) -> "MachineState":
         """Deep copy (used by the refinement and noninterference harnesses)."""
         memory = self.memory.copy()
@@ -221,3 +279,48 @@ class MachineState:
             uarch=UArchState(),
         )
         return dup
+
+
+class MachineSnapshot:
+    """An immutable-by-convention machine checkpoint (see
+    ``MachineState.snapshot``): the flat word store, the memory
+    engine's tag table if any, the register file, the TLB consistency
+    state, and the scalar control state.  ``memmap``/``costs`` are not
+    captured — they are constant for a machine's lifetime."""
+
+    __slots__ = (
+        "store",
+        "generation",
+        "read_ops",
+        "tags",
+        "regs",
+        "tlb",
+        "world",
+        "ttbr0",
+        "pending_interrupt",
+        "cycles",
+    )
+
+    def __init__(
+        self,
+        store,
+        generation,
+        read_ops,
+        tags,
+        regs,
+        tlb,
+        world,
+        ttbr0,
+        pending_interrupt,
+        cycles,
+    ):
+        self.store = store
+        self.generation = generation
+        self.read_ops = read_ops
+        self.tags = tags
+        self.regs = regs
+        self.tlb = tlb
+        self.world = world
+        self.ttbr0 = ttbr0
+        self.pending_interrupt = pending_interrupt
+        self.cycles = cycles

@@ -14,7 +14,10 @@ executable model and checks them:
 * :mod:`repro.faults.bitflip` — exhaustive single-bit-flip campaigns
   against the memory-integrity engine: every injection must end
   benign, repaired, or quarantined-and-contained, never in a silent
-  wrong result.
+  wrong result;
+* :mod:`repro.faults.snapshot` — campaign checkpoints: capture a
+  lifecycle prefix once and rewind it in place per injected fault,
+  bit-identical to the per-trial deep-copy path but cheaper.
 """
 
 from repro.faults.audit import (
@@ -36,11 +39,13 @@ from repro.faults.campaign import (
     run_differential,
 )
 from repro.faults.injector import FaultInjected, FaultPlan, inject
+from repro.faults.snapshot import CampaignSnapshot
 
 __all__ = [
     "BitflipCampaign",
     "BitflipReport",
     "CampaignReport",
+    "CampaignSnapshot",
     "FaultInjected",
     "FaultPlan",
     "FlipSite",

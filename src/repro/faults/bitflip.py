@@ -35,9 +35,16 @@ immediate), not DRAM — and a flip there would silently disable the
 engine, which is exactly the corruptible-status-word failure mode the
 design avoids by *not* keying any trust decision off mutable state.
 
-``run_differential`` repeats a campaign under the fast and reference
-execution engines: per-trial outcomes, final digests and cycle counters
-must agree bit-for-bit.
+``run_differential`` repeats a campaign under each requested execution
+engine (any subset of fast/reference/turbo): per-trial outcomes, final
+digests and cycle counters must agree bit-for-bit.
+
+Trials default to snapshot acceleration (``use_snapshots=True``): each
+quiescent step state is captured once with ``CampaignSnapshot`` and
+rewound in place per flip, instead of deep-copying the whole
+monitor+kernel pair per trial.  ``use_snapshots=False`` keeps the
+original deep-copy path; both produce bit-identical reports (pinned by
+tests/faults/test_snapshot.py).
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from repro.arm.memory import PAGE_SIZE, WORDS_PER_PAGE
 from repro.arm.pagetable import l1_index, l2_index
 from repro.crypto.rng import HardwareRNG
 from repro.faults.audit import audit_monitor, integrity_consistency, secure_state_digest
+from repro.faults.snapshot import CampaignSnapshot
 from repro.monitor import integrity
 from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
@@ -201,6 +209,10 @@ class BitflipCampaign:
         subset of :data:`TARGET_FAMILIES` to inject into (None = all).
     stride:
         inject every ``stride``-th (site, bit) pair (1 = exhaustive).
+    use_snapshots:
+        checkpoint each quiescent step once and rewind in place per
+        flip instead of deep-copying monitor+kernel per trial; reports
+        are bit-identical either way.
     """
 
     def __init__(
@@ -210,6 +222,7 @@ class BitflipCampaign:
         secure_pages: int = 16,
         targets: Optional[Iterable[str]] = None,
         stride: int = 1,
+        use_snapshots: bool = True,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -224,6 +237,7 @@ class BitflipCampaign:
             if unknown:
                 raise ValueError(f"unknown flip-target families: {sorted(unknown)}")
         self.stride = stride
+        self.use_snapshots = use_snapshots
 
     # -- lifecycle machinery ---------------------------------------------
 
@@ -460,10 +474,35 @@ class BitflipCampaign:
         report = BitflipReport(
             engine=self.engine or "default", seed=self.seed, stride=self.stride
         )
-        for name, monitor, kernel, enclaves, needs_finalise in self._snapshots():
-            report.steps.append(
-                self._campaign_step(name, monitor, kernel, enclaves, needs_finalise)
-            )
+        if not self.use_snapshots:
+            for name, monitor, kernel, enclaves, needs_finalise in self._snapshots():
+                report.steps.append(
+                    self._campaign_step(name, monitor, kernel, enclaves, needs_finalise)
+                )
+            return report
+        # Snapshot mode: one machine is advanced through the quiescent
+        # phases; each campaign step checkpoints it, rewinds it per
+        # flip, and leaves it back at the pre-step state so the warm-up
+        # advancement below is identical to the deep-copy path's.
+        monitor, kernel = self._fresh()
+        victim = self._build_enclave(kernel, "victim")
+        bystander = self._build_enclave(kernel, "bystander")
+        enclaves = (victim, bystander)
+        report.steps.append(
+            self._campaign_step("built", monitor, kernel, enclaves, True)
+        )
+        for enclave in enclaves:
+            kernel.finalise(enclave.as_page)
+        report.steps.append(
+            self._campaign_step("finalised", monitor, kernel, enclaves, False)
+        )
+        for enclave in enclaves:
+            err, value = kernel.run_to_completion(enclave.thread)
+            if err is not KomErr.SUCCESS or value != EXIT_VALUE:
+                raise RuntimeError(f"campaign warm-up run failed: ({err!r}, {value:#x})")
+        report.steps.append(
+            self._campaign_step("ran", monitor, kernel, enclaves, False)
+        )
         return report
 
     def _campaign_step(
@@ -477,8 +516,16 @@ class BitflipCampaign:
         summary = StepSummary(name=name)
         sites = self._flip_sites(monitor, enclaves)
         summary.sites = len(sites)
+        if self.use_snapshots:
+            checkpoint = CampaignSnapshot(monitor, kernel)
+            fork = checkpoint.restore
+        else:
+
+            def fork() -> Tuple[KomodoMonitor, OSKernel]:
+                return copy.deepcopy((monitor, kernel))
+
         # Golden: the unflipped continuation every trial must reconverge to.
-        gold_mon, gold_kern = copy.deepcopy((monitor, kernel))
+        gold_mon, gold_kern = fork()
         golden = self._continue_lifecycle(
             gold_mon, gold_kern, enclaves, needs_finalise, backoff_seed=0
         )
@@ -489,15 +536,15 @@ class BitflipCampaign:
             summary.violations.append(f"{name}: golden run tripped the engine")
         pairs = [(site, bit) for site in sites for bit in range(32)]
         for site, bit in pairs[:: self.stride]:
-            self._trial(
-                monitor, kernel, enclaves, needs_finalise, site, bit, golden, summary
-            )
+            self._trial(fork, enclaves, needs_finalise, site, bit, golden, summary)
+        if self.use_snapshots:
+            # Leave the base machine at the pre-step state.
+            checkpoint.restore()
         return summary
 
     def _trial(
         self,
-        base_monitor: KomodoMonitor,
-        base_kernel: OSKernel,
+        fork,
         enclaves: Sequence[EnclavePages],
         needs_finalise: bool,
         site: FlipSite,
@@ -505,7 +552,7 @@ class BitflipCampaign:
         golden: _Outcome,
         summary: StepSummary,
     ) -> None:
-        monitor, kernel = copy.deepcopy((base_monitor, base_kernel))
+        monitor, kernel = fork()
         monitor.state.flip_bit(site.address, bit)
         # Did the engine's own walk notice?  (Read-only; decides only
         # whether "benign" is an honest classification.)
@@ -557,37 +604,54 @@ def run_differential(
     targets: Optional[Iterable[str]] = None,
     stride: int = 1,
     secure_pages: int = 16,
-) -> Tuple[BitflipReport, BitflipReport, List[str]]:
-    """Run the campaign under both engines and compare them bit-for-bit.
+    engines: Tuple[str, ...] = ("fast", "reference"),
+    use_snapshots: bool = True,
+) -> Tuple:
+    """Run the campaign under each engine and compare them bit-for-bit.
 
-    Returns (fast report, reference report, mismatches): every trial's
-    outcome class, final digest, and cycle counter must agree — a flip
-    must not surface in one engine's decode cache or micro-TLB and not
-    the other's.
+    Returns ``(*reports, mismatches)`` in ``engines`` order — the
+    default two-engine call keeps the historical
+    ``(fast, reference, mismatches)`` shape.  Every trial's outcome
+    class, final digest, and cycle counter must agree — a flip must not
+    surface in one engine's decode cache, micro-TLB, or block cache and
+    not the others'.
     """
+    if len(engines) < 2:
+        raise ValueError("differential needs at least two engines")
     tokens = None if targets is None else tuple(targets)
     reports = []
-    for engine in ("fast", "reference"):
+    for engine in engines:
         campaign = BitflipCampaign(
             seed=seed,
             engine=engine,
             secure_pages=secure_pages,
             targets=tokens,
             stride=stride,
+            use_snapshots=use_snapshots,
         )
         reports.append(campaign.run())
-    fast, reference = reports
+    base_name, baseline = engines[0], reports[0]
     mismatches: List[str] = []
-    for fast_step, ref_step in zip(fast.steps, reference.steps):
-        if fast_step.sites != ref_step.sites:
-            mismatches.append(
-                f"{fast_step.name}: site counts differ "
-                f"(fast {fast_step.sites}, reference {ref_step.sites})"
-            )
-        if fast_step.trial_outcomes != ref_step.trial_outcomes:
-            mismatches.append(f"{fast_step.name}: trial outcome classes differ")
-        if fast_step.trial_digests != ref_step.trial_digests:
-            mismatches.append(f"{fast_step.name}: trial final digests differ")
-        if fast_step.trial_cycles != ref_step.trial_cycles:
-            mismatches.append(f"{fast_step.name}: trial cycle counters differ")
-    return (fast, reference, mismatches)
+    for engine, report in zip(engines[1:], reports[1:]):
+        for base_step, step in zip(baseline.steps, report.steps):
+            if base_step.sites != step.sites:
+                mismatches.append(
+                    f"{step.name}: site counts differ "
+                    f"({base_name} {base_step.sites}, {engine} {step.sites})"
+                )
+            if base_step.trial_outcomes != step.trial_outcomes:
+                mismatches.append(
+                    f"{step.name}: trial outcome classes differ "
+                    f"({base_name} vs {engine})"
+                )
+            if base_step.trial_digests != step.trial_digests:
+                mismatches.append(
+                    f"{step.name}: trial final digests differ "
+                    f"({base_name} vs {engine})"
+                )
+            if base_step.trial_cycles != step.trial_cycles:
+                mismatches.append(
+                    f"{step.name}: trial cycle counters differ "
+                    f"({base_name} vs {engine})"
+                )
+    return (*reports, mismatches)

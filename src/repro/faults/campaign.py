@@ -23,10 +23,17 @@ The campaign's enclave program performs no user-mode stores, so the
 quiescent digests classify states exactly; randomness comes only from
 the seeded ``HardwareRNG``, keeping every trial bit-deterministic.
 
-``run_differential`` runs the same campaign under the fast and the
-reference execution engines and compares their per-step operation
-counts, digests, and cycle counters — injected aborts must not let the
-decode cache or micro-TLB desynchronise from flat memory.
+``run_differential`` runs the same campaign under each requested
+execution engine (any subset of fast/reference/turbo) and compares
+their per-step operation counts, digests, and cycle counters —
+injected aborts must not let the decode cache, micro-TLB, or compiled
+block cache desynchronise from flat memory.
+
+Trials default to snapshot acceleration: the pre-step state is
+captured once per step (``CampaignSnapshot``) and rewound in place per
+injected fault, instead of deep-copying the whole monitor per trial.
+``use_snapshots=False`` keeps the original deep-copy path; both paths
+produce bit-identical reports.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.arm.pagetable import l1_index
 from repro.crypto.rng import HardwareRNG
 from repro.faults.audit import audit_monitor, secure_state_digest
 from repro.faults.injector import FaultInjected, FaultPlan, inject
+from repro.faults.snapshot import CampaignSnapshot
 from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.monitor.layout import SMC, SVC, Mapping, PageType
@@ -129,6 +137,12 @@ class LifecycleCampaign:
         everywhere.
     stride:
         inject at every ``stride``-th operation index (1 = exhaustive).
+    use_snapshots:
+        capture the pre-step state once per step with
+        ``CampaignSnapshot`` and rewind it in place per trial, instead
+        of deep-copying the monitor per trial.  Reports are
+        bit-identical either way (pinned by
+        tests/faults/test_snapshot.py); snapshots are just faster.
     """
 
     def __init__(
@@ -138,6 +152,7 @@ class LifecycleCampaign:
         secure_pages: int = 16,
         inject_steps: Optional[Iterable[str]] = None,
         stride: int = 1,
+        use_snapshots: bool = True,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -146,6 +161,7 @@ class LifecycleCampaign:
         self.secure_pages = secure_pages
         self.inject_steps = None if inject_steps is None else tuple(inject_steps)
         self.stride = stride
+        self.use_snapshots = use_snapshots
 
     # -- machinery -------------------------------------------------------
 
@@ -294,8 +310,26 @@ class LifecycleCampaign:
         step_report: StepReport,
     ) -> None:
         step = steps[index]
+        if self.use_snapshots:
+            # Capture the pre-step state once; every probe/trial below
+            # is an in-place rewind of `base` itself.
+            checkpoint = CampaignSnapshot(base)
+
+            def fork() -> KomodoMonitor:
+                monitor, _ = checkpoint.restore()
+                return monitor
+
+            cleanup = fork
+        else:
+
+            def fork() -> KomodoMonitor:
+                return self._copy(base)
+
+            def cleanup() -> KomodoMonitor:
+                return base
+
         # Discovery: count operations and snapshot quiescent boundaries.
-        probe = self._copy(base)
+        probe = fork()
         boundaries = {secure_state_digest(probe.state)}
         plan = FaultPlan(
             on_boundary=lambda state: boundaries.add(secure_state_digest(state))
@@ -306,7 +340,7 @@ class LifecycleCampaign:
         step_report.fault_points = plan.count
         # Trials: crash at every (stride-th) operation.
         for abort_at in range(1, plan.count + 1, self.stride):
-            trial = self._copy(base)
+            trial = fork()
             trial_plan = FaultPlan(abort_at=abort_at)
             crashed = False
             try:
@@ -333,6 +367,8 @@ class LifecycleCampaign:
             step_report.violations.extend(
                 self._finish_after_crash(trial, steps, index)
             )
+        # Leave `base` at the pre-step state for the clean run.
+        cleanup()
 
 
 def run_differential(
@@ -340,38 +376,51 @@ def run_differential(
     inject_steps: Optional[Iterable[str]] = None,
     stride: int = 1,
     secure_pages: int = 16,
-) -> Tuple[CampaignReport, CampaignReport, List[str]]:
-    """Run the campaign under both engines and compare them.
+    engines: Tuple[str, ...] = ("fast", "reference"),
+    use_snapshots: bool = True,
+) -> Tuple:
+    """Run the campaign under each engine and compare them pairwise.
 
-    Returns (fast report, reference report, mismatches).  The engines
-    must agree on every step's operation count, post-step digest, and
-    cycle counter: an injected abort that left the decode cache or
-    micro-TLB inconsistent with flat memory would show up here.
+    Returns ``(*reports, mismatches)`` in ``engines`` order — the
+    default two-engine call keeps the historical
+    ``(fast, reference, mismatches)`` shape.  All engines must agree
+    on every step's operation count, post-step digest, and cycle
+    counter: an injected abort that left the decode cache, micro-TLB,
+    or block cache inconsistent with flat memory would show up here.
     """
+    if len(engines) < 2:
+        raise ValueError("differential needs at least two engines")
     tokens = None if inject_steps is None else tuple(inject_steps)
     reports = []
-    for engine in ("fast", "reference"):
+    for engine in engines:
         campaign = LifecycleCampaign(
             seed=seed,
             engine=engine,
             secure_pages=secure_pages,
             inject_steps=tokens,
             stride=stride,
+            use_snapshots=use_snapshots,
         )
         reports.append(campaign.run())
-    fast, reference = reports
+    base_name, baseline = engines[0], reports[0]
     mismatches: List[str] = []
-    for fast_step, ref_step in zip(fast.steps, reference.steps):
-        if fast_step.fault_points != ref_step.fault_points:
-            mismatches.append(
-                f"{fast_step.name}: fault points differ "
-                f"(fast {fast_step.fault_points}, reference {ref_step.fault_points})"
-            )
-        if fast_step.post_digest != ref_step.post_digest:
-            mismatches.append(f"{fast_step.name}: post-step state digests differ")
-        if fast_step.post_cycles != ref_step.post_cycles:
-            mismatches.append(
-                f"{fast_step.name}: cycle counters differ "
-                f"(fast {fast_step.post_cycles}, reference {ref_step.post_cycles})"
-            )
-    return (fast, reference, mismatches)
+    for engine, report in zip(engines[1:], reports[1:]):
+        for base_step, step in zip(baseline.steps, report.steps):
+            if base_step.fault_points != step.fault_points:
+                mismatches.append(
+                    f"{step.name}: fault points differ "
+                    f"({base_name} {base_step.fault_points}, "
+                    f"{engine} {step.fault_points})"
+                )
+            if base_step.post_digest != step.post_digest:
+                mismatches.append(
+                    f"{step.name}: post-step state digests differ "
+                    f"({base_name} vs {engine})"
+                )
+            if base_step.post_cycles != step.post_cycles:
+                mismatches.append(
+                    f"{step.name}: cycle counters differ "
+                    f"({base_name} {base_step.post_cycles}, "
+                    f"{engine} {step.post_cycles})"
+                )
+    return (*reports, mismatches)

@@ -1,0 +1,108 @@
+"""Campaign checkpoints: capture a lifecycle prefix once, restore per fault.
+
+The PR 3/4 fault campaigns re-ran every trial from a ``copy.deepcopy``
+of the monitor — correct, but the deep copy walks every Python object
+in the monitor graph for every injected fault, and campaign wall-clock
+(not correctness) had become the bound on how exhaustively CI can
+sweep.  ``CampaignSnapshot`` replaces the per-trial deep copy with an
+in-place rewind: the machine is captured through
+``MachineState.snapshot()`` (one flat ``array`` slice plus small
+register/TLB copies) and the handful of Python-side monitor/OS fields
+that execution mutates are recorded and written back.
+
+Restoring is equivalent to running the trial on a deep copy:
+
+* the machine snapshot covers everything architecturally visible
+  (memory + encryption tags, registers, TLB state, world/TTBR0/cycles)
+  and resets the microarchitectural caches — the same cold-cache state
+  a fresh deep copy starts from;
+* the monitor's Python-side mutable state is exactly ``smc_count``,
+  the one-shot interrupt deadline, the native-program registry, and
+  the hardware RNG's draw position; all are restored in place, so
+  objects holding references to the monitor, its state, or its RNG
+  (``Attestation``, ``PageDB``, ``OSKernel``) stay valid;
+* the OS kernel's mutable state is its free-page list and the next
+  insecure staging page.
+
+The regression suite (tests/faults/test_snapshot.py) pins the
+equivalence by running both campaign drivers with ``use_snapshots``
+on and off and comparing the reports byte for byte.
+
+Native-thread generators cannot be checkpointed (a suspended Python
+generator is not copyable); campaigns capture only at quiescent points
+where no native thread is live, and the constructor enforces that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+
+
+class CampaignSnapshot:
+    """One restorable checkpoint of a (monitor, optional kernel) pair."""
+
+    __slots__ = (
+        "monitor",
+        "kernel",
+        "machine",
+        "rng_counter",
+        "rng_pool",
+        "rng_drawn",
+        "smc_count",
+        "interrupt_deadline",
+        "native_factories",
+        "free_pages",
+        "insecure_next",
+    )
+
+    def __init__(self, monitor: KomodoMonitor, kernel: Optional[OSKernel] = None):
+        if monitor._native_threads:
+            raise ValueError(
+                "cannot snapshot with live native threads (suspended "
+                "generators are not checkpointable); capture at a "
+                "quiescent lifecycle point"
+            )
+        if kernel is not None and kernel.monitor is not monitor:
+            raise ValueError("kernel is not bound to this monitor")
+        self.monitor = monitor
+        self.kernel = kernel
+        self.machine = monitor.state.snapshot()
+        rng = monitor.rng
+        self.rng_counter = rng._counter
+        self.rng_pool = list(rng._pool)
+        self.rng_drawn = rng.words_drawn
+        self.smc_count = monitor.smc_count
+        self.interrupt_deadline = monitor._interrupt_deadline
+        self.native_factories = dict(monitor._native_factories)
+        if kernel is not None:
+            self.free_pages = list(kernel._free_pages)
+            self.insecure_next = kernel._insecure_next
+        else:
+            self.free_pages = None
+            self.insecure_next = None
+
+    def restore(self) -> Tuple[KomodoMonitor, Optional[OSKernel]]:
+        """Rewind the captured monitor (and kernel) in place.
+
+        Returns the same objects passed to the constructor, for use as
+        a drop-in for the deep-copy trial factory.  May be called any
+        number of times.
+        """
+        monitor = self.monitor
+        monitor.state.restore(self.machine)
+        rng = monitor.rng
+        rng._counter = self.rng_counter
+        rng._pool = list(self.rng_pool)
+        rng.words_drawn = self.rng_drawn
+        monitor.smc_count = self.smc_count
+        monitor._interrupt_deadline = self.interrupt_deadline
+        monitor._native_threads = {}
+        monitor._native_factories = dict(self.native_factories)
+        kernel = self.kernel
+        if kernel is not None:
+            kernel._free_pages = list(self.free_pages)
+            kernel._insecure_next = self.insecure_next
+        return monitor, kernel

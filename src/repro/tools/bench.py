@@ -1,30 +1,42 @@
-"""Benchmark CLI: Table 3 microbenchmarks + interpreter throughput.
+"""Benchmark CLI: Table 3 + paper microbenchmarks + engine throughput.
 
-Runs two suites and reports/records the results:
+Runs four suites and reports/records the results:
 
 * **table3** — the paper's monitor-operation microbenchmarks in
   *simulated cycles* (GetPhysPages, Enter+Exit, Enter-only, Resume-only,
   AllocSpare, MapData, Attest, Verify).  These depend only on the cost
   model, so they are exactly reproducible and any drift is a bug.
 
-* **throughput** — host instructions/second of the execution engines on
-  three ARM workloads (checksum, notary, sha256), run on both the fast
-  and the reference engine.  The fast/reference *speedup* is the
-  machine-independent figure of merit: absolute wall time varies with
-  the host, but the ratio between two interpreters running in the same
-  process is stable, so the CI regression gate is phrased on it.
+* **micro** — the paper's Figure 5 analogues (null SMC round-trip,
+  enclave enter + exit, one-way SVC exit) in simulated cycles — which
+  are asserted identical across engines — and host wall microseconds
+  per operation on each engine (reference, fast, turbo).
+
+* **throughput** — host instructions/second of all three execution
+  engines on three ARM workloads (checksum, notary, sha256).  The
+  engine-to-engine *speedups* are the machine-independent figures of
+  merit: absolute wall time varies with the host, but the ratio
+  between interpreters running in the same process is stable, so the
+  CI regression gate is phrased on them.
+
+* **campaigns** — fault-campaign wall time with snapshot-accelerated
+  trials versus per-trial deep copies, asserting the reports are
+  bit-identical, plus a fork microbenchmark (ms per deep copy vs ms
+  per snapshot restore).
 
 Usage::
 
     python -m repro.tools.bench                     # run, print a table
-    python -m repro.tools.bench --out BENCH_PR2.json    # also write JSON
-    python -m repro.tools.bench --check BENCH_PR2.json  # regression gate
+    python -m repro.tools.bench --out BENCH_PR5.json    # also write JSON
+    python -m repro.tools.bench --check BENCH_PR5.json  # regression gate
+    python -m repro.tools.bench --profile           # cProfile the run
 
-``--check`` re-runs both suites and fails (exit 1) if any simulated
+``--check`` re-runs the suites and fails (exit 1) if any simulated
 cycle count differs from the committed baseline (lost determinism), if
-an engine disagrees with the reference result, or if a workload's
-speedup drops below 70 % of the baseline speedup (a >30 % throughput
-regression).
+an engine disagrees with the reference result, if a workload's speedup
+drops below 70 % of the baseline speedup (a >30 % throughput
+regression), or if the snapshot and deep-copy campaign paths stop
+producing identical reports.
 """
 
 from __future__ import annotations
@@ -42,11 +54,14 @@ from repro.arm.modes import Mode
 from repro.arm.pagetable import l1_index, l2_index, make_l1_entry, make_l2_entry
 from repro.arm.registers import PSR
 
-SCHEMA = "repro-bench-1"
+SCHEMA = "repro-bench-2"
 
 #: Throughput regression gate: current speedup must stay above this
 #: fraction of the baseline speedup (0.7 == fail on >30% regression).
 SPEEDUP_FLOOR = 0.7
+
+#: Engine measurement order for throughput and microbenchmark rows.
+ENGINE_ORDER = ("reference", "fast", "turbo")
 
 CODE_VA = 0x0000_1000
 DATA_VA = 0x0000_4000
@@ -232,18 +247,27 @@ def _run_engine(name: str, engine: str, repeats: int) -> Dict[str, object]:
 
 
 def run_throughput(repeats: int = 3) -> Dict[str, Dict[str, object]]:
-    """Run every workload on both engines; cross-check them against each
-    other and report fast-engine numbers plus the speedup."""
+    """Run every workload on all three engines; cross-check them
+    against each other and report per-engine rates plus the speedups.
+
+    The ``wall_s``/``instr_per_s``/``speedup`` keys keep their PR-2
+    meaning (the *fast* engine and its speedup over reference) so old
+    baselines stay checkable; the turbo tier adds its own columns.
+    """
     out: Dict[str, Dict[str, object]] = {}
     for name in WORKLOADS:
-        fast = _run_engine(name, "fast", repeats)
-        ref = _run_engine(name, "reference", 1)
-        for key in ("sim_cycles", "steps", "result"):
-            if fast[key] != ref[key]:
-                raise RuntimeError(
-                    f"engine divergence on {name}: {key} fast={fast[key]} "
-                    f"reference={ref[key]}"
-                )
+        samples = {
+            engine: _run_engine(name, engine, 1 if engine == "reference" else repeats)
+            for engine in ENGINE_ORDER
+        }
+        ref, fast, turbo = (samples[e] for e in ENGINE_ORDER)
+        for engine in ("fast", "turbo"):
+            for key in ("sim_cycles", "steps", "result"):
+                if samples[engine][key] != ref[key]:
+                    raise RuntimeError(
+                        f"engine divergence on {name}: {key} "
+                        f"{engine}={samples[engine][key]} reference={ref[key]}"
+                    )
         out[name] = {
             "wall_s": fast["wall_s"],
             "instr_per_s": fast["instr_per_s"],
@@ -252,8 +276,212 @@ def run_throughput(repeats: int = 3) -> Dict[str, Dict[str, object]]:
             "result": fast["result"],
             "reference_wall_s": ref["wall_s"],
             "reference_instr_per_s": ref["instr_per_s"],
+            "turbo_wall_s": turbo["wall_s"],
+            "turbo_instr_per_s": turbo["instr_per_s"],
             "speedup": round(fast["instr_per_s"] / ref["instr_per_s"], 2),
+            "speedup_turbo": round(turbo["instr_per_s"] / ref["instr_per_s"], 2),
+            "speedup_turbo_vs_fast": round(
+                turbo["instr_per_s"] / fast["instr_per_s"], 2
+            ),
         }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Paper microbenchmarks (Figure 5 analogues): per-engine wall time for
+# the monitor crossings, with engine-invariant simulated cycles
+# ---------------------------------------------------------------------------
+
+
+def _micro_engine(engine: str, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Measure the three crossing microbenchmarks on one engine.
+
+    Returns name -> {sim_cycles, wall_us} for: null SMC round-trip,
+    enclave enter + exit, and the one-way SVC exit path (enter+exit
+    minus enter-only, both in cycles and in wall time — the enter-only
+    timestamp is captured by the ``on_user_entry`` hook at the moment
+    control reaches user mode).
+    """
+    from repro.monitor.komodo import KomodoMonitor
+    from repro.monitor.layout import SMC, SVC
+    from repro.osmodel.kernel import OSKernel
+    from repro.sdk.builder import CODE_VA as SDK_CODE_VA
+    from repro.sdk.builder import EnclaveBuilder
+
+    monitor = KomodoMonitor(secure_pages=16, cpu_engine=engine)
+    kernel = OSKernel(monitor)
+
+    # Null SMC: the GetPhysPages round-trip, no enclave involved.
+    loops = 512
+    before = monitor.state.cycles
+    start = time.perf_counter()
+    for _ in range(loops):
+        monitor.smc(SMC.GET_PHYSPAGES)
+    null_wall = time.perf_counter() - start
+    null_cycles = (monitor.state.cycles - before) // loops
+
+    exit_asm = Assembler()
+    exit_asm.svc(SVC.EXIT)
+    enclave = (
+        EnclaveBuilder(kernel).add_code(exit_asm).add_thread(SDK_CODE_VA).build()
+    )
+    enclave.enter()  # warm the caches once; not measured
+
+    marks: Dict[str, float] = {}
+
+    def on_entry(cycles: int) -> None:
+        marks["cycles"] = cycles
+        marks["wall"] = time.perf_counter()
+
+    monitor.on_user_entry = on_entry
+    loops = 128
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        cycles_before = monitor.state.cycles
+        exit_cycles = 0
+        enter_wall = exit_wall = 0.0
+        for _ in range(loops):
+            start = time.perf_counter()
+            enclave.enter()
+            end = time.perf_counter()
+            enter_wall += marks["wall"] - start
+            exit_wall += end - marks["wall"]
+            exit_cycles += monitor.state.cycles - marks["cycles"]
+        total_cycles = monitor.state.cycles - cycles_before
+        sample = {
+            "enter_exit_wall": enter_wall + exit_wall,
+            "enter_wall": enter_wall,
+            "exit_wall": exit_wall,
+            "enter_exit_cycles": total_cycles // loops,
+            "exit_cycles": exit_cycles // loops,
+        }
+        if best is None or sample["enter_exit_wall"] < best["enter_exit_wall"]:
+            best = sample
+    monitor.on_user_entry = None
+
+    return {
+        "null_smc_round_trip": {
+            "sim_cycles": null_cycles,
+            "wall_us": round(null_wall / 512 * 1e6, 3),
+        },
+        "enter_exit": {
+            "sim_cycles": best["enter_exit_cycles"],
+            "wall_us": round(best["enter_exit_wall"] / loops * 1e6, 3),
+        },
+        "svc_exit_one_way": {
+            "sim_cycles": best["exit_cycles"],
+            "wall_us": round(best["exit_wall"] / loops * 1e6, 3),
+        },
+    }
+
+
+def run_paper_micro(repeats: int = 3) -> Dict[str, Dict[str, object]]:
+    """Figure 5 analogues on every engine.
+
+    Simulated cycles are asserted engine-invariant (they depend only on
+    the cost model); wall microseconds per operation are reported per
+    engine.
+    """
+    per_engine = {engine: _micro_engine(engine, repeats) for engine in ENGINE_ORDER}
+    out: Dict[str, Dict[str, object]] = {}
+    for name, ref_row in per_engine["reference"].items():
+        for engine in ("fast", "turbo"):
+            got = per_engine[engine][name]["sim_cycles"]
+            if got != ref_row["sim_cycles"]:
+                raise RuntimeError(
+                    f"micro {name}: sim_cycles diverge "
+                    f"({engine}={got}, reference={ref_row['sim_cycles']})"
+                )
+        out[name] = {
+            "sim_cycles": ref_row["sim_cycles"],
+            "wall_us": {
+                engine: per_engine[engine][name]["wall_us"]
+                for engine in ENGINE_ORDER
+            },
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Campaign acceleration: snapshot rewind vs per-trial deep copy
+# ---------------------------------------------------------------------------
+
+
+def run_campaigns() -> Dict[str, object]:
+    """Time both fault campaigns with and without snapshot trials.
+
+    The reports must be bit-identical — the snapshot path is a pure
+    wall-clock optimisation.  Also reports the fork microbenchmark
+    (cost of one per-trial deep copy vs one snapshot restore), which is
+    the mechanism the end-to-end numbers amortise.
+    """
+    import copy as _copy
+
+    from repro.faults.bitflip import BitflipCampaign
+    from repro.faults.campaign import LifecycleCampaign
+    from repro.faults.snapshot import CampaignSnapshot
+
+    out: Dict[str, object] = {}
+
+    def timed(factory) -> Tuple[object, float]:
+        start = time.perf_counter()
+        report = factory().run()
+        return report, round(time.perf_counter() - start, 3)
+
+    snap_report, snap_wall = timed(
+        lambda: LifecycleCampaign(engine="turbo", stride=5, use_snapshots=True)
+    )
+    deep_report, deep_wall = timed(
+        lambda: LifecycleCampaign(engine="turbo", stride=5, use_snapshots=False)
+    )
+    out["lifecycle"] = {
+        "trials": snap_report.total_trials,
+        "snapshot_wall_s": snap_wall,
+        "deepcopy_wall_s": deep_wall,
+        "speedup": round(deep_wall / snap_wall, 2),
+        "reports_identical": snap_report == deep_report,
+        "violations": len(snap_report.violations),
+    }
+
+    snap_report, snap_wall = timed(
+        lambda: BitflipCampaign(
+            engine="turbo", stride=173, targets=("pagedb", "itag"), use_snapshots=True
+        )
+    )
+    deep_report, deep_wall = timed(
+        lambda: BitflipCampaign(
+            engine="turbo", stride=173, targets=("pagedb", "itag"), use_snapshots=False
+        )
+    )
+    out["bitflip"] = {
+        "trials": snap_report.total_trials,
+        "snapshot_wall_s": snap_wall,
+        "deepcopy_wall_s": deep_wall,
+        "speedup": round(deep_wall / snap_wall, 2),
+        "reports_identical": snap_report == deep_report,
+        "violations": len(snap_report.violations),
+    }
+
+    # Fork microbenchmark on a built two-enclave state.
+    campaign = BitflipCampaign(engine="turbo")
+    monitor, kernel = campaign._fresh()
+    campaign._build_enclave(kernel, "victim")
+    campaign._build_enclave(kernel, "bystander")
+    loops = 100
+    start = time.perf_counter()
+    for _ in range(loops):
+        _copy.deepcopy((monitor, kernel))
+    deep_ms = (time.perf_counter() - start) / loops * 1e3
+    checkpoint = CampaignSnapshot(monitor, kernel)
+    start = time.perf_counter()
+    for _ in range(loops):
+        checkpoint.restore()
+    restore_ms = (time.perf_counter() - start) / loops * 1e3
+    out["fork"] = {
+        "deepcopy_ms": round(deep_ms, 3),
+        "snapshot_restore_ms": round(restore_ms, 3),
+        "speedup": round(deep_ms / restore_ms, 2),
+    }
     return out
 
 
@@ -386,19 +614,52 @@ def run_all(repeats: int = 3) -> Dict[str, object]:
     return {
         "schema": SCHEMA,
         "workloads": run_throughput(repeats=repeats),
+        "micro": run_paper_micro(repeats=repeats),
+        "campaigns": run_campaigns(),
         "table3": run_table3(),
     }
 
 
 def _print_report(report: Dict[str, object]) -> None:
-    print(f"{'workload':<12} {'instr/s':>12} {'ref instr/s':>12} "
-          f"{'speedup':>8} {'sim cycles':>12} {'wall s':>8}")
+    print(
+        f"{'workload':<12} {'ref instr/s':>12} {'fast instr/s':>13} "
+        f"{'turbo instr/s':>14} {'fast/ref':>9} {'turbo/ref':>10} {'turbo/fast':>11}"
+    )
     for name, row in report["workloads"].items():
         print(
-            f"{name:<12} {row['instr_per_s']:>12,.0f} "
-            f"{row['reference_instr_per_s']:>12,.0f} {row['speedup']:>7.2f}x "
-            f"{row['sim_cycles']:>12,} {row['wall_s']:>8.3f}"
+            f"{name:<12} {row['reference_instr_per_s']:>12,.0f} "
+            f"{row['instr_per_s']:>13,.0f} {row['turbo_instr_per_s']:>14,.0f} "
+            f"{row['speedup']:>8.2f}x {row['speedup_turbo']:>9.2f}x "
+            f"{row['speedup_turbo_vs_fast']:>10.2f}x"
         )
+    print()
+    print(
+        f"{'microbench':<22} {'sim cycles':>11} {'ref us':>9} "
+        f"{'fast us':>9} {'turbo us':>9}"
+    )
+    for name, row in report["micro"].items():
+        walls = row["wall_us"]
+        print(
+            f"{name:<22} {row['sim_cycles']:>11,} {walls['reference']:>9.2f} "
+            f"{walls['fast']:>9.2f} {walls['turbo']:>9.2f}"
+        )
+    print()
+    print(
+        f"{'campaign':<12} {'trials':>7} {'deepcopy s':>11} "
+        f"{'snapshot s':>11} {'speedup':>8} {'identical':>10}"
+    )
+    for name in ("lifecycle", "bitflip"):
+        row = report["campaigns"][name]
+        print(
+            f"{name:<12} {row['trials']:>7} {row['deepcopy_wall_s']:>11.3f} "
+            f"{row['snapshot_wall_s']:>11.3f} {row['speedup']:>7.2f}x "
+            f"{str(row['reports_identical']):>10}"
+        )
+    fork = report["campaigns"]["fork"]
+    print(
+        f"{'fork':<12} {'':>7} {fork['deepcopy_ms']:>10.3f}m "
+        f"{fork['snapshot_restore_ms']:>10.3f}m {fork['speedup']:>7.2f}x"
+    )
     print()
     print(f"{'Table 3 row':<30} {'sim cycles':>12} {'paper':>8}")
     for name, row in report["table3"].items():
@@ -424,12 +685,33 @@ def _check(baseline: Dict[str, object], current: Dict[str, object]) -> List[str]
                     f"{name}: {key} changed {base[key]} -> {row[key]} "
                     "(simulation no longer deterministic vs baseline)"
                 )
-        floor = base["speedup"] * SPEEDUP_FLOOR
-        if row["speedup"] < floor:
+        for key in ("speedup", "speedup_turbo"):
+            if key not in base:
+                continue  # pre-turbo (repro-bench-1) baseline
+            floor = base[key] * SPEEDUP_FLOOR
+            if row[key] < floor:
+                failures.append(
+                    f"{name}: {key} {row[key]:.2f}x below gate "
+                    f"{floor:.2f}x (baseline {base[key]:.2f}x)"
+                )
+    for name, base in baseline.get("micro", {}).items():
+        row = current["micro"].get(name)
+        if row is None:
+            failures.append(f"micro row {name!r} missing from current run")
+        elif row["sim_cycles"] != base["sim_cycles"]:
             failures.append(
-                f"{name}: speedup {row['speedup']:.2f}x below gate "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x)"
+                f"micro {name!r}: sim_cycles changed "
+                f"{base['sim_cycles']} -> {row['sim_cycles']}"
             )
+    if "campaigns" in baseline:
+        for name in ("lifecycle", "bitflip"):
+            row = current["campaigns"][name]
+            if not row["reports_identical"]:
+                failures.append(
+                    f"campaign {name}: snapshot and deep-copy reports diverge"
+                )
+            if row["violations"]:
+                failures.append(f"campaign {name}: {row['violations']} violation(s)")
     for name, base in baseline.get("table3", {}).items():
         row = current["table3"].get(name)
         if row is None:
@@ -455,10 +737,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="wall-time samples per workload (default 3)"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest call sites",
+    )
+    parser.add_argument(
+        "--profile-lines",
+        type=int,
+        default=25,
+        help="rows of profile output with --profile (default 25)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_all(repeats=args.repeats)
-    _print_report(report)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = run_all(repeats=args.repeats)
+        profiler.disable()
+        _print_report(report)
+        print()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(
+            args.profile_lines
+        )
+    else:
+        report = run_all(repeats=args.repeats)
+        _print_report(report)
 
     if args.out:
         with open(args.out, "w") as fh:

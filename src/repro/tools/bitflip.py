@@ -14,12 +14,15 @@ Usage::
     python -m repro.tools.bitflip                    # run, print a table
     python -m repro.tools.bitflip --check            # CI gate (exit 1 on violation)
     python -m repro.tools.bitflip --engine both      # fast/reference differential
+    python -m repro.tools.bitflip --engine all       # fast/reference/turbo differential
     python -m repro.tools.bitflip --targets pagedb,itag
     python -m repro.tools.bitflip --stride 97        # every 97th (site, bit) pair
 
 ``--stride N`` samples every N-th (site, bit) pair for a bounded smoke
 campaign; 1 is exhaustive (tens of thousands of trials — minutes, not
-seconds).  Every run is deterministic in ``--seed``.
+seconds).  Every run is deterministic in ``--seed``.  Trials are
+snapshot-accelerated by default; ``--no-snapshot`` forces the original
+per-trial deep-copy path (same reports, slower).
 """
 
 from __future__ import annotations
@@ -76,9 +79,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=lambda s: int(s, 0), default=0xB17F11B)
     parser.add_argument(
         "--engine",
-        choices=("fast", "reference", "both"),
+        choices=("fast", "reference", "turbo", "both", "all"),
         default="fast",
-        help="execution engine; 'both' runs the differential harness",
+        help="execution engine; 'both' = fast/reference differential, "
+        "'all' adds turbo",
+    )
+    parser.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help="deep-copy monitor+kernel per trial instead of snapshot rewind",
     )
     parser.add_argument(
         "--targets",
@@ -99,14 +108,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         targets = [token.strip() for token in args.targets.split(",") if token.strip()]
 
     failures: List[str] = []
-    if args.engine == "both":
-        fast, reference, mismatches = run_differential(
+    if args.engine in ("both", "all"):
+        engines = ("fast", "reference") if args.engine == "both" else (
+            "fast", "reference", "turbo"
+        )
+        *reports, mismatches = run_differential(
             seed=args.seed,
             targets=targets,
             stride=args.stride,
             secure_pages=args.secure_pages,
+            engines=engines,
+            use_snapshots=not args.no_snapshot,
         )
-        for report in (fast, reference):
+        for report in reports:
             _print_report(report)
             failures.extend(report.violations)
         if mismatches:
@@ -120,6 +134,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             secure_pages=args.secure_pages,
             targets=targets,
             stride=args.stride,
+            use_snapshots=not args.no_snapshot,
         )
         report = campaign.run()
         _print_report(report)

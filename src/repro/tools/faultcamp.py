@@ -10,12 +10,15 @@ Usage::
     python -m repro.tools.faultcamp                 # run, print a table
     python -m repro.tools.faultcamp --check         # CI gate (exit 1 on any violation)
     python -m repro.tools.faultcamp --engine both   # fast/reference differential
+    python -m repro.tools.faultcamp --engine all    # fast/reference/turbo differential
     python -m repro.tools.faultcamp --steps init_addrspace,map_secure,remove
 
 ``--steps`` restricts *injection* to the named steps (prefix match, so
 ``remove`` covers every Remove); the lifecycle itself always runs in
 full.  ``--stride N`` injects at every N-th operation for a bounded
-smoke campaign.  Every run is deterministic in ``--seed``.
+smoke campaign.  Every run is deterministic in ``--seed``.  Trials are
+snapshot-accelerated by default; ``--no-snapshot`` forces the original
+per-trial deep-copy path (same reports, slower).
 """
 
 from __future__ import annotations
@@ -65,9 +68,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=lambda s: int(s, 0), default=0xC0FFEE)
     parser.add_argument(
         "--engine",
-        choices=("fast", "reference", "both"),
+        choices=("fast", "reference", "turbo", "both", "all"),
         default="fast",
-        help="execution engine; 'both' runs the differential harness",
+        help="execution engine; 'both' = fast/reference differential, "
+        "'all' adds turbo",
+    )
+    parser.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help="deep-copy the monitor per trial instead of snapshot rewind",
     )
     parser.add_argument(
         "--steps",
@@ -88,14 +97,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         inject_steps = [token.strip() for token in args.steps.split(",") if token.strip()]
 
     failures: List[str] = []
-    if args.engine == "both":
-        fast, reference, mismatches = run_differential(
+    if args.engine in ("both", "all"):
+        engines = ("fast", "reference") if args.engine == "both" else (
+            "fast", "reference", "turbo"
+        )
+        *reports, mismatches = run_differential(
             seed=args.seed,
             inject_steps=inject_steps,
             stride=args.stride,
             secure_pages=args.secure_pages,
+            engines=engines,
+            use_snapshots=not args.no_snapshot,
         )
-        for report in (fast, reference):
+        for report in reports:
             _print_report(report)
             failures.extend(report.violations)
         if mismatches:
@@ -109,6 +123,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             secure_pages=args.secure_pages,
             inject_steps=inject_steps,
             stride=args.stride,
+            use_snapshots=not args.no_snapshot,
         )
         report = campaign.run()
         _print_report(report)

@@ -1,21 +1,22 @@
-"""Differential testing: fast engine vs reference engine.
+"""Differential testing: fast and turbo engines vs reference engine.
 
 The fast-path engine (decode cache + micro-TLB + compiled micro-ops)
-must be *indistinguishable* from the reference interpreter in every
-architecturally visible way: registers, memory, simulated cycles, exit
-reasons, fault addresses, and the attacker-visible access trace the
-side-channel analyser consumes.  Every test here runs the same program
-from identical initial states on both engines and asserts the entire
-observable state matches, exercising the edges where the caches could
-diverge: faults, undefined encodings, self-modifying code, branches,
-interrupts, and randomly generated programs.
+and the turbo tier (compiled basic blocks) must be *indistinguishable*
+from the reference interpreter in every architecturally visible way:
+registers, memory, simulated cycles, exit reasons, fault addresses,
+and the attacker-visible access trace the side-channel analyser
+consumes.  Every test here runs the same program from identical
+initial states on all engines and asserts the entire observable state
+matches, exercising the edges where the caches could diverge: faults,
+undefined encodings, self-modifying code, branches, interrupts, and
+randomly generated programs.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arm.cpu import CPU, ExitReason, FastCPU
+from repro.arm.cpu import CPU, ExitReason, FastCPU, TurboCPU
 from repro.arm.instructions import FORMATS, Instruction, encode
 from repro.arm.machine import MachineState
 from repro.arm.modes import Mode
@@ -26,7 +27,7 @@ CODE_VA = 0x0000_1000
 DATA_VA = 0x0000_4000
 RWX_VA = 0x0000_6000
 NOEXEC_VA = DATA_VA  # data page is mapped RW, not X
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "turbo")
 
 
 def make_state(
@@ -85,7 +86,7 @@ def observe(state):
 
 
 def run_differential(code_words, expect=None, max_steps=10_000, **kwargs):
-    """Run the program on both engines; assert identical observables.
+    """Run the program on every engine; assert identical observables.
 
     Returns the (shared) ExecutionResult for further assertions.
     """
@@ -98,10 +99,13 @@ def run_differential(code_words, expect=None, max_steps=10_000, **kwargs):
         result = cpu.run(CODE_VA, max_steps=max_steps, interrupt_after=interrupt_after)
         outcomes[engine] = (result, observe(state), cpu.access_trace)
     ref_result, ref_obs, ref_trace = outcomes["reference"]
-    fast_result, fast_obs, fast_trace = outcomes["fast"]
-    assert fast_result == ref_result
-    assert fast_trace == ref_trace
-    assert fast_obs == ref_obs
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        result, obs, trace = outcomes[engine]
+        assert result == ref_result, engine
+        assert trace == ref_trace, engine
+        assert obs == ref_obs, engine
     if expect is not None:
         assert ref_result.reason is expect
     return ref_result
@@ -127,12 +131,20 @@ class TestEngineSelection:
         assert type(cpu) is CPU
         assert cpu.engine == "reference"
 
+    def test_turbo_selectable(self):
+        cpu = CPU(MachineState.boot(secure_pages=2), engine="turbo")
+        assert isinstance(cpu, TurboCPU)
+        assert cpu.engine == "turbo"
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
-            CPU(MachineState.boot(secure_pages=2), engine="turbo")
+            CPU(MachineState.boot(secure_pages=2), engine="warp")
 
     def test_fastcpu_direct_construction(self):
         assert FastCPU(MachineState.boot(secure_pages=2)).engine == "fast"
+
+    def test_turbocpu_direct_construction(self):
+        assert TurboCPU(MachineState.boot(secure_pages=2)).engine == "turbo"
 
 
 class TestStraightLine:
@@ -344,7 +356,8 @@ class TestSelfModifyingCode:
             cpu.access_trace = []
             result = cpu.run(RWX_VA, max_steps=100)
             outcomes[engine] = (result, observe(state), cpu.access_trace)
-        assert outcomes["fast"] == outcomes["reference"]
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
         result = outcomes["reference"][0]
         assert result.reason is ExitReason.SVC
         assert outcomes["reference"][1]["gprs"][1] == 7
@@ -376,7 +389,8 @@ class TestSelfModifyingCode:
             cpu = CPU(state, engine=engine)
             result = cpu.run(RWX_VA, max_steps=100)
             outcomes[engine] = (result, observe(state))
-        assert outcomes["fast"] == outcomes["reference"]
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
         # First iteration adds 1; the two remaining add the patched 100.
         assert outcomes["reference"][1]["gprs"][0] == 201
 
@@ -442,5 +456,6 @@ class TestBenchWorkloads:
                 state.cycles,
                 cpu.access_trace,
             )
-        assert outcomes["fast"] == outcomes["reference"]
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
         assert outcomes["reference"][0].reason is ExitReason.SVC

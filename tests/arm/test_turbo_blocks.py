@@ -1,0 +1,352 @@
+"""Turbo-tier invalidation edge cases (arm.blocks + TurboCPU).
+
+The compiled-block cache adds two failure surfaces the fast engine does
+not have: a block caches *many* words (so any of them going stale must
+force a rebuild), and a block retires *many* instructions per dispatch
+(so asynchronous exceptions must still land on exact instruction
+boundaries).  Every test here runs the same scenario on all three
+engines and asserts the full observable state matches, plus white-box
+checks on discovery, codegen, and the LRU bound.
+"""
+
+import pytest
+
+from repro.arm import blocks
+from repro.arm.cpu import CPU, ExitReason
+from repro.arm.instructions import Instruction, encode
+from repro.arm.modes import Mode
+from repro.arm.registers import PSR
+from repro.arm.bits import WORDSIZE
+from repro.arm.memory import PAGE_SIZE
+
+from tests.arm.test_engine_differential import (
+    CODE_VA,
+    DATA_VA,
+    ENGINES,
+    RWX_VA,
+    asm_words,
+    make_state,
+    observe,
+    run_differential,
+)
+
+
+def run_twice_differential(code_words, between, entry=CODE_VA, max_steps=10_000):
+    """Run a program, mutate the machine via ``between(state)``, run it
+    again on the same CPU; assert all engines observe identical state
+    after both runs.  The first run warms the block cache so ``between``
+    mutations exercise invalidation, not cold misses."""
+    outcomes = {}
+    for engine in ENGINES:
+        state = make_state(code_words)
+        cpu = CPU(state, engine=engine)
+        cpu.access_trace = []
+        first = cpu.run(entry, max_steps=max_steps)
+        between(state)
+        state.regs.cpsr = PSR(mode=Mode.USR, irq_masked=False, fiq_masked=False)
+        second = cpu.run(entry, max_steps=max_steps)
+        outcomes[engine] = (first, second, observe(state), cpu.access_trace)
+    for engine in ENGINES:
+        assert outcomes[engine] == outcomes["reference"], engine
+    return outcomes["reference"]
+
+
+class TestSelfModifyingInsideBlock:
+    def test_store_patches_later_word_of_same_block(self):
+        """A store rewrites an instruction *later in its own compiled
+        block*: the store bail-out must hand control back to the
+        dispatch loop, which refetches the patched word exactly like
+        the reference engine's per-instruction fetch."""
+
+        def build(asm):
+            asm.mov32("r4", RWX_VA)
+            asm.mov32("r5", encode(Instruction("movw", rd=7, imm=9)))
+            patch_target = asm.position + 2  # the movw r7 below
+            asm.movw("r6", patch_target * 4)
+            asm.strr("r5", "r4", "r6")
+            asm.movw("r7", 1)  # patched to movw r7, #9 by the strr above
+            asm.svc(0)
+
+        words = asm_words(build)
+        outcomes = {}
+        for engine in ENGINES:
+            state = make_state([], rwx_words=words)
+            cpu = CPU(state, engine=engine)
+            cpu.access_trace = []
+            result = cpu.run(RWX_VA, max_steps=100)
+            outcomes[engine] = (result, observe(state), cpu.access_trace)
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
+        assert outcomes["reference"][0].reason is ExitReason.SVC
+        assert outcomes["reference"][1]["gprs"][7] == 9
+
+
+class TestMonitorPageOps:
+    def warm_program(self):
+        def build(asm):
+            asm.movw("r0", 0)
+            asm.movw("r2", 4)
+            asm.label("loop")
+            asm.addi("r0", "r0", 3)
+            asm.subi("r2", "r2", 1)
+            asm.cmpi("r2", 0)
+            asm.bne("loop")
+            asm.svc(0)
+
+        return asm_words(build)
+
+    def test_mon_zero_page_over_executable_page(self):
+        """``mon_zero_page`` on a page with warm compiled blocks: the
+        next run must see the zeroed words (undefined encodings), not
+        the cached blocks."""
+
+        def zero_code_page(state):
+            state.mon_zero_page(state.memmap.page_base(2))
+
+        first, second, _, _ = run_twice_differential(
+            self.warm_program(), zero_code_page
+        )
+        assert first.reason is ExitReason.SVC
+        assert second.reason is ExitReason.UNDEFINED
+
+    def test_mon_copy_page_over_executable_page(self):
+        """``mon_copy_page`` replaces warm code wholesale; the new
+        program must execute on every engine."""
+        replacement = asm_words(
+            lambda asm: (asm.movw("r1", 0xBEE), asm.svc(0))
+        )
+
+        def install_replacement(state):
+            staging = state.memmap.page_base(3)  # the data page
+            for index, word in enumerate(replacement):
+                state.memory.write_word(staging + index * WORDSIZE, word)
+            state.mon_copy_page(staging, state.memmap.page_base(2))
+
+        first, second, obs, _ = run_twice_differential(
+            self.warm_program(), install_replacement
+        )
+        assert first.reason is ExitReason.SVC
+        assert second.reason is ExitReason.SVC
+        assert obs["gprs"][1] == 0xBEE
+
+
+class TestTranslationSwitches:
+    def test_ttbr_switch_between_runs(self):
+        """Loading a different TTBR0 after blocks are warm: the new
+        tables remap CODE_VA to different physical code, and every
+        engine must fetch through the *new* translation."""
+        from repro.arm.pagetable import (
+            l1_index,
+            l2_index,
+            make_l1_entry,
+            make_l2_entry,
+        )
+
+        def build_alt(asm):
+            asm.movw("r9", 0x41)
+            asm.svc(0)
+
+        alt_words = asm_words(build_alt)
+
+        def switch_ttbr(state):
+            memmap = state.memmap
+            memory = state.memory
+            # Fresh tables in pages 5/6 mapping CODE_VA -> page 7 (RX).
+            l1, l2, code = (memmap.page_base(p) for p in (5, 6, 7))
+            memory.write_word(l1 + l1_index(CODE_VA) * 4, make_l1_entry(l2))
+            memory.write_word(
+                l2 + l2_index(CODE_VA) * 4,
+                make_l2_entry(code, True, False, True, True),
+            )
+            for index, word in enumerate(alt_words):
+                memory.write_word(code + index * WORDSIZE, word)
+            state.load_ttbr0(l1)
+            state.flush_tlb()
+
+        def build(asm):
+            asm.movw("r8", 0x17)
+            asm.svc(0)
+
+        first, second, obs, _ = run_twice_differential(asm_words(build), switch_ttbr)
+        assert first.reason is ExitReason.SVC
+        assert second.reason is ExitReason.SVC
+        assert obs["gprs"][8] == 0x17
+        assert obs["gprs"][9] == 0x41
+
+
+class TestIntraBlockInterrupts:
+    def long_block_loop(self):
+        """A 13-instruction straight-line block ending in a back branch:
+        interrupt windows land at entry, inside, and exactly at the end
+        of the compiled block."""
+
+        def build(asm):
+            asm.label("loop")
+            for _ in range(12):
+                asm.addi("r0", "r0", 1)
+            asm.b("loop")
+
+        return asm_words(build)
+
+    @pytest.mark.parametrize("window", list(range(0, 30)) + [13, 26])
+    def test_interrupt_window_exact(self, window):
+        result = run_differential(
+            self.long_block_loop(), interrupt_after=window, max_steps=1000
+        )
+        assert result.reason is ExitReason.IRQ
+        assert result.steps == window
+
+    @pytest.mark.parametrize("limit", [1, 6, 12, 13, 14, 25, 26, 27])
+    def test_step_limit_exact(self, limit):
+        result = run_differential(self.long_block_loop(), max_steps=limit)
+        assert result.reason is ExitReason.STEP_LIMIT
+        assert result.steps == limit
+
+    def test_interrupt_window_beats_fault(self):
+        """The interrupt boundary falls before a faulting load several
+        instructions into a block: the IRQ must win, exactly as under
+        single-step execution."""
+
+        def build(asm):
+            asm.mov32("r4", 0x0800_0000)  # unmapped
+            asm.addi("r0", "r0", 1)
+            asm.ldr("r1", "r4", 0)  # faults if reached
+
+        for window in range(0, 5):
+            run_differential(
+                asm_words(build), interrupt_after=window, max_steps=100
+            )
+
+
+class TestBlockCacheBounds:
+    def many_blocks(self, count):
+        """``count`` one-instruction blocks chained by branches."""
+        words = []
+        for _ in range(count):
+            words.append(encode(Instruction("b", imm=0)))  # b .+4
+        words.append(encode(Instruction("svc", imm=0)))
+        return words
+
+    def test_lru_cap_bounds_cache(self, monkeypatch):
+        monkeypatch.setattr(blocks, "BLOCK_CACHE_CAP", 4)
+        state = make_state(self.many_blocks(12))
+        cpu = CPU(state, engine="turbo")
+        result = cpu.run(CODE_VA, max_steps=100)
+        assert result.reason is ExitReason.SVC
+        assert 0 < len(state.uarch.bcache) <= 4
+
+    def test_lru_eviction_keeps_differential(self, monkeypatch):
+        monkeypatch.setattr(blocks, "BLOCK_CACHE_CAP", 2)
+
+        def build(asm):
+            asm.movw("r2", 3)
+            asm.label("outer")  # several blocks re-dispatched per lap
+            asm.addi("r0", "r0", 1)
+            asm.b("hop1")
+            asm.label("hop1")
+            asm.addi("r0", "r0", 2)
+            asm.b("hop2")
+            asm.label("hop2")
+            asm.subi("r2", "r2", 1)
+            asm.cmpi("r2", 0)
+            asm.bne("outer")
+            asm.svc(0)
+
+        result = run_differential(asm_words(build), expect=ExitReason.SVC)
+        assert result.reason is ExitReason.SVC
+
+
+class TestDiscoveryAndCodegen:
+    def test_conditionals_do_not_end_blocks(self):
+        """Superblock discovery: a conditional branch is included and
+        decoding continues; the unconditional tail terminates."""
+        words = [
+            encode(Instruction("cmpi", rn=0, imm=0)),
+            encode(Instruction("beq", imm=2)),
+            encode(Instruction("addi", rd=0, rn=0, imm=1)),
+            encode(Instruction("b", imm=-4)),
+            encode(Instruction("movw", rd=1, imm=5)),
+        ]
+        state = make_state(words)
+        paddr = state.memmap.page_base(2)
+        state.memory.write_words(paddr, words)
+        instrs, raw = blocks.discover(state.memory, paddr)
+        assert [i.op for i in instrs] == ["cmpi", "beq", "addi", "b"]
+        assert raw == words[:4]
+
+    def test_discovery_stops_before_excluded(self):
+        words = [
+            encode(Instruction("movw", rd=0, imm=1)),
+            encode(Instruction("udf")),
+        ]
+        state = make_state(words)
+        paddr = state.memmap.page_base(2)
+        instrs, _ = blocks.discover(state.memory, paddr)
+        assert [i.op for i in instrs] == ["movw"]
+
+    def test_fall_through_at_page_end(self):
+        """A block that reaches the page boundary without a terminator
+        falls through to the next page — which is unmapped, so every
+        engine aborts at the same pc."""
+        pad = PAGE_SIZE // WORDSIZE - 2
+        words = [encode(Instruction("nop"))] * pad + [
+            encode(Instruction("movw", rd=0, imm=1)),
+            encode(Instruction("addi", rd=0, rn=0, imm=1)),
+        ]
+        result = run_differential(words, max_steps=PAGE_SIZE)
+        assert result.reason is ExitReason.ABORT
+        assert result.fault_address == CODE_VA + PAGE_SIZE
+
+    def test_generation_revalidation_keeps_unchanged_block(self):
+        """An unrelated store bumps the memory generation; the block's
+        own words are unchanged, so it revalidates without rebuilding
+        (same compiled function object)."""
+        words = [
+            encode(Instruction("movw", rd=0, imm=1)),
+            encode(Instruction("svc", imm=0)),
+        ]
+        state = make_state(words, data_words=[0])
+        cpu = CPU(state, engine="turbo")
+        assert cpu.run(CODE_VA, max_steps=10).reason is ExitReason.SVC
+        paddr = state.memmap.page_base(2)
+        entry = state.uarch.bcache[paddr]
+        fn = entry[2]
+        state.memory.write_word(state.memmap.page_base(3), 0xDEAD)  # unrelated
+        assert entry[0] != state.memory.generation
+        revalidated = blocks.lookup(cpu, paddr)
+        assert revalidated is entry
+        assert revalidated[2] is fn
+        assert revalidated[0] == state.memory.generation
+
+    def test_side_exit_in_generated_source(self):
+        words = [
+            encode(Instruction("cmpi", rn=0, imm=0)),
+            encode(Instruction("bne", imm=3)),
+            encode(Instruction("movw", rd=1, imm=7)),
+            encode(Instruction("svc", imm=0)),
+        ]
+        state = make_state(words)
+        cpu = CPU(state, engine="turbo")
+        assert cpu.run(CODE_VA, max_steps=10).reason is ExitReason.SVC
+        entry = state.uarch.bcache[state.memmap.page_base(2)]
+        assert entry[3] == 4  # one superblock, conditional included
+        assert "if not fz_:" in entry[2].__source__
+
+    def test_loads_and_stores_differential_with_flag_context(self):
+        """Stores inside a superblock after a not-taken side exit."""
+
+        def build(asm):
+            asm.mov32("r4", DATA_VA)
+            asm.movw("r0", 2)
+            asm.label("loop")
+            asm.ldr("r1", "r4", 0)
+            asm.addi("r1", "r1", 5)
+            asm.str_("r1", "r4", 0)
+            asm.subi("r0", "r0", 1)
+            asm.cmpi("r0", 0)
+            asm.bne("loop")
+            asm.svc(0)
+
+        run_differential(
+            asm_words(build), data_words=[100], expect=ExitReason.SVC
+        )

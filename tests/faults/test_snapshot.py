@@ -1,0 +1,227 @@
+"""Snapshot checkpoints: machine rewind semantics + campaign parity.
+
+Two layers are pinned here.  ``MachineState.snapshot()/restore()`` must
+rewind everything architecturally visible and cold-start the
+microarchitectural caches, so a restored machine is indistinguishable
+from a fresh deep copy.  ``CampaignSnapshot`` extends that to a
+(monitor, kernel) pair — and the fault campaigns built on it must emit
+reports *identical* to the original per-trial deep-copy path.
+"""
+
+import copy
+
+import pytest
+
+from repro.arm.machine import MachineState
+from repro.faults.audit import secure_state_digest
+from repro.faults.bitflip import BitflipCampaign
+from repro.faults.campaign import LifecycleCampaign
+from repro.faults.snapshot import CampaignSnapshot
+from repro.monitor.komodo import KomodoMonitor
+from repro.monitor.layout import SMC, SVC
+from repro.osmodel.kernel import OSKernel
+
+
+def machine_observables(state):
+    return (
+        state.memory._store[:],
+        state.memory.generation,
+        state.memory.read_ops,
+        dict(state.regs.gprs),
+        state.regs.cpsr.to_word(),
+        state.cycles,
+        state.world,
+        state.ttbr0,
+        state.pending_interrupt,
+        secure_state_digest(state),
+    )
+
+
+class TestMachineSnapshot:
+    def test_restore_rewinds_everything_visible(self):
+        state = MachineState.boot(secure_pages=8)
+        snap = state.snapshot()
+        before = machine_observables(state)
+
+        state.memory.write_word(state.memmap.page_base(2), 0x12345678)
+        state.flip_bit(state.memmap.page_base(3) + 8, 17)
+        state.regs.write_gpr(3, 0x77)
+        state.cycles += 1000
+        state.load_ttbr0(state.memmap.page_base(0))
+        state.flush_tlb()
+        assert machine_observables(state) != before
+
+        state.restore(snap)
+        assert machine_observables(state) == before
+
+    def test_restore_is_repeatable(self):
+        state = MachineState.boot(secure_pages=8)
+        snap = state.snapshot()
+        before = machine_observables(state)
+        for _ in range(3):
+            state.memory.write_word(state.memmap.page_base(2), 0xDEAD)
+            state.restore(snap)
+            assert machine_observables(state) == before
+
+    def test_restore_preserves_memory_identity(self):
+        """The TLB and page-table walker hold references to the memory
+        object; restore must rewind it in place, never swap it out."""
+        state = MachineState.boot(secure_pages=8)
+        memory = state.memory
+        snap = state.snapshot()
+        state.memory.write_word(state.memmap.page_base(2), 1)
+        state.restore(snap)
+        assert state.memory is memory
+        assert state.tlb._memory is memory
+
+    def test_restore_cold_starts_uarch_caches(self):
+        state = MachineState.boot(secure_pages=8)
+        snap = state.snapshot()
+        state.uarch.icache[0x1000] = object()
+        state.uarch.utlb[1] = object()
+        state.uarch.bcache[0x2000] = object()
+        state.restore(snap)
+        assert state.uarch.icache == {}
+        assert state.uarch.utlb == {}
+        assert state.uarch.bcache == {}
+
+    def test_snapshot_rejects_open_transaction(self):
+        state = MachineState.boot(secure_pages=8)
+        state.txn = object()
+        with pytest.raises(ValueError):
+            state.snapshot()
+
+    def test_restore_clears_fault_plan_and_txn(self):
+        state = MachineState.boot(secure_pages=8)
+        snap = state.snapshot()
+        state.fault_plan = object()
+        state.txn = object()
+        state.restore(snap)
+        assert state.fault_plan is None
+        assert state.txn is None
+
+
+def run_workload(monitor, kernel):
+    """A deterministic monitor workload: a plain SMC plus one full
+    enclave build and run."""
+    from repro.arm.assembler import Assembler
+    from repro.sdk.builder import CODE_VA as SDK_CODE_VA
+    from repro.sdk.builder import EnclaveBuilder
+
+    monitor.smc(SMC.GET_PHYSPAGES)
+    exit_asm = Assembler()
+    exit_asm.movw("r0", 0x600D)
+    exit_asm.svc(SVC.EXIT)
+    enclave = (
+        EnclaveBuilder(kernel).add_code(exit_asm).add_thread(SDK_CODE_VA).build()
+    )
+    return enclave.enter()
+
+
+def pair_observables(monitor, kernel):
+    return (
+        secure_state_digest(monitor.state),
+        monitor.state.cycles,
+        monitor.smc_count,
+        monitor.rng.words_drawn,
+        list(kernel._free_pages),
+        kernel._insecure_next,
+    )
+
+
+class TestCampaignSnapshot:
+    def fresh_pair(self):
+        monitor = KomodoMonitor(secure_pages=16)
+        return monitor, OSKernel(monitor)
+
+    def test_restore_returns_same_objects(self):
+        monitor, kernel = self.fresh_pair()
+        checkpoint = CampaignSnapshot(monitor, kernel)
+        run_workload(monitor, kernel)
+        restored_monitor, restored_kernel = checkpoint.restore()
+        assert restored_monitor is monitor
+        assert restored_kernel is kernel
+
+    def test_restore_matches_deepcopy_fork(self):
+        """The snapshot rewind must be a drop-in for the deep-copy trial
+        factory: the same workload from a restored pair and from a deep
+        copy lands on identical digests, cycles, and OS state."""
+        monitor, kernel = self.fresh_pair()
+        run_workload(monitor, kernel)  # a non-trivial prefix
+
+        monitor.state.uarch.reset()
+        deep_monitor, deep_kernel = copy.deepcopy((monitor, kernel))
+        checkpoint = CampaignSnapshot(monitor, kernel)
+
+        deep_result = run_workload(deep_monitor, deep_kernel)
+        deep_after = pair_observables(deep_monitor, deep_kernel)
+
+        for _ in range(2):  # restore is reusable
+            live_result = run_workload(monitor, kernel)
+            checkpoint.restore()
+            assert live_result == deep_result
+
+        run_workload(monitor, kernel)
+        assert pair_observables(monitor, kernel) == deep_after
+
+    def test_restore_rewinds_rng_position(self):
+        monitor, kernel = self.fresh_pair()
+        checkpoint = CampaignSnapshot(monitor, kernel)
+        before = (monitor.rng.words_drawn, monitor.rng._counter)
+        run_workload(monitor, kernel)
+        checkpoint.restore()
+        assert (monitor.rng.words_drawn, monitor.rng._counter) == before
+
+    def test_rejects_live_native_threads(self):
+        monitor, kernel = self.fresh_pair()
+        monitor._native_threads = {7: object()}
+        with pytest.raises(ValueError):
+            CampaignSnapshot(monitor, kernel)
+
+    def test_rejects_foreign_kernel(self):
+        monitor, _ = self.fresh_pair()
+        _, other_kernel = self.fresh_pair()
+        with pytest.raises(ValueError):
+            CampaignSnapshot(monitor, other_kernel)
+
+    def test_monitor_only_snapshot(self):
+        monitor = KomodoMonitor(secure_pages=16)
+        checkpoint = CampaignSnapshot(monitor)
+        digest = secure_state_digest(monitor.state)
+        monitor.smc(SMC.GET_PHYSPAGES)
+        restored, kernel = checkpoint.restore()
+        assert restored is monitor and kernel is None
+        assert secure_state_digest(monitor.state) == digest
+        assert monitor.smc_count == 0
+
+
+class TestCampaignReportParity:
+    """The satellite regression: snapshot-accelerated campaigns must be
+    byte-identical to the per-trial deep-copy path."""
+
+    def test_lifecycle_campaign_reports_identical(self):
+        kwargs = dict(seed=0x5EED, stride=13, secure_pages=16)
+        snap = LifecycleCampaign(use_snapshots=True, **kwargs).run()
+        deep = LifecycleCampaign(use_snapshots=False, **kwargs).run()
+        assert snap.ok, snap.violations[:5]
+        assert snap == deep
+
+    def test_bitflip_campaign_reports_identical(self):
+        kwargs = dict(stride=173, targets=["pagedb", "itag"], secure_pages=16)
+        snap = BitflipCampaign(use_snapshots=True, **kwargs).run()
+        deep = BitflipCampaign(use_snapshots=False, **kwargs).run()
+        assert snap.ok, snap.violations[:5]
+        assert snap.total_trials > 0
+        assert snap == deep
+
+    def test_bitflip_turbo_engine_report_identical_to_fast(self):
+        kwargs = dict(stride=311, targets=["pagedb"], secure_pages=16)
+        fast = BitflipCampaign(engine="fast", **kwargs).run()
+        turbo = BitflipCampaign(engine="turbo", **kwargs).run()
+        assert fast.ok and turbo.ok
+        assert [s.trial_digests for s in fast.steps] == [
+            s.trial_digests for s in turbo.steps
+        ]
+        assert [s.trial_cycles for s in fast.steps] == [
+            s.trial_cycles for s in turbo.steps
+        ]

@@ -95,19 +95,20 @@ class TestExecutingTraces:
     @settings(max_examples=25, deadline=None)
     def test_fast_engine_refines_reference_engine(self, trace):
         """Monitor-level engine differential: the same hostile trace on
-        a fast-engine monitor and a reference-engine monitor must yield
+        fast-, turbo-, and reference-engine monitors must yield
         identical SMC returns and identical cycle counters — enclave
-        execution through the fast path is observationally equivalent."""
+        execution through the cached paths is observationally
+        equivalent."""
         monitors = {
             engine: CheckedMonitor(
                 secure_pages=NPAGES, step_budget=500, cpu_engine=engine
             )
-            for engine in ("fast", "reference")
+            for engine in ("fast", "reference", "turbo")
         }
         threads = {
             engine: build_enclave(checked) for engine, checked in monitors.items()
         }
-        assert threads["fast"] == threads["reference"]
+        assert threads["fast"] == threads["reference"] == threads["turbo"]
         if threads["fast"] is None:  # pragma: no cover
             return
         for kind, arg in trace:
@@ -130,10 +131,9 @@ class TestExecutingTraces:
                     returns[engine] = checked.smc(SMC.REMOVE, arg)
                 else:
                     returns[engine] = checked.smc(999, arg, arg, arg, arg)
-            assert returns["fast"] == returns["reference"]
-            assert (
-                monitors["fast"].state.cycles == monitors["reference"].state.cycles
-            )
+            assert returns["fast"] == returns["reference"] == returns["turbo"]
+            cycles = {m.state.cycles for m in monitors.values()}
+            assert len(cycles) == 1, cycles
 
     @given(st.integers(1, 30))
     @settings(max_examples=30, deadline=None)
