@@ -1,0 +1,50 @@
+"""Symbolic SMC-path exploration over the spec layer.
+
+The spec layer (``repro.spec``) is pure: every monitor call is a
+function ``AbsPageDb -> (KomErr, AbsPageDb)``.  This package runs those
+functions on *symbolic* inputs — call arguments drawn from finite
+domains plus a symbolic scenario lattice of initial PageDB states — and
+forks at every branch the spec takes, enumerating every feasible
+error/success path per SMC.  Each path is concretized into a replayable
+witness (setup SMC trace + probe call + expected outcome) and replayed
+on all three execution engines through the refinement machinery.
+
+Modules:
+
+* ``values``   — symbolic ints/bools over finite domains, the
+  constraint store (interval + equality/disequality propagation with
+  concrete-enumeration fallback; no external SMT dependency)
+* ``engine``   — the forking path explorer (execution-generated paths:
+  re-execution under a decision prefix)
+* ``state``    — ``SymPageDb``: an AbsPageDb that tolerates symbolic
+  page numbers, concretizing them kind-by-kind at first observation
+* ``scenario`` — the initial-state lattice and its SMC setup traces
+* ``explore``  — per-SMC symbolic drivers and the path census
+* ``witness``  — path -> concrete witness concretization + (de)serialization
+* ``replay``   — witness replay on reference/fast/turbo via CheckedMonitor
+"""
+
+from repro.analysis.symbex.engine import PathExplorer, PathResult
+from repro.analysis.symbex.explore import (
+    DRIVERS,
+    ExploreResult,
+    driver_names,
+    explore_smc,
+)
+from repro.analysis.symbex.replay import ReplayHarness
+from repro.analysis.symbex.values import ConstraintStore, SymInt, Unsatisfiable
+from repro.analysis.symbex.witness import Witness
+
+__all__ = [
+    "ConstraintStore",
+    "DRIVERS",
+    "ExploreResult",
+    "PathExplorer",
+    "PathResult",
+    "ReplayHarness",
+    "SymInt",
+    "Unsatisfiable",
+    "Witness",
+    "driver_names",
+    "explore_smc",
+]

@@ -1,0 +1,148 @@
+"""``SymPageDb``: an abstract PageDB that tolerates symbolic page numbers.
+
+The scenario lattice concretizes the *structure* of the initial PageDB
+(entry types and addrspace states become concrete when the scenario
+choice-variables fork), so entries themselves are ordinary frozen
+dataclasses and the unmodified ``spec_*`` functions can pattern-match
+on them.  What stays symbolic are the *call arguments*: page numbers,
+mapping words, flags.  This wrapper intercepts the two places the spec
+observes a page number —
+
+* ``valid_pageno`` returns a symbolic comparison instead of failing the
+  ``isinstance(pageno, int)`` test, and
+* ``__getitem__`` concretizes a symbolic page number at its first
+  observation, forking the path once per *distinct entry value* rather
+  than once per page (two interchangeable free pages are one branch).
+
+Everything else (``is_free``, ``updated``, ``updated_many``) inherits
+from :class:`~repro.spec.pagedb.AbsPageDb` and works because it bottoms
+out in ``__getitem__``/``__index__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.analysis.symbex.engine import Branch, current_context
+from repro.analysis.symbex.values import SymBool, SymInt
+from repro.monitor.layout import AddrspaceState
+from repro.spec.pagedb import (
+    AbsAddrspace,
+    AbsData,
+    AbsFree,
+    AbsL1,
+    AbsL2,
+    AbsPageDb,
+    AbsSpare,
+    AbsThread,
+)
+
+
+def entry_tag(entry) -> str:
+    """A stable, human-readable class for one PageDB entry."""
+    if isinstance(entry, AbsFree):
+        return "FREE"
+    if isinstance(entry, AbsAddrspace):
+        return f"ADDRSPACE.{AddrspaceState(entry.state).name}"
+    if isinstance(entry, AbsThread):
+        return "THREAD.entered" if entry.entered else "THREAD"
+    if isinstance(entry, AbsL1):
+        return "L1"
+    if isinstance(entry, AbsL2):
+        return "L2"
+    if isinstance(entry, AbsData):
+        return "DATA"
+    if isinstance(entry, AbsSpare):
+        return "SPARE"
+    return type(entry).__name__
+
+
+def _reify_value(value):
+    if isinstance(value, SymInt):
+        # int() concretizes through the active context: free (already
+        # pinned) when the spec observed the variable, a genuine fork
+        # when a symbolic value is first observed here.
+        return int(value)
+    if isinstance(value, tuple):
+        return tuple(_reify_value(v) for v in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        changes = {
+            f.name: _reify_value(getattr(value, f.name)) for f in fields(value)
+        }
+        return replace(value, **changes)
+    return value
+
+
+def reify_db(db: AbsPageDb) -> AbsPageDb:
+    """Replace symbolic ints stored inside entries with concrete values.
+
+    Spec functions may store still-symbolic arguments into new entries
+    (``AbsAddrspace(l1pt=l1pt_page)``); invariant checks and witness
+    comparison need plain integers.
+    """
+    return AbsPageDb(
+        npages=db.npages, entries=tuple(_reify_value(e) for e in db.entries)
+    )
+
+
+class SymPageDb(AbsPageDb):
+    """An AbsPageDb whose queries accept symbolic page numbers."""
+
+    @classmethod
+    def wrap(cls, db: AbsPageDb) -> "SymPageDb":
+        return cls(npages=db.npages, entries=db.entries)
+
+    def valid_pageno(self, pageno):
+        if isinstance(pageno, SymInt):
+            # Domains are non-negative by construction, so the in-range
+            # test reduces to the upper bound.
+            return pageno < self.npages
+        return super().valid_pageno(pageno)
+
+    def __getitem__(self, pageno):
+        if isinstance(pageno, SymInt):
+            pageno = self._concretize_pageno(pageno)
+        return super().__getitem__(pageno)
+
+    def _concretize_pageno(self, pageno: SymInt) -> int:
+        """Pin a symbolic pageno, forking per distinct entry value.
+
+        Grouping by entry value (not raw page number) is what keeps the
+        path census semantic: landing on either of two identical free
+        pages is one path class, landing on a THREAD page versus a DATA
+        page is two.
+        """
+        ctx = current_context()
+        pinned = ctx.store.value_of(pageno.var)
+        if pinned is not None:
+            return pinned
+        values = ctx.store.feasible_values(pageno.var)
+        groups: List[Tuple[object, List[int]]] = []
+        for value in values:
+            if not 0 <= value < self.npages:
+                raise AssertionError(
+                    f"unchecked symbolic pageno {pageno.var.name} reached "
+                    f"__getitem__ with out-of-range candidate {value}"
+                )
+            entry = self.entries[value]
+            for key, members in groups:
+                if key == entry:
+                    members.append(value)
+                    break
+            else:
+                groups.append((entry, [value]))
+        branches = tuple(
+            Branch(
+                tag=entry_tag(key),
+                constraints=(("in", pageno.var, frozenset(members)),),
+                value=None,
+            )
+            for key, members in groups
+        )
+        ctx.decide(f"db[{pageno.var.name}]", branches)
+        # The group constraint may still leave several interchangeable
+        # pages; pick the smallest as the canonical representative.
+        representative = ctx.store.feasible_values(pageno.var)[0]
+        ctx.store.assert_true(("c", "eq", pageno.var, representative))
+        return representative

@@ -1,0 +1,264 @@
+"""Concrete witnesses: one replayable test vector per feasible path.
+
+A witness pins a path class down to numbers: the scenario (a point of
+the initial-state lattice, i.e. a constructive SMC setup trace), the
+concrete probe arguments produced by the constraint solver's model, and
+the expected outcome.  Expected outcomes live at two levels:
+
+* ``spec_err`` — what the pure spec says this path returns
+  (``"EXECUTE"`` for Enter/Resume paths whose validation passes and
+  hand control to the enclave);
+* ``machine_err`` / ``expected_value`` — what ``monitor.smc`` must
+  return when the witness is replayed on a real engine.  For plain SMCs
+  these coincide with the spec; for executing paths the witness
+  predicts the enclave run (the scenario program exits with a known
+  sentinel, or faults on an unmapped entry point), and for SVC probes
+  the enclave program issues the SVC and exits with its error code, so
+  the Enter value *is* the spec-level SVC error.
+
+The expected final PageDB is not stored: it is recomputed at replay
+time by re-running the spec oracle (``Driver.concrete_outcome``) on the
+witness's own data, so a serialized corpus can never drift from the
+spec silently — ``replay`` cross-checks the stored error names against
+the recomputation and fails loudly on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.monitor.errors import KomErr
+from repro.spec.pagedb import AbsAddrspace, AbsPageDb, AbsThread
+from repro.spec.smc_spec import spec_get_physpages
+
+from repro.analysis.symbex.explore import (
+    Driver,
+    ExploreResult,
+    ProbeOutcome,
+    _concrete_args,
+    get_driver,
+)
+from repro.analysis.symbex.scenario import (
+    EXIT_SENTINEL,
+    PLACEHOLDER_CONTEXT,
+    THREAD_PAGE,
+    Scenario,
+    build_scenario,
+    svc_probe_program,
+)
+
+CORPUS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One concrete, replayable instance of a feasible spec path."""
+
+    smc: str
+    kind: str  # "smc" | "enter" | "svc"
+    callno: int
+    signature: Tuple[str, ...]
+    choices: Tuple[Tuple[str, int], ...]
+    args: Tuple[int, ...]
+    spec_err: str  # KomErr name, or "EXECUTE"
+    machine_err: str  # KomErr name expected from monitor.smc
+    expected_value: Optional[int]
+    #: False only where the post-state is machine-defined beyond the
+    #: spec (a faulting enclave run); tri-engine agreement still holds.
+    check_db: bool = True
+
+    @property
+    def label(self) -> str:
+        return f"{self.smc}[{'/'.join(self.signature)}]"
+
+    def scenario(self) -> Scenario:
+        program = None
+        if self.kind == "svc":
+            program = svc_probe_program(self.callno, self.args)
+        return build_scenario(dict(self.choices), program=program)
+
+    def expected(self, env=None) -> Tuple[Scenario, Optional[KomErr], AbsPageDb]:
+        """Re-run the spec oracle: (scenario, spec err, spec final db)."""
+        driver = get_driver(self.smc)
+        scenario = self.scenario()
+        err, db = driver.concrete_outcome(scenario, self.args, env=env)
+        return scenario, err, db
+
+    def expected_final_db(self, scenario: Scenario, spec_db: AbsPageDb) -> AbsPageDb:
+        """The machine-level expected PageDB after the probe.
+
+        For executing witnesses that run to a clean exit, the entered
+        thread has returned to the OS by the time the probe completes.
+        """
+        ran_to_exit = self.kind == "svc" or (
+            self.spec_err == "EXECUTE" and self.machine_err == "SUCCESS"
+        )
+        if ran_to_exit:
+            thread = spec_db[THREAD_PAGE]
+            if isinstance(thread, AbsThread) and thread.entered:
+                spec_db = spec_db.updated(
+                    THREAD_PAGE, replace(thread, entered=False, context=None)
+                )
+        return spec_db
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "smc": self.smc,
+            "kind": self.kind,
+            "callno": self.callno,
+            "signature": list(self.signature),
+            "choices": [list(pair) for pair in self.choices],
+            "args": list(self.args),
+            "spec_err": self.spec_err,
+            "machine_err": self.machine_err,
+            "expected_value": self.expected_value,
+            "check_db": self.check_db,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Witness":
+        return cls(
+            smc=data["smc"],
+            kind=data["kind"],
+            callno=int(data["callno"]),
+            signature=tuple(data["signature"]),
+            choices=tuple((name, int(v)) for name, v in data["choices"]),
+            args=tuple(int(a) for a in data["args"]),
+            spec_err=data["spec_err"],
+            machine_err=data["machine_err"],
+            expected_value=(
+                None if data["expected_value"] is None else int(data["expected_value"])
+            ),
+            check_db=bool(data["check_db"]),
+        )
+
+
+def normalise_db(db: AbsPageDb) -> AbsPageDb:
+    """Erase the fields a spec/machine PageDB comparison cannot pin.
+
+    Measurements (the spec's unbounded ``measured`` word sequence and
+    the finalised hash) are checked by ``CheckedMonitor`` separately;
+    suspended-thread contexts are execution state the pure spec only
+    models with a placeholder.
+    """
+    entries = []
+    for entry in db.entries:
+        if isinstance(entry, AbsAddrspace):
+            entry = replace(entry, measured=(), measurement=None)
+        elif isinstance(entry, AbsThread) and entry.context is not None:
+            entry = replace(entry, context=PLACEHOLDER_CONTEXT)
+        entries.append(entry)
+    return AbsPageDb(npages=db.npages, entries=tuple(entries))
+
+
+# ---------------------------------------------------------------------------
+# Path -> witness concretization
+# ---------------------------------------------------------------------------
+
+
+class WitnessError(AssertionError):
+    """Concretizing a path did not reproduce the path's own outcome."""
+
+
+def build_witnesses(result: ExploreResult) -> List[Witness]:
+    """One witness per distinct path signature, in signature order."""
+    driver = get_driver(result.name)
+    witnesses = []
+    for signature, path in sorted(result.signatures().items()):
+        witnesses.append(_build_one(driver, signature, path))
+    return witnesses
+
+
+def _build_one(driver: Driver, signature: Tuple[str, ...], path) -> Witness:
+    model = {var.name: value for var, value in path.model().items()}
+    args = tuple(_concrete_args(driver.args, model))
+    outcome: ProbeOutcome = path.value
+    choices = outcome.scenario.choices
+
+    # SVC probes bake their concrete arguments into the enclave program,
+    # which changes the program page's contents (and thus the scenario's
+    # PageDB): rebuild the scenario around the actual probe program.
+    scenario = outcome.scenario
+    if driver.kind == "svc":
+        scenario = build_scenario(
+            dict(choices), program=svc_probe_program(driver.callno, args)
+        )
+
+    spec_outcome, _db = driver.concrete_outcome(scenario, args)
+    if spec_outcome is not outcome.err:
+        raise WitnessError(
+            f"{driver.name}{args}: model replay returned {spec_outcome!r}, "
+            f"path said {outcome.err!r}"
+        )
+    spec_err = "EXECUTE" if spec_outcome is None else KomErr(spec_outcome).name
+
+    expected_value: Optional[int] = None
+    check_db = True
+    if driver.kind == "svc":
+        # Probe program: issue the SVC, then EXIT with its error in R0.
+        machine_err = KomErr.SUCCESS.name
+        expected_value = int(spec_outcome)
+    elif spec_err == "EXECUTE":
+        if dict(choices)["slot_used"]:
+            # Program page mapped: runs `mov r0, sentinel; svc EXIT`
+            # (Resume re-enters one instruction in, same exit).
+            machine_err = KomErr.SUCCESS.name
+            expected_value = EXIT_SENTINEL
+        else:
+            # Entry point unmapped: the first fetch faults.  The faulted
+            # thread's exact post-state is machine-defined, so only
+            # tri-engine agreement and containment gate the final db.
+            machine_err = KomErr.FAULT.name
+            check_db = False
+    else:
+        machine_err = spec_err
+        if driver.name == "get_physpages":
+            _err, value, _out = spec_get_physpages(scenario.db)
+            expected_value = int(value)
+
+    return Witness(
+        smc=driver.name,
+        kind=driver.kind,
+        callno=driver.callno,
+        signature=signature,
+        choices=choices,
+        args=args,
+        spec_err=spec_err,
+        machine_err=machine_err,
+        expected_value=expected_value,
+        check_db=check_db,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Corpus (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def corpus_to_dict(witnesses: Sequence[Witness], census: Dict) -> Dict:
+    return {
+        "version": CORPUS_VERSION,
+        "census": census,
+        "witnesses": [w.to_dict() for w in witnesses],
+    }
+
+
+def corpus_from_dict(data: Dict) -> List[Witness]:
+    if data.get("version") != CORPUS_VERSION:
+        raise ValueError(f"unsupported witness corpus version {data.get('version')!r}")
+    return [Witness.from_dict(entry) for entry in data["witnesses"]]
+
+
+def save_corpus(path: str, witnesses: Sequence[Witness], census: Dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(corpus_to_dict(witnesses, census), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_corpus(path: str) -> List[Witness]:
+    with open(path) as handle:
+        return corpus_from_dict(json.load(handle))

@@ -37,7 +37,7 @@ def check_invariants(db: AbsPageDb, memmap=None) -> None:
     ``memmap`` (optional) enables the insecure-range checks on insecure
     mappings; without it those are skipped.
     """
-    failures = collect_violations(db, memmap)
+    failures = collect_violations(db, memmap) + collect_refcount_violations(db)
     if failures:
         raise InvariantViolation("; ".join(failures))
 
@@ -70,6 +70,42 @@ def collect_violations(db: AbsPageDb, memmap=None) -> List[str]:
             failures += _check_owned(db, pageno, entry.addrspace, "spare page")
         else:
             failures.append(f"page {pageno} has unknown entry type {type(entry)}")
+    return failures
+
+
+def collect_refcount_violations(db: AbsPageDb) -> List[str]:
+    """Audit every addrspace refcount against a from-scratch recount.
+
+    Independent of :func:`collect_violations`'s per-addrspace check (which
+    goes through ``AbsPageDb.pages_of``): this sweeps the whole PageDB
+    once, tallies ownership attributions itself, and compares.  A bug in
+    ``pages_of`` therefore cannot mask a refcount drift — the two checks
+    only agree when both the counts and the ownership index are right.
+    Used as the per-path postcondition of the symbolic SMC-path explorer.
+    """
+    counts = {}
+    failures: List[str] = []
+    for pageno in range(db.npages):
+        entry = db[pageno]
+        if isinstance(entry, AbsFree) or isinstance(entry, AbsAddrspace):
+            continue
+        owner = entry.addrspace
+        counts[owner] = counts.get(owner, 0) + 1
+    for owner in sorted(counts):
+        if not db.valid_pageno(owner) or not isinstance(db[owner], AbsAddrspace):
+            failures.append(
+                f"refcount audit: {counts[owner]} page(s) attribute ownership "
+                f"to {owner}, which is not an addrspace"
+            )
+    for pageno in range(db.npages):
+        entry = db[pageno]
+        if isinstance(entry, AbsAddrspace):
+            recount = counts.get(pageno, 0)
+            if entry.refcount != recount:
+                failures.append(
+                    f"refcount audit: addrspace {pageno} claims "
+                    f"{entry.refcount} owned pages, recount found {recount}"
+                )
     return failures
 
 

@@ -10,14 +10,19 @@ CI guards both the programs and the analyser itself::
     python -m repro.tools.lint
 
 Explicit targets are linted raw: name a factory returning an
-``Assembler`` as ``module:function`` (or ``path/to/file.py:function``)
-and the exit status reflects the findings — nonzero when any
-error-severity finding fires::
+``Assembler`` as ``module:function`` (or ``path/to/file.py:function``),
+a program-image JSON file (``{"name", "base_va", "entry_va", "words"}``,
+the format ``repro.tools.pathexp --emit-corpus`` writes), or a
+*directory* of such images — every ``*.json`` inside is linted.  In all
+explicit modes the exit status reflects the findings: nonzero when any
+error-severity finding fires, in any target::
 
     python -m repro.tools.lint repro.analysis.corpus:secret_branch_program
+    python -m repro.tools.lint tests/data/pathexp/images
 
 Options select the environment for explicit targets; the default is the
 side-channel harness layout (code at 0x1000, secret page at 0x2000).
+Image targets carry their own ``base_va``/``entry_va``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import importlib.util
+import json
 import pathlib
 import sys
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -32,7 +38,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.analysis.corpus import CORPUS, CorpusEntry
 from repro.analysis.dataflow import AnalysisConfig
 from repro.analysis.findings import Report, Severity
-from repro.analysis.lint import analyze_assembler, sidechannel_config
+from repro.analysis.lint import analyze_assembler, analyze_words, sidechannel_config
 from repro.arm.assembler import Assembler
 
 #: Example programs linted by default mode, with expected error rules.
@@ -77,6 +83,50 @@ def _resolve_target(target: str) -> Tuple[str, Callable[[], Assembler]]:
         if factory is None:
             raise SystemExit(f"lint: {location} has no attribute {function!r}")
     return target, factory
+
+
+def _load_image(path: pathlib.Path) -> Tuple[str, int, int, List[int]]:
+    """Load a program-image JSON: (name, base_va, entry_va, words)."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"lint: cannot read image {path}: {exc}")
+    try:
+        words = [int(w) for w in data["words"]]
+        base_va = int(data.get("base_va", 0))
+        entry_va = int(data.get("entry_va", base_va))
+        name = str(data.get("name", path.stem))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"lint: malformed image {path}: {exc}")
+    return name, base_va, entry_va, words
+
+
+def _image_paths(target: pathlib.Path) -> List[pathlib.Path]:
+    if target.is_file():
+        return [target]
+    paths = sorted(target.glob("*.json"))
+    if not paths:
+        raise SystemExit(f"lint: no *.json program images in {target}")
+    return paths
+
+
+def _lint_images(
+    target: pathlib.Path, args: argparse.Namespace
+) -> bool:
+    """Lint a directory of image JSONs (or one image); True if any fail."""
+    failed = False
+    for path in _image_paths(target):
+        name, base_va, entry_va, words = _load_image(path)
+        config = AnalysisConfig(
+            base_va=base_va,
+            secret_ranges=tuple(_parse_range(r) for r in args.secret),
+            mapped_ranges=None,  # images carry no mapping environment
+        )
+        report = analyze_words(words, config, program=name, entry_va=entry_va)
+        print(report.render())
+        failed = failed or not report.ok
+    return failed
 
 
 def _parse_range(text: str) -> Tuple[int, int]:
@@ -163,7 +213,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "targets",
         nargs="*",
         help="module:function or file.py:function factories returning an "
-        "Assembler; with no targets the built-in corpus runs in "
+        "Assembler, a program-image .json, or a directory of image "
+        "JSONs; with no targets the built-in corpus runs in "
         "expectation mode",
     )
     parser.add_argument(
@@ -192,6 +243,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = _config_from_args(args)
         failed = False
         for target in args.targets:
+            path = pathlib.Path(target)
+            if path.is_dir() or (path.suffix == ".json" and path.is_file()):
+                failed = _lint_images(path, args) or failed
+                continue
             name, factory = _resolve_target(target)
             report = analyze_assembler(factory(), config, program=name)
             print(report.render())

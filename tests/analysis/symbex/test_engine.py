@@ -1,0 +1,100 @@
+"""The forking path explorer: EGT re-execution under decision prefixes."""
+
+from repro.analysis.symbex.engine import PathExplorer
+
+
+def _signatures(results):
+    return sorted(result.signature for result in results)
+
+
+class TestPathExplorer:
+    def test_branch_on_symbolic_comparison_forks_both_ways(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(10))
+            if x < 5:
+                return "low"
+            return "high"
+
+        results = PathExplorer().explore(thunk)
+        assert sorted(r.value for r in results) == ["high", "low"]
+        assert _signatures(results) == [("xlt5:F",), ("xlt5:T",)]
+
+    def test_infeasible_branches_are_pruned(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(10))
+            if x < 5:
+                if x >= 7:  # unreachable under x < 5
+                    return "impossible"
+                return "low"
+            return "high"
+
+        results = PathExplorer().explore(thunk)
+        assert sorted(r.value for r in results) == ["high", "low"]
+
+    def test_implied_branch_consumes_no_decision_slot(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(10))
+            if x < 5:
+                pass
+            if x < 8:  # implied True on the x<5 path
+                return "a"
+            return "b"
+
+        results = PathExplorer().explore(thunk)
+        by_sig = {r.signature: r for r in results}
+        # The x<5:T path decides once; the implied x<8:T is in the
+        # signature but not in the decision vector.
+        low = by_sig[("xlt5:T", "xlt8:T")]
+        assert len(low.decisions) == 1
+        # On the x<5:F path both comparisons are genuine decisions.
+        assert len(by_sig[("xlt5:F", "xlt8:T")].decisions) == 2
+        assert len(by_sig[("xlt5:F", "xlt8:F")].decisions) == 2
+
+    def test_concretize_forks_over_feasible_values(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(4))
+            if x >= 2:
+                return int(x)  # concretizes: forks 2 and 3
+            return -1
+
+        results = PathExplorer().explore(thunk)
+        assert sorted(r.value for r in results) == [-1, 2, 3]
+
+    def test_model_is_consistent_with_path(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(10))
+            y = ctx.new_int("y", range(10))
+            if x < y:
+                return "lt"
+            return "ge"
+
+        for result in PathExplorer().explore(thunk):
+            model = {var.name: value for var, value in result.model().items()}
+            if result.value == "lt":
+                assert model["x"] < model["y"]
+            else:
+                assert model["x"] >= model["y"]
+
+    def test_nested_forks_enumerate_the_product(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(2))
+            y = ctx.new_int("y", range(3))
+            return (int(x), int(y))
+
+        results = PathExplorer().explore(thunk)
+        assert sorted(r.value for r in results) == [
+            (a, b) for a in range(2) for b in range(3)
+        ]
+
+    def test_same_thunk_same_census(self):
+        def thunk(ctx):
+            x = ctx.new_int("x", range(6))
+            if x == 0:
+                return "zero"
+            if x % 2:  # concretizing op: forks the odd values
+                return "odd"
+            return "even"
+
+        first = _signatures(PathExplorer().explore(thunk))
+        second = _signatures(PathExplorer().explore(thunk))
+        assert first == second

@@ -1,0 +1,53 @@
+"""Path census regression: exploration must match the pinned baseline."""
+
+import pytest
+
+from repro.analysis.symbex.explore import driver_names, explore_smc
+from repro.tools.pathexp import BASELINE_PATH, load_baseline
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    census = load_baseline()
+    assert census is not None, f"missing census baseline {BASELINE_PATH}"
+    return census
+
+
+class TestCensusRegression:
+    def test_baseline_covers_every_driver(self, baseline):
+        assert sorted(baseline) == sorted(driver_names())
+
+    @pytest.mark.parametrize(
+        "name", ["init_addrspace", "map_secure", "enter", "svc_map_data"]
+    )
+    def test_driver_census_matches_baseline(self, baseline, name):
+        result = explore_smc(name)
+        assert result.census() == baseline[name]
+
+    def test_every_error_path_has_a_distinct_signature(self):
+        result = explore_smc("map_secure")
+        signatures = result.signatures()
+        assert len(signatures) == len(set(signatures))
+        # Success paths exist alongside each rejection reason.
+        errors = result.census()["errors"]
+        assert "SUCCESS" in errors
+        assert len(errors) >= 4  # several distinct rejection reasons
+
+    def test_exploration_is_deterministic(self):
+        first = explore_smc("init_thread")
+        second = explore_smc("init_thread")
+        assert sorted(first.signatures()) == sorted(second.signatures())
+        assert first.census() == second.census()
+
+
+class TestWitnesses:
+    def test_witnesses_concretize_every_signature(self):
+        from repro.analysis.symbex.witness import build_witnesses
+
+        result = explore_smc("init_addrspace")
+        witnesses = build_witnesses(result)
+        assert sorted(w.signature for w in witnesses) == sorted(result.signatures())
+        # Concretization already cross-checked each witness against the
+        # pure spec (WitnessError otherwise); spot-check the fields.
+        for witness in witnesses:
+            assert witness.spec_err == witness.machine_err != "EXECUTE"

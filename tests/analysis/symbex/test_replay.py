@@ -1,0 +1,71 @@
+"""Witness replay: the corpus drives the real monitor on every engine.
+
+The full 856-witness x 3-engine sweep is the CI ``pathexp --check``
+leg; here a representative subset keeps the tier-1 suite fast while
+still exercising every replay code path (setup caching, SMC probes,
+Enter/Resume execution, SVC probe programs, value predictions).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.symbex.replay import DEFAULT_ENGINES, ReplayHarness
+from repro.analysis.symbex.witness import load_corpus
+
+CORPUS_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "tests" / "data" / "pathexp" / "witnesses.json"
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    assert CORPUS_PATH.is_file(), "re-emit with: pathexp --emit-corpus tests/data/pathexp"
+    return load_corpus(str(CORPUS_PATH))
+
+
+def _subset(corpus):
+    """All init_addrspace paths + one witness per (smc, spec_err) pair."""
+    chosen = [w for w in corpus if w.smc == "init_addrspace"]
+    seen = set()
+    for witness in corpus:
+        key = (witness.smc, witness.spec_err)
+        if witness.smc != "init_addrspace" and key not in seen:
+            seen.add(key)
+            chosen.append(witness)
+    return chosen
+
+
+class TestCorpus:
+    def test_corpus_loads_and_covers_all_drivers(self, corpus):
+        from repro.analysis.symbex.explore import driver_names
+
+        assert {w.smc for w in corpus} == set(driver_names())
+        assert len(corpus) > 800
+
+    def test_labels_are_unique(self, corpus):
+        labels = [w.label for w in corpus]
+        assert len(labels) == len(set(labels))
+
+
+class TestReplaySubset:
+    def test_subset_replays_cleanly_on_all_engines(self, corpus):
+        subset = _subset(corpus)
+        # Every error class of every SMC is represented at least once.
+        assert len({(w.smc, w.spec_err) for w in subset}) >= 50
+        failures = ReplayHarness(engines=DEFAULT_ENGINES).check(subset)
+        assert not failures, "\n".join(str(f) for f in failures)
+
+    def test_tampered_expectation_is_caught(self, corpus):
+        from dataclasses import replace
+
+        from repro.analysis.symbex.replay import ReplayError
+
+        witness = next(
+            w for w in corpus if w.smc == "init_addrspace" and w.spec_err == "SUCCESS"
+        )
+        bad = replace(witness, machine_err="INVALID_PAGENO")
+        harness = ReplayHarness(engines=("reference",))
+        with pytest.raises(ReplayError):
+            harness.replay_one(bad, "reference")

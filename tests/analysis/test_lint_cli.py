@@ -1,5 +1,6 @@
 """The ``python -m repro.tools.lint`` command-line interface."""
 
+import json
 import os
 import pathlib
 import subprocess
@@ -66,6 +67,81 @@ class TestExplicitTargets:
             main(["no-colon-here"])
         with pytest.raises(SystemExit):
             main(["repro.analysis.corpus:does_not_exist"])
+
+
+class TestImageTargets:
+    """Directory-of-images mode: the pathexp witness-corpus contract.
+
+    ``pathexp --emit-corpus`` writes program images as JSON; the lint
+    CLI must accept a directory of them (or a single image) and exit
+    non-zero exactly when an error-severity finding fires in any image.
+    """
+
+    @staticmethod
+    def _write_image(path, name, words, base_va=0x1000, entry_va=None):
+        path.write_text(
+            json.dumps(
+                {
+                    "name": name,
+                    "base_va": base_va,
+                    "entry_va": base_va if entry_va is None else entry_va,
+                    "words": list(words),
+                }
+            )
+        )
+
+    def test_clean_image_dir_exits_zero(self, tmp_path, capsys):
+        from repro.analysis.corpus import xor_fold_program
+
+        self._write_image(
+            tmp_path / "clean.json", "clean", xor_fold_program().assemble()
+        )
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_image_makes_dir_exit_nonzero(self, tmp_path, capsys):
+        from repro.analysis.corpus import (
+            xor_fold_program,
+            secret_branch_program,
+        )
+        from repro.security.sidechannel import CODE_VA, SECRET_VA
+
+        self._write_image(
+            tmp_path / "a_clean.json", "a_clean", xor_fold_program().assemble()
+        )
+        self._write_image(
+            tmp_path / "leaky.json",
+            "leaky",
+            secret_branch_program().assemble(),
+            base_va=CODE_VA,
+        )
+        code = main(
+            [str(tmp_path), "--secret", f"{SECRET_VA:#x}:{SECRET_VA + 0x1000:#x}"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "KA101" in out  # the leaky image's finding is reported
+
+    def test_single_image_file_target(self, tmp_path):
+        from repro.analysis.corpus import xor_fold_program
+
+        image = tmp_path / "one.json"
+        self._write_image(image, "one", xor_fold_program().assemble())
+        assert main([str(image)]) == 0
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path)])
+
+    def test_malformed_image_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text('{"name": "bad"}')
+        with pytest.raises(SystemExit):
+            main([str(tmp_path)])
+
+    def test_emitted_pathexp_corpus_lints_clean(self):
+        images = REPO_ROOT / "tests" / "data" / "pathexp" / "images"
+        assert images.is_dir(), "witness corpus images missing; re-emit with pathexp"
+        assert main([str(images)]) == 0
 
 
 class TestSubprocess:

@@ -1,0 +1,109 @@
+"""Mapping-word edge-case properties, driven by the witness corpus.
+
+``spec_map_secure`` / ``spec_map_insecure`` have the subtlest argument
+validation in the SMC surface: the mapping word encodes a VA plus
+permission bits, and each malformation (bits outside the encoding, no
+permissions, an L1 index with no L2 table, a slot that is already
+mapped) must be rejected with a distinct error — on the pure spec and
+on every execution engine alike.  The symbolic explorer has already
+enumerated these paths into the committed witness corpus; these tests
+assert the corpus actually contains each edge case and that the
+machine agrees with the spec on all three engines when replayed.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.symbex.explore import _word
+from repro.analysis.symbex.replay import DEFAULT_ENGINES, ReplayHarness
+from repro.analysis.symbex.scenario import FREE_SLOT_VA, NO_L2_VA, PROG_VA
+from repro.analysis.symbex.witness import load_corpus
+
+CORPUS_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "tests" / "data" / "pathexp" / "witnesses.json"
+)
+
+NO_L2_WORD = _word(NO_L2_VA, r=True)
+DOUBLE_MAP_WORD = _word(PROG_VA, r=True, w=True)
+FREE_SLOT_WORD = _word(FREE_SLOT_VA, r=True, w=True)
+
+STATE_INIT, STATE_FINAL, STATE_STOPPED = 0, 1, 2
+
+
+@pytest.fixture(scope="module")
+def map_witnesses():
+    corpus = load_corpus(str(CORPUS_PATH))
+    return [w for w in corpus if w.smc in ("map_secure", "map_insecure")]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ReplayHarness(engines=DEFAULT_ENGINES)
+
+
+def _word_of(witness):
+    # map_secure args: (as_page, data_page, word, valid);
+    # map_insecure args: (as_page, word, valid).
+    return witness.args[2] if witness.smc == "map_secure" else witness.args[1]
+
+
+def _replay_all(harness, witnesses):
+    failures = harness.check(witnesses)
+    assert not failures, "\n".join(str(f) for f in failures)
+
+
+class TestInvalidL1Index:
+    def test_no_l2_table_is_invalid_mapping_on_every_engine(
+        self, map_witnesses, harness
+    ):
+        cases = [
+            w
+            for w in map_witnesses
+            if _word_of(w) == NO_L2_WORD and w.spec_err == "INVALID_MAPPING"
+        ]
+        assert {w.smc for w in cases} == {"map_secure", "map_insecure"}
+        _replay_all(harness, cases)
+
+    def test_no_l2_word_never_succeeds(self, map_witnesses):
+        for witness in map_witnesses:
+            if _word_of(witness) == NO_L2_WORD:
+                assert witness.spec_err != "SUCCESS"
+
+
+class TestDoubleMap:
+    def test_mapping_an_occupied_slot_is_addrinuse(self, map_witnesses, harness):
+        cases = [w for w in map_witnesses if w.spec_err == "ADDRINUSE"]
+        assert {w.smc for w in cases} == {"map_secure", "map_insecure"}
+        # ADDRINUSE arises exactly from re-mapping the program page's
+        # occupied L2 slot in a still-INIT addrspace.
+        for witness in cases:
+            assert _word_of(witness) == DOUBLE_MAP_WORD
+            assert dict(witness.choices)["aspace_state"] == STATE_INIT
+            assert dict(witness.choices)["slot_used"] == 1
+        _replay_all(harness, cases)
+
+    def test_free_slot_is_the_success_word(self, map_witnesses):
+        successes = [w for w in map_witnesses if w.spec_err == "SUCCESS"]
+        assert successes
+        for witness in successes:
+            assert _word_of(witness) in (FREE_SLOT_WORD, DOUBLE_MAP_WORD)
+            if _word_of(witness) == DOUBLE_MAP_WORD:
+                # Double-map word only succeeds when the slot is empty.
+                assert dict(witness.choices)["slot_used"] == 0
+
+
+class TestStoppedAddrspace:
+    def test_stopped_addrspace_rejects_all_maps(self, map_witnesses, harness):
+        cases = [w for w in map_witnesses if w.spec_err == "STOPPED"]
+        assert {w.smc for w in cases} == {"map_secure", "map_insecure"}
+        for witness in cases:
+            assert dict(witness.choices)["aspace_state"] == STATE_STOPPED
+        _replay_all(harness, cases)
+
+    def test_stopped_state_never_maps_successfully(self, map_witnesses):
+        for witness in map_witnesses:
+            if dict(witness.choices)["aspace_state"] == STATE_STOPPED:
+                assert witness.spec_err in ("STOPPED", "INVALID_PAGENO",
+                                            "INVALID_ADDRSPACE", "PAGEINUSE")
