@@ -1,4 +1,4 @@
-"""Basic-block compiler for the turbo execution tier.
+"""Basic-block and region compiler for the turbo execution tier (v2).
 
 The fast engine (``cpu.FastCPU``) removed page-table walks and decode
 work from the hot loop but still pays one Python dispatch — closure
@@ -7,52 +7,92 @@ instruction.  The turbo tier removes that too: straight-line runs of
 instructions are discovered at their first execution and compiled into
 a single Python function whose body chains the operand semantics of
 every instruction in the run, with register values and NZCV flags held
-in Python locals.  One call then retires the whole block.
+in Python locals.  One call then retires many instructions.
 
-Block discovery stops at any *unconditional* control transfer
-(``b``/``bl``/``bxlr``), at ``svc`` (exception exit), before any op
-that is undefined from user mode (``udf``/``smc``, left to the
-single-step path so exception entry stays in one place), and at a page
-boundary — the next word sits behind a different translation, which
-must be re-checked.  Conditional branches do *not* end a block: they
-compile into side exits (taken path returns to the dispatch loop, fall
-through continues inside the block), so a loop body with early-outs
-still dispatches as one superblock.
+Turbo v2 (DESIGN.md, "Turbo engine") adds four layers on top of the
+original per-block compiler, all bit-identical to the reference engine:
 
-Cycle accuracy (DESIGN.md, "Turbo engine"): the generated code charges
-``costs.instruction`` once per *retired* instruction via a running
-counter flushed in a ``finally`` block, charges branch/memory costs at
-the same program points as the reference interpreter, and appends the
-same ``("fetch", pc)`` access-trace entries instruction by instruction.
-If a load or store faults mid-block, the ``finally`` flush writes back
-exactly the registers and flags of the instructions that completed —
-straight-line locals hold precisely the architectural state as of the
-last retired instruction — so an abort observes the same machine as
-under single-step execution.
+* **Region compilation** — a compiled unit is no longer one basic
+  block but the set of blocks inside one physical page reachable from
+  the entry through *static* branch targets.  Intra-region control
+  flow (loop back-edges, if/else diamonds, in-page calls) becomes a
+  label hop inside one generated function — registers and flags stay
+  in locals across it — and the dispatch loop is re-entered only at
+  region exits (``bxlr``, ``svc``, cross-page branches) and at
+  interrupt-window/step-budget boundaries.  Each hop first checks that
+  the target leg fits the remaining budget (passed in as an argument),
+  so asynchronous exceptions are delivered at exactly the block
+  boundaries the per-block dispatcher would have used.
+
+* **Block chaining** — the dispatch loop records, per region exit pc,
+  which compiled region ran next, and follows those links directly on
+  later dispatches (``cpu.TurboCPU.run``).  Links are validated
+  against ``TLB.version`` (the virtual target must still map the same
+  physical code) and ``UArchState.chain_gen`` (no store can have
+  rewritten any compiled region's words) — see ``link``/``unlink``.
+
+* **Inline memory fast paths** — when the machine's memory is exactly
+  ``PhysicalMemory`` (never ``EncryptedMemory``, whose per-word
+  keystream and tags must not be bypassed), loads and stores hit the
+  flat word store directly through the micro-TLB, falling back to the
+  engine's ``_load``/``_store`` helpers for misses, faults, and
+  unmapped physical targets.  Read/write transaction counts, cycle
+  charges, and ``memory.generation`` bumps are accumulated in locals
+  and flushed in the ``finally`` block — they are observable only
+  between runs, so deferral is invisible.
+
+* **Untraced/traced variants** — regions compiled for a CPU without an
+  ``access_trace`` omit trace bookkeeping entirely; attaching a trace
+  selects (and lazily compiles) a traced variant of the same region
+  that appends the same ``fetch``/``load``/``store`` entries as the
+  reference engine, instruction by instruction.
+
+Block discovery is unchanged from v1: a block stops at any
+*unconditional* control transfer (``b``/``bl``/``bxlr``), at ``svc``
+(exception exit), before any op that is undefined from user mode
+(``udf``/``smc``), and at a page boundary.  Conditional branches
+compile into side exits (or intra-region hops).
+
+Why regions never outrun the page tables: every instruction of a
+region lies in the entry's physical page, and a pc's offset within its
+virtual page always equals its offset within the translated physical
+page, so an intra-region hop stays under the *same* translation the
+dispatcher validated at region entry.  Translations can only change
+via a store into the live page-table footprint, and every such store
+bails out of the region at once (the ``TLB.version`` re-check below).
+
+Cycle accuracy: the generated code charges ``costs.instruction`` once
+per *retired* instruction and branch/memory costs at the same program
+points as the reference interpreter, all flushed in the ``finally``
+block.  If a load or store faults mid-region, the flush writes back
+exactly the registers and flags of the instructions that completed,
+and ``cpu._fault_off`` holds the faulting instruction's word offset
+from the entry pc so the abort return address matches single-step
+execution.
 
 Invalidation reuses the fast engine's machinery:
 
-* ``PhysicalMemory.generation`` — a compiled block caches the words it
-  was built from; on a generation mismatch the words are re-read and
-  compared, so self-modifying code rebuilds exactly where the
+* ``PhysicalMemory.generation`` — a compiled region caches the words
+  it was built from; on a generation mismatch the words are re-read
+  and compared, so self-modifying code rebuilds exactly where the
   reference engine would see new words.
-* ``TLB.version`` — a store inside a block re-checks the version and
-  the block's own physical span, and bails out to the dispatch loop if
-  either changed (an architecturally invisible early exit: the loop
-  refetches through the live page tables, faulting where the reference
-  engine would).
+* ``TLB.version`` — a store inside a region re-checks the version and
+  the region's own physical page, and bails out to the dispatch loop
+  if either may be stale (an architecturally invisible early exit: the
+  loop refetches through the live page tables, faulting where the
+  reference engine would).
 
 The block cache lives in ``MachineState.uarch.bcache`` (never shared by
-snapshots) and is bounded by ``BLOCK_CACHE_CAP`` with LRU eviction so
-long fault campaigns cannot grow it without bound.
+snapshots) and is bounded by ``BLOCK_CACHE_CAP`` with LRU eviction;
+eviction and invalidation tear down every chain link into and out of
+the dead entry (``unlink``) so no dangling chain can resurrect it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.arm.bits import asr, lsl, lsr, to_signed
-from repro.arm.bits import ror as ror_word
+from repro.arm.bits import asr, lsl, lsr
 from repro.arm.instructions import (
     BRANCH_OPS,
     CONDITIONAL_BRANCHES,
@@ -73,8 +113,19 @@ TERMINATORS = frozenset({"b", "bl", "bxlr", "svc"})
 #: by the single-step path so exception entry has one implementation.
 EXCLUDED = frozenset({"udf", "smc"})
 
-#: LRU bound on compiled blocks per machine (``uarch.bcache``).
+#: LRU bound on compiled regions per machine (``uarch.bcache``).
 BLOCK_CACHE_CAP = 2048
+
+#: Bound on basic blocks merged into one compiled region (a page can
+#: hold more only with heavily overlapping decode starts).
+REGION_BLOCK_CAP = 48
+
+#: Bound on outgoing chain links per region (megamorphic exits — e.g.
+#: a ``bxlr`` returning to many call sites — stop chaining past this).
+CHAIN_CAP = 8
+#: Bound on recorded back-links per region; a link is only created
+#: while its teardown bookkeeping has room, so ``unlink`` is complete.
+BACKLINK_CAP = 32
 
 #: Conditional-branch predicates over the flag locals (same truth table
 #: as cpu._CONDITIONS, restated over ``fn_``/``fz_``/``fc_``/``fv_``).
@@ -90,14 +141,12 @@ _COND_EXPR = {
 }
 assert set(_COND_EXPR) == set(CONDITIONAL_BRANCHES)
 
-#: Globals visible to generated block bodies.
+#: Globals visible to generated region bodies.
 _CODEGEN_GLOBALS = {
     "_USRB": _USR_BANK,
     "_lsl": lsl,
     "_lsr": lsr,
     "_asr": asr,
-    "_ror": ror_word,
-    "_ts": to_signed,
 }
 
 _FLAG_SETTERS = frozenset({"cmp", "cmpi", "tst"})
@@ -154,6 +203,71 @@ def discover(
         if instr.op in TERMINATORS:
             break
     return instrs, words
+
+
+def _branch_woff(woff: int, index: int, instr: Instruction) -> int:
+    """Branch target's word offset from the region entry, for a branch
+    at instruction ``index`` of the member block at word offset
+    ``woff`` (both relative to the region's entry address)."""
+    return woff + index + instr.imm + 1
+
+
+def discover_region(
+    memory: PhysicalMemory, paddr: int
+) -> Tuple[List[Tuple[int, List[Instruction]]], List[int], int]:
+    """Discover the compilation region entered at ``paddr``.
+
+    Returns ``(members, words, woff)``: the member blocks as ``(word
+    offset from paddr, instructions)`` pairs with the entry block
+    first, the contiguous word span covering every member (for
+    generation revalidation), and that span's starting word offset
+    from ``paddr`` (non-positive; in-page backward branches pull the
+    span backwards).
+
+    Members are found by following static branch targets (``b``,
+    ``bl``, conditionals) that stay inside the entry's page — the one
+    page whose translation is pinned for the whole region (see module
+    docstring).  Targets outside the page, to undecodable words, or
+    past ``REGION_BLOCK_CAP`` become region exits handled by the
+    dispatch loop.  For any memory type other than plain
+    ``PhysicalMemory`` the region is the entry block alone: the
+    revalidation span may cover words between blocks that an
+    ``EncryptedMemory`` would refuse to read.
+    """
+    page_off = paddr & (PAGE_SIZE - 1)
+    expand = type(memory) is PhysicalMemory
+    members: Dict[int, List[Instruction]] = {}
+    member_words: Dict[int, List[int]] = {}
+    order: List[int] = []
+    queue = [0]
+    while queue and len(order) < REGION_BLOCK_CAP:
+        woff = queue.pop(0)
+        if woff in members:
+            continue
+        instrs, words = discover(memory, paddr + woff * WORDSIZE)
+        if not instrs:
+            continue
+        members[woff] = instrs
+        member_words[woff] = words
+        order.append(woff)
+        if not expand:
+            break
+        for i, instr in enumerate(instrs):
+            if instr.op in BRANCH_OPS:
+                target = _branch_woff(woff, i, instr)
+                byte_off = page_off + target * WORDSIZE
+                if 0 <= byte_off < PAGE_SIZE and target not in members:
+                    queue.append(target)
+    if not order:
+        return [], [], 0
+    region = [(woff, members[woff]) for woff in order]
+    lo = min(members)
+    hi = max(woff + len(instrs) for woff, instrs in members.items())
+    if len(order) == 1 and lo == 0:
+        words = member_words[0]
+    else:
+        words = memory.read_words(paddr + lo * WORDSIZE, hi - lo)
+    return region, words, lo
 
 
 # ---------------------------------------------------------------------------
@@ -217,7 +331,7 @@ def _alu_expr(instr: Instruction) -> str:
         return f"{a} & ~{b} & 0xFFFFFFFF"
     if op == "mul":
         return f"({a} * {b}) & 0xFFFFFFFF"
-    if op in ("lsl", "lsr", "asr", "ror"):
+    if op in ("lsl", "lsr", "asr"):
         return f"_{op}({a}, {b} & 0xFF)"
     if op == "addi":
         return f"({a} + {imm}) & 0xFFFFFFFF" if imm else a
@@ -247,41 +361,93 @@ def _alu_expr(instr: Instruction) -> str:
 _ALU_OPS = frozenset(
     op
     for op, (_, fmt) in FORMATS.items()
-    if fmt in ("rrr", "rri", "rr", "ri")
+    if fmt in ("rrr", "rri", "rr", "ri") and op != "ror"
 )
 
 
-def compile_block(instrs: List[Instruction], paddr: int) -> Callable:
-    """Compile a decoded basic block into one Python function.
+def _mem_addr(instr: Instruction) -> str:
+    """Effective-address expression for a load/store."""
+    if instr.op in ("ldr", "str"):
+        if instr.imm:
+            return f"(r{instr.rn}_ + {instr.imm}) & 0xFFFFFFFF"
+        return f"r{instr.rn}_"
+    return f"(r{instr.rn}_ + r{instr.rm}_) & 0xFFFFFFFF"
 
-    The function has signature ``fn(cpu, pc) -> (next_pc, svc_or_None)``
-    where ``pc`` is the virtual address of the block's first
-    instruction.  It sets ``cpu._retired`` to the number of retired
-    instructions and charges their ``costs.instruction`` cycles even
-    when a memory op raises mid-block.
+
+def compile_region(
+    region: List[Tuple[int, List[Instruction]]],
+    paddr: int,
+    traced: bool = False,
+    mem: Optional[PhysicalMemory] = None,
+) -> Callable:
+    """Compile a discovered region into one Python function.
+
+    The function has signature ``fn(cpu, pc, budget) -> (next_pc,
+    svc_or_None)`` where ``pc`` is the virtual address of the region's
+    entry and ``budget`` is the number of instructions the caller
+    allows before the next asynchronous-exception boundary (the caller
+    guarantees the *entry block* fits; every intra-region hop re-checks
+    its own target against what remains).  It sets ``cpu._retired`` to
+    the total number of retired instructions, ``cpu._fault_off`` to the
+    faulting instruction's word offset from ``pc`` (for the abort
+    return address), and charges cycles/ops in a ``finally`` flush even
+    when a memory op raises mid-region.
+
+    ``traced`` selects the variant that appends access-trace entries;
+    ``mem`` enables the inline memory fast path and must be the
+    machine's memory *only* when it is exactly ``PhysicalMemory``
+    (an ``EncryptedMemory`` word must never bypass its engine).
     """
-    length = len(instrs)
+    labels = {woff: idx for idx, (woff, _) in enumerate(region)}
+    lengths = {woff: len(instrs) for woff, instrs in region}
+    page_off = paddr & (PAGE_SIZE - 1)
+    ppage = paddr >> 12
+
+    def hop_target(woff: int, i: int, instr: Instruction) -> Optional[int]:
+        """The member word-offset a static branch lands on, if any."""
+        target = _branch_woff(woff, i, instr)
+        byte_off = page_off + target * WORDSIZE
+        if 0 <= byte_off < PAGE_SIZE and target in labels:
+            return target
+        return None
+
+    all_instrs = [instr for _, instrs in region for instr in instrs]
     reads, writes = set(), set()
-    for instr in instrs:
+    for instr in all_instrs:
         r, w = _operands(instr)
         reads.update(r)
         writes.update(w)
     touched = reads | writes
-    sets_flags = any(instr.op in _FLAG_SETTERS for instr in instrs)
-    reads_flags = any(instr.op in CONDITIONAL_BRANCHES for instr in instrs)
-    has_load = any(instr.op in ("ldr", "ldrr") for instr in instrs)
-    has_store = any(instr.op in ("str", "strr") for instr in instrs)
+    sets_flags = any(instr.op in _FLAG_SETTERS for instr in all_instrs)
+    reads_flags = any(instr.op in CONDITIONAL_BRANCHES for instr in all_instrs)
+    has_load = any(instr.op in ("ldr", "ldrr") for instr in all_instrs)
+    has_store = any(instr.op in ("str", "strr") for instr in all_instrs)
+    has_branch = any(
+        instr.op in BRANCH_OPS or instr.op == "bxlr" for instr in all_instrs
+    )
+    inline = mem is not None and (has_load or has_store)
+    has_hops = any(
+        instr.op in BRANCH_OPS and hop_target(woff, i, instr) is not None
+        for woff, instrs in region
+        for i, instr in enumerate(instrs)
+    )
+    multi = len(region) > 1
 
     lines: List[str] = []
     emit = lines.append
-    emit("def _block(cpu, pc):")
+    emit("def _block(cpu, pc, budget):")
     emit("    state = cpu.state")
     emit("    regs = state.regs")
     if any(index < 13 for index in touched):
         emit("    gprs = regs.gprs")
-    emit("    trace = cpu.access_trace")
-    emit("    _costs = state.costs")
-    emit("    n = 0")
+    if traced:
+        emit("    trace = cpu.access_trace")
+    emit("    _c = state.costs")
+    emit("    _ci = _c.instruction")
+    if has_branch:
+        emit("    _cb = _c.branch")
+    if inline:
+        emit("    _cm = _c.mem_access")
     for index in sorted(touched):
         if index == 13:
             emit("    r13_ = regs.sp_bank[_USRB]")
@@ -292,105 +458,224 @@ def compile_block(instrs: List[Instruction], paddr: int) -> Callable:
     if sets_flags or reads_flags:
         emit("    _psr = regs.cpsr")
         emit("    fn_ = _psr.n; fz_ = _psr.z; fc_ = _psr.c; fv_ = _psr.v")
+    if has_load or has_store:
+        emit("    _tlb = state.tlb")
+    if inline:
+        emit("    _uarch = state.uarch")
+        emit("    if _uarch.utlb_version != _tlb.version:")
+        emit("        _uarch.utlb = {}")
+        emit("        _uarch.utlb_version = _tlb.version")
+        emit("    _utlb = _uarch.utlb")
     if has_load:
         emit("    load = cpu._load")
+        if inline:
+            emit("    nr = 0")
     if has_store:
         emit("    store = cpu._store")
-        emit("    _tlb = state.tlb")
         emit("    _tv = _tlb.version")
+        if inline:
+            emit("    gw = 0")
+            emit("    _tp = _tlb._table_pages")
+            emit("    _cpg = _uarch.code_pages")
+    if has_branch:
+        emit("    nb = 0")
+    emit("    done = 0")
+    emit("    n = 0")
+    if multi and (has_load or has_store):
+        emit("    fo = 0")
+    if multi:
+        emit("    L = 0")
     emit("    try:")
+    if has_hops:
+        emit("        while True:")
+        emit("            n = 0")
+        body_indent = "            "
+    else:
+        body_indent = "        "
 
-    span_lo, span_hi = paddr, paddr + length * WORDSIZE
-    terminated = False
-    for i, instr in enumerate(instrs):
-        op = instr.op
-        off = i * WORDSIZE
-        fetch_pc = "pc" if i == 0 else f"pc + {off}"
-        emit(f"        if trace is not None: trace.append(('fetch', {fetch_pc}))")
-        if op in _ALU_OPS:
-            emit(f"        r{instr.rd}_ = {_alu_expr(instr)}")
-        elif op == "cmp" or op == "cmpi":
-            a = f"r{instr.rn}_"
-            b = f"r{instr.rm}_" if op == "cmp" else str(instr.imm)
-            emit(f"        _r = ({a} - {b}) & 0xFFFFFFFF")
-            emit("        fn_ = _r >= 0x80000000")
-            emit("        fz_ = _r == 0")
-            emit(f"        fc_ = {a} >= {b}")
-            emit(f"        fv_ = (_ts({a}) - _ts({b})) != _ts(_r)")
-        elif op == "tst":
-            emit(f"        _r = r{instr.rn}_ & r{instr.rm}_")
-            emit("        fn_ = _r >= 0x80000000")
-            emit("        fz_ = _r == 0")
-        elif op in ("ldr", "ldrr"):
-            if op == "ldr":
-                addr = (
-                    f"(r{instr.rn}_ + {instr.imm}) & 0xFFFFFFFF"
-                    if instr.imm
-                    else f"r{instr.rn}_"
+    def emit_leg(woff: int, instrs: List[Instruction], label: int, B: str) -> None:
+        length = len(instrs)
+        terminated = False
+        for i, instr in enumerate(instrs):
+            op = instr.op
+            byte = (woff + i) * WORDSIZE
+            if traced:
+                fetch_pc = "pc" if byte == 0 else f"pc + {byte}"
+                emit(f"{B}trace.append(('fetch', {fetch_pc}))")
+            if op == "ror":
+                emit(f"{B}_t = r{instr.rm}_ & 31")
+                emit(
+                    f"{B}r{instr.rd}_ = "
+                    f"(r{instr.rn}_ >> _t | r{instr.rn}_ << 32 - _t) & 0xFFFFFFFF"
                 )
-            else:
-                addr = f"(r{instr.rn}_ + r{instr.rm}_) & 0xFFFFFFFF"
-            emit(f"        n = {i}")
-            emit(f"        r{instr.rd}_ = load({addr})")
-        elif op in ("str", "strr"):
-            if op == "str":
-                addr = (
-                    f"(r{instr.rn}_ + {instr.imm}) & 0xFFFFFFFF"
-                    if instr.imm
-                    else f"r{instr.rn}_"
+            elif op in _ALU_OPS:
+                emit(f"{B}r{instr.rd}_ = {_alu_expr(instr)}")
+            elif op == "cmp" or op == "cmpi":
+                a = f"r{instr.rn}_"
+                b = f"r{instr.rm}_" if op == "cmp" else str(instr.imm)
+                emit(f"{B}_r = ({a} - {b}) & 0xFFFFFFFF")
+                emit(f"{B}fn_ = _r >= 0x80000000")
+                emit(f"{B}fz_ = _r == 0")
+                emit(f"{B}fc_ = {a} >= {b}")
+                # Signed-overflow of a - b, restated bitwise (identical
+                # to the reference's to_signed comparison for words).
+                emit(f"{B}fv_ = (({a} ^ {b}) & ({a} ^ _r)) >= 0x80000000")
+            elif op == "tst":
+                emit(f"{B}_r = r{instr.rn}_ & r{instr.rm}_")
+                emit(f"{B}fn_ = _r >= 0x80000000")
+                emit(f"{B}fz_ = _r == 0")
+            elif op in ("ldr", "ldrr"):
+                emit(f"{B}n = {i}")
+                if multi:
+                    emit(f"{B}fo = {woff + i}")
+                if not inline:
+                    emit(f"{B}r{instr.rd}_ = load({_mem_addr(instr)})")
+                else:
+                    emit(f"{B}a_ = {_mem_addr(instr)}")
+                    emit(f"{B}t_ = _utlb.get(a_ >> 12)")
+                    emit(f"{B}if t_ is None or not t_.readable or a_ & 3:")
+                    emit(f"{B}    r{instr.rd}_ = load(a_)")
+                    emit(f"{B}else:")
+                    emit(f"{B}    _o = (t_.phys_base | a_ & 0xFFF) - _mb")
+                    emit(f"{B}    if 0 <= _o < _ms:")
+                    if traced:
+                        emit(f"{B}        trace.append(('load', a_))")
+                    emit(f"{B}        r{instr.rd}_ = _mw[_o >> 2]")
+                    emit(f"{B}        nr += 1")
+                    emit(f"{B}    else:")
+                    emit(f"{B}        r{instr.rd}_ = load(a_)")
+            elif op in ("str", "strr"):
+                emit(f"{B}n = {i}")
+                if multi:
+                    emit(f"{B}fo = {woff + i}")
+                if not inline:
+                    emit(f"{B}_sp = store({_mem_addr(instr)}, r{instr.rd}_)")
+                else:
+                    emit(f"{B}a_ = {_mem_addr(instr)}")
+                    emit(f"{B}t_ = _utlb.get(a_ >> 12)")
+                    emit(f"{B}if t_ is None or not t_.writable or a_ & 3:")
+                    emit(f"{B}    _sp = store(a_, r{instr.rd}_)")
+                    emit(f"{B}else:")
+                    emit(f"{B}    _sp = t_.phys_base | a_ & 0xFFF")
+                    emit(f"{B}    _o = _sp - _mb")
+                    emit(f"{B}    if 0 <= _o < _ms:")
+                    if traced:
+                        emit(f"{B}        trace.append(('store', a_))")
+                    emit(f"{B}        _mw[_o >> 2] = r{instr.rd}_")
+                    emit(f"{B}        gw += 1")
+                    emit(f"{B}        if _sp >> 12 in _cpg:")
+                    emit(f"{B}            _uarch.chain_gen += 1")
+                    emit(f"{B}        if _sp & 0xFFFFF000 in _tp:")
+                    emit(f"{B}            _tlb.note_store(_sp)")
+                    emit(f"{B}    else:")
+                    emit(f"{B}        _sp = store(a_, r{instr.rd}_)")
+                emit(f"{B}n = {i + 1}")
+                # The store may have rewritten the region's own page or
+                # poisoned a translation the remaining fetches depend
+                # on; bail to the dispatch loop, which refetches through
+                # the live tables (an invisible early exit).
+                emit(
+                    f"{B}if _tv != _tlb.version or _sp >> 12 == {ppage}:"
                 )
-            else:
-                addr = f"(r{instr.rn}_ + r{instr.rm}_) & 0xFFFFFFFF"
-            emit(f"        n = {i}")
-            emit(f"        _sp = store({addr}, r{instr.rd}_)")
-            emit(f"        n = {i + 1}")
-            # The store may have rewritten the block's own remaining
-            # words, or poisoned a translation the remaining fetches
-            # depend on; bail to the dispatch loop, which refetches
-            # through the live tables (an invisible early exit).
+                emit(
+                    f"{B}    return ((pc + {byte + WORDSIZE}) & 0xFFFFFFFF, None)"
+                )
+            elif op == "nop":
+                pass
+            elif op in ("b", "bl"):
+                if op == "bl":
+                    emit(f"{B}r14_ = (pc + {byte + WORDSIZE}) & 0xFFFFFFFF")
+                emit(f"{B}nb += 1")
+                target = hop_target(woff, i, instr)
+                if target is not None:
+                    emit(f"{B}done += {length}")
+                    emit(f"{B}n = 0")
+                    emit(f"{B}if budget - done >= {lengths[target]}:")
+                    if labels[target] != label:
+                        emit(f"{B}    L = {labels[target]}")
+                    emit(f"{B}    continue")
+                    emit(
+                        f"{B}return ((pc + {(target - woff) * WORDSIZE + woff * WORDSIZE})"
+                        " & 0xFFFFFFFF, None)"
+                    )
+                else:
+                    delta = _branch_woff(woff, i, instr) * WORDSIZE
+                    emit(f"{B}n = {length}")
+                    emit(f"{B}return ((pc + {delta}) & 0xFFFFFFFF, None)")
+                terminated = True
+            elif op in CONDITIONAL_BRANCHES:
+                # Side exit: taken hops inside the region or returns to
+                # the dispatch loop; not taken falls through.
+                emit(f"{B}if {_COND_EXPR[op]}:")
+                emit(f"{B}    nb += 1")
+                target = hop_target(woff, i, instr)
+                if target is not None:
+                    emit(f"{B}    done += {i + 1}")
+                    emit(f"{B}    n = 0")
+                    emit(f"{B}    if budget - done >= {lengths[target]}:")
+                    if labels[target] != label:
+                        emit(f"{B}        L = {labels[target]}")
+                    emit(f"{B}        continue")
+                    emit(
+                        f"{B}    return ((pc + {target * WORDSIZE}) & 0xFFFFFFFF, None)"
+                    )
+                else:
+                    delta = _branch_woff(woff, i, instr) * WORDSIZE
+                    emit(f"{B}    n = {i + 1}")
+                    emit(f"{B}    return ((pc + {delta}) & 0xFFFFFFFF, None)")
+            elif op == "bxlr":
+                emit(f"{B}n = {length}")
+                emit(f"{B}nb += 1")
+                emit(f"{B}return (r14_, None)")
+                terminated = True
+            elif op == "svc":
+                emit(f"{B}n = {length}")
+                emit(
+                    f"{B}return ((pc + {byte + WORDSIZE}) & 0xFFFFFFFF, {instr.imm})"
+                )
+                terminated = True
+            else:  # pragma: no cover - discovery admits only these ops
+                raise AssertionError(f"uncompilable op in block: {op}")
+        if not terminated:
+            # Page-boundary fall-through: continue at the next page's
+            # first word through the dispatch loop (fresh translation).
+            emit(f"{B}n = {length}")
             emit(
-                f"        if _tv != _tlb.version or"
-                f" {span_lo} <= _sp < {span_hi}:"
+                f"{B}return ((pc + {(woff + length) * WORDSIZE}) & 0xFFFFFFFF, None)"
             )
-            emit(f"            return ((pc + {off + WORDSIZE}) & 0xFFFFFFFF, None)")
-        elif op == "nop":
-            pass
-        elif op in ("b", "bl"):
-            emit(f"        n = {length}")
-            if op == "bl":
-                emit(f"        r14_ = (pc + {off + WORDSIZE}) & 0xFFFFFFFF")
-            emit("        state.cycles = state.cycles + _costs.branch")
-            delta = off + (instr.imm + 1) * WORDSIZE
-            emit(f"        return ((pc + {delta}) & 0xFFFFFFFF, None)")
-            terminated = True
-        elif op in CONDITIONAL_BRANCHES:
-            # Side exit: taken returns to the dispatch loop, not taken
-            # falls through to the rest of the block.
-            delta = off + (instr.imm + 1) * WORDSIZE
-            emit(f"        if {_COND_EXPR[op]}:")
-            emit(f"            n = {i + 1}")
-            emit("            state.cycles = state.cycles + _costs.branch")
-            emit(f"            return ((pc + {delta}) & 0xFFFFFFFF, None)")
-        elif op == "bxlr":
-            emit(f"        n = {length}")
-            emit("        state.cycles = state.cycles + _costs.branch")
-            emit("        return (r14_, None)")
-            terminated = True
-        elif op == "svc":
-            emit(f"        n = {length}")
-            emit(f"        return ((pc + {off + WORDSIZE}) & 0xFFFFFFFF, {instr.imm})")
-            terminated = True
-        else:  # pragma: no cover - discovery admits only the ops above
-            raise AssertionError(f"uncompilable op in block: {op}")
-    if not terminated:
-        # Page-boundary fall-through: continue at the next page's first
-        # word through the dispatch loop (fresh translation check).
-        emit(f"        n = {length}")
-        emit(f"        return ((pc + {length * WORDSIZE}) & 0xFFFFFFFF, None)")
+
+    if not multi:
+        woff, instrs = region[0]
+        emit_leg(woff, instrs, 0, body_indent)
+    else:
+        for idx, (woff, instrs) in enumerate(region):
+            kw = "if" if idx == 0 else "elif"
+            emit(f"{body_indent}{kw} L == {idx}:")
+            emit_leg(woff, instrs, idx, body_indent + "    ")
 
     emit("    finally:")
-    emit("        cpu._retired = n")
-    emit("        state.cycles = state.cycles + n * _costs.instruction")
+    emit("        cpu._retired = done + n")
+    if multi and (has_load or has_store):
+        emit("        cpu._fault_off = fo")
+    else:
+        emit("        cpu._fault_off = n")
+    cycle_terms = "(done + n) * _ci"
+    if has_branch:
+        cycle_terms += " + nb * _cb"
+    if inline:
+        if has_load and has_store:
+            cycle_terms += " + (nr + gw) * _cm"
+        elif has_load:
+            cycle_terms += " + nr * _cm"
+        else:
+            cycle_terms += " + gw * _cm"
+    emit(f"        state.cycles = state.cycles + {cycle_terms}")
+    if inline and has_load:
+        emit("        _mem.read_ops = _mem.read_ops + nr")
+    if inline and has_store:
+        emit("        if gw:")
+        emit("            _mem.generation = _mem.generation + gw")
+        emit("            _mem.write_ops = _mem.write_ops + gw")
     for index in sorted(writes):
         if index == 13:
             emit("        regs.sp_bank[_USRB] = r13_")
@@ -403,42 +688,131 @@ def compile_block(instrs: List[Instruction], paddr: int) -> Callable:
 
     source = "\n".join(lines)
     namespace = dict(_CODEGEN_GLOBALS)
+    if inline:
+        # Bake the memory geometry in: the store view, base, and size
+        # are fixed for a machine's lifetime (snapshots restore in
+        # place; copies get their own uarch and recompile).
+        namespace["_mem"] = mem
+        namespace["_mw"] = mem._store
+        namespace["_mb"] = mem._base
+        namespace["_ms"] = mem._size
     exec(compile(source, f"<block@{paddr:#x}>", "exec"), namespace)
     fn = namespace["_block"]
     fn.__source__ = source  # introspection hook for tests/debugging
     return fn
 
 
+def compile_block(
+    instrs: List[Instruction],
+    paddr: int,
+    traced: bool = False,
+    mem: Optional[PhysicalMemory] = None,
+) -> Callable:
+    """Compile a single basic block (a one-member region)."""
+    return compile_region([(0, instrs)], paddr, traced=traced, mem=mem)
+
+
 # ---------------------------------------------------------------------------
 # The block cache
 # ---------------------------------------------------------------------------
 
-#: bcache entry layout: [generation, words, fn, length]
-_GEN, _WORDS, _FN, _LEN = range(4)
+#: bcache entry layout.  Slots 0-3 are the v1 layout (validation
+#: generation, source words, untraced function, entry-block instruction
+#: count — the budget the dispatcher must guarantee); v2 appends the
+#: chain-link dict (exit pc -> [successor entry, TLB.version stamp,
+#: chain_gen stamp]), the back-link list (pairs of (predecessor entry,
+#: exit pc), for teardown), the lazily compiled traced variant, and the
+#: word offset of the validation span relative to the entry address.
+_GEN, _WORDS, _FN, _LEN, _CHAIN, _INL, _FNT, _WOFF = range(8)
 
 
-def lookup(cpu, paddr: int) -> Optional[list]:
-    """Find or build the compiled block at physical address ``paddr``.
+def _inline_mem(cpu) -> Optional[PhysicalMemory]:
+    """The memory object iff the inline fast path is allowed for it."""
+    memory = cpu.state.memory
+    return memory if type(memory) is PhysicalMemory else None
+
+
+def link(pred: list, key: int, succ: list, tv: int, chain_gen: int) -> None:
+    """Record (or re-stamp) the chain link ``pred --key--> succ``.
+
+    ``key`` is the exit pc ``pred`` produced; ``tv``/``chain_gen`` are
+    the stamps under which the link was observed valid (the target
+    translation and every compiled region's words are unchanged while
+    both still match).  Links are only created while the chain and
+    back-link tables have room, so ``unlink`` can always find them.
+    """
+    chain = pred[_CHAIN]
+    old = chain.get(key)
+    if old is not None:
+        if old[0] is succ:
+            old[1] = tv
+            old[2] = chain_gen
+            return
+        inl = old[0][_INL]
+        inl[:] = [bl for bl in inl if bl[0] is not pred or bl[1] != key]
+        del chain[key]
+    if len(chain) >= CHAIN_CAP or len(succ[_INL]) >= BACKLINK_CAP:
+        return
+    chain[key] = [succ, tv, chain_gen]
+    succ[_INL].append((pred, key))
+
+
+def unlink(entry: list) -> None:
+    """Tear down every chain link into and out of ``entry``.
+
+    Called when an entry leaves the cache (LRU eviction or
+    invalidation by changed words) so no predecessor's chain can
+    dispatch a dead region and no back-link keeps it alive.
+    """
+    for pred, key in entry[_INL]:
+        stale = pred[_CHAIN].get(key)
+        if stale is not None and stale[0] is entry:
+            del pred[_CHAIN][key]
+    entry[_INL].clear()
+    for key, out in entry[_CHAIN].items():
+        inl = out[0][_INL]
+        if inl:
+            inl[:] = [bl for bl in inl if bl[0] is not entry]
+    entry[_CHAIN].clear()
+
+
+def _compile_traced(cpu, paddr: int) -> Callable:
+    """Lazily build the traced variant of a just-validated entry.
+
+    The entry was (re)validated against the current generation, so
+    re-discovery sees exactly the words it was compiled from.
+    """
+    region, _, _ = discover_region(cpu.state.memory, paddr)
+    return compile_region(region, paddr, traced=True, mem=_inline_mem(cpu))
+
+
+def lookup(cpu, paddr: int, traced: bool = False) -> Optional[list]:
+    """Find or build the compiled region entered at ``paddr``.
 
     Entries are validated like the fast engine's decode cache: reused
     while ``memory.generation`` is unchanged; on a mismatch the source
     words are re-read and compared, so an unrelated store revalidates
     cheaply while self-modifying code recompiles.  Returns ``None``
     when no block starts here (first word undecodable or excluded).
+    ``traced`` additionally ensures the traced variant is compiled.
     """
     state = cpu.state
     memory = state.memory
-    bcache = state.uarch.bcache
+    uarch = state.uarch
+    bcache = uarch.bcache
     entry = bcache.get(paddr)
     if entry is not None:
         if entry[_GEN] != memory.generation:
             try:
-                words = memory.read_words(paddr, entry[_LEN])
+                words = memory.read_words(
+                    paddr + entry[_WOFF] * WORDSIZE, len(entry[_WORDS])
+                )
             except MemoryFault:
                 words = None
             if words == entry[_WORDS]:
                 entry[_GEN] = memory.generation
             else:
+                unlink(entry)
                 del bcache[paddr]
                 entry = None
         if entry is not None:
@@ -447,13 +821,18 @@ def lookup(cpu, paddr: int) -> Optional[list]:
             # irrelevant and the touch is pure per-dispatch overhead.
             if 2 * len(bcache) >= BLOCK_CACHE_CAP and next(reversed(bcache)) != paddr:
                 bcache[paddr] = bcache.pop(paddr)  # LRU touch
+            if traced and entry[_FNT] is None:
+                entry[_FNT] = _compile_traced(cpu, paddr)
             return entry
-    instrs, words = discover(memory, paddr)
-    if not instrs:
+    region, words, woff = discover_region(memory, paddr)
+    if not region:
         return None
-    fn = compile_block(instrs, paddr)
+    mem = _inline_mem(cpu)
+    fn = compile_region(region, paddr, mem=mem)
+    fnt = compile_region(region, paddr, traced=True, mem=mem) if traced else None
     if len(bcache) >= BLOCK_CACHE_CAP:
-        del bcache[next(iter(bcache))]
-    entry = [memory.generation, words, fn, len(instrs)]
+        unlink(bcache.pop(next(iter(bcache))))
+    entry = [memory.generation, words, fn, len(region[0][1]), {}, [], fnt, woff]
     bcache[paddr] = entry
+    uarch.code_pages.add(paddr >> 12)
     return entry

@@ -22,7 +22,6 @@ variants differ only in which *physical* attacker they defeat).
 
 from __future__ import annotations
 
-from array import array
 from typing import Dict, Iterable, List
 
 from repro.arm.bits import WORDSIZE, to_word
@@ -104,6 +103,12 @@ class EncryptedMemory(PhysicalMemory):
     def read_words(self, address: int, count: int) -> List[int]:
         return [self.read_word(address + i * WORDSIZE) for i in range(count)]
 
+    def view_words(self, address: int, count: int) -> List[int]:
+        # Never the base class's zero-copy window: a raw view would hand
+        # out ciphertext and skip tag verification.  Word-wise like every
+        # other bulk op here (one read transaction per word).
+        return self.read_words(address, count)
+
     def write_words(self, address: int, values: Iterable[int]) -> None:
         for i, value in enumerate(values):
             self.write_word(address + i * WORDSIZE, value)
@@ -138,6 +143,6 @@ class EncryptedMemory(PhysicalMemory):
 
     def copy(self) -> "EncryptedMemory":
         dup = EncryptedMemory(self.map, device_key=self._device_key)
-        dup._store = array(self._store.typecode, self._store)
+        dup._buf[:] = self._buf
         dup._tags = dict(self._tags)
         return dup

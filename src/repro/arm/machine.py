@@ -62,7 +62,15 @@ class UArchState:
     warms its own caches.
     """
 
-    __slots__ = ("icache", "utlb", "utlb_version", "bcache")
+    __slots__ = (
+        "icache",
+        "utlb",
+        "utlb_version",
+        "bcache",
+        "code_pages",
+        "chain_gen",
+        "chain_memgen",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -72,6 +80,18 @@ class UArchState:
         self.utlb = {}
         self.utlb_version = -1
         self.bcache = {}
+        #: Physical pages holding any compiled block's source words
+        #: (grow-only; bounded by the number of physical pages).
+        self.code_pages = set()
+        #: Bumped whenever a store may have rewritten compiled code
+        #: (any CPU store into ``code_pages``, or — detected lazily at
+        #: run entry via ``chain_memgen`` — any mutation between runs).
+        #: Turbo chain links are validated against this, not against
+        #: ``memory.generation``, so ordinary data stores do not sever
+        #: block-to-block chains.
+        self.chain_gen = 0
+        #: ``memory.generation`` as of the last chain-stamp sync.
+        self.chain_memgen = -1
 
 
 @dataclass
@@ -196,12 +216,14 @@ class MachineState:
         """
         if not 0 <= bit < 32:
             raise ValueError(f"bit index {bit} out of range")
-        saved = self.memory.read_ops
+        memory = self.memory
+        saved_reads, saved_writes = memory.read_ops, memory.write_ops
         try:
-            value = self.memory.read_word(address) ^ (1 << bit)
+            value = memory.read_word(address) ^ (1 << bit)
+            memory.write_word(address, value)
         finally:
-            self.memory.read_ops = saved
-        self.memory.write_word(address, value)
+            memory.read_ops = saved_reads
+            memory.write_ops = saved_writes
         self.tlb.note_store(address)
         return value
 
@@ -224,9 +246,12 @@ class MachineState:
         memory = self.memory
         tags = getattr(memory, "_tags", None)  # EncryptedMemory tag store
         return MachineSnapshot(
-            store=memory._store[:],
+            # bytes(), not a slice: slicing the memoryview-backed store
+            # would alias the live buffer instead of copying it.
+            store=bytes(memory._buf),
             generation=memory.generation,
             read_ops=memory.read_ops,
+            write_ops=memory.write_ops,
             tags=dict(tags) if tags is not None else None,
             regs=self.regs.copy(),
             tlb=self.tlb.copy(),
@@ -248,9 +273,10 @@ class MachineState:
         A snapshot can be restored any number of times.
         """
         memory = self.memory
-        memory._store[:] = snap.store
+        memory._buf[:] = snap.store
         memory.generation = snap.generation
         memory.read_ops = snap.read_ops
+        memory.write_ops = snap.write_ops
         if snap.tags is not None:
             memory._tags = dict(snap.tags)
         self.regs = snap.regs.copy()
@@ -292,6 +318,7 @@ class MachineSnapshot:
         "store",
         "generation",
         "read_ops",
+        "write_ops",
         "tags",
         "regs",
         "tlb",
@@ -306,6 +333,7 @@ class MachineSnapshot:
         store,
         generation,
         read_ops,
+        write_ops,
         tags,
         regs,
         tlb,
@@ -317,6 +345,7 @@ class MachineSnapshot:
         self.store = store
         self.generation = generation
         self.read_ops = read_ops
+        self.write_ops = write_ops
         self.tags = tags
         self.regs = regs
         self.tlb = tlb

@@ -11,19 +11,24 @@ a monitor image region (code and globals), a monitor stack, a region of
 normal-world access, and the remaining RAM as *insecure* memory fully
 accessible to the OS.
 
-Storage is a flat ``array``-backed word store covering the whole RAM
-range (the regions tile one contiguous span by construction), so word
-access is an index operation and the bulk page helpers are slice
-operations.  ``generation`` counts every mutation; the fast-path
-execution engine uses it to invalidate its decoded-instruction cache
-(see DESIGN.md, "Fast-path engine").  ``read_ops`` counts read
-*transactions* — a bulk ``read_words`` is one burst — which the page
--table walker's regression tests use to pin its access complexity.
+Storage is a flat ``bytearray`` covering the whole RAM range (the
+regions tile one contiguous span by construction) viewed through a
+``memoryview`` cast to native 32-bit words, so word access is an index
+operation and the bulk page helpers — zero, copy, burst read/write,
+and the zero-copy ``view_words`` window — are single slice operations.
+``generation`` counts every mutation; the fast-path execution engine
+uses it to invalidate its decoded-instruction cache (see DESIGN.md,
+"Fast-path engine").  ``read_ops`` and ``write_ops`` count read/write
+*transactions* — a bulk ``read_words`` or ``zero_page`` is one burst —
+which the page-table walker's regression tests use to pin its access
+complexity and the turbo engine's tests use to pin the inline
+memory-path accounting.
 """
 
 from __future__ import annotations
 
 from array import array
+from copy import deepcopy as _deepcopy
 from typing import Dict, Iterable, List
 
 from repro.arm.bits import WORDSIZE, word_aligned
@@ -175,11 +180,16 @@ class PhysicalMemory:
             raise ValueError("memory map regions must tile a contiguous range")
         self._base = base
         self._size = limit - base
-        self._store = array(_TYPECODE, bytes(self._size))
+        #: Backing bytes; ``_store`` is a word-cast view of this buffer.
+        #: Snapshots copy ``_buf`` (a view slice would alias, not copy).
+        self._buf = bytearray(self._size)
+        self._store = memoryview(self._buf).cast(_TYPECODE)
         #: Bumped on every mutation; invalidates fast-path caches.
         self.generation = 0
         #: Read transactions issued (a bulk read counts once).
         self.read_ops = 0
+        #: Write transactions issued (a bulk zero/copy/write counts once).
+        self.write_ops = 0
 
     # -- raw access (no protection; used by the monitor and the loader) --
 
@@ -195,6 +205,7 @@ class PhysicalMemory:
         if not offset & 3 and 0 <= offset < self._size:
             self._store[offset >> 2] = value & 0xFFFFFFFF
             self.generation += 1
+            self.write_ops += 1
             return
         raise self._fault(address, "write")
 
@@ -236,6 +247,20 @@ class PhysicalMemory:
         self.read_ops += 1
         return self._store[start : start + count].tolist()
 
+    def view_words(self, address: int, count: int):
+        """Zero-copy read-only window over ``count`` words at ``address``.
+
+        One read transaction, like ``read_words``, but without
+        materialising a list: page-table scans and hash ingestion index
+        straight into the backing store.  The view is read-only and
+        *live* — it observes later stores — so callers must consume it
+        before mutating memory.  ``EncryptedMemory`` overrides this
+        word-wise (every word must pass through the engine).
+        """
+        start = self._span(address, count)
+        self.read_ops += 1
+        return self._store[start : start + count].toreadonly()
+
     def write_words(self, address: int, values: Iterable[int]) -> None:
         words = [value & 0xFFFFFFFF for value in values]
         if not words:
@@ -246,37 +271,38 @@ class PhysicalMemory:
         start = offset >> 2
         self._store[start : start + len(words)] = array(_TYPECODE, words)
         self.generation += 1
+        self.write_ops += 1
 
     def read_page(self, base: int) -> List[int]:
         """Read a whole page as a list of words."""
         return self.read_words(base, WORDS_PER_PAGE)
 
     def zero_page(self, base: int) -> None:
-        """Zero-fill a whole page."""
+        """Zero-fill a whole page (one bulk byte-slice store)."""
         offset = base - self._base
         if offset & 3 or offset < 0 or offset + PAGE_SIZE > self._size:
             raise self._fault(base, "write")
-        start = offset >> 2
-        self._store[start : start + WORDS_PER_PAGE] = _ZERO_PAGE
+        self._buf[offset : offset + PAGE_SIZE] = _ZERO_PAGE
         self.generation += 1
+        self.write_ops += 1
 
     def copy_page(self, src: int, dst: int) -> None:
-        """Copy one page of words from ``src`` to ``dst``."""
-        src_start = self._span(src, WORDS_PER_PAGE)
+        """Copy one page from ``src`` to ``dst`` (one bulk byte slice)."""
+        src_off = self._span(src, WORDS_PER_PAGE) << 2
         self.read_ops += 1
         offset = dst - self._base
         if offset & 3 or offset < 0 or offset + PAGE_SIZE > self._size:
             raise self._fault(dst, "write")
-        dst_start = offset >> 2
-        self._store[dst_start : dst_start + WORDS_PER_PAGE] = self._store[
-            src_start : src_start + WORDS_PER_PAGE
+        self._buf[offset : offset + PAGE_SIZE] = self._buf[
+            src_off : src_off + PAGE_SIZE
         ]
         self.generation += 1
+        self.write_ops += 1
 
     def snapshot_region(self, region: Region) -> Dict[int, int]:
         """Sparse snapshot of the words stored within ``region``."""
         start = self._span(region.base, region.size // WORDSIZE)
-        words = self._store[start : start + region.size // WORDSIZE]
+        words = self._store[start : start + region.size // WORDSIZE].tolist()
         base = region.base
         return {
             base + (i << 2): value for i, value in enumerate(words) if value
@@ -284,8 +310,22 @@ class PhysicalMemory:
 
     def copy(self) -> "PhysicalMemory":
         dup = PhysicalMemory(self.map)
-        dup._store = array(_TYPECODE, self._store)
+        dup._buf[:] = self._buf
+        return dup
+
+    def __deepcopy__(self, memo):
+        # The word-cast memoryview is not picklable/deep-copyable;
+        # duplicate the backing bytes and re-cast a fresh view instead.
+        cls = self.__class__
+        dup = cls.__new__(cls)
+        memo[id(self)] = dup
+        for key, value in self.__dict__.items():
+            if key == "_buf":
+                dup._buf = bytearray(self._buf)
+            elif key != "_store":
+                setattr(dup, key, _deepcopy(value, memo))
+        dup._store = memoryview(dup._buf).cast(_TYPECODE)
         return dup
 
 
-_ZERO_PAGE = array(_TYPECODE, bytes(PAGE_SIZE))
+_ZERO_PAGE = bytes(PAGE_SIZE)

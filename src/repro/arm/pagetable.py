@@ -147,10 +147,12 @@ class PageTableWalker:
         user code may have modified exactly these frames.
         """
         frames = []
-        for l1_entry in self.memory.read_words(l1_base, L1_ENTRIES):
+        # view_words: zero-copy scans (same one-transaction accounting
+        # as read_words); nothing mutates memory while the views live.
+        for l1_entry in self.memory.view_words(l1_base, L1_ENTRIES):
             if entry_type(l1_entry) != DESC_L1_COARSE:
                 continue
-            for l2_entry in self.memory.read_words(entry_target(l1_entry), L2_ENTRIES):
+            for l2_entry in self.memory.view_words(entry_target(l1_entry), L2_ENTRIES):
                 if entry_type(l2_entry) == DESC_L2_SMALL and l2_entry & PERM_W:
                     frames.append(entry_target(l2_entry))
         return frames
@@ -158,10 +160,10 @@ class PageTableWalker:
     def mapped_vaddrs(self, l1_base: int) -> List[int]:
         """Page-aligned virtual addresses with a valid mapping."""
         vaddrs = []
-        for i, l1_entry in enumerate(self.memory.read_words(l1_base, L1_ENTRIES)):
+        for i, l1_entry in enumerate(self.memory.view_words(l1_base, L1_ENTRIES)):
             if entry_type(l1_entry) != DESC_L1_COARSE:
                 continue
-            l2_entries = self.memory.read_words(entry_target(l1_entry), L2_ENTRIES)
+            l2_entries = self.memory.view_words(entry_target(l1_entry), L2_ENTRIES)
             for j, l2_entry in enumerate(l2_entries):
                 if entry_type(l2_entry) == DESC_L2_SMALL:
                     vaddrs.append((i << 22) | (j << 12))

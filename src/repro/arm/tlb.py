@@ -59,7 +59,7 @@ class TLB:
         if memory is None or l1_base is None:
             return
         self._table_pages.add(l1_base & _PAGE_MASK)
-        for entry in memory.read_words(l1_base, L1_ENTRIES):
+        for entry in memory.view_words(l1_base, L1_ENTRIES):
             if entry_type(entry) == DESC_L1_COARSE:
                 self._table_pages.add(entry_target(entry))
 

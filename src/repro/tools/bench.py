@@ -27,9 +27,20 @@ Runs four suites and reports/records the results:
 Usage::
 
     python -m repro.tools.bench                     # run, print a table
-    python -m repro.tools.bench --out BENCH_PR5.json    # also write JSON
-    python -m repro.tools.bench --check BENCH_PR5.json  # regression gate
+    python -m repro.tools.bench --out BENCH_PR7.json    # also write JSON
+    python -m repro.tools.bench --check BENCH_PR7.json  # regression gate
     python -m repro.tools.bench --profile           # cProfile the run
+    python -m repro.tools.bench --profile --profile-json PROF.json
+    python -m repro.tools.bench --summary-md SUMMARY.md  # CI job summary
+
+``--profile-json`` writes the profile as a machine-readable top-N
+hotspot report (schema ``repro-profile-1``): rows sorted by cumulative
+time with stable keys (``file``/``line``/``func``/``ncalls``/
+``tottime_s``/``cumtime_s``), paths relative to the source tree and
+generated-block frames folded to ``<block>`` so successive reports are
+diffable.  The profile-guided burn-down loop reads this to pick the
+next hotspot.  ``--summary-md`` writes the engine speedup table as
+GitHub-flavoured markdown for ``$GITHUB_STEP_SUMMARY``.
 
 ``--check`` re-runs the suites and fails (exit 1) if any simulated
 cycle count differs from the committed baseline (lost determinism), if
@@ -666,6 +677,102 @@ def _print_report(report: Dict[str, object]) -> None:
         print(f"{name:<30} {row['sim_cycles']:>12,} {row['paper_cycles']:>8,}")
 
 
+PROFILE_SCHEMA = "repro-profile-1"
+
+
+def _profile_key(filename: str, lineno: int, func: str) -> Tuple[str, int, str]:
+    """Normalise one pstats frame to stable, host-independent keys.
+
+    Absolute paths are cut down to the path under ``src`` (or the
+    basename), and the per-address names of generated region functions
+    (``<block@0x80016028>``) are folded to ``<block>`` so reports from
+    different runs aggregate and diff cleanly.
+    """
+    if filename.startswith("<block@"):
+        return "<block>", 0, "_block"
+    if filename.startswith("<"):
+        return filename, 0, func
+    for marker in ("/repro/", "\\repro\\"):
+        cut = filename.rfind(marker)
+        if cut != -1:
+            return "repro/" + filename[cut + len(marker):].replace("\\", "/"), lineno, func
+    return filename.rsplit("/", 1)[-1], lineno, func
+
+
+def profile_report(profiler, top: int = 25) -> Dict[str, object]:
+    """The top-``top`` cumulative-time hotspots as a JSON-ready dict."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows: Dict[Tuple[str, int, str], Dict[str, object]] = {}
+    for (filename, lineno, func), (cc, ncalls, tottime, cumtime, _) in stats.stats.items():
+        key = _profile_key(filename, lineno, func)
+        row = rows.get(key)
+        if row is None:
+            rows[key] = {
+                "file": key[0],
+                "line": key[1],
+                "func": key[2],
+                "ncalls": ncalls,
+                "tottime_s": tottime,
+                "cumtime_s": cumtime,
+            }
+        else:
+            # Folded frames (the generated <block> functions): calls and
+            # self time add; cumulative time of disjoint subtrees adds.
+            row["ncalls"] += ncalls
+            row["tottime_s"] += tottime
+            row["cumtime_s"] += cumtime
+    ranked = sorted(rows.values(), key=lambda r: r["cumtime_s"], reverse=True)[:top]
+    total = sum(row["tottime_s"] for row in rows.values())
+    for rank, row in enumerate(ranked, start=1):
+        row["rank"] = rank
+        row["tottime_s"] = round(row["tottime_s"], 6)
+        row["cumtime_s"] = round(row["cumtime_s"], 6)
+    return {
+        "schema": PROFILE_SCHEMA,
+        "sort": "cumulative",
+        "total_tottime_s": round(total, 6),
+        "top": ranked,
+    }
+
+
+def summary_md(report: Dict[str, object]) -> str:
+    """The workload speedup table as GitHub-flavoured markdown."""
+    lines = [
+        "### Engine throughput",
+        "",
+        "| workload | ref instr/s | fast instr/s | turbo instr/s | fast/ref | turbo/ref |",
+        "| --- | ---: | ---: | ---: | ---: | ---: |",
+    ]
+    for name, row in report["workloads"].items():
+        lines.append(
+            f"| {name} | {row['reference_instr_per_s']:,.0f} "
+            f"| {row['instr_per_s']:,.0f} | {row['turbo_instr_per_s']:,.0f} "
+            f"| {row['speedup']:.2f}x | {row['speedup_turbo']:.2f}x |"
+        )
+    fork = report["campaigns"]["fork"]
+    lines += [
+        "",
+        "### Campaign acceleration",
+        "",
+        "| campaign | trials | deepcopy s | snapshot s | speedup | identical |",
+        "| --- | ---: | ---: | ---: | ---: | --- |",
+    ]
+    for name in ("lifecycle", "bitflip"):
+        row = report["campaigns"][name]
+        lines.append(
+            f"| {name} | {row['trials']} | {row['deepcopy_wall_s']:.3f} "
+            f"| {row['snapshot_wall_s']:.3f} | {row['speedup']:.2f}x "
+            f"| {row['reports_identical']} |"
+        )
+    lines.append(
+        f"| fork (ms/op) | | {fork['deepcopy_ms']:.3f} "
+        f"| {fork['snapshot_restore_ms']:.3f} | {fork['speedup']:.2f}x | |"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def _check(baseline: Dict[str, object], current: Dict[str, object]) -> List[str]:
     """Compare a fresh run against the committed baseline.
 
@@ -748,7 +855,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=25,
         help="rows of profile output with --profile (default 25)",
     )
+    parser.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        help="with --profile, also write the top-N hotspot report as JSON "
+        f"(schema {PROFILE_SCHEMA}; N = --profile-lines)",
+    )
+    parser.add_argument(
+        "--summary-md",
+        metavar="PATH",
+        help="write the speedup tables as GitHub-flavoured markdown "
+        "(for $GITHUB_STEP_SUMMARY)",
+    )
     args = parser.parse_args(argv)
+    if args.profile_json and not args.profile:
+        parser.error("--profile-json requires --profile")
 
     if args.profile:
         import cProfile
@@ -763,9 +884,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(
             args.profile_lines
         )
+        if args.profile_json:
+            with open(args.profile_json, "w") as fh:
+                json.dump(profile_report(profiler, top=args.profile_lines), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.profile_json}")
+
     else:
         report = run_all(repeats=args.repeats)
         _print_report(report)
+
+    if args.summary_md:
+        with open(args.summary_md, "w") as fh:
+            fh.write(summary_md(report))
+        print(f"wrote {args.summary_md}")
 
     if args.out:
         with open(args.out, "w") as fh:

@@ -69,9 +69,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine",
         choices=("fast", "reference", "turbo", "both", "all"),
-        default="fast",
-        help="execution engine; 'both' = fast/reference differential, "
-        "'all' adds turbo",
+        default="turbo",
+        help="execution engine (default: turbo, the fastest bit-identical "
+        "tier); 'both' = fast/reference differential, 'all' adds turbo",
     )
     parser.add_argument(
         "--no-snapshot",

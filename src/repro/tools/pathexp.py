@@ -9,9 +9,9 @@ census (path classes per outcome, per monitor call)::
 (``repro/analysis/symbex/baseline.json``) — any drift in the number or
 shape of feasible spec paths fails the run until the baseline is
 regenerated deliberately with ``--update-baseline`` — and every path's
-concrete witness is replayed on the selected engines (``--engine all``
-runs reference, fast, and turbo and additionally asserts the three
-agree bit-for-bit)::
+concrete witness is replayed on the selected engines (default: turbo,
+the fastest bit-identical tier; ``--engine all`` runs reference, fast,
+and turbo and additionally asserts the three agree bit-for-bit)::
 
     python -m repro.tools.pathexp --check --engine all
 
@@ -137,9 +137,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        default="all",
+        default="turbo",
         choices=("all",) + DEFAULT_ENGINES + ("none",),
-        help="engines for witness replay under --check (default: all; "
+        help="engines for witness replay under --check (default: turbo, "
+        "the fastest bit-identical tier; 'all' replays on every engine, "
         "'none' skips replay and only gates the census)",
     )
     parser.add_argument(

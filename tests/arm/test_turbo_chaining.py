@@ -1,0 +1,528 @@
+"""Turbo v2 chaining edge cases and bulk-memory safety rails.
+
+Block chaining lets one compiled region dispatch its successor without
+going back through translation and cache validation, so every way a
+recorded link can go stale must sever it: a store rewriting the
+chained-to region's words, an asynchronous-exception deadline landing
+between chained regions, a translation switch changing where the exit
+pc points, and LRU eviction destroying the successor outright.  Each
+scenario runs differentially on all three engines, plus white-box
+checks on the link tables themselves.
+
+The second half pins the bulk-memory contract: ``PhysicalMemory``
+bulk helpers are single transactions over the flat store, while
+``EncryptedMemory`` must never take any bulk or inline fast path —
+every word goes through the keystream and tag engine.
+"""
+
+import pytest
+
+from repro.arm import blocks
+from repro.arm.assembler import Assembler
+from repro.arm.bits import WORDSIZE
+from repro.arm.cpu import CPU, ExitReason
+from repro.arm.encryption import EncryptedMemory
+from repro.arm.instructions import Instruction, encode
+from repro.arm.machine import MachineState
+from repro.arm.memory import WORDS_PER_PAGE, MemoryMap, PhysicalMemory
+from repro.arm.modes import Mode
+from repro.arm.pagetable import l1_index, l2_index, make_l1_entry, make_l2_entry
+from repro.arm.registers import PSR
+
+from tests.arm.test_engine_differential import (
+    CODE_VA,
+    DATA_VA,
+    ENGINES,
+    RWX_VA,
+    make_state,
+    observe,
+)
+
+CODE_PAGE, RWX_PAGE = 2, 4  # physical page indices assigned by make_state
+
+
+def asm_list(build):
+    """Assemble via a builder callback, returning a mutable word list."""
+    asm = Assembler()
+    build(asm)
+    return list(asm.assemble())
+
+
+def cross_branch(op, from_va, to_va):
+    """Encode a branch at ``from_va`` targeting ``to_va`` (cross-page
+    branches are region exits, so these are the edges chaining links)."""
+    return encode(Instruction(op, imm=(to_va - from_va) // WORDSIZE - 1))
+
+
+def two_page_loop(iters):
+    """A counted loop ping-ponging between the code and RWX pages.
+
+    code page: r0 = r1 = 0; loop head increments r0, branches to the
+    RWX page; RWX page increments r1, loops back while r0 != iters,
+    then exits via svc.  Every iteration crosses two region exits, so
+    a warm run follows two chain links per lap.
+    """
+    code = asm_list(
+        lambda a: a.movw("r0", 0).movw("r1", 0).addi("r0", "r0", 1)
+    )
+    loop_va = CODE_VA + 2 * WORDSIZE  # the addi above
+    code.append(cross_branch("b", CODE_VA + len(code) * WORDSIZE, RWX_VA))
+    rwx = asm_list(lambda a: a.addi("r1", "r1", 1).cmpi("r0", iters))
+    rwx.append(cross_branch("bne", RWX_VA + len(rwx) * WORDSIZE, loop_va))
+    rwx.append(encode(Instruction("svc", imm=0)))
+    return code, rwx
+
+
+def run_engines(code_words, rwx_words, setup=None, max_steps=10_000,
+                interrupt_after=None, entry=CODE_VA):
+    """Run on every engine from identical states; assert identical
+    observables.  ``setup(state)`` applies extra machine preparation
+    after ``make_state``.  Returns (result, state, cpu) of the turbo
+    run for white-box follow-up assertions."""
+    outcomes = {}
+    kept = {}
+    for engine in ENGINES:
+        state = make_state(code_words, rwx_words=rwx_words)
+        if setup is not None:
+            setup(state)
+        cpu = CPU(state, engine=engine)
+        cpu.access_trace = []
+        result = cpu.run(entry, max_steps=max_steps, interrupt_after=interrupt_after)
+        outcomes[engine] = (result, observe(state), cpu.access_trace)
+        kept[engine] = (result, state, cpu)
+    for engine in ENGINES:
+        assert outcomes[engine] == outcomes["reference"], engine
+    return kept["turbo"]
+
+
+class TestChainFormation:
+    def test_two_page_loop_differential(self):
+        code, rwx = two_page_loop(5)
+        result, state, _ = run_engines(code, rwx)
+        assert result.reason is ExitReason.SVC
+        assert state.regs.read_gpr(0) == 5
+        assert state.regs.read_gpr(1) == 5
+
+    def test_links_recorded_with_current_stamps(self):
+        code, rwx = two_page_loop(5)
+        _, state, _ = run_engines(code, rwx)
+        memmap = state.memmap
+        bcache = state.uarch.bcache
+        head = bcache[memmap.page_base(CODE_PAGE) + 2 * WORDSIZE]  # loop head
+        body = bcache[memmap.page_base(RWX_PAGE)]
+        # head --(b RWX_VA)--> body --(bne loop)--> head, both stamped
+        # with the live TLB version and chain generation.
+        link_out = head[blocks._CHAIN][RWX_VA]
+        assert link_out[0] is body
+        link_back = body[blocks._CHAIN][CODE_VA + 2 * WORDSIZE]
+        assert link_back[0] is head
+        for link in (link_out, link_back):
+            assert link[1] == state.tlb.version
+            assert link[2] == state.uarch.chain_gen
+        assert any(p is head for p, _ in body[blocks._INL])
+        assert any(p is body for p, _ in head[blocks._INL])
+
+    def test_links_are_followed_not_rerecorded(self, monkeypatch):
+        """Once a link is recorded, later laps follow it directly: the
+        dispatcher only calls ``blocks.link`` when a region exit had no
+        valid link.  A warm 8-lap loop therefore records a handful of
+        links, not two per lap."""
+        calls = []
+        orig = blocks.link
+
+        def counting_link(*args):
+            calls.append(args)
+            return orig(*args)
+
+        monkeypatch.setattr(blocks, "link", counting_link)
+        code, rwx = two_page_loop(8)
+        state = make_state(code, rwx_words=rwx)
+        cpu = CPU(state, engine="turbo")
+        result = cpu.run(CODE_VA, max_steps=10_000)
+        assert result.reason is ExitReason.SVC
+        assert state.regs.read_gpr(0) == 8
+        # 3 region-exit edges exist (entry->body, body->head, head->body);
+        # without chaining the loop would re-record ~2 per lap (16+).
+        assert len(calls) <= 4
+
+
+class TestStoreIntoChainedSuccessor:
+    def test_patch_chained_to_block(self):
+        """A store in the code-page region rewrites the first word of
+        the RWX-page region it chains to.  The store bumps chain_gen,
+        so the stale link must not dispatch the old compiled body: the
+        next lap refetches the patched instruction exactly like the
+        reference engine."""
+        patched = encode(Instruction("movw", rd=7, imm=99))
+
+        def build(asm):
+            asm.movw("r0", 0)
+            asm.movw("r4", RWX_VA)
+            asm.mov32("r5", patched)
+            asm.label("loop")
+            asm.addi("r0", "r0", 1)
+            asm.cmpi("r0", 3)
+            asm.bne("skip")
+            asm.str_("r5", "r4", 0)
+            asm.label("skip")
+            loop_index = asm._labels["loop"]
+            return loop_index
+
+        asm = Assembler()
+        loop_index = build(asm)
+        code = list(asm.assemble())
+        loop_va = CODE_VA + loop_index * WORDSIZE
+        code.append(cross_branch("b", CODE_VA + len(code) * WORDSIZE, RWX_VA))
+
+        rwx = [encode(Instruction("movw", rd=7, imm=1))]
+        rwx.extend(asm_list(lambda a: a.cmpi("r0", 4)))
+        rwx.append(cross_branch("bne", RWX_VA + len(rwx) * WORDSIZE, loop_va))
+        rwx.append(encode(Instruction("svc", imm=0)))
+
+        result, state, _ = run_engines(code, rwx)
+        assert result.reason is ExitReason.SVC
+        assert state.regs.read_gpr(0) == 4
+        assert state.regs.read_gpr(7) == 99  # the patched movw executed
+
+
+class TestInterruptMidChain:
+    def test_every_interrupt_window(self):
+        """Sweep the IRQ deadline across the whole warm loop: every
+        window, including those landing exactly between chained
+        regions and inside a region leg, must deliver at the same
+        instruction boundary on all engines."""
+        code, rwx = two_page_loop(4)
+        baseline, _, _ = run_engines(code, rwx)
+        total = baseline.steps
+        assert total > 12  # several laps, so windows straddle chain hops
+        for window in range(1, total):
+            result, _, _ = run_engines(code, rwx, interrupt_after=window)
+            assert result.reason is ExitReason.IRQ
+            assert result.steps == window
+
+    def test_step_limit_mid_chain(self):
+        code, rwx = two_page_loop(4)
+        baseline, _, _ = run_engines(code, rwx)
+        for limit in range(1, baseline.steps):
+            result, _, _ = run_engines(code, rwx, max_steps=limit)
+            assert result.reason is ExitReason.STEP_LIMIT
+            assert result.steps == limit
+
+
+class TestTranslationSwitchAcrossChain:
+    def _alt_words(self):
+        alt = asm_list(lambda a: a.movw("r7", 0x77))
+        alt.append(encode(Instruction("svc", imm=0)))
+        return alt
+
+    def test_ttbr_switch_between_runs_severs_warm_chains(self):
+        """After a warm chained run, new tables remap RWX_VA to a
+        different frame.  The second run's chain stamps are stale
+        (TLB.version changed), so the loop must fetch the new frame's
+        code, not the chained-to compiled body of the old one."""
+        code, rwx = two_page_loop(3)
+        alt = self._alt_words()
+        outcomes = {}
+        for engine in ENGINES:
+            state = make_state(code, rwx_words=rwx)
+            memmap, memory = state.memmap, state.memory
+            cpu = CPU(state, engine=engine)
+            cpu.access_trace = []
+            first = cpu.run(CODE_VA, max_steps=10_000)
+            # Fresh tables in pages 5/6: code and data map as before,
+            # RWX_VA now points at page 7 (alt program).
+            l1, l2 = memmap.page_base(5), memmap.page_base(6)
+            memory.write_words(memmap.page_base(7), alt)
+            memory.write_word(l1 + l1_index(CODE_VA) * 4, make_l1_entry(l2))
+            memory.write_word(
+                l2 + l2_index(CODE_VA) * 4,
+                make_l2_entry(memmap.page_base(2), True, False, True, True),
+            )
+            memory.write_word(
+                l2 + l2_index(DATA_VA) * 4,
+                make_l2_entry(memmap.page_base(3), True, True, False, True),
+            )
+            memory.write_word(
+                l2 + l2_index(RWX_VA) * 4,
+                make_l2_entry(memmap.page_base(7), True, True, True, True),
+            )
+            state.load_ttbr0(l1)
+            state.flush_tlb()
+            state.regs.cpsr = PSR(mode=Mode.USR, irq_masked=False, fiq_masked=False)
+            second = cpu.run(CODE_VA, max_steps=10_000)
+            outcomes[engine] = (first, second, observe(state), cpu.access_trace)
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
+        first, second, obs, _ = outcomes["reference"]
+        assert first.reason is ExitReason.SVC
+        assert second.reason is ExitReason.SVC
+        assert obs["gprs"][7] == 0x77  # second run executed the new frame
+
+    def test_table_store_between_chained_blocks(self):
+        """Mid-run translation switch: with the L2 table itself mapped
+        writable, the loop body rewrites the RWX_VA entry to point at a
+        new frame, then takes the already-chained cross-page branch.
+        The store poisons the TLB (version bump), so the chain must
+        break and the branch must fetch the new frame."""
+        tab_va = 0x0000_8000
+        probe = MachineState.boot(secure_pages=8).memmap
+        new_frame = probe.page_base(7)
+        new_entry = make_l2_entry(new_frame, True, True, True, True)
+        entry_va = tab_va + l2_index(RWX_VA) * 4  # the RWX_VA slot in the table
+
+        asm = Assembler()
+        asm.movw("r0", 0)
+        asm.movw("r4", entry_va)
+        asm.mov32("r5", new_entry)
+        asm.label("loop")
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 2)
+        asm.bne("skip")
+        asm.str_("r5", "r4", 0)
+        asm.label("skip")
+        loop_va = CODE_VA + asm._labels["loop"] * WORDSIZE
+        code = list(asm.assemble())
+        code.append(cross_branch("b", CODE_VA + len(code) * WORDSIZE, RWX_VA))
+
+        rwx = asm_list(lambda a: a.addi("r1", "r1", 1).cmpi("r0", 9))
+        rwx.append(cross_branch("bne", RWX_VA + len(rwx) * WORDSIZE, loop_va))
+        rwx.append(encode(Instruction("svc", imm=0)))
+
+        def setup(state):
+            memmap, memory = state.memmap, state.memory
+            l2 = memmap.page_base(1)
+            memory.write_words(memmap.page_base(7), self._alt_words())
+            # Map the live L2 table page itself at tab_va (RW, no exec).
+            memory.write_word(
+                l2 + l2_index(tab_va) * 4,
+                make_l2_entry(l2, True, True, False, True),
+            )
+            state.flush_tlb()
+
+        result, state, _ = run_engines(code, rwx, setup=setup)
+        assert result.reason is ExitReason.SVC
+        # Lap 1 ran the original body (r1 == 1); lap 2 rewrote the
+        # mapping and landed in the new frame (r7 == 0x77).
+        assert state.regs.read_gpr(0) == 2
+        assert state.regs.read_gpr(1) == 1
+        assert state.regs.read_gpr(7) == 0x77
+        assert state.tlb.consistent is False  # the table store poisoned it
+
+
+class TestEvictionTeardown:
+    def test_unlink_clears_both_directions(self):
+        code, rwx = two_page_loop(4)
+        _, state, _ = run_engines(code, rwx)
+        memmap = state.memmap
+        bcache = state.uarch.bcache
+        head = bcache[memmap.page_base(CODE_PAGE) + 2 * WORDSIZE]
+        body = bcache[memmap.page_base(RWX_PAGE)]
+        assert head[blocks._CHAIN] and body[blocks._INL]
+        blocks.unlink(body)
+        assert body[blocks._CHAIN] == {} and body[blocks._INL] == []
+        assert RWX_VA not in head[blocks._CHAIN]
+        assert all(p is not body for p, _ in head[blocks._INL])
+
+    def test_link_caps_and_retarget(self):
+        code, rwx = two_page_loop(3)
+        _, state, cpu = run_engines(code, rwx)
+        bcache = state.uarch.bcache
+        entries = list(bcache.values())
+        pred, succ = entries[0], entries[1]
+        blocks.unlink(pred)
+        blocks.unlink(succ)
+        for key in range(blocks.CHAIN_CAP):
+            blocks.link(pred, key, succ, 1, 1)
+        assert len(pred[blocks._CHAIN]) == blocks.CHAIN_CAP
+        blocks.link(pred, 0xDEAD, succ, 1, 1)  # at cap: not recorded
+        assert 0xDEAD not in pred[blocks._CHAIN]
+        # Re-stamping an existing link updates in place.
+        blocks.link(pred, 0, succ, 7, 8)
+        assert pred[blocks._CHAIN][0][1:] == [7, 8]
+        # Retargeting removes the old back-link before re-checking caps.
+        other = entries[2] if len(entries) > 2 else [0, [], None, 1, {}, [], None, 0]
+        blocks.unlink(other)
+        blocks.link(pred, 0, other, 2, 2)
+        assert pred[blocks._CHAIN][0][0] is other
+        assert all(not (p is pred and k == 0) for p, k in succ[blocks._INL])
+        assert any(p is pred and k == 0 for p, k in other[blocks._INL])
+
+    def test_eviction_under_tiny_cap_keeps_graph_consistent(self, monkeypatch):
+        """With room for only 2 entries, the 3-region loop evicts (and
+        must unlink) a chained region on every lap; behaviour stays
+        bit-identical and the link graph never dangles."""
+        monkeypatch.setattr(blocks, "BLOCK_CACHE_CAP", 2)
+        code, rwx = two_page_loop(6)
+        result, state, _ = run_engines(code, rwx)
+        assert result.reason is ExitReason.SVC
+        assert state.regs.read_gpr(0) == 6
+        bcache = state.uarch.bcache
+        assert 0 < len(bcache) <= 2
+        ids = {id(entry) for entry in bcache.values()}
+        for entry in bcache.values():
+            for key, link in entry[blocks._CHAIN].items():
+                assert id(link[0]) in ids  # chained-to region still cached
+                assert any(
+                    p is entry and k == key for p, k in link[0][blocks._INL]
+                )
+            for pred, key in entry[blocks._INL]:
+                assert id(pred) in ids
+                assert pred[blocks._CHAIN][key][0] is entry
+
+
+def make_encrypted_state(code_words, data_words=(), rwx_words=()):
+    """``make_state`` over an encryption-engine memory: same mappings,
+    every access through the keystream/tag engine."""
+    memmap = MemoryMap(secure_pages=8)
+    state = MachineState(memmap=memmap, memory=EncryptedMemory(memmap))
+    state.regs.cpsr = PSR(mode=Mode.SVC, irq_masked=True, fiq_masked=True)
+    memory = state.memory
+    l1, l2 = memmap.page_base(0), memmap.page_base(1)
+    memory.write_word(l1 + l1_index(CODE_VA) * 4, make_l1_entry(l2))
+    memory.write_word(
+        l2 + l2_index(CODE_VA) * 4,
+        make_l2_entry(memmap.page_base(2), True, False, True, True),
+    )
+    memory.write_word(
+        l2 + l2_index(DATA_VA) * 4,
+        make_l2_entry(memmap.page_base(3), True, True, False, True),
+    )
+    memory.write_word(
+        l2 + l2_index(RWX_VA) * 4,
+        make_l2_entry(memmap.page_base(4), True, True, True, True),
+    )
+    memory.write_words(memmap.page_base(2), list(code_words))
+    memory.write_words(memmap.page_base(3), list(data_words))
+    memory.write_words(memmap.page_base(4), list(rwx_words))
+    state.load_ttbr0(l1)
+    state.flush_tlb()
+    state.regs.cpsr = PSR(mode=Mode.USR, irq_masked=False, fiq_masked=False)
+    return state
+
+
+def _loop_with_memory_ops():
+    def build(asm):
+        asm.movw("r0", 0)
+        asm.movw("r4", DATA_VA)
+        asm.label("loop")
+        asm.ldr("r2", "r4", 0)
+        asm.addi("r2", "r2", 5)
+        asm.str_("r2", "r4", 0)
+        asm.addi("r0", "r0", 1)
+        asm.cmpi("r0", 6)
+        asm.bne("loop")
+        asm.svc(0)
+
+    return asm_list(build)
+
+
+class TestEncryptedMemoryNoFastPath:
+    def test_inline_fast_path_refused(self):
+        state = make_encrypted_state(_loop_with_memory_ops())
+        assert blocks._inline_mem(CPU(state, engine="turbo")) is None
+        plain = MachineState.boot(secure_pages=8)
+        assert blocks._inline_mem(CPU(plain, engine="turbo")) is plain.memory
+
+    def test_regions_stay_single_block(self):
+        """Region expansion requires exactly ``PhysicalMemory``: over
+        the encryption engine a region is one basic block, so the
+        validation span never covers never-written gap words the
+        engine would refuse to read."""
+        words = _loop_with_memory_ops()
+        enc = make_encrypted_state(words)
+        base = enc.memmap.page_base(2)
+        region, _, _ = blocks.discover_region(enc.memory, base)
+        assert len(region) == 1
+        plain = make_state(words)
+        region, _, _ = blocks.discover_region(plain.memory, plain.memmap.page_base(2))
+        assert len(region) > 1
+
+    def test_compiled_code_has_no_bulk_store_access(self):
+        """No generated block for an encrypted machine may index the
+        flat word store (the ``_mw[...]`` inline fast path): every load
+        and store must go through the engine's helpers."""
+        state = make_encrypted_state(_loop_with_memory_ops())
+        cpu = CPU(state, engine="turbo")
+        result = cpu.run(CODE_VA, max_steps=1_000)
+        assert result.reason is ExitReason.SVC
+        bcache = state.uarch.bcache
+        assert bcache  # the loop compiled at least one region
+        for entry in bcache.values():
+            assert "_mw[" not in entry[blocks._FN].__source__
+        # The same program on plain memory does take the inline path.
+        plain = make_state(_loop_with_memory_ops())
+        pcpu = CPU(plain, engine="turbo")
+        assert pcpu.run(CODE_VA, max_steps=1_000).reason is ExitReason.SVC
+        assert any(
+            "_mw[" in entry[blocks._FN].__source__
+            for entry in plain.uarch.bcache.values()
+        )
+
+    def test_encrypted_tri_engine_differential(self):
+        outcomes = {}
+        for engine in ENGINES:
+            state = make_encrypted_state(_loop_with_memory_ops(), data_words=[100])
+            cpu = CPU(state, engine=engine)
+            cpu.access_trace = []
+            result = cpu.run(CODE_VA, max_steps=1_000)
+            outcomes[engine] = (result, observe(state), cpu.access_trace)
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
+        result, obs, _ = outcomes["reference"]
+        assert result.reason is ExitReason.SVC
+        assert obs["gprs"][2] == 130  # 100 + 6 * 5, through the engine
+
+
+class TestTransactionAccounting:
+    def test_physical_bulk_ops_are_single_transactions(self):
+        memmap = MemoryMap(secure_pages=8)
+        memory = PhysicalMemory(memmap)
+        base, other = memmap.page_base(1), memmap.page_base(2)
+
+        memory.write_words(base, [1, 2, 3])
+        assert (memory.read_ops, memory.write_ops) == (0, 1)
+        memory.read_words(base, 3)
+        assert (memory.read_ops, memory.write_ops) == (1, 1)
+        view = memory.view_words(base, 3)
+        assert list(view) == [1, 2, 3]
+        assert (memory.read_ops, memory.write_ops) == (2, 1)
+        memory.copy_page(base, other)
+        assert (memory.read_ops, memory.write_ops) == (3, 2)
+        memory.zero_page(other)
+        assert (memory.read_ops, memory.write_ops) == (3, 3)
+
+    def test_view_words_is_zero_copy_and_readonly(self):
+        memmap = MemoryMap(secure_pages=8)
+        memory = PhysicalMemory(memmap)
+        base = memmap.page_base(1)
+        memory.write_words(base, [10, 20])
+        view = memory.view_words(base, 2)
+        with pytest.raises(TypeError):
+            view[0] = 99
+        memory.write_word(base, 11)  # live window: sees later stores
+        assert view[0] == 11
+
+    def test_encrypted_bulk_ops_go_word_wise(self):
+        memmap = MemoryMap(secure_pages=8)
+        memory = EncryptedMemory(memmap)
+        base, other = memmap.page_base(1), memmap.page_base(2)
+
+        memory.write_words(base, [7, 8, 9])
+        assert memory.write_ops == 3  # one engine transaction per word
+        before = memory.read_ops
+        assert memory.view_words(base, 3) == [7, 8, 9]  # plaintext, a list
+        assert memory.read_ops == before + 3
+        memory.copy_page(base, other)
+        assert memory.write_ops == 3 + WORDS_PER_PAGE
+        memory.zero_page(other)
+        assert memory.write_ops == 3 + 2 * WORDS_PER_PAGE
+
+    def test_encrypted_view_words_decrypts(self):
+        """The raw store holds ciphertext; ``view_words`` must return
+        verified plaintext, never a window over the backing buffer."""
+        memmap = MemoryMap(secure_pages=8)
+        memory = EncryptedMemory(memmap)
+        base = memmap.page_base(1)
+        memory.write_word(base, 0x1234_5678)
+        assert memory.physical_read(base) != 0x1234_5678  # ciphertext at rest
+        assert memory.view_words(base, 1) == [0x1234_5678]

@@ -24,9 +24,10 @@ from repro.osmodel.kernel import OSKernel
 
 def machine_observables(state):
     return (
-        state.memory._store[:],
+        bytes(state.memory._buf),  # a _store slice would alias, not copy
         state.memory.generation,
         state.memory.read_ops,
+        state.memory.write_ops,
         dict(state.regs.gprs),
         state.regs.cpsr.to_word(),
         state.cycles,
