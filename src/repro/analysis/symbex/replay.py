@@ -34,6 +34,7 @@ from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.monitor.layout import SMC
 from repro.spec.pagedb import AbsPageDb
+from repro.util.watchdog import TrialTimeout, time_limit
 from repro.verification.extract import extract_pagedb
 from repro.verification.refinement import CheckedMonitor, RefinementError
 
@@ -218,14 +219,36 @@ class ReplayHarness:
         self,
         witnesses: Iterable[Witness],
         progress=None,
+        trial_timeout: Optional[float] = None,
     ) -> List[ReplayFailure]:
-        """Replay every witness on every engine; collect all failures."""
+        """Replay every witness on every engine; collect all failures.
+
+        ``trial_timeout`` bounds one witness replay in wall-clock
+        seconds (``repro.util.watchdog``): a wedged replay fails that
+        witness with a clear error instead of hanging the run.  The
+        stranded session monitor is discarded and rebooted so later
+        witnesses replay from a clean machine.
+        """
         failures: List[ReplayFailure] = []
         for index, witness in enumerate(witnesses):
             outcomes: Dict[str, ReplayOutcome] = {}
             for engine in self.engines:
                 try:
-                    outcomes[engine] = self.replay_one(witness, engine)
+                    with time_limit(trial_timeout, f"witness {witness.label}"):
+                        outcomes[engine] = self.replay_one(witness, engine)
+                except TrialTimeout as exc:
+                    failures.append(ReplayFailure(witness.label, engine, str(exc)))
+                    # A timeout can interrupt replay anywhere — mid-SMC,
+                    # mid-snapshot-capture — so nothing about this
+                    # engine's session or its cached checkpoints can be
+                    # trusted any more.  Drop them; the next witness
+                    # reboots and re-prepares from scratch.
+                    self._sessions.pop(engine, None)
+                    self._prepared_cache = {
+                        key: entry
+                        for key, entry in self._prepared_cache.items()
+                        if key[0] != engine
+                    }
                 except AssertionError as exc:
                     failures.append(ReplayFailure(witness.label, engine, str(exc)))
             if len(outcomes) == len(self.engines) > 1:

@@ -1,0 +1,541 @@
+"""The enclave cloud's front end: asyncio supervision of forked workers.
+
+One :class:`CloudService` owns a pool of worker processes (each a
+forked copy of a prewarmed :class:`EnclaveTemplate`), a pump thread
+multiplexing their pipes *and their process sentinels* through
+``multiprocessing.connection.wait`` — so a worker dying mid-request is
+detected even if it never writes another byte — and an asyncio event
+loop where all bookkeeping runs single-threaded.
+
+Resilience mechanics:
+
+* **idempotency** — requests are identified by ``CloudRequest.key``;
+  a second submit of the same key awaits the first execution's future,
+  and a crash-retried request is re-*dispatched*, never re-*resolved*,
+  so a seal/sign executes at most once from the client's view;
+* **crash retry** — a dead worker's in-flight request is re-dispatched
+  after a seeded exponential backoff (``repro.util.backoff`` delays ×
+  ``backoff_unit`` seconds), with the chaos kill point stripped so an
+  injected kill fires exactly once; after ``max_attempts`` dispatches
+  the request resolves with a typed retryable ``worker_crashed`` error;
+* **respawn** — every death forks a replacement from the prewarmed
+  template (copy-on-write: no re-boot, no re-keygen);
+* **timeouts** — ``request_timeout`` (wall-clock) hard-kills a wedged
+  worker, funnelling into the same retry path; the *deterministic*
+  per-request deadline is the step budget inside the worker;
+* **degradation** — a :class:`CircuitBreaker` over pool dispatches;
+  when open, requests run on the parent's own template in a one-thread
+  executor: slow, serialised, but bit-identical — correctness is never
+  traded for availability.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cloud.api import (
+    BadRequest,
+    CloudError,
+    CloudRequest,
+    CloudResponse,
+    PoolClosed,
+    RequestTimeout,
+    WorkerCrashed,
+)
+from repro.cloud.supervisor import CircuitBreaker, WorkerHandle
+from repro.cloud.worker import get_template, serve_request, worker_main
+from repro.util.backoff import Backoff, BackoffPolicy
+
+#: Fork is the only start method that inherits the prewarmed template;
+#: it exists on every POSIX platform this repo targets.
+_MP_CONTEXT = "fork"
+
+
+@dataclass
+class _Entry:
+    """One in-flight (or completed) request and its serving state."""
+
+    request: CloudRequest
+    future: "asyncio.Future[CloudResponse]"
+    options: Dict
+    backoff: Backoff
+    attempts: int = 0
+    worker_id: Optional[int] = None
+    timer: Optional[object] = None  # asyncio.TimerHandle
+    timed_out: bool = False
+    started: float = field(default_factory=time.monotonic)
+
+
+class CloudService:
+    """Supervised multi-tenant enclave serving over a worker pool."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        engine: str = "turbo",
+        seed: int = 0xC10D,
+        secure_pages: int = 32,
+        step_budget: int = 2_000_000,
+        request_timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_unit: float = 0.002,
+        breaker_threshold: int = 4,
+        breaker_cooldown: float = 0.25,
+        hb_interval: float = 0.05,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.pool_size = workers
+        self.spec = {
+            "engine": engine,
+            "seed": seed,
+            "secure_pages": secure_pages,
+            "step_budget": step_budget,
+        }
+        self.request_timeout = request_timeout
+        self.max_attempts = max_attempts
+        self.backoff_unit = backoff_unit
+        self.hb_interval = hb_interval
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        self._ctx = multiprocessing.get_context(_MP_CONTEXT)
+        self._workers: Dict[int, WorkerHandle] = {}
+        self._workers_lock = threading.Lock()
+        # Handles of dead workers, kept open until the pump thread has
+        # stopped: closing a conn the pump is concurrently recv-ing on
+        # tears the descriptor out from under it (an un-catchable-as-
+        # OSError TypeError deep in Connection._recv).  A dead worker's
+        # open conn is harmless — the pump just sees EOF.
+        self._dead_handles: List[WorkerHandle] = []
+        self._next_worker_id = 0
+        self._entries: Dict[str, _Entry] = {}
+        self._queue: Deque[str] = deque()
+        self._idle: Deque[int] = deque()
+        self._audit_futures: Dict[int, "asyncio.Future"] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pump: Optional[threading.Thread] = None
+        self._wake_r, self._wake_w = os.pipe()
+        self._degraded_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cloud-degraded"
+        )
+        self._closing = False
+        self._started = False
+        self.counters = {
+            "submitted": 0,
+            "completed": 0,
+            "crashes": 0,
+            "respawns": 0,
+            "retries": 0,
+            "degraded": 0,
+            "timeouts": 0,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "CloudService":
+        """Prewarm the template, fork the pool, start the pump."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        # Template build (RSA keygen included) is CPU-heavy; do it off
+        # the loop.  Workers forked afterwards inherit it via the
+        # worker-module cache, so each fork is cheap.
+        await self._loop.run_in_executor(None, get_template, self.spec)
+        for _ in range(self.pool_size):
+            self._spawn_worker()
+        self._pump = threading.Thread(
+            target=self._pump_loop, name="cloud-pump", daemon=True
+        )
+        self._pump.start()
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Stop the pool; pending requests resolve with ``pool_closed``."""
+        if self._closing:
+            return
+        self._closing = True
+        for entry in self._entries.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+            if not entry.future.done():
+                entry.future.set_result(
+                    CloudResponse.failure(
+                        entry.request, PoolClosed("service closed"),
+                        attempts=entry.attempts,
+                    )
+                )
+        with self._workers_lock:
+            handles = list(self._workers.values())
+        for handle in handles:
+            try:
+                handle.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        self._wake_pump()
+        if self._pump is not None:
+            self._pump.join(timeout=2.0)
+        # The pump is gone: now conns can be closed without racing it.
+        for handle in self._dead_handles:
+            handle.close()
+        self._dead_handles.clear()
+        for handle in handles:
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.kill()
+                handle.process.join(timeout=1.0)
+            handle.close()
+        with self._workers_lock:
+            self._workers.clear()
+        self._degraded_pool.shutdown(wait=True)
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    # -- the public request path -----------------------------------------
+
+    async def submit(
+        self,
+        request: CloudRequest,
+        step_budget: Optional[int] = None,
+        chaos_kill_at: Optional[int] = None,
+    ) -> CloudResponse:
+        """Serve a request; always returns a terminal CloudResponse.
+
+        Duplicate submits of the same idempotency key share one
+        execution.  ``chaos_kill_at`` is the chaos campaign's hook (see
+        ``repro.cloud.worker.KillPlan``); it applies to the *first*
+        dispatch only — the retry path strips it.
+        """
+        if not self._started:
+            raise RuntimeError("service not started")
+        if self._closing:
+            return CloudResponse.failure(request, PoolClosed("service closed"))
+        try:
+            request.validate()
+        except BadRequest as exc:
+            return CloudResponse.failure(request, exc)
+        key = request.key
+        entry = self._entries.get(key)
+        if entry is None:
+            policy = BackoffPolicy(
+                base_delay=4, attempts=max(self.max_attempts, 2), cap=64
+            )
+            entry = _Entry(
+                request=request,
+                future=self._loop.create_future(),
+                options={
+                    "step_budget": step_budget,
+                    "chaos_kill_at": chaos_kill_at,
+                },
+                backoff=policy.session(seed=int(key[:8], 16)),
+            )
+            self._entries[key] = entry
+            self.counters["submitted"] += 1
+            self._dispatch(entry)
+        return await asyncio.shield(entry.future)
+
+    async def audit_workers(
+        self, timeout: float = 30.0
+    ) -> Dict[int, Tuple[List[str], str]]:
+        """Ask every *idle* worker to restore + audit its secure state.
+
+        Returns ``{worker_id: (violations, rewind_digest)}``.
+        """
+        futures: Dict[int, "asyncio.Future"] = {}
+        with self._workers_lock:
+            handles = [h for h in self._workers.values() if h.idle]
+        for handle in handles:
+            try:
+                handle.conn.send(("audit",))
+            except (OSError, BrokenPipeError):
+                continue  # died since the snapshot; skip it
+            future = self._loop.create_future()
+            self._audit_futures[handle.worker_id] = future
+            futures[handle.worker_id] = future
+        results: Dict[int, Tuple[List[str], str]] = {}
+        for worker_id, future in futures.items():
+            results[worker_id] = await asyncio.wait_for(future, timeout)
+        return results
+
+    def stats(self) -> Dict:
+        with self._workers_lock:
+            alive = sum(1 for h in self._workers.values() if h.alive)
+        return {
+            **self.counters,
+            "workers_alive": alive,
+            "queue_depth": len(self._queue),
+            "breaker": self.breaker.state,
+            "breaker_opens": self.breaker.opens,
+        }
+
+    # -- worker management (loop thread only, except where noted) --------
+
+    def _spawn_worker(self) -> WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.spec, child_conn, self.hb_interval),
+            daemon=True,
+            name=f"cloud-worker-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        handle = WorkerHandle(
+            worker_id=worker_id, process=process, conn=parent_conn
+        )
+        with self._workers_lock:
+            self._workers[worker_id] = handle
+        self._idle.append(worker_id)
+        self._wake_pump()
+        return handle
+
+    def _wake_pump(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    def _pump_loop(self) -> None:
+        """Pump thread: multiplex worker pipes + death sentinels, post
+        every event to the loop.  Never touches service state directly."""
+        while not self._closing:
+            with self._workers_lock:
+                handles = list(self._workers.values())
+            by_conn = {h.conn: h for h in handles}
+            by_sentinel = {h.process.sentinel: h for h in handles}
+            waitables = [self._wake_r, *by_conn, *by_sentinel]
+            try:
+                ready = mp_connection.wait(waitables, timeout=0.25)
+            except (OSError, ValueError):
+                continue  # a conn/sentinel closed under us; re-snapshot
+            for obj in ready:
+                if obj == self._wake_r:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        pass
+                    continue
+                if obj in by_conn:
+                    handle = by_conn[obj]
+                    try:
+                        while handle.conn.poll(0):
+                            message = handle.conn.recv()
+                            self._post(self._on_message, handle.worker_id, message)
+                    except (EOFError, OSError, ValueError, TypeError):
+                        # EOF, a closed conn, or a conn torn down
+                        # mid-recv — all mean the same thing here.  The
+                        # pump must survive every one of them: a dead
+                        # pump means undetected deaths and hung clients.
+                        self._post(self._on_worker_death, handle.worker_id)
+                elif obj in by_sentinel:
+                    self._post(self._on_worker_death, by_sentinel[obj].worker_id)
+
+    def _post(self, callback, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:
+            pass  # loop already closed during teardown
+
+    # -- event handlers (loop thread) -------------------------------------
+
+    def _on_message(self, worker_id: int, message: Tuple) -> None:
+        if self._closing:
+            return
+        with self._workers_lock:
+            handle = self._workers.get(worker_id)
+        if handle is None:
+            return
+        kind = message[0]
+        if kind == "hb":
+            handle.last_heartbeat = time.monotonic()
+            handle.served = message[2]
+        elif kind == "res":
+            response = CloudResponse.from_wire(message[1])
+            handle.busy_with = None
+            self._idle.append(worker_id)
+            self.breaker.record_success()
+            self._resolve(response.key, response, worker_id)
+            self._drain_queue()
+        elif kind == "audit_ok":
+            future = self._audit_futures.pop(worker_id, None)
+            if future is not None and not future.done():
+                future.set_result((message[2], message[3]))
+
+    def _on_worker_death(self, worker_id: int) -> None:
+        with self._workers_lock:
+            handle = self._workers.pop(worker_id, None)
+        if handle is None:
+            return  # already reaped (sentinel + EOF both fired)
+        self._dead_handles.append(handle)  # conn closed after pump exit
+        try:
+            self._idle.remove(worker_id)
+        except ValueError:
+            pass
+        if self._closing:
+            return
+        self.counters["crashes"] += 1
+        self.counters["respawns"] += 1
+        self._spawn_worker()
+        key = handle.busy_with
+        if key is None:
+            return
+        entry = self._entries.get(key)
+        if entry is None or entry.future.done():
+            return
+        self.breaker.record_failure()
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        entry.worker_id = None
+        # The injected kill has fired; a retry must run the request for
+        # real (at-most-once chaos, and at-most-once client semantics).
+        entry.options["chaos_kill_at"] = None
+        if entry.attempts >= self.max_attempts:
+            error: CloudError = (
+                RequestTimeout(
+                    f"request killed after {self.request_timeout}s on "
+                    f"{entry.attempts} worker(s)"
+                )
+                if entry.timed_out
+                else WorkerCrashed(
+                    f"all {entry.attempts} dispatch attempts died with "
+                    "their worker"
+                )
+            )
+            self._resolve(
+                key,
+                CloudResponse.failure(entry.request, error, attempts=entry.attempts),
+                worker_id=-1,
+            )
+            return
+        self.counters["retries"] += 1
+        delay_units = entry.backoff.next_delay()
+        delay = (delay_units or 0) * self.backoff_unit
+        self._loop.call_later(delay, self._dispatch, entry)
+
+    def _on_request_timeout(self, key: str, worker_id: int) -> None:
+        entry = self._entries.get(key)
+        with self._workers_lock:
+            handle = self._workers.get(worker_id)
+        if (
+            entry is None
+            or entry.future.done()
+            or handle is None
+            or handle.busy_with != key
+        ):
+            return
+        self.counters["timeouts"] += 1
+        entry.timed_out = True
+        # Hard-kill the wedged worker; the sentinel fires and the death
+        # path decides between redispatch and a typed timeout failure.
+        handle.kill()
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch(self, entry: _Entry) -> None:
+        if self._closing or entry.future.done():
+            return
+        key = entry.request.key
+        if not self.breaker.allow():
+            self._dispatch_degraded(entry)
+            return
+        if not self._idle:
+            if key not in self._queue:
+                self._queue.append(key)
+            return
+        worker_id = self._idle.popleft()
+        with self._workers_lock:
+            handle = self._workers.get(worker_id)
+        if handle is None or not handle.alive:
+            # Raced with a death the loop hasn't processed yet.
+            self._loop.call_soon(self._dispatch, entry)
+            return
+        entry.attempts += 1
+        entry.worker_id = worker_id
+        handle.busy_with = key
+        try:
+            handle.conn.send(("req", entry.request.to_wire(), dict(entry.options)))
+        except (OSError, BrokenPipeError):
+            handle.busy_with = None
+            self._loop.call_soon(self._dispatch, entry)
+            return
+        if self.request_timeout is not None:
+            entry.timer = self._loop.call_later(
+                self.request_timeout, self._on_request_timeout, key, worker_id
+            )
+
+    def _dispatch_degraded(self, entry: _Entry) -> None:
+        """Breaker-open path: correct, slow, in-process, serialised."""
+        entry.attempts += 1
+        self.counters["degraded"] += 1
+        request = entry.request
+        step_budget = entry.options.get("step_budget")
+
+        def run() -> CloudResponse:
+            template = get_template(self.spec)
+            # Deliberately no chaos_kill_at: the degraded path runs in
+            # the supervisor's own process, where an injected kill
+            # would take down the whole service — the opposite of
+            # graceful degradation.
+            return serve_request(template, request, step_budget=step_budget)
+
+        future = self._loop.run_in_executor(self._degraded_pool, run)
+
+        def done(fut) -> None:
+            if entry.future.done():
+                return
+            try:
+                response = fut.result()
+            except CloudError as exc:
+                response = CloudResponse.failure(request, exc)
+            self._resolve(
+                request.key,
+                dataclasses.replace(response, degraded=True),
+                worker_id=-1,
+            )
+
+        future.add_done_callback(
+            lambda fut: self._loop.call_soon_threadsafe(done, fut)
+        )
+
+    def _drain_queue(self) -> None:
+        while self._queue and self._idle:
+            key = self._queue.popleft()
+            entry = self._entries.get(key)
+            if entry is not None and not entry.future.done():
+                self._dispatch(entry)
+
+    def _resolve(self, key: str, response: CloudResponse, worker_id: int) -> None:
+        entry = self._entries.get(key)
+        if entry is None or entry.future.done():
+            return
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        self.counters["completed"] += 1
+        entry.future.set_result(
+            dataclasses.replace(
+                response,
+                worker=worker_id,
+                attempts=max(entry.attempts, response.attempts),
+                elapsed=time.monotonic() - entry.started,
+            )
+        )

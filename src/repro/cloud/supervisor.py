@@ -1,0 +1,127 @@
+"""Supervision primitives: worker handles and the circuit breaker.
+
+The service (``repro.cloud.service``) composes these: a
+:class:`WorkerHandle` per forked worker, watched through its process
+sentinel and heartbeats, and one :class:`CircuitBreaker` guarding the
+pool — when workers are dying faster than the respawn path can prove
+them healthy, the breaker opens and the service sheds load onto its
+degraded-but-correct in-process path instead of queueing requests
+behind a crash loop.
+
+The breaker is the classic three-state machine:
+
+* CLOSED — healthy; failures are counted, ``failure_threshold``
+  consecutive ones open it;
+* OPEN — all pool traffic is refused for ``cooldown`` seconds;
+* HALF_OPEN — after the cooldown, exactly one probe request is let
+  through; success closes the breaker, failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown and a half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 4,
+        cooldown: float = 0.25,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.opens = 0  # lifetime count, for stats
+
+    @property
+    def state(self) -> str:
+        self._tick()
+        return self._state
+
+    def _tick(self) -> None:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+
+    def allow(self) -> bool:
+        """May a request use the pool right now?
+
+        In HALF_OPEN, only the first caller gets a True (the probe);
+        the rest stay shed until the probe reports back.
+        """
+        self._tick()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._tick()
+        self._consecutive_failures = 0
+        self._state = CLOSED
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        self._tick()
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN or (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+            self.opens += 1
+
+
+@dataclass
+class WorkerHandle:
+    """The supervisor's view of one worker process."""
+
+    worker_id: int
+    process: Any  # multiprocessing.Process
+    conn: Any  # multiprocessing.connection.Connection
+    busy_with: Optional[str] = None  # idempotency key of in-flight request
+    served: int = 0
+    last_heartbeat: float = field(default_factory=time.monotonic)
+    generation: int = 0  # how many respawns this slot has seen
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_with is None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Hard-kill the worker (wedged or being reaped)."""
+        if self.process.is_alive():
+            self.process.kill()
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass

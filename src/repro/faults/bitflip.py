@@ -77,6 +77,7 @@ from repro.monitor.layout import (
     pagedb_entry_addr,
 )
 from repro.osmodel.kernel import OSKernel
+from repro.util.watchdog import TrialTimeout, time_limit
 
 CODE_VA = 0x0001_0000
 DATA_VA = CODE_VA + PAGE_SIZE
@@ -213,6 +214,10 @@ class BitflipCampaign:
         checkpoint each quiescent step once and rewind in place per
         flip instead of deep-copying monitor+kernel per trial; reports
         are bit-identical either way.
+    trial_timeout:
+        optional wall-clock budget (seconds) per trial; a wedged trial
+        is recorded as a violation instead of hanging the campaign
+        (``repro.util.watchdog``).  None disables.
     """
 
     def __init__(
@@ -223,6 +228,7 @@ class BitflipCampaign:
         targets: Optional[Iterable[str]] = None,
         stride: int = 1,
         use_snapshots: bool = True,
+        trial_timeout: Optional[float] = None,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -238,6 +244,7 @@ class BitflipCampaign:
                 raise ValueError(f"unknown flip-target families: {sorted(unknown)}")
         self.stride = stride
         self.use_snapshots = use_snapshots
+        self.trial_timeout = trial_timeout
 
     # -- lifecycle machinery ---------------------------------------------
 
@@ -536,7 +543,21 @@ class BitflipCampaign:
             summary.violations.append(f"{name}: golden run tripped the engine")
         pairs = [(site, bit) for site in sites for bit in range(32)]
         for site, bit in pairs[:: self.stride]:
-            self._trial(fork, enclaves, needs_finalise, site, bit, golden, summary)
+            try:
+                with time_limit(
+                    self.trial_timeout, f"{name} flip {site.label} bit {bit}"
+                ):
+                    self._trial(
+                        fork, enclaves, needs_finalise, site, bit, golden, summary
+                    )
+            except TrialTimeout as exc:
+                # Keep the per-trial differential records aligned; the
+                # next fork() rewind discards the stranded machine.
+                summary.trials += 1
+                summary.trial_outcomes.append("timeout")
+                summary.trial_digests.append("")
+                summary.trial_cycles.append(-1)
+                summary.violations.append(f"{name}: {exc}")
         if self.use_snapshots:
             # Leave the base machine at the pre-step state.
             checkpoint.restore()
@@ -606,6 +627,7 @@ def run_differential(
     secure_pages: int = 16,
     engines: Tuple[str, ...] = ("fast", "reference"),
     use_snapshots: bool = True,
+    trial_timeout: Optional[float] = None,
 ) -> Tuple:
     """Run the campaign under each engine and compare them bit-for-bit.
 
@@ -628,6 +650,7 @@ def run_differential(
             targets=tokens,
             stride=stride,
             use_snapshots=use_snapshots,
+            trial_timeout=trial_timeout,
         )
         reports.append(campaign.run())
     base_name, baseline = engines[0], reports[0]

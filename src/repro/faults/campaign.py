@@ -52,6 +52,7 @@ from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.monitor.layout import SMC, SVC, Mapping, PageType
 from repro.osmodel.kernel import OSKernel
+from repro.util.watchdog import TrialTimeout, time_limit
 
 #: Fixed secure-page assignment for the lifecycle enclave.
 AS_PAGE, L1_PAGE, L2_PAGE, CODE_PAGE, THREAD_PAGE = 0, 1, 2, 3, 4
@@ -143,6 +144,10 @@ class LifecycleCampaign:
         of deep-copying the monitor per trial.  Reports are
         bit-identical either way (pinned by
         tests/faults/test_snapshot.py); snapshots are just faster.
+    trial_timeout:
+        optional wall-clock budget (seconds) per discovery run / trial;
+        a wedged trial fails with a recorded violation instead of
+        hanging the campaign (``repro.util.watchdog``).  None disables.
     """
 
     def __init__(
@@ -153,6 +158,7 @@ class LifecycleCampaign:
         inject_steps: Optional[Iterable[str]] = None,
         stride: int = 1,
         use_snapshots: bool = True,
+        trial_timeout: Optional[float] = None,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -162,6 +168,7 @@ class LifecycleCampaign:
         self.inject_steps = None if inject_steps is None else tuple(inject_steps)
         self.stride = stride
         self.use_snapshots = use_snapshots
+        self.trial_timeout = trial_timeout
 
     # -- machinery -------------------------------------------------------
 
@@ -334,41 +341,63 @@ class LifecycleCampaign:
         plan = FaultPlan(
             on_boundary=lambda state: boundaries.add(secure_state_digest(state))
         )
-        with inject(probe.state, plan):
-            self._run_step(probe, step)
+        try:
+            with time_limit(self.trial_timeout, f"{step.name} discovery"):
+                with inject(probe.state, plan):
+                    self._run_step(probe, step)
+        except TrialTimeout as exc:
+            step_report.violations.append(f"{step.name}: {exc}")
+            cleanup()
+            return
         boundaries.add(secure_state_digest(probe.state))
         step_report.fault_points = plan.count
         # Trials: crash at every (stride-th) operation.
         for abort_at in range(1, plan.count + 1, self.stride):
             trial = fork()
-            trial_plan = FaultPlan(abort_at=abort_at)
-            crashed = False
-            try:
-                with inject(trial.state, trial_plan):
-                    self._run_step(trial, step)
-            except FaultInjected:
-                crashed = True
             step_report.trials += 1
-            if not crashed:
-                step_report.violations.append(
-                    f"{step.name}: injection at op {abort_at} did not fire"
-                )
-                continue
-            kind, detail = trial_plan.trace[-1]
-            where = f"{step.name} op {abort_at} ({kind} {detail:#x})"
-            trial.recover()
-            step_report.violations.extend(
-                f"{where}: audit: {violation}" for violation in audit_monitor(trial)
-            )
-            if secure_state_digest(trial.state) not in boundaries:
-                step_report.violations.append(
-                    f"{where}: recovered state is neither pre-call nor completed"
-                )
-            step_report.violations.extend(
-                self._finish_after_crash(trial, steps, index)
-            )
+            try:
+                with time_limit(self.trial_timeout, f"{step.name} op {abort_at}"):
+                    self._trial(trial, steps, index, abort_at, boundaries, step_report)
+            except TrialTimeout as exc:
+                # A timeout may strand the trial machine mid-step; the
+                # next fork() rewind (or throwaway copy) discards it.
+                step_report.violations.append(f"{step.name}: {exc}")
         # Leave `base` at the pre-step state for the clean run.
         cleanup()
+
+    def _trial(
+        self,
+        trial: KomodoMonitor,
+        steps: List[_Step],
+        index: int,
+        abort_at: int,
+        boundaries,
+        step_report: StepReport,
+    ) -> None:
+        step = steps[index]
+        trial_plan = FaultPlan(abort_at=abort_at)
+        crashed = False
+        try:
+            with inject(trial.state, trial_plan):
+                self._run_step(trial, step)
+        except FaultInjected:
+            crashed = True
+        if not crashed:
+            step_report.violations.append(
+                f"{step.name}: injection at op {abort_at} did not fire"
+            )
+            return
+        kind, detail = trial_plan.trace[-1]
+        where = f"{step.name} op {abort_at} ({kind} {detail:#x})"
+        trial.recover()
+        step_report.violations.extend(
+            f"{where}: audit: {violation}" for violation in audit_monitor(trial)
+        )
+        if secure_state_digest(trial.state) not in boundaries:
+            step_report.violations.append(
+                f"{where}: recovered state is neither pre-call nor completed"
+            )
+        step_report.violations.extend(self._finish_after_crash(trial, steps, index))
 
 
 def run_differential(
@@ -378,6 +407,7 @@ def run_differential(
     secure_pages: int = 16,
     engines: Tuple[str, ...] = ("fast", "reference"),
     use_snapshots: bool = True,
+    trial_timeout: Optional[float] = None,
 ) -> Tuple:
     """Run the campaign under each engine and compare them pairwise.
 
@@ -400,6 +430,7 @@ def run_differential(
             inject_steps=tokens,
             stride=stride,
             use_snapshots=use_snapshots,
+            trial_timeout=trial_timeout,
         )
         reports.append(campaign.run())
     base_name, baseline = engines[0], reports[0]

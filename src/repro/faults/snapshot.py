@@ -21,8 +21,11 @@ Restoring is equivalent to running the trial on a deep copy:
   the hardware RNG's draw position; all are restored in place, so
   objects holding references to the monitor, its state, or its RNG
   (``Attestation``, ``PageDB``, ``OSKernel``) stay valid;
-* the OS kernel's mutable state is its free-page list and the next
-  insecure staging page.
+* the OS kernel's mutable state is its free-page list, the next
+  insecure staging page, and any in-flight ``retry_with_backoff``
+  session — a crash injected mid-retry leaves the session attached to
+  the kernel, and restore discards it so a rewound trial can never
+  inherit a stale backoff deadline from the previous trial.
 
 The regression suite (tests/faults/test_snapshot.py) pins the
 equivalence by running both campaign drivers with ``use_snapshots``
@@ -105,4 +108,8 @@ class CampaignSnapshot:
         if kernel is not None:
             kernel._free_pages = list(self.free_pages)
             kernel._insecure_next = self.insecure_next
+            # Snapshots are only captured at quiescent points, so the
+            # checkpoint never holds a live retry loop: any in-flight
+            # backoff session belongs to the crashed trial, not to us.
+            kernel._backoff = None
         return monitor, kernel

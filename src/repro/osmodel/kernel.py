@@ -20,6 +20,7 @@ from repro.arm.modes import World
 from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.monitor.layout import KOM_MAGIC, Mapping, SMC
+from repro.util.backoff import Backoff, BackoffPolicy
 
 
 class OSError_(Exception):
@@ -60,6 +61,12 @@ class OSKernel:
         insecure = monitor.state.memmap.insecure
         self._insecure_next = insecure.base
         self._insecure_limit = insecure.limit
+        #: In-flight retry_with_backoff session, if one is mid-loop.  A
+        #: monitor crash injected inside ``issue()`` unwinds past the
+        #: loop and leaves the session attached — modelling a driver
+        #: that died inside its wait loop — so campaign snapshot restore
+        #: must clear it (repro.faults.snapshot.CampaignSnapshot).
+        self._backoff: Optional[Backoff] = None
 
     # -- secure-page accounting ------------------------------------------
 
@@ -242,6 +249,8 @@ class OSKernel:
         attempts: int = 4,
         seed: int = 0,
         base_delay: int = 64,
+        cap: Optional[int] = None,
+        deadline: Optional[int] = None,
     ) -> Tuple[KomErr, int]:
         """Bounded retry of a transient SMC outcome, with seeded backoff.
 
@@ -253,25 +262,31 @@ class OSKernel:
         state), or a contended monitor lock on a multicore platform.
 
         The backoff between attempts is a deterministic, seeded,
-        exponentially growing spin charged to the machine's cycle
-        counter — never wall-clock — so campaign runs that exercise this
-        path are bit-reproducible and the cost model sees the waiting.
-        Returns the final ``(err, value)`` after at most ``attempts``
-        issues (the last error, still transient, if none succeeded).
+        exponentially growing spin (``repro.util.backoff``) charged to
+        the machine's cycle counter — never wall-clock — so campaign
+        runs that exercise this path are bit-reproducible and the cost
+        model sees the waiting.  ``cap`` bounds a single spin;
+        ``deadline`` (absolute, in cycles) refuses any wait that would
+        end past it.  Returns the final ``(err, value)`` after at most
+        ``attempts`` issues (the last error, still transient, if none
+        succeeded or the deadline cut the loop short).
         """
-        if attempts < 1:
-            raise ValueError("attempts must be at least 1")
         state = self.monitor.state
-        word = (seed ^ 0x9E3779B9) & 0xFFFFFFFF
+        policy = BackoffPolicy(
+            base_delay=base_delay, attempts=attempts, cap=cap, deadline=deadline
+        )
+        # No try/finally on purpose: an injected crash escaping issue()
+        # leaves the session attached (see __init__); snapshot restore
+        # resets it so a rewound trial cannot inherit a stale deadline.
+        self._backoff = session = policy.session(seed)
         err, value = issue()
-        for attempt in range(1, attempts):
-            if err not in transient:
+        while err in transient:
+            delay = session.next_delay(now=state.cycles)
+            if delay is None:
                 break
-            # Linear congruential jitter (Numerical Recipes constants):
-            # deterministic for a given seed, different across attempts.
-            word = (word * 1664525 + 1013904223) & 0xFFFFFFFF
-            state.charge(base_delay * (1 << (attempt - 1)) + word % base_delay)
+            state.charge(delay)
             err, value = issue()
+        self._backoff = None
         return (err, value)
 
     def scrub(self) -> Tuple[int, int]:

@@ -1,0 +1,261 @@
+"""Enclave-cloud throughput/latency benchmark + CI gate.
+
+Runs a deterministic mixed workload (every request kind, fixed seeded
+payloads) through a live :class:`CloudService` for each (engine ×
+worker-count) configuration, and records req/s plus p50/p99 request
+latency into ``BENCH_cloud.json``::
+
+    python -m repro.tools.cloudbench                 # run + write JSON
+    python -m repro.tools.cloudbench --check         # CI gate on the JSON
+    python -m repro.tools.cloudbench --summary-md    # markdown table
+
+The gate (``--check``) splits what must be exact from what merely must
+be sane:
+
+* **exact** — the committed ``results_digest`` is recomputed from pure
+  in-process goldens on every engine in the file; responses are
+  engine-, worker- and scheduling-invariant data, so any drift is a
+  semantic regression, not noise;
+* **structural** — wall-clock numbers are machine-dependent, so they
+  are only validated for shape: positive, p50 <= p99, and the matrix
+  covers at least two worker counts and two engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.cloud.api import REQUEST_KINDS, CloudRequest, results_digest
+from repro.cloud.chaos import base_payload
+from repro.cloud.service import CloudService
+from repro.cloud.worker import get_template
+
+BENCH_VERSION = 1
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_cloud.json"
+DEFAULT_ENGINES = ("turbo", "fast")
+DEFAULT_WORKER_COUNTS = (1, 2)
+DEFAULT_PER_KIND = 4
+
+
+def workload(seed: int, per_kind: int) -> List[CloudRequest]:
+    """The fixed request mix every configuration serves."""
+    requests = []
+    for kind in REQUEST_KINDS:
+        for nonce in range(per_kind):
+            requests.append(
+                CloudRequest(kind=kind, payload=base_payload(kind, seed), nonce=nonce)
+            )
+    return requests
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    ranked = sorted(values)
+    index = min(len(ranked) - 1, max(0, round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+async def _bench_config(
+    engine: str, workers: int, requests: List[CloudRequest]
+) -> Dict:
+    service = CloudService(workers=workers, engine=engine)
+    await service.start()
+    try:
+        start = time.monotonic()
+        responses = await asyncio.gather(
+            *(service.submit(request) for request in requests)
+        )
+        wall = time.monotonic() - start
+    finally:
+        await service.close()
+    failed = [r for r in responses if not r.ok]
+    if failed:
+        raise RuntimeError(
+            f"bench run had {len(failed)} failed requests "
+            f"(first: {failed[0].error_code})"
+        )
+    latencies = [r.elapsed for r in responses]
+    return {
+        "engine": engine,
+        "workers": workers,
+        "requests": len(requests),
+        "wall_s": round(wall, 4),
+        "req_per_s": round(len(requests) / wall, 2),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "digest": results_digest(responses),
+    }
+
+
+def run_bench(
+    seed: int,
+    per_kind: int,
+    engines: Sequence[str],
+    worker_counts: Sequence[int],
+) -> Dict:
+    requests = workload(seed, per_kind)
+    configs = []
+    for engine in engines:
+        for workers in worker_counts:
+            configs.append(asyncio.run(_bench_config(engine, workers, requests)))
+    digests = {config.pop("digest") for config in configs}
+    if len(digests) != 1:
+        raise RuntimeError(
+            f"bench configurations disagree on results: {sorted(digests)}"
+        )
+    return {
+        "version": BENCH_VERSION,
+        "seed": seed,
+        "per_kind": per_kind,
+        "kinds": list(REQUEST_KINDS),
+        "results_digest": digests.pop(),
+        "configs": configs,
+    }
+
+
+def golden_digest(seed: int, per_kind: int, engine: str) -> str:
+    """The workload's results digest from pure in-process execution."""
+    template = get_template(
+        {"engine": engine, "seed": 0xC10D, "secure_pages": 32, "step_budget": 2_000_000}
+    )
+    return results_digest(
+        template.expected(request) for request in workload(seed, per_kind)
+    )
+
+
+def check_bench(data: Dict) -> List[str]:
+    """The CI gate: exact digests, sane structure.  Returns problems."""
+    problems = []
+    if data.get("version") != BENCH_VERSION:
+        return [f"unsupported bench version {data.get('version')!r}"]
+    configs = data.get("configs", [])
+    engines = {config["engine"] for config in configs}
+    worker_counts = {config["workers"] for config in configs}
+    if len(engines) < 2:
+        problems.append(f"need >=2 engines in the matrix, found {sorted(engines)}")
+    if len(worker_counts) < 2:
+        problems.append(
+            f"need >=2 worker counts in the matrix, found {sorted(worker_counts)}"
+        )
+    for config in configs:
+        label = f"{config['engine']}/w{config['workers']}"
+        for field in ("wall_s", "req_per_s", "p50_ms", "p99_ms"):
+            if not config.get(field) or config[field] <= 0:
+                problems.append(f"{label}: non-positive {field}")
+        if config.get("p50_ms", 0) > config.get("p99_ms", 0):
+            problems.append(f"{label}: p50 exceeds p99")
+    for engine in sorted(engines):
+        recomputed = golden_digest(data["seed"], data["per_kind"], engine)
+        if recomputed != data["results_digest"]:
+            problems.append(
+                f"results_digest mismatch on engine {engine}: committed "
+                f"{data['results_digest'][:16]}.., recomputed {recomputed[:16]}.."
+            )
+    return problems
+
+
+def _table(data: Dict, markdown: bool) -> str:
+    header = ("engine", "workers", "req/s", "p50 ms", "p99 ms", "wall s")
+    rows = [
+        (
+            config["engine"],
+            str(config["workers"]),
+            f"{config['req_per_s']:.1f}",
+            f"{config['p50_ms']:.2f}",
+            f"{config['p99_ms']:.2f}",
+            f"{config['wall_s']:.2f}",
+        )
+        for config in data["configs"]
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        lines.extend("| " + " | ".join(row) + " |" for row in rows)
+        return "\n".join(lines)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header)))
+    ]
+    lines.extend(
+        "  ".join(row[i].rjust(widths[i]) for i in range(len(header)))
+        for row in rows
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.cloudbench",
+        description="enclave-cloud req/s and latency benchmark",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the committed JSON instead of re-running the bench",
+    )
+    parser.add_argument(
+        "--summary-md",
+        action="store_true",
+        help="print a markdown table from the JSON (for CI job summaries)",
+    )
+    parser.add_argument("--out", default=str(DEFAULT_PATH), metavar="PATH")
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=0xBE7C)
+    parser.add_argument("--per-kind", type=int, default=DEFAULT_PER_KIND)
+    parser.add_argument(
+        "--engines", default=",".join(DEFAULT_ENGINES), metavar="E1,E2"
+    )
+    parser.add_argument(
+        "--workers",
+        default=",".join(str(w) for w in DEFAULT_WORKER_COUNTS),
+        metavar="N1,N2",
+    )
+    args = parser.parse_args(argv)
+    path = pathlib.Path(args.out)
+
+    if args.check or args.summary_md:
+        if not path.is_file():
+            print(f"cloudbench: {path} missing; run the bench and commit it")
+            return 1
+        with open(path) as handle:
+            data = json.load(handle)
+        if args.summary_md:
+            print("### Enclave cloud: req/s and latency\n")
+            print(_table(data, markdown=True))
+            print(f"\nresults digest: `{data['results_digest'][:16]}..`")
+        if args.check:
+            problems = check_bench(data)
+            if problems:
+                for problem in problems:
+                    print(f"cloudbench: FAIL: {problem}")
+                return 1
+            print(
+                f"cloudbench: {path.name} OK — digest exact on all engines, "
+                f"{len(data['configs'])} configurations structurally sane"
+            )
+        return 0
+
+    engines = [token.strip() for token in args.engines.split(",") if token.strip()]
+    worker_counts = [
+        int(token) for token in args.workers.split(",") if token.strip()
+    ]
+    data = run_bench(args.seed, args.per_kind, engines, worker_counts)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(_table(data, markdown=False))
+    print(f"cloudbench: wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

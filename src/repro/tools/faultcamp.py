@@ -90,6 +90,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="inject at every N-th operation (1 = exhaustive)",
     )
     parser.add_argument("--secure-pages", type=int, default=16)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per trial: a wedged trial fails that "
+        "trial with a recorded violation instead of hanging the run",
+    )
     args = parser.parse_args(argv)
 
     inject_steps = None
@@ -108,6 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             secure_pages=args.secure_pages,
             engines=engines,
             use_snapshots=not args.no_snapshot,
+            trial_timeout=args.timeout,
         )
         for report in reports:
             _print_report(report)
@@ -124,6 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             inject_steps=inject_steps,
             stride=args.stride,
             use_snapshots=not args.no_snapshot,
+            trial_timeout=args.timeout,
         )
         report = campaign.run()
         _print_report(report)

@@ -153,6 +153,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help=f"rewrite the census baseline ({BASELINE_PATH.name})",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per witness replay: a wedged replay "
+        "fails that witness with a clear error instead of hanging CI",
+    )
     parser.add_argument("--list", action="store_true", help="list SMC drivers")
     args = parser.parse_args(argv)
 
@@ -207,7 +215,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.check and args.engine != "none":
         engines = DEFAULT_ENGINES if args.engine == "all" else (args.engine,)
         harness = ReplayHarness(engines=engines)
-        failures = harness.check(witnesses)
+        failures = harness.check(witnesses, trial_timeout=args.timeout)
         if failures:
             print(f"pathexp: FAIL: {len(failures)} witness replay failure(s):")
             for failure in failures[:25]:

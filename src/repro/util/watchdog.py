@@ -1,0 +1,66 @@
+"""Wall-clock watchdogs for campaign trials.
+
+The fault/bit-flip/path-replay campaigns are deterministic, but a bug
+under development can still wedge a single trial (an enclave that never
+yields, a retry loop that never converges).  ``time_limit`` bounds one
+trial in *wall-clock* seconds so a wedged trial fails that trial with a
+clear :class:`TrialTimeout` instead of hanging CI.
+
+Implementation: ``signal.setitimer(ITIMER_REAL)`` + ``SIGALRM``, which
+interrupts pure-Python compute loops (a ``threading``-based watchdog
+cannot).  SIGALRM is only deliverable on the main thread of the main
+interpreter; off the main thread — or on platforms without SIGALRM —
+the context manager degrades to a no-op rather than failing, since the
+timeout is a CI safety net, not a semantic guarantee.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Optional
+
+
+class TrialTimeout(Exception):
+    """One watchdog-bounded trial exceeded its wall-clock budget."""
+
+
+def _watchdog_available() -> bool:
+    return (
+        hasattr(signal, "setitimer")
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextlib.contextmanager
+def time_limit(seconds: Optional[float], label: str = "trial") -> Iterator[None]:
+    """Bound the body to ``seconds`` of wall clock; raise TrialTimeout.
+
+    ``seconds=None`` (or ``<= 0``) disables the watchdog.  Nesting is
+    not supported: the inner limit would clobber the outer timer, so
+    the inner context becomes a no-op when an alarm is already armed.
+    """
+    if not seconds or seconds <= 0 or not _watchdog_available():
+        yield
+        return
+    if signal.getitimer(signal.ITIMER_REAL)[0]:
+        # An outer time_limit (or other real-timer user) is already
+        # counting down; run unbounded inside — its alarm still fires.
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TrialTimeout(f"{label}: exceeded {seconds:g}s wall-clock limit")
+
+    # Install the handler BEFORE arming the timer: a very short limit
+    # could otherwise fire into the default disposition (process kill)
+    # between the two calls.
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    try:
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,52 @@
+"""The chaos campaign: worker kills never break exactness or liveness."""
+
+import pytest
+
+from repro.cloud.chaos import ChaosCampaign, base_payload
+
+
+class TestChaosCampaign:
+    def test_full_sweep_passes_and_observes_every_kill(self):
+        campaign = ChaosCampaign(kill_stride=5, workers=2)
+        report = campaign.run()
+        assert report.passed, report.violations[:5]
+        assert report.hangs == 0
+        assert report.completed == report.submitted
+        # Every completion was bit-exact (the strip-on-retry design means
+        # killed requests succeed on their retry, not fail typed).
+        assert report.ok == report.submitted
+        kills = sum(report.kill_points.values())
+        assert report.crashes >= kills
+        assert report.respawns == report.crashes
+        assert report.worker_audits == 2
+
+    def test_restricted_kinds_and_dense_stride(self):
+        campaign = ChaosCampaign(
+            kinds=("seal", "checksum"), kill_stride=3, workers=2, background=2
+        )
+        report = campaign.run()
+        assert report.passed, report.violations[:5]
+        assert set(report.ops_per_kind) == {"seal", "checksum"}
+        assert all(ops > 0 for ops in report.ops_per_kind.values())
+
+    def test_report_dict_is_json_shaped(self):
+        report = ChaosCampaign(
+            kinds=("attest",), kill_stride=50, workers=1, background=0
+        ).run()
+        data = report.to_dict()
+        assert data["passed"] is True
+        assert data["submitted"] == data["completed"]
+        assert isinstance(data["violations"], list)
+        assert data["kill_points"]["attest"] >= 2  # 0 and -1 at minimum
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ChaosCampaign(kill_stride=0)
+        with pytest.raises(ValueError):
+            ChaosCampaign(kinds=("nonsense",))
+        with pytest.raises(ValueError):
+            base_payload("nonsense", 0)
+
+    def test_payloads_are_deterministic_in_seed(self):
+        assert base_payload("seal", 7) == base_payload("seal", 7)
+        assert base_payload("seal", 7) != base_payload("seal", 8)

@@ -1,0 +1,80 @@
+"""CircuitBreaker: the three-state machine, on a fake clock."""
+
+import pytest
+
+from repro.cloud.supervisor import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown=1.0, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_everything(self, breaker):
+        assert breaker.state == CLOSED
+        assert all(breaker.allow() for _ in range(10))
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never three in a row
+
+    def test_threshold_opens_and_sheds(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_cooldown_yields_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else still shed
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_failed_probe_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+        assert breaker.opens == 2
+        # A second cooldown offers a fresh probe.
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_parameter_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0, clock=clock)

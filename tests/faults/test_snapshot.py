@@ -196,6 +196,69 @@ class TestCampaignSnapshot:
         assert monitor.smc_count == 0
 
 
+class TestBackoffReset:
+    """Satellite regression: a rewound trial can never inherit a stale
+    backoff session (and with it a stale deadline) from a previous
+    trial whose crash unwound mid-``retry_with_backoff``."""
+
+    def crash_mid_retry(self, monitor, kernel):
+        """Drive retry_with_backoff into its wait loop, then blow it up
+        the way an injected monitor crash does: an exception escaping
+        ``issue()`` before the loop's normal exit."""
+        from repro.monitor.errors import KomErr
+
+        boom = RuntimeError("injected crash mid-retry")
+        outcomes = iter([(KomErr.PAGE_QUARANTINED, 0)])
+
+        def issue():
+            try:
+                return next(outcomes)
+            except StopIteration:
+                raise boom from None
+
+        with pytest.raises(RuntimeError):
+            kernel.retry_with_backoff(
+                issue, attempts=4, seed=5, deadline=monitor.state.cycles + 10_000
+            )
+
+    def test_restore_clears_inflight_backoff_session(self):
+        monitor = KomodoMonitor(secure_pages=16)
+        kernel = OSKernel(monitor)
+        checkpoint = CampaignSnapshot(monitor, kernel)
+        assert kernel._backoff is None  # quiescent at capture
+
+        self.crash_mid_retry(monitor, kernel)
+        stale = kernel._backoff
+        assert stale is not None  # the crash left the session attached
+        assert stale.policy.deadline is not None
+        assert stale.retries == 1
+
+        checkpoint.restore()
+        assert kernel._backoff is None
+
+    def test_rewound_trial_backoff_is_bit_identical_to_fresh(self):
+        """With the stale session discarded, a retry loop in the rewound
+        trial charges exactly what it charges on a pristine kernel."""
+        from repro.monitor.errors import KomErr
+
+        def charge_profile(monitor, kernel):
+            before = monitor.state.cycles
+            kernel.retry_with_backoff(
+                lambda: (KomErr.PAGE_QUARANTINED, 0), attempts=4, seed=7
+            )
+            return monitor.state.cycles - before
+
+        pristine_monitor = KomodoMonitor(secure_pages=16)
+        pristine = charge_profile(pristine_monitor, OSKernel(pristine_monitor))
+
+        monitor = KomodoMonitor(secure_pages=16)
+        kernel = OSKernel(monitor)
+        checkpoint = CampaignSnapshot(monitor, kernel)
+        self.crash_mid_retry(monitor, kernel)
+        checkpoint.restore()
+        assert charge_profile(monitor, kernel) == pristine
+
+
 class TestCampaignReportParity:
     """The satellite regression: snapshot-accelerated campaigns must be
     byte-identical to the per-trial deep-copy path."""

@@ -1,0 +1,176 @@
+"""Crash storm: many cores dying mid-SMC in overlapping recovery windows.
+
+PR 3's crash-recovery test kills one core once.  Here every core (and
+sometimes the same core repeatedly, including on its retry) is killed
+inside the monitor while the other cores are mid-build — blocked on the
+big lock, waiting to retry their own crashed call, or issuing fresh
+SMCs.  Across many scheduler seeds the storm must always satisfy:
+
+* **no strand** — every script finishes (the run terminates well under
+  its step bound), which is only possible if each crash's recovery
+  broke the dead core's lock;
+* **no double-recovery** — ``MonitorLock.recovery_releases`` equals the
+  number of crashes exactly: each recovery released the lock once, and
+  no recovery released a lock a *live* core held;
+* the final state audits clean and every enclave measures identically.
+"""
+
+import pytest
+
+from repro.crypto.rng import HardwareRNG
+from repro.faults.audit import audit_monitor
+from repro.faults.injector import FaultInjected, FaultPlan
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.multicore import MultiCoreMachine
+from repro.monitor.layout import SMC
+
+NPAGES = 32
+ENTRY_VA = 0x1000
+
+
+class StormMachine(MultiCoreMachine):
+    """Arms a one-shot fault plan for chosen (core, nth-SMC) issues.
+
+    ``crash_plan`` maps ``(core_id, smc_index)`` — the index counts
+    every SMC issue that core makes, retries included — to the
+    machine-visible operation at which the monitor dies.  Each armed
+    point fires exactly once; the plan is detached before recovery runs
+    so the recovery path itself is never re-injected.
+    """
+
+    def __init__(self, monitor, seed=0, crash_plan=None):
+        super().__init__(monitor, seed=seed)
+        self.crash_plan = dict(crash_plan or {})
+        self._smc_index = {}
+
+    def _issue_smc(self, core, callno, args):
+        index = self._smc_index.get(core.core_id, 0)
+        self._smc_index[core.core_id] = index + 1
+        abort_at = self.crash_plan.pop((core.core_id, index), None)
+        if abort_at is None:
+            return super()._issue_smc(core, callno, args)
+        state = self.monitor.state
+        assert state.fault_plan is None
+        state.fault_plan = FaultPlan(abort_at=abort_at)
+        try:
+            return super()._issue_smc(core, callno, args)
+        finally:
+            state.fault_plan = None
+
+
+def _retry(callno, *args, completed=()):
+    """OS-style resilient SMC: reissue after a crash (the script sees
+    ``None``), and treat the call's characteristic already-done error
+    as success — the crash may have landed in the completed state."""
+    result = yield ("smc", callno, *args)
+    while result is None:
+        result = yield ("smc", callno, *args)
+    err, value = result
+    assert err is KomErr.SUCCESS or err in completed, (callno, err)
+    return (err, value)
+
+
+def _builder(base):
+    def script(core_id):
+        yield from _retry(
+            SMC.INIT_ADDRSPACE, base, base + 1, completed=(KomErr.PAGEINUSE,)
+        )
+        yield from _retry(
+            SMC.INIT_L2PTABLE,
+            base,
+            base + 2,
+            0,
+            completed=(KomErr.PAGEINUSE, KomErr.ADDRINUSE),
+        )
+        yield from _retry(
+            SMC.INIT_THREAD, base, base + 3, ENTRY_VA, completed=(KomErr.PAGEINUSE,)
+        )
+        yield from _retry(SMC.FINALISE, base, completed=(KomErr.ALREADY_FINAL,))
+
+    return script
+
+
+def storm_machine(seed, crash_plan, cores=4):
+    monitor = KomodoMonitor(secure_pages=NPAGES, rng=HardwareRNG(seed=1))
+    machine = StormMachine(monitor, seed=seed, crash_plan=crash_plan)
+    for i in range(cores):
+        machine.add_core(_builder(i * 4))
+    return machine
+
+
+def assert_storm_invariants(machine, expected_crashes):
+    assert len(machine.crashes) == expected_crashes
+    # No strand: every script ran to completion past its crashes.
+    assert all(core.finished for core in machine.cores)
+    # No double-recovery: each crash's recovery broke the lock exactly
+    # once — never more (a live core's lock stolen), never less (a dead
+    # core's lock stranded).
+    assert machine.lock.recovery_releases == expected_crashes
+    assert not machine.lock.held
+    for _, _, _, fault in machine.crashes:
+        assert isinstance(fault, FaultInjected)
+    assert audit_monitor(machine.monitor) == []
+    measurements = {
+        tuple(machine.monitor.pagedb.measurement(core_id * 4))
+        for core_id in range(len(machine.cores))
+    }
+    assert len(measurements) == 1  # identical builds measure identically
+
+
+class TestCrashStorm:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_every_core_crashes_once(self, seed):
+        """All four cores die on their first SMC; the recovery windows
+        overlap with the other cores' lock waits and retries."""
+        crash_plan = {(core_id, 0): 1 for core_id in range(4)}
+        machine = storm_machine(seed, crash_plan)
+        machine.run()
+        assert_storm_invariants(machine, expected_crashes=4)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_staggered_crashes_deep_in_the_build(self, seed):
+        """Crashes land at different depths per core — some on a first
+        call, some mid-build, at different operation indices — so
+        recoveries interleave with successful SMCs of other cores."""
+        crash_plan = {(0, 0): 1, (1, 1): 2, (2, 2): 1, (3, 3): 1}
+        machine = storm_machine(seed, crash_plan)
+        machine.run()
+        assert_storm_invariants(machine, expected_crashes=4)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_core_crashes_twice_including_its_retry(self, seed):
+        """Core 0's first SMC crashes, and so does the retry of that
+        very SMC; the second recovery must be as clean as the first."""
+        crash_plan = {(0, 0): 1, (0, 1): 1, (2, 0): 1}
+        machine = storm_machine(seed, crash_plan)
+        machine.run()
+        assert_storm_invariants(machine, expected_crashes=3)
+
+    def test_recovery_after_the_storm_is_idempotent(self):
+        """A spurious watchdog recovery after the storm settles is a
+        no-op: the lock is unheld, so nothing is released again."""
+        crash_plan = {(core_id, 0): 1 for core_id in range(4)}
+        machine = storm_machine(5, crash_plan)
+        machine.run()
+        releases = machine.lock.recovery_releases
+        machine.monitor.recover()  # spurious: nothing in flight
+        machine.lock.break_for_recovery()  # directly, too
+        assert machine.lock.recovery_releases == releases
+        assert audit_monitor(machine.monitor) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_storm_converges_with_crash_free_build(self, seed):
+        """The post-storm secure state is *functionally* the crash-free
+        one: same PageDB types/owners, same measurements."""
+        from repro.verification.extract import extract_pagedb
+
+        crash_plan = {(0, 0): 1, (1, 0): 2, (2, 1): 1, (3, 0): 1}
+        stormy = storm_machine(seed, crash_plan)
+        stormy.run()
+        assert_storm_invariants(stormy, expected_crashes=4)
+        calm = storm_machine(seed, crash_plan={})
+        calm.run()
+        assert extract_pagedb(stormy.monitor.state) == extract_pagedb(
+            calm.monitor.state
+        )

@@ -1,0 +1,79 @@
+"""CLI smoke tests for cloudcamp and cloudbench."""
+
+import json
+
+from repro.tools import cloudbench, cloudcamp
+
+
+class TestCloudcamp:
+    def test_check_gate_passes_on_a_small_sweep(self, capsys):
+        status = cloudcamp.main(
+            ["--check", "--kill-stride", "9", "--kinds", "attest,spin"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "bit-exact" in out
+        assert "0 hangs" in out
+
+
+class TestCloudbench:
+    def test_run_then_check_then_summary(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_cloud.json"
+        assert (
+            cloudbench.main(
+                ["--out", str(out_path), "--per-kind", "1", "--workers", "1,2"]
+            )
+            == 0
+        )
+        assert out_path.is_file()
+        data = json.loads(out_path.read_text())
+        assert {c["workers"] for c in data["configs"]} == {1, 2}
+        assert {c["engine"] for c in data["configs"]} == {"turbo", "fast"}
+
+        assert cloudbench.main(["--check", "--out", str(out_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert cloudbench.main(["--summary-md", "--out", str(out_path)]) == 0
+        assert "| engine |" in capsys.readouterr().out
+
+    def test_check_fails_on_a_tampered_digest(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_cloud.json"
+        assert (
+            cloudbench.main(
+                ["--out", str(out_path), "--per-kind", "1", "--workers", "1,2"]
+            )
+            == 0
+        )
+        data = json.loads(out_path.read_text())
+        data["results_digest"] = "0" * 64
+        out_path.write_text(json.dumps(data))
+        assert cloudbench.main(["--check", "--out", str(out_path)]) == 1
+        assert "results_digest mismatch" in capsys.readouterr().out
+
+    def test_check_fails_on_a_thin_matrix(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_cloud.json"
+        assert (
+            cloudbench.main(
+                [
+                    "--out",
+                    str(out_path),
+                    "--per-kind",
+                    "1",
+                    "--workers",
+                    "1",
+                    "--engines",
+                    "turbo",
+                ]
+            )
+            == 0
+        )
+        assert cloudbench.main(["--check", "--out", str(out_path)]) == 1
+        out = capsys.readouterr().out
+        assert ">=2 engines" in out
+        assert ">=2 worker counts" in out
+
+    def test_missing_file_fails_check(self, tmp_path):
+        assert (
+            cloudbench.main(["--check", "--out", str(tmp_path / "missing.json")])
+            == 1
+        )

@@ -1,0 +1,121 @@
+"""repro.util.backoff: policy semantics + bit-exact kernel parity.
+
+The policy was extracted from the inline loop in
+``OSKernel.retry_with_backoff`` (PR 4).  The tests here pin the jitter
+sequence against a frozen transcription of that original loop (and
+against hardcoded literals, so the two implementations cannot drift in
+lockstep), then cover the new policy features — cap, deadline, session
+exhaustion — that the cloud supervisor relies on.
+"""
+
+import pytest
+
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+from repro.util.backoff import Backoff, BackoffPolicy
+
+
+def legacy_delays(seed, attempts, base_delay):
+    """The PR 4 kernel loop's delay schedule, transcribed verbatim."""
+    word = (seed ^ 0x9E3779B9) & 0xFFFFFFFF
+    out = []
+    for attempt in range(1, attempts):
+        word = (word * 1664525 + 1013904223) & 0xFFFFFFFF
+        out.append(base_delay * (1 << (attempt - 1)) + word % base_delay)
+    return out
+
+
+class TestLegacyParity:
+    @pytest.mark.parametrize("seed", [0, 1, 5, 9, 0xDEAD, 0xFFFFFFFF])
+    @pytest.mark.parametrize("attempts,base_delay", [(4, 64), (6, 32), (2, 1), (1, 64)])
+    def test_delay_schedule_matches_original_kernel_loop(
+        self, seed, attempts, base_delay
+    ):
+        policy = BackoffPolicy(base_delay=base_delay, attempts=attempts)
+        assert policy.delays(seed) == legacy_delays(seed, attempts, base_delay)
+
+    def test_pinned_literals(self):
+        # Hardcoded so the extracted policy and the transcription above
+        # cannot both drift: these are the exact cycle charges the PR 4
+        # kernel made for these seeds.
+        assert BackoffPolicy().delays(0) == [68, 147, 278]
+        assert BackoffPolicy().delays(5) == [107, 142, 277]
+        assert BackoffPolicy(base_delay=32, attempts=6).delays(9) == [
+            47, 66, 153, 260, 531,
+        ]
+
+    def test_kernel_cycle_charge_is_bit_identical(self):
+        monitor = KomodoMonitor(secure_pages=16)
+        kernel = OSKernel(monitor)
+        before = monitor.state.cycles
+        kernel.retry_with_backoff(
+            lambda: (KomErr.PAGE_QUARANTINED, 0), attempts=4, seed=5
+        )
+        assert monitor.state.cycles - before == sum(legacy_delays(5, 4, 64))
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=64, cap=10)
+
+    def test_single_attempt_grants_no_retries(self):
+        session = BackoffPolicy(attempts=1).session(seed=3)
+        assert session.exhausted
+        assert session.next_delay() is None
+
+    def test_cap_bounds_the_exponential_part(self):
+        capped = BackoffPolicy(base_delay=64, attempts=6, cap=128).delays(7)
+        uncapped = BackoffPolicy(base_delay=64, attempts=6).delays(7)
+        assert capped[:2] == uncapped[:2]  # 64, 128 spins are under the cap
+        for delay in capped[2:]:
+            assert 128 <= delay < 128 + 64  # spin clamped, jitter on top
+        # Jitter sequence is unchanged by the cap.
+        assert [c - min(s, 128) for c, s in zip(capped, [64, 128, 256, 512, 1024])] == [
+            u - s for u, s in zip(uncapped, [64, 128, 256, 512, 1024])
+        ]
+
+    def test_deadline_refuses_overrunning_waits(self):
+        policy = BackoffPolicy(base_delay=64, attempts=8, deadline=300)
+        session = policy.session(seed=0)
+        granted = []
+        now = 0
+        while True:
+            delay = session.next_delay(now=now)
+            if delay is None:
+                break
+            now += delay
+            granted.append(delay)
+        assert granted  # at least one retry fits
+        assert now <= 300
+        assert not session.exhausted  # the deadline cut it short, not the budget
+        # Without `now` the deadline cannot be enforced and is ignored.
+        assert policy.session(seed=0).next_delay() is not None
+
+    def test_session_state_advances_only_on_granted_retries(self):
+        policy = BackoffPolicy(base_delay=64, attempts=3, deadline=10)
+        session = policy.session(seed=1)
+        assert session.next_delay(now=1000) is None  # refused: past deadline
+        assert session.retries == 0
+        assert session.word == Backoff(policy, 1).word  # LCG not advanced
+
+    def test_kernel_deadline_parameter_bounds_total_wait(self):
+        monitor = KomodoMonitor(secure_pages=16)
+        kernel = OSKernel(monitor)
+        start = monitor.state.cycles
+        deadline = start + 100  # admits the first ~68-cycle wait only
+        calls = []
+
+        def issue():
+            calls.append(1)
+            return (KomErr.PAGE_QUARANTINED, 0)
+
+        err, _ = kernel.retry_with_backoff(issue, attempts=8, seed=0, deadline=deadline)
+        assert err is KomErr.PAGE_QUARANTINED
+        assert monitor.state.cycles <= deadline
+        assert len(calls) < 8

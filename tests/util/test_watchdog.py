@@ -1,0 +1,68 @@
+"""repro.util.watchdog: wall-clock trial bounding."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.watchdog import TrialTimeout, time_limit
+
+
+class TestTimeLimit:
+    def test_fast_body_is_untouched(self):
+        with time_limit(5.0, "quick"):
+            value = sum(range(100))
+        assert value == 4950
+
+    def test_wedged_body_raises_with_label(self):
+        with pytest.raises(TrialTimeout, match="wedged trial"):
+            with time_limit(0.05, "wedged trial"):
+                while True:
+                    pass
+
+    def test_none_and_nonpositive_disable(self):
+        for seconds in (None, 0, -1):
+            with time_limit(seconds, "off"):
+                time.sleep(0.01)
+
+    def test_timer_is_disarmed_after_the_body(self):
+        with time_limit(0.05, "inner"):
+            pass
+        time.sleep(0.08)  # an un-disarmed alarm would fire here
+
+    def test_exceptions_propagate_and_disarm(self):
+        with pytest.raises(ValueError):
+            with time_limit(0.05, "failing"):
+                raise ValueError("body error")
+        time.sleep(0.08)
+
+    def test_nested_limit_defers_to_outer(self):
+        with pytest.raises(TrialTimeout, match="outer"):
+            with time_limit(0.08, "outer"):
+                with time_limit(60.0, "inner"):
+                    while True:
+                        pass
+
+    def test_off_main_thread_is_a_noop(self):
+        done = []
+
+        def body():
+            with time_limit(0.01, "threaded"):
+                time.sleep(0.05)  # outlives the limit; must not raise
+            done.append(True)
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert done == [True]
+
+    def test_campaign_trial_timeout_records_violation(self):
+        """End-to-end through LifecycleCampaign: an absurdly small
+        budget fails trials with recorded violations, never hangs."""
+        from repro.faults.campaign import LifecycleCampaign
+
+        report = LifecycleCampaign(
+            stride=50, inject_steps=["finalise"], trial_timeout=1e-9
+        ).run()
+        timeouts = [v for v in report.violations if "wall-clock limit" in v]
+        assert timeouts  # every injected trial tripped the watchdog
