@@ -30,8 +30,11 @@ from typing import Dict, Optional, Tuple
 #: * ``checksum`` — CRC-32 service in real ARM machine code (the
 #:                  engine-sensitive kind);
 #: * ``spin``     — vault enclave: payload[0] preemption points of pure
-#:                  compute (the kind that can exceed a step budget).
-REQUEST_KINDS = ("attest", "seal", "unseal", "sign", "checksum", "spin")
+#:                  compute (the kind that can exceed a step budget);
+#: * ``pipeline`` — composite counter-notary pipeline: a two-enclave
+#:                  commit (sealed counter + notary) over transactional
+#:                  channels, returns [status, value] ++ receipt words.
+REQUEST_KINDS = ("attest", "seal", "unseal", "sign", "checksum", "spin", "pipeline")
 
 #: Payload word-count ceiling (seal blobs must fit the shared page half).
 MAX_PAYLOAD_WORDS = 256
@@ -144,6 +147,8 @@ class CloudRequest:
             raise BadRequest("attest needs exactly 8 payload words")
         if self.kind == "spin" and len(self.payload) != 1:
             raise BadRequest("spin needs exactly one payload word")
+        if self.kind == "pipeline" and len(self.payload) != 4:
+            raise BadRequest("pipeline needs exactly 4 document words")
         if self.kind in ("seal", "unseal", "sign", "checksum") and not self.payload:
             raise BadRequest(f"{self.kind} needs a non-empty payload")
 

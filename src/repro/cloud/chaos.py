@@ -57,6 +57,8 @@ def base_payload(kind: str, seed: int) -> Tuple[int, ...]:
         return tuple(mix(i) for i in range(8))
     if kind == "spin":
         return (48,)
+    if kind == "pipeline":
+        return tuple(mix(i) for i in range(4))
     raise ValueError(f"unknown kind {kind!r}")
 
 
@@ -160,7 +162,7 @@ class ChaosCampaign:
         spec = {
             "engine": self.engine,
             "seed": 0xC10D,
-            "secure_pages": 32,
+            "secure_pages": 48,
             "step_budget": 2_000_000,
         }
         template = get_template(spec)

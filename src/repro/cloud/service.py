@@ -84,7 +84,7 @@ class CloudService:
         workers: int = 2,
         engine: str = "turbo",
         seed: int = 0xC10D,
-        secure_pages: int = 32,
+        secure_pages: int = 48,
         step_budget: int = 2_000_000,
         request_timeout: Optional[float] = None,
         max_attempts: int = 3,

@@ -4,8 +4,9 @@ Booting a monitor, building three enclaves, and generating the notary's
 RSA key is far too slow to do per request.  An :class:`EnclaveTemplate`
 does it once: it boots a monitor + OS kernel, builds the *vault* native
 enclave (attest / seal / unseal / spin), a :class:`NotaryEnclave`
-(initialised, key generated), and the :class:`ChecksumService` (real
-ARM code — the engine-sensitive service), then captures one
+(initialised, key generated), the :class:`ChecksumService` (real
+ARM code — the engine-sensitive service), and the two-enclave
+counter-notary pipeline (``repro.pipeline``), then captures one
 :class:`CampaignSnapshot`.  Serving a request is then: restore the
 snapshot, stage the payload, run the enclave under a step budget, read
 the result — a pure function of the request, bit-identical on every
@@ -47,6 +48,8 @@ from repro.faults.snapshot import CampaignSnapshot
 from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.osmodel.kernel import OSKernel
+from repro.pipeline import stages as pipeline_stages
+from repro.pipeline.pipelines import build_pipeline
 from repro.sdk.builder import SHARED_VA, EnclaveBuilder
 from repro.sdk.native import NativeEnclaveProgram
 
@@ -67,6 +70,12 @@ _V_SEAL_FAIL = 0xFFFF_FFFD
 
 #: Steps retired per scheduling slice while burning a budget.
 _SLICE = 4096
+
+#: Poll rounds before a pipeline request is declared stalled.  The
+#: fault-free two-enclave commit completes in a handful of rounds; the
+#: bound only exists so a (deterministically) wedged pipeline fails
+#: typed instead of spinning.
+_PIPELINE_ROUNDS = 64
 
 
 def _vault_body(ctx, op: int, arg2: int, arg3: int):
@@ -118,7 +127,7 @@ class EnclaveTemplate:
     def __init__(
         self,
         engine: str = "turbo",
-        secure_pages: int = 32,
+        secure_pages: int = 48,
         seed: int = 0xC10D,
         step_budget: int = 2_000_000,
     ):
@@ -139,6 +148,7 @@ class EnclaveTemplate:
         self._notary = NotaryEnclave(self.kernel, max_doc_bytes=MAX_PAYLOAD_WORDS * 4)
         self._notary.init()  # RSA keygen happens once, here
         self._checksum = ChecksumService(self.kernel)
+        self._pipeline = build_pipeline("counter-notary", self.kernel)
         self.snapshot = CampaignSnapshot(self.monitor, self.kernel)
         #: Digest of the quiescent secure state every request starts
         #: from; two workers forked from the same spec must agree.
@@ -250,6 +260,8 @@ class EnclaveTemplate:
             return [value]
         if kind == "sign":
             return self._sign(payload, budget)
+        if kind == "pipeline":
+            return self._pipeline_call(payload, budget)
         if kind == "checksum":
             self._checksum.handle.buffer().write_words(self.kernel, payload)
             err, value = self._run_budgeted(
@@ -274,6 +286,32 @@ class EnclaveTemplate:
 
     def _vault_out(self, count: int) -> List[int]:
         return self._vault.buffer().read_words(self.kernel, count, offset=_V_OUT)
+
+    def _pipeline_call(self, payload: List[int], budget: int) -> List[int]:
+        """Drive one transaction through the counter-notary pipeline.
+
+        The host plays the saga coordinator inline: retransmit the
+        request on the ingress edge, poll both stages, drain the egress
+        edge — exactly the at-least-once discipline of
+        ``repro.osmodel.saga``, collapsed to one serial core.  Returns
+        the reply payload: [status, counter value] ++ 8 receipt words.
+        """
+        pipe = self._pipeline
+        txid = 1  # every request starts from the pristine snapshot
+        threads = [pipe.stage(name).handle.thread for name in ("notary", "counter")]
+        for _ in range(_PIPELINE_ROUNDS):
+            pipe.ingress.send(txid, pipeline_stages.MSG_REQ, payload)
+            for thread in threads:
+                err, _ = self._run_budgeted(
+                    thread, pipeline_stages.OP_POLL, 0, 0, budget
+                )
+                self._check_err("pipeline", err)
+            for frame in pipe.egress.drain():
+                if frame.opcode == pipeline_stages.MSG_REPLY and frame.txid == txid:
+                    return list(frame.payload)
+        raise DeadlineExceeded(
+            f"pipeline transaction did not commit within {_PIPELINE_ROUNDS} rounds"
+        )
 
     def _sign(self, payload: List[int], budget: int) -> List[int]:
         handle = self._notary.handle

@@ -25,7 +25,12 @@ Restoring is equivalent to running the trial on a deep copy:
   insecure staging page, and any in-flight ``retry_with_backoff``
   session — a crash injected mid-retry leaves the session attached to
   the kernel, and restore discards it so a rewound trial can never
-  inherit a stale backoff deadline from the previous trial.
+  inherit a stale backoff deadline from the previous trial;
+* when a ``MultiCoreMachine`` scheduler is captured too, its PRNG
+  state, core list, event logs (linearisation, crashes, quarantines)
+  and monitor-lock state are rewound as well, so a multicore trial
+  forks bit-identically: the next trial's interleaving draws the same
+  random choices the first one did.
 
 The regression suite (tests/faults/test_snapshot.py) pins the
 equivalence by running both campaign drivers with ``use_snapshots``
@@ -59,9 +64,19 @@ class CampaignSnapshot:
         "native_factories",
         "free_pages",
         "insecure_next",
+        "scheduler",
+        "sched_rng",
+        "sched_cores",
+        "sched_events",
+        "lock_stats",
     )
 
-    def __init__(self, monitor: KomodoMonitor, kernel: Optional[OSKernel] = None):
+    def __init__(
+        self,
+        monitor: KomodoMonitor,
+        kernel: Optional[OSKernel] = None,
+        scheduler=None,
+    ):
         if monitor._native_threads:
             raise ValueError(
                 "cannot snapshot with live native threads (suspended "
@@ -86,6 +101,29 @@ class CampaignSnapshot:
         else:
             self.free_pages = None
             self.insecure_next = None
+        self.scheduler = scheduler
+        if scheduler is not None:
+            if scheduler.monitor is not monitor:
+                raise ValueError("scheduler is not bound to this monitor")
+            if any(not core.finished for core in scheduler.cores):
+                raise ValueError(
+                    "cannot snapshot with unfinished core scripts (a "
+                    "suspended script generator is not checkpointable); "
+                    "capture before cores are added or after they finish"
+                )
+            self.sched_rng = scheduler.random.getstate()
+            self.sched_cores = len(scheduler.cores)
+            self.sched_events = (
+                len(scheduler.linearisation),
+                len(scheduler.crashes),
+                len(scheduler.quarantines),
+            )
+            lock = scheduler.lock
+            self.lock_stats = (
+                lock.acquisitions,
+                lock.contended_waits,
+                lock.recovery_releases,
+            )
 
     def restore(self) -> Tuple[KomodoMonitor, Optional[OSKernel]]:
         """Rewind the captured monitor (and kernel) in place.
@@ -112,4 +150,26 @@ class CampaignSnapshot:
             # checkpoint never holds a live retry loop: any in-flight
             # backoff session belongs to the crashed trial, not to us.
             kernel._backoff = None
+        scheduler = self.scheduler
+        if scheduler is not None:
+            # Rewind the per-core run-queue state so a trial forks
+            # bit-identically: same PRNG sequence, same (captured) core
+            # list, empty event logs past the capture point, and a
+            # monitor lock nobody holds.  The crashed trial may have
+            # left the lock held by a dead core or cores mid-script;
+            # neither survives the rewind.
+            scheduler.random.setstate(self.sched_rng)
+            del scheduler.cores[self.sched_cores :]
+            lin, crashes, quarantines = self.sched_events
+            del scheduler.linearisation[lin:]
+            del scheduler.crashes[crashes:]
+            del scheduler.quarantines[quarantines:]
+            lock = scheduler.lock
+            lock._holder = None
+            (
+                lock.acquisitions,
+                lock.contended_waits,
+                lock.recovery_releases,
+            ) = self.lock_stats
+            monitor.on_recover = lock.break_for_recovery
         return monitor, kernel

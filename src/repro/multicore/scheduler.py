@@ -36,6 +36,10 @@ from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 
 
+#: Bound on back-to-back watchdog resets during one crash recovery.
+_RECOVERY_ATTEMPTS = 128
+
+
 class MonitorLock:
     """The single shared lock around all monitor activities."""
 
@@ -168,8 +172,24 @@ class MultiCoreMachine:
         self.crashes.append((core.core_id, callno, tuple(args), fault))
         # The watchdog reboots the monitor: the journal is replayed or
         # discarded and (via on_recover) the dead core's lock is broken
-        # so the surviving cores can make progress.
-        self.monitor.recover()
+        # so the surviving cores can make progress.  A repeating fault
+        # plan may fire *during* recovery too — a watchdog reset in the
+        # middle of the warm boot — in which case the machine simply
+        # reboots again; recovery is idempotent, so retrying is exactly
+        # what real hardware does.  A plan that fires on every recovery
+        # attempt models a machine that never comes back up; the retry
+        # bound turns that into a loud failure instead of a silent spin.
+        for _ in range(_RECOVERY_ATTEMPTS):
+            try:
+                self.monitor.recover()
+                break
+            except FaultInjected as again:
+                self.crashes.append((core.core_id, callno, tuple(args), again))
+        else:
+            raise RuntimeError(
+                f"monitor recovery did not complete within "
+                f"{_RECOVERY_ATTEMPTS} watchdog resets"
+            )
         core.pending_send = None
 
     def _step_core(self, core: Core) -> None:

@@ -147,9 +147,18 @@ class OSKernel:
         self.smc_checked(SMC.MAP_SECURE, as_page, data_page, mapping.encode(), source)
         return data_page
 
-    def map_insecure(self, as_page: int, mapping: Mapping) -> SharedBuffer:
-        """Allocate an insecure page and map it into the enclave."""
-        base = self.alloc_insecure_page()
+    def map_insecure(
+        self, as_page: int, mapping: Mapping, base: Optional[int] = None
+    ) -> SharedBuffer:
+        """Map an insecure page into the enclave.
+
+        By default a fresh page is carved out of insecure RAM; passing
+        ``base`` maps an existing page instead, which is how two
+        enclaves come to share one channel page (the composite-pipeline
+        links map the same physical page into both stages).
+        """
+        if base is None:
+            base = self.alloc_insecure_page()
         self.smc_checked(SMC.MAP_INSECURE, as_page, mapping.encode(), base)
         return SharedBuffer(base=base, va=mapping.va)
 

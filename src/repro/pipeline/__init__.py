@@ -1,0 +1,48 @@
+"""Composite multi-enclave pipelines with crash-anywhere robustness.
+
+The package layers, bottom up:
+
+* :mod:`repro.pipeline.txchannel` — sequence-numbered, HMAC-
+  authenticated transactional framing over the SPSC ring channel.
+* :mod:`repro.pipeline.stages` — native stage programs (notary,
+  sealed counter, generic attest/sign/seal relay) built around
+  shadow-slot commits and idempotent poll rounds.
+* :mod:`repro.pipeline.pipelines` — builders wiring stages together
+  through shared insecure channel pages.
+* :mod:`repro.osmodel.saga` — the untrusted coordinator/pump scripts
+  that schedule stages across cores and compensate failed transactions.
+* :mod:`repro.pipeline.campaign` — the crash-anywhere chaos sweep and
+  its gate (``python -m repro.tools.pipecamp``).
+"""
+
+from repro.pipeline.errors import (
+    PIPELINE_ERROR_CODES,
+    PipelineError,
+    SagaStalled,
+    StageRetryExhausted,
+    TransactionAborted,
+)
+from repro.pipeline.pipelines import (
+    PIPELINE_KINDS,
+    AttestSignSealPipeline,
+    CounterNotaryPipeline,
+    Pipeline,
+    build_pipeline,
+)
+from repro.pipeline.txchannel import PUBLIC_EDGE_KEY, TxChannel, TxFrame
+
+__all__ = [
+    "PIPELINE_ERROR_CODES",
+    "PIPELINE_KINDS",
+    "AttestSignSealPipeline",
+    "CounterNotaryPipeline",
+    "Pipeline",
+    "PipelineError",
+    "PUBLIC_EDGE_KEY",
+    "SagaStalled",
+    "StageRetryExhausted",
+    "TransactionAborted",
+    "TxChannel",
+    "TxFrame",
+    "build_pipeline",
+]

@@ -1,0 +1,53 @@
+"""Typed pipeline outcomes.
+
+The pipeline chaos gate (``repro.tools.pipecamp``) mirrors the cloud
+gate's contract: every trial must terminate either bit-exact against
+the no-fault golden or with one of these *typed, retryable* errors.
+An untyped exception, a hang, or a non-retryable code out of nowhere is
+a gate violation.  ``code`` is the wire-stable identifier; ``retryable``
+says whether re-submitting the same composite request could succeed.
+"""
+
+from __future__ import annotations
+
+
+class PipelineError(Exception):
+    """Base of the pipeline's typed errors."""
+
+    code = "pipeline_error"
+    retryable = False
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.code)
+
+
+class StageRetryExhausted(PipelineError):
+    """A stage crashed more times than its respawn budget allows; the
+    saga gave up.  A fresh submission starts a fresh budget."""
+
+    code = "stage_retry_exhausted"
+    retryable = True
+
+
+class SagaStalled(PipelineError):
+    """The coordinator's round budget ran out before the composite
+    transaction completed — a stage is wedged or starved, not wrong."""
+
+    code = "saga_stalled"
+    retryable = True
+
+
+class TransactionAborted(PipelineError):
+    """The saga compensated: the transaction was rolled back cleanly
+    (reserved counter values burnt, never reused).  Retryable by
+    definition — a new transaction id starts from scratch."""
+
+    code = "transaction_aborted"
+    retryable = True
+
+
+#: wire code -> exception class, for typed reconstruction.
+PIPELINE_ERROR_CODES = {
+    cls.code: cls
+    for cls in (PipelineError, StageRetryExhausted, SagaStalled, TransactionAborted)
+}

@@ -1,0 +1,531 @@
+"""Native stage programs for composite multi-enclave pipelines.
+
+Each stage is a tiny replicated state machine living in one secure
+state page, polled by an untrusted per-core pump script: every
+``Enter`` performs **one poll round** — drain inbound frames, advance
+the durable state, retransmit the current phase's outbound frame — and
+returns.  Three properties make the stages crash-anywhere safe:
+
+* **Arguments are ignored.**  A stage that crashes mid-transaction is
+  respawned by the saga coordinator as a *fresh* generator whose
+  arguments come from whatever (stale) GPRs the thread context holds;
+  a poll round therefore reads everything it needs from durable state.
+* **Shadow-slot commits.**  Native secure-page writes are *not*
+  journaled by the monitor — a crash can persist any prefix of them.
+  All transaction state lives in two slots plus a one-word active
+  index: a commit writes the inactive slot completely, then flips the
+  index with a single word store.  A crash before the flip leaves the
+  old state; after it, the new state.  Never a torn transaction.
+* **At-least-once messaging, exactly-once effects.**  Senders
+  retransmit their phase's frame every poll round; receivers
+  deduplicate by comparing the frame's transaction id against their
+  durable slot.  Lost frames, crashed-and-respawned peers, and
+  adversarial replays all collapse to the same handled case.
+
+Two pipelines are assembled from these stages (``repro.pipeline
+.pipelines``): a notary whose monotonic counter lives in a separate
+sealed-counter enclave (a two-enclave commit with saga compensation),
+and a three-stage attest -> sign -> seal relay chain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.arm.bits import WORDSIZE
+from repro.arm.memory import PAGE_SIZE
+from repro.apps.sealed_storage import seal
+from repro.pipeline.txchannel import PUBLIC_EDGE_KEY, TxChannel
+from repro.sdk.channel import Channel, EnclaveEndpoint
+from repro.sdk.native import NativeContext, NativeEnclaveProgram
+
+# -- virtual layout shared by every stage ---------------------------------
+
+STATE_VA = 0x0010_0000
+CHANNEL_BASE_VA = 0x0020_0000
+
+
+def channel_va(index: int) -> int:
+    """The VA of channel page ``index`` (one insecure page per link)."""
+    return CHANNEL_BASE_VA + index * PAGE_SIZE
+
+
+#: Pumps pass this as arg1 for readability; stage bodies ignore it.
+OP_POLL = 1
+
+# -- wire protocol --------------------------------------------------------
+
+# Requester edges (OS <-> pipeline).
+MSG_REQ = 0x10
+MSG_REPLY = 0x11
+# Two-enclave commit (notary <-> counter).
+MSG_RESERVE = 0x20
+MSG_RESERVE_OK = 0x21
+MSG_RESERVE_FAIL = 0x22
+MSG_CONFIRM = 0x23
+MSG_CONFIRM_OK = 0x24
+MSG_CONFIRM_FAIL = 0x25
+MSG_ABORT = 0x26
+MSG_ABORT_OK = 0x27
+MSG_ABORT_FAIL = 0x28
+# Relay chain (stage -> stage).
+MSG_FWD = 0x30
+MSG_ACK = 0x31
+
+#: Reply status words.
+ST_OK = 0
+ST_ABORTED = 1
+
+# -- shadow-slot plumbing -------------------------------------------------
+
+
+def _read_slot(ctx: NativeContext, slot_w: int, words: int) -> List[int]:
+    return ctx.read_words(STATE_VA + slot_w * WORDSIZE, words)
+
+
+def _active_slot(
+    ctx: NativeContext, active_w: int, slot0_w: int, slot1_w: int, words: int
+) -> List[int]:
+    active = ctx.read_word(STATE_VA + active_w * WORDSIZE) & 1
+    return _read_slot(ctx, slot1_w if active else slot0_w, words)
+
+
+def _commit_slot(
+    ctx: NativeContext,
+    active_w: int,
+    slot0_w: int,
+    slot1_w: int,
+    words: int,
+    values: Sequence[int],
+) -> None:
+    """Write the inactive slot fully, then flip the active index.
+
+    The flip is one word store — the commit point.  A crash anywhere
+    before it leaves the previous transaction state intact; the slot
+    being written is invisible until the flip lands.
+    """
+    active = ctx.read_word(STATE_VA + active_w * WORDSIZE) & 1
+    target_w = slot0_w if active else slot1_w
+    padded = list(values) + [0] * (words - len(values))
+    ctx.write_words(STATE_VA + target_w * WORDSIZE, padded[:words])
+    ctx.write_word(STATE_VA + active_w * WORDSIZE, 1 - active)
+
+
+def _link(ctx: NativeContext, index: int, key: Sequence[int]) -> TxChannel:
+    return TxChannel(Channel(EnclaveEndpoint(ctx, channel_va(index))), key)
+
+
+# ==========================================================================
+# Sealed-counter stage (pipeline 1's second enclave)
+# ==========================================================================
+
+COUNTER_MAGIC = 0x434E5452  # "CNTR"
+
+C_MAGIC_W = 0
+C_ACTIVE_W = 1
+C_SLOT0_W = 2
+C_SLOT1_W = 10
+C_KEY_W = 18
+C_SLOT_WORDS = 8
+
+# Slot layout.
+CS_TXID = 0
+CS_VALUE = 1
+CS_PHASE = 2
+CS_NEXT = 3
+CS_CONFIRMED = 4
+
+# Counter-side transaction phases.
+PH_IDLE = 0
+PH_RESERVED = 1
+PH_CONFIRMED = 2
+PH_ABORTED = 3
+
+# Counter channels: 0 = requests in (from the notary), 1 = replies out.
+COUNTER_CH_IN = 0
+COUNTER_CH_OUT = 1
+
+
+def counter_state_contents(link_key: Sequence[int]) -> List[int]:
+    """Measured initial state: idle slot 0 active, counter starts at 1."""
+    state = [0] * (C_KEY_W + 8)
+    state[C_MAGIC_W] = COUNTER_MAGIC
+    state[C_ACTIVE_W] = 0
+    state[C_SLOT0_W + CS_NEXT] = 1
+    state[C_KEY_W : C_KEY_W + 8] = [w & 0xFFFFFFFF for w in link_key]
+    return state
+
+
+def _counter_active(ctx: NativeContext) -> List[int]:
+    return _active_slot(ctx, C_ACTIVE_W, C_SLOT0_W, C_SLOT1_W, C_SLOT_WORDS)
+
+
+def _counter_commit(ctx: NativeContext, values: Sequence[int]) -> None:
+    _commit_slot(ctx, C_ACTIVE_W, C_SLOT0_W, C_SLOT1_W, C_SLOT_WORDS, values)
+
+
+def _counter_handle(ctx: NativeContext, frame, out: TxChannel) -> None:
+    cur = _counter_active(ctx)
+    txid, op = frame.txid, frame.opcode
+    if op == MSG_RESERVE:
+        if txid > cur[CS_TXID]:
+            # The counter value is consumed AT reserve time: an abort
+            # burns it, so no value is ever issued twice.
+            value = cur[CS_NEXT]
+            _counter_commit(
+                ctx,
+                [txid, value, PH_RESERVED, (value + 1) & 0xFFFFFFFF,
+                 cur[CS_CONFIRMED]],
+            )
+            out.send(txid, MSG_RESERVE_OK, [value])
+        elif txid == cur[CS_TXID]:
+            if cur[CS_PHASE] in (PH_RESERVED, PH_CONFIRMED):
+                out.send(txid, MSG_RESERVE_OK, [cur[CS_VALUE]])
+            elif cur[CS_PHASE] == PH_ABORTED:
+                out.send(txid, MSG_RESERVE_FAIL)
+        # txid < cur: a stale retransmission or replay; drop.
+    elif op == MSG_CONFIRM:
+        if txid == cur[CS_TXID]:
+            if cur[CS_PHASE] == PH_RESERVED:
+                _counter_commit(
+                    ctx,
+                    [txid, cur[CS_VALUE], PH_CONFIRMED, cur[CS_NEXT],
+                     cur[CS_CONFIRMED] + 1],
+                )
+                out.send(txid, MSG_CONFIRM_OK, [cur[CS_VALUE]])
+            elif cur[CS_PHASE] == PH_CONFIRMED:
+                out.send(txid, MSG_CONFIRM_OK, [cur[CS_VALUE]])
+            elif cur[CS_PHASE] == PH_ABORTED:
+                out.send(txid, MSG_CONFIRM_FAIL)
+    elif op == MSG_ABORT:
+        if txid > cur[CS_TXID]:
+            # Abort overtook its reserve (saga compensation racing a
+            # crashed notary's retransmission): record the abort so the
+            # late reserve cannot resurrect the transaction.
+            _counter_commit(
+                ctx, [txid, 0, PH_ABORTED, cur[CS_NEXT], cur[CS_CONFIRMED]]
+            )
+            out.send(txid, MSG_ABORT_OK)
+        elif txid == cur[CS_TXID]:
+            if cur[CS_PHASE] == PH_RESERVED:
+                _counter_commit(
+                    ctx,
+                    [txid, cur[CS_VALUE], PH_ABORTED, cur[CS_NEXT],
+                     cur[CS_CONFIRMED]],
+                )
+                out.send(txid, MSG_ABORT_OK)
+            elif cur[CS_PHASE] == PH_ABORTED:
+                out.send(txid, MSG_ABORT_OK)
+            elif cur[CS_PHASE] == PH_CONFIRMED:
+                out.send(txid, MSG_ABORT_FAIL)
+
+
+def _counter_body(ctx: NativeContext, *_args):
+    """One poll round of the sealed-counter stage (args ignored)."""
+    key = ctx.read_words(STATE_VA + C_KEY_W * WORDSIZE, 8)
+    link_in = _link(ctx, COUNTER_CH_IN, key)
+    link_out = _link(ctx, COUNTER_CH_OUT, key)
+    frames = link_in.drain()
+    yield  # preemption point: crash/suspend with requests consumed
+    for frame in frames:
+        _counter_handle(ctx, frame, link_out)
+    return 0
+
+
+def counter_program() -> NativeEnclaveProgram:
+    return NativeEnclaveProgram("pipe-counter", _counter_body)
+
+
+# ==========================================================================
+# Notary stage (pipeline 1's front enclave)
+# ==========================================================================
+
+NOTARY_MAGIC = 0x504E5452  # "PNTR"
+
+N_MAGIC_W = 0
+N_ACTIVE_W = 1
+N_SLOT0_W = 2
+N_SLOT1_W = 10
+N_KEY_W = 18
+N_SLOT_WORDS = 8
+
+# Slot layout.
+NS_TXID = 0
+NS_PHASE = 1
+NS_VALUE = 2
+NS_STATUS = 3
+NS_DOC = 4  # 4 words of document digest
+NOTARY_DOC_WORDS = 4
+
+# Notary-side saga phases.
+N_IDLE = 0
+N_RESERVING = 1
+N_CONFIRMING = 2
+N_DONE = 3
+N_ABORTING = 4
+N_ABORTED = 5
+
+# Notary channels.
+NOTARY_CH_INGRESS = 0  # requests in (from the OS coordinator)
+NOTARY_CH_EGRESS = 1  # replies out (to the OS coordinator)
+NOTARY_CH_LINK_OUT = 2  # commit protocol out (to the counter)
+NOTARY_CH_LINK_IN = 3  # commit protocol in (from the counter)
+
+
+def notary_state_contents(link_key: Sequence[int]) -> List[int]:
+    state = [0] * (N_KEY_W + 8)
+    state[N_MAGIC_W] = NOTARY_MAGIC
+    state[N_KEY_W : N_KEY_W + 8] = [w & 0xFFFFFFFF for w in link_key]
+    return state
+
+
+def _notary_active(ctx: NativeContext) -> List[int]:
+    return _active_slot(ctx, N_ACTIVE_W, N_SLOT0_W, N_SLOT1_W, N_SLOT_WORDS)
+
+
+def _notary_commit(ctx: NativeContext, values: Sequence[int]) -> None:
+    _commit_slot(ctx, N_ACTIVE_W, N_SLOT0_W, N_SLOT1_W, N_SLOT_WORDS, values)
+
+
+def notary_receipt(
+    attest: Callable[[List[int]], List[int]],
+    doc: Sequence[int],
+    value: int,
+    txid: int,
+) -> List[int]:
+    """The receipt MAC: Attest over (doc, counter value, txid).
+
+    Deterministic, so the notary recomputes it on every retransmission
+    instead of storing it, and the host verifies it independently.
+    """
+    data = list(doc[:NOTARY_DOC_WORDS]) + [value & 0xFFFFFFFF, txid & 0xFFFFFFFF]
+    return attest(data + [0] * (8 - len(data)))
+
+
+def _notary_body(ctx: NativeContext, *_args):
+    """One poll round of the notary stage (args ignored)."""
+    key = ctx.read_words(STATE_VA + N_KEY_W * WORDSIZE, 8)
+    ingress = _link(ctx, NOTARY_CH_INGRESS, PUBLIC_EDGE_KEY)
+    egress = _link(ctx, NOTARY_CH_EGRESS, PUBLIC_EDGE_KEY)
+    link_out = _link(ctx, NOTARY_CH_LINK_OUT, key)
+    link_in = _link(ctx, NOTARY_CH_LINK_IN, key)
+
+    for frame in ingress.drain():
+        cur = _notary_active(ctx)
+        if frame.opcode == MSG_REQ and len(frame.payload) == NOTARY_DOC_WORDS:
+            # A new transaction is accepted only between transactions;
+            # the coordinator serialises submissions, so a mid-phase
+            # REQ is a replay and is dropped.
+            if frame.txid > cur[NS_TXID] and cur[NS_PHASE] in (
+                N_IDLE, N_DONE, N_ABORTED,
+            ):
+                _notary_commit(
+                    ctx, [frame.txid, N_RESERVING, 0, 0, *frame.payload]
+                )
+        elif frame.opcode == MSG_ABORT:
+            # Compensation request: honoured while the reserve is still
+            # in flight.  Once confirming, the saga pushes forward —
+            # the counter may already hold the confirm.
+            if frame.txid == cur[NS_TXID] and cur[NS_PHASE] == N_RESERVING:
+                _notary_commit(
+                    ctx,
+                    [cur[NS_TXID], N_ABORTING, cur[NS_VALUE], 0,
+                     *cur[NS_DOC : NS_DOC + NOTARY_DOC_WORDS]],
+                )
+    yield  # preemption point between the two drains
+
+    for frame in link_in.drain():
+        cur = _notary_active(ctx)
+        if frame.txid != cur[NS_TXID]:
+            continue  # stale reply or cross-transaction replay
+        doc = cur[NS_DOC : NS_DOC + NOTARY_DOC_WORDS]
+        phase, op = cur[NS_PHASE], frame.opcode
+        if op == MSG_RESERVE_OK and phase == N_RESERVING and frame.payload:
+            _notary_commit(
+                ctx, [cur[NS_TXID], N_CONFIRMING, frame.payload[0], 0, *doc]
+            )
+        elif op == MSG_RESERVE_FAIL and phase in (N_RESERVING, N_ABORTING):
+            _notary_commit(
+                ctx, [cur[NS_TXID], N_ABORTED, 0, ST_ABORTED, *doc]
+            )
+        elif op == MSG_CONFIRM_OK and phase == N_CONFIRMING:
+            _notary_commit(
+                ctx, [cur[NS_TXID], N_DONE, cur[NS_VALUE], ST_OK, *doc]
+            )
+        elif op == MSG_CONFIRM_FAIL and phase == N_CONFIRMING:
+            _notary_commit(
+                ctx, [cur[NS_TXID], N_ABORTED, 0, ST_ABORTED, *doc]
+            )
+        elif op in (MSG_ABORT_OK, MSG_ABORT_FAIL) and phase == N_ABORTING:
+            _notary_commit(
+                ctx, [cur[NS_TXID], N_ABORTED, 0, ST_ABORTED, *doc]
+            )
+
+    # Retransmit the current phase's outbound frame.  A full ring is
+    # harmless — the next round tries again.
+    cur = _notary_active(ctx)
+    txid, phase = cur[NS_TXID], cur[NS_PHASE]
+    if phase == N_RESERVING:
+        link_out.send(txid, MSG_RESERVE)
+    elif phase == N_CONFIRMING:
+        link_out.send(txid, MSG_CONFIRM)
+    elif phase == N_ABORTING:
+        link_out.send(txid, MSG_ABORT)
+    elif phase == N_DONE:
+        receipt = notary_receipt(
+            ctx.attest, cur[NS_DOC : NS_DOC + NOTARY_DOC_WORDS],
+            cur[NS_VALUE], txid,
+        )
+        egress.send(txid, MSG_REPLY, [ST_OK, cur[NS_VALUE]] + receipt)
+    elif phase == N_ABORTED:
+        egress.send(txid, MSG_REPLY, [ST_ABORTED, 0])
+    return 0
+
+
+def notary_program() -> NativeEnclaveProgram:
+    return NativeEnclaveProgram("pipe-notary", _notary_body)
+
+
+# ==========================================================================
+# Generic relay stage (pipeline 2: attest -> sign -> seal)
+# ==========================================================================
+
+RELAY_MAGIC = 0x50495045  # "PIPE"
+
+RS_MAGIC_W = 0
+RS_ACTIVE_W = 1
+RS_CFG_W = 2
+RS_XFORM_W = 3
+RS_INKEY_W = 8
+RS_OUTKEY_W = 16
+RS_SLOT0_W = 24
+RS_SLOT1_W = 48
+RS_SLOT_WORDS = 24
+
+# Slot layout: header then up to RELAY_DATA_WORDS of stage output.
+SL_TXID = 0
+SL_PHASE = 1
+SL_LEN = 2
+SL_DATA = 3
+RELAY_DATA_WORDS = RS_SLOT_WORDS - SL_DATA
+
+# Config bits.
+CFG_ACK_UPSTREAM = 1  # input is a stage link: ack frames after commit
+CFG_DOWNSTREAM_ACKS = 2  # output is a stage link: retransmit until acked
+
+# Transforms.
+XFORM_ATTEST = 1
+XFORM_SIGN = 2
+XFORM_SEAL = 3
+
+# Relay phases.
+RP_IDLE = 0
+RP_FORWARD = 1  # committed; retransmitting downstream until acked
+RP_DONE = 2
+
+# Relay channels.
+RELAY_CH_IN = 0
+RELAY_CH_ACK_OUT = 1  # only mapped when CFG_ACK_UPSTREAM
+RELAY_CH_OUT = 2
+RELAY_CH_ACK_IN = 3  # only mapped when CFG_DOWNSTREAM_ACKS
+
+#: Request payload for the relay chain (8 words of document digest).
+RELAY_REQ_WORDS = 8
+
+
+def relay_state_contents(
+    cfg: int, xform: int, in_key: Sequence[int], out_key: Sequence[int]
+) -> List[int]:
+    state = [0] * (RS_SLOT1_W + RS_SLOT_WORDS)
+    state[RS_MAGIC_W] = RELAY_MAGIC
+    state[RS_CFG_W] = cfg
+    state[RS_XFORM_W] = xform
+    state[RS_INKEY_W : RS_INKEY_W + 8] = [w & 0xFFFFFFFF for w in in_key]
+    state[RS_OUTKEY_W : RS_OUTKEY_W + 8] = [w & 0xFFFFFFFF for w in out_key]
+    return state
+
+
+def _relay_active(ctx: NativeContext) -> List[int]:
+    return _active_slot(ctx, RS_ACTIVE_W, RS_SLOT0_W, RS_SLOT1_W, RS_SLOT_WORDS)
+
+
+def _relay_commit(ctx: NativeContext, values: Sequence[int]) -> None:
+    _commit_slot(ctx, RS_ACTIVE_W, RS_SLOT0_W, RS_SLOT1_W, RS_SLOT_WORDS, values)
+
+
+def _relay_transform(
+    ctx: NativeContext, xform: int, txid: int, data: List[int]
+) -> Optional[List[int]]:
+    """Apply the stage's transform.  Deterministic by construction, so a
+    replayed input reproduces the identical output."""
+    if xform == XFORM_ATTEST or xform == XFORM_SIGN:
+        # Attest-as-MAC under this stage's own measurement; "sign" is
+        # the same primitive under a different enclave identity.
+        return ctx.attest((data + [0] * 8)[:8])
+    if xform == XFORM_SEAL:
+        return seal(ctx, [txid & 0xFFFFFFFF] + data)
+    return None
+
+
+def _relay_body(ctx: NativeContext, *_args):
+    """One poll round of a relay stage (args ignored)."""
+    cfg = ctx.read_word(STATE_VA + RS_CFG_W * WORDSIZE)
+    xform = ctx.read_word(STATE_VA + RS_XFORM_W * WORDSIZE)
+    in_key = ctx.read_words(STATE_VA + RS_INKEY_W * WORDSIZE, 8)
+    out_key = ctx.read_words(STATE_VA + RS_OUTKEY_W * WORDSIZE, 8)
+    cin = _link(ctx, RELAY_CH_IN, in_key)
+    cout = _link(ctx, RELAY_CH_OUT, out_key)
+    ack_out = _link(ctx, RELAY_CH_ACK_OUT, in_key) if cfg & CFG_ACK_UPSTREAM else None
+    ack_in = _link(ctx, RELAY_CH_ACK_IN, out_key) if cfg & CFG_DOWNSTREAM_ACKS else None
+    accept = MSG_FWD if cfg & CFG_ACK_UPSTREAM else MSG_REQ
+
+    for frame in cin.drain():
+        if frame.opcode != accept:
+            continue
+        cur = _relay_active(ctx)
+        if frame.txid > cur[SL_TXID] and len(frame.payload) <= RELAY_DATA_WORDS:
+            # The coordinator serialises transactions: a new txid means
+            # the previous one has fully drained downstream, so it is
+            # safe to overwrite the slot whatever its phase.
+            out = _relay_transform(ctx, xform, frame.txid, list(frame.payload))
+            if out is None or len(out) > RELAY_DATA_WORDS:
+                continue
+            phase = RP_FORWARD if cfg & CFG_DOWNSTREAM_ACKS else RP_DONE
+            _relay_commit(ctx, [frame.txid, phase, len(out), *out])
+        # Ack-after-commit: only frames our durable state already
+        # covers get acknowledged, so a crash between receive and
+        # commit just means the upstream retransmits.
+        if ack_out is not None and frame.txid <= _relay_active(ctx)[SL_TXID]:
+            ack_out.send(frame.txid, MSG_ACK)
+    yield  # preemption point between input drain and ack drain
+
+    if ack_in is not None:
+        for frame in ack_in.drain():
+            cur = _relay_active(ctx)
+            if (
+                frame.opcode == MSG_ACK
+                and frame.txid == cur[SL_TXID]
+                and cur[SL_PHASE] == RP_FORWARD
+            ):
+                _relay_commit(
+                    ctx,
+                    [cur[SL_TXID], RP_DONE, cur[SL_LEN],
+                     *cur[SL_DATA : SL_DATA + cur[SL_LEN]]],
+                )
+
+    cur = _relay_active(ctx)
+    txid, phase = cur[SL_TXID], cur[SL_PHASE]
+    data = cur[SL_DATA : SL_DATA + min(cur[SL_LEN], RELAY_DATA_WORDS)]
+    if phase == RP_FORWARD:
+        cout.send(txid, MSG_FWD, data)
+    elif phase == RP_DONE and not cfg & CFG_DOWNSTREAM_ACKS:
+        # The egress stage keeps republishing the reply until the
+        # coordinator has seen it.
+        cout.send(txid, MSG_REPLY, [ST_OK] + data)
+    return 0
+
+
+def relay_program(name: str) -> NativeEnclaveProgram:
+    """A relay stage; distinct names yield distinct measurements even
+    though the body is shared (the identity page differs)."""
+    return NativeEnclaveProgram(name, _relay_body)

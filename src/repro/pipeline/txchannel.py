@@ -1,0 +1,159 @@
+"""Transactional framing over the SPSC ring channel.
+
+``repro.sdk.channel`` moves word messages over one shared insecure
+page; this layer makes that medium usable for cross-enclave
+*transactions*.  The threat model is the paper's (section 3.1): the OS
+owns the page, so anything in flight can be dropped, corrupted,
+duplicated, reordered, or replayed — and a crashed stage will itself
+replay its last message when it respawns.  The frame format defends
+accordingly:
+
+    [MAGIC, seq, opcode, plen, payload..., mac[8]]
+
+* ``mac`` is HMAC-SHA256 over ``[seq, opcode, plen] ++ payload`` with
+  the link key, so a forged or corrupted frame is dropped, not acted
+  on.  (Where the counterparty *is* the OS — the pipeline's ingress and
+  egress edges — the key is a public constant: integrity against the
+  requester is meaningless, but the framing and dedup still apply.)
+* ``seq`` is derived from durable transaction state
+  (``txid * SEQ_STRIDE + opcode``), never from a volatile counter: a
+  stage that crashes and respawns retransmits the *same* frame with the
+  *same* seq, and the receiver's idempotent handlers treat the replay
+  as a duplicate.  Deriving seq from the transaction also survives the
+  torn-write window between "bump counter" and "send" that a durable
+  counter would reopen.
+* a ring whose metadata has been scribbled (``ChannelError`` from the
+  base layer) is *reset* and counted, not propagated: the transactional
+  layer's retransmission recovers whatever the adversary destroyed.
+
+Link keys are provisioned by the pipeline builder into both stages'
+measured state pages — a deliberate model simplification standing in
+for an attested key exchange (two different measurements cannot derive
+a shared key from the Attest KDF).  The adversary strategies in
+``repro.osmodel.adversary`` model a *channel* attacker who tampers with
+frames in flight, not the provisioning step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.hmac import constant_time_equal, hmac_sha256_words
+from repro.sdk.channel import Channel, ChannelError
+
+#: Frame magic ("xTXN"-ish); a quick reject for noise on the ring.
+FRAME_MAGIC = 0x78_54_58_4E
+
+#: Header words: [MAGIC, seq, opcode, plen].
+HEADER_WORDS = 4
+MAC_WORDS = 8
+
+#: Sequence numbers are transaction-scoped: ``seq = txid * SEQ_STRIDE +
+#: opcode`` — monotone across transactions, stable across replays.
+SEQ_STRIDE = 64
+
+#: Largest payload a frame carries (bounds one frame well under the
+#: ring capacity so several frames queue at once).
+MAX_PAYLOAD_WORDS = 40
+
+#: The well-known key of the OS-facing ingress/egress edges.
+PUBLIC_EDGE_KEY = tuple((0x9E3779B9 * (i + 1)) & 0xFFFFFFFF for i in range(8))
+
+
+def frame_seq(txid: int, opcode: int) -> int:
+    """The durable-state-derived sequence number of a frame."""
+    return (txid * SEQ_STRIDE + (opcode & (SEQ_STRIDE - 1))) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class TxFrame:
+    """One authenticated, validated frame off the wire."""
+
+    seq: int
+    opcode: int
+    payload: tuple
+
+    @property
+    def txid(self) -> int:
+        return self.seq // SEQ_STRIDE
+
+
+class TxChannel:
+    """One direction of an authenticated link over a ring channel."""
+
+    def __init__(self, channel: Channel, key: Sequence[int]):
+        if len(key) != 8:
+            raise ValueError("link keys are 8 words")
+        self.channel = channel
+        self.key = [w & 0xFFFFFFFF for w in key]
+        #: Frames dropped for failing validation (bad magic/shape/MAC).
+        self.dropped = 0
+        #: Ring resets forced by scribbled ring metadata.
+        self.resets = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, txid: int, opcode: int, payload: Sequence[int] = ()) -> bool:
+        """Frame, authenticate and enqueue; False when the ring is full.
+
+        A full ring is not an error: the sender's poll loop simply
+        retransmits on a later round (at-least-once delivery).
+        """
+        payload = [w & 0xFFFFFFFF for w in payload]
+        if len(payload) > MAX_PAYLOAD_WORDS:
+            raise ValueError(f"payload of {len(payload)} words exceeds the frame cap")
+        seq = frame_seq(txid, opcode)
+        body = [seq, opcode & 0xFFFFFFFF, len(payload)] + payload
+        mac = hmac_sha256_words(self.key, body)
+        try:
+            return self.channel.send([FRAME_MAGIC] + body + mac)
+        except ChannelError:
+            # The counterparty scribbled the ring metadata out from
+            # under us; reset and let the caller retransmit later.
+            self.channel.reset()
+            self.resets += 1
+            return False
+
+    # -- receiving ---------------------------------------------------------
+
+    def receive(self) -> Optional[TxFrame]:
+        """The next *valid* frame, skipping hostile junk; None if drained."""
+        while True:
+            try:
+                message = self.channel.receive()
+            except ChannelError:
+                self.channel.reset()
+                self.resets += 1
+                return None
+            if message is None:
+                return None
+            frame = self._validate(message)
+            if frame is not None:
+                return frame
+            self.dropped += 1
+
+    def drain(self) -> List[TxFrame]:
+        """Every currently-queued valid frame, in arrival order."""
+        frames: List[TxFrame] = []
+        while True:
+            frame = self.receive()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _validate(self, message: List[int]) -> Optional[TxFrame]:
+        if len(message) < HEADER_WORDS + MAC_WORDS:
+            return None
+        if message[0] != FRAME_MAGIC:
+            return None
+        seq, opcode, plen = message[1], message[2], message[3]
+        if plen > MAX_PAYLOAD_WORDS:
+            return None
+        if len(message) != HEADER_WORDS + plen + MAC_WORDS:
+            return None
+        body = message[1 : HEADER_WORDS + plen]
+        mac = message[HEADER_WORDS + plen :]
+        if not constant_time_equal(hmac_sha256_words(self.key, body), mac):
+            return None
+        return TxFrame(seq=seq, opcode=opcode, payload=tuple(message[4 : 4 + plen]))

@@ -52,6 +52,7 @@ class _PendingPage:
 class _PendingShared:
     va: int
     writable: bool
+    base: Optional[int] = None  # None = allocate fresh; else map this page
 
 
 class EnclaveBuilder:
@@ -102,10 +103,15 @@ class EnclaveBuilder:
         return self
 
     def add_shared_buffer(
-        self, va: int = SHARED_VA, writable: bool = True
+        self, va: int = SHARED_VA, writable: bool = True, base: Optional[int] = None
     ) -> "EnclaveBuilder":
-        """Add an insecure page shared with the OS (unmeasured)."""
-        self._shared.append(_PendingShared(va=va, writable=writable))
+        """Add an insecure page shared with the OS (unmeasured).
+
+        ``base`` maps an existing insecure page instead of allocating a
+        fresh one — the same physical page mapped into two enclaves is
+        an enclave-to-enclave channel (paper section 4).
+        """
+        self._shared.append(_PendingShared(va=va, writable=writable, base=base))
         return self
 
     def add_thread(self, entry: int) -> "EnclaveBuilder":
@@ -240,7 +246,7 @@ class EnclaveBuilder:
             mapping = Mapping(
                 va=shared.va, readable=True, writable=shared.writable, executable=False
             )
-            buffers.append(kernel.map_insecure(as_page, mapping))
+            buffers.append(kernel.map_insecure(as_page, mapping, base=shared.base))
         threads = [kernel.init_thread(as_page, entry) for entry in self._threads]
         owned.extend(threads)
         spares = [kernel.alloc_spare(as_page) for _ in range(self._spares)]

@@ -76,7 +76,14 @@ class EnclaveEndpoint:
 
 
 class Channel:
-    """SPSC ring channel over one shared page."""
+    """SPSC ring channel over one shared page.
+
+    Every word of the page — head, tail, lengths, payload — is writable
+    by a malicious counterparty at any time, so *every* value read off
+    the page is treated as hostile: indices are masked into range before
+    use and impossible states surface as :class:`ChannelError`, never as
+    an IndexError, OverflowError, or silent out-of-page access.
+    """
 
     def __init__(self, access: WordAccess):
         self.access = access
@@ -88,12 +95,21 @@ class Channel:
     def _used(self, head: int, tail: int) -> int:
         return (tail - head) % _CAPACITY
 
+    def _cursor(self, index: int) -> int:
+        """Load a ring cursor (head/tail), clamping hostile values.
+
+        A counterparty can store any 32-bit word; reducing modulo the
+        capacity keeps all later arithmetic and indexing inside the
+        data region of the page.
+        """
+        return (self.access.read(index) & 0xFFFFFFFF) % _CAPACITY
+
     def send(self, message: List[int]) -> bool:
         """Enqueue a message; returns False when the ring is full."""
         if len(message) >= _CAPACITY - 1:
             raise ChannelError("message larger than the channel")
-        head = self.access.read(_HEAD) % _CAPACITY
-        tail = self.access.read(_TAIL) % _CAPACITY
+        head = self._cursor(_HEAD)
+        tail = self._cursor(_TAIL)
         needed = len(message) + 1
         free = _CAPACITY - 1 - self._used(head, tail)
         if needed > free:
@@ -110,11 +126,11 @@ class Channel:
         Defensive about corruption: an impossible length (the OS can
         write anything) raises ChannelError rather than reading away.
         """
-        head = self.access.read(_HEAD) % _CAPACITY
-        tail = self.access.read(_TAIL) % _CAPACITY
+        head = self._cursor(_HEAD)
+        tail = self._cursor(_TAIL)
         if head == tail:
             return None
-        length = self.access.read(_DATA + head)
+        length = self.access.read(_DATA + head) & 0xFFFFFFFF
         if length >= _CAPACITY - 1:
             raise ChannelError(f"corrupt message length {length}")
         if length + 1 > self._used(head, tail):
@@ -128,6 +144,4 @@ class Channel:
 
     def pending(self) -> int:
         """Words currently queued (including length headers)."""
-        head = self.access.read(_HEAD) % _CAPACITY
-        tail = self.access.read(_TAIL) % _CAPACITY
-        return self._used(head, tail)
+        return self._used(self._cursor(_HEAD), self._cursor(_TAIL))

@@ -17,11 +17,18 @@ Two notions of "looks the same":
   ≈enc for the malicious enclave, plus equality of the general-purpose
   registers, banked registers (except monitor mode), and all of insecure
   memory.
+
+* ``enc_set_equivalent`` / ``adv_set_equivalent``: the colluding-set
+  generalisation used by the composite-pipeline experiments — several
+  enclaves pool their observations (each sees its own pages exactly),
+  so the observer's page set is the union over the coalition.  With a
+  singleton set these degenerate to Definitions 1/2; the single-observer
+  names above remain as wrappers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.arm.machine import MachineState
 from repro.arm.modes import Mode
@@ -56,14 +63,23 @@ def pages_weak_equivalent(e1, e2) -> bool:
     return False
 
 
-def enc_equivalent(
-    d1: AbsPageDb, d2: AbsPageDb, enc: int, failures: Optional[List[str]] = None
+def enc_set_equivalent(
+    d1: AbsPageDb,
+    d2: AbsPageDb,
+    encs: Iterable[int],
+    failures: Optional[List[str]] = None,
 ) -> bool:
-    """≈enc: PageDBs observationally equivalent to enclave ``enc``.
+    """≈enc for a coalition: PageDBs equivalent to a set of colluding
+    enclave observers.
+
+    The coalition pools everything its members see, so its own-page set
+    is the union of the members' page sets; every page in the union must
+    be identical and everything outside it weakly equivalent.
 
     ``failures`` (optional) collects human-readable reasons, which makes
     counterexamples from the property-based tests diagnosable.
     """
+    observers = tuple(encs)
     log = failures if failures is not None else []
     if d1.npages != d2.npages:
         log.append("different page counts")
@@ -72,8 +88,11 @@ def enc_equivalent(
     free2 = set(d2.free_pages())
     if free1 != free2:
         log.append(f"free sets differ: {sorted(free1 ^ free2)}")
-    mine1 = set(d1.pages_of(enc))
-    mine2 = set(d2.pages_of(enc))
+    mine1 = set()
+    mine2 = set()
+    for enc in observers:
+        mine1.update(d1.pages_of(enc))
+        mine2.update(d2.pages_of(enc))
     if mine1 != mine2:
         log.append(f"observer page sets differ: {sorted(mine1 ^ mine2)}")
         return not log
@@ -93,6 +112,14 @@ def enc_equivalent(
     return not log
 
 
+def enc_equivalent(
+    d1: AbsPageDb, d2: AbsPageDb, enc: int, failures: Optional[List[str]] = None
+) -> bool:
+    """≈enc: PageDBs observationally equivalent to enclave ``enc``
+    (Definition 2 — the singleton case of :func:`enc_set_equivalent`)."""
+    return enc_set_equivalent(d1, d2, (enc,), failures)
+
+
 def _banked_regs_equal(
     s1: MachineState, s2: MachineState, failures: List[str]
 ) -> None:
@@ -108,22 +135,23 @@ def _banked_regs_equal(
             failures.append(f"SPSR_{mode.name} differs")
 
 
-def adv_equivalent(
+def adv_set_equivalent(
     s1: MachineState,
     d1: AbsPageDb,
     s2: MachineState,
     d2: AbsPageDb,
-    enc: int,
+    encs: Iterable[int],
     failures: Optional[List[str]] = None,
 ) -> bool:
-    """≈adv: equivalence for an OS adversary colluding with enclave ``enc``.
+    """≈adv for a coalition: the OS colluding with *several* enclaves.
 
-    Requires ≈enc for the colluding enclave, plus equality of the
+    Requires ≈enc for the colluding set, plus equality of the
     general-purpose registers, the banked registers excluding monitor
-    mode, and the entire insecure memory.
+    mode, and the entire insecure memory — so the coalition additionally
+    shares every cross-enclave channel page with the OS.
     """
     log = failures if failures is not None else []
-    enc_equivalent(d1, d2, enc, log)
+    enc_set_equivalent(d1, d2, encs, log)
     for i in range(13):
         if s1.regs.read_gpr(i) != s2.regs.read_gpr(i):
             log.append(f"r{i} differs: {s1.regs.read_gpr(i):#x} vs {s2.regs.read_gpr(i):#x}")
@@ -138,3 +166,16 @@ def adv_equivalent(
         )
         log.append(f"insecure memory differs at {[hex(a) for a in differing[:4]]}")
     return not log
+
+
+def adv_equivalent(
+    s1: MachineState,
+    d1: AbsPageDb,
+    s2: MachineState,
+    d2: AbsPageDb,
+    enc: int,
+    failures: Optional[List[str]] = None,
+) -> bool:
+    """≈adv: the OS colluding with one enclave (the singleton case of
+    :func:`adv_set_equivalent`)."""
+    return adv_set_equivalent(s1, d1, s2, d2, (enc,), failures)

@@ -35,8 +35,16 @@ from repro.monitor.errors import KomErr
 from repro.monitor.komodo import KomodoMonitor
 from repro.monitor.layout import SMC
 from repro.security.declassify import DeclassifiedOutcome
-from repro.security.equivalence import adv_equivalent, enc_equivalent
+from repro.security.equivalence import adv_set_equivalent, enc_set_equivalent
 from repro.verification.extract import extract_pagedb
+
+
+def _observer_set(enc) -> Tuple[int, ...]:
+    """Normalise an observer spec: a single addrspace page number or a
+    sequence of them (a colluding coalition)."""
+    if isinstance(enc, int):
+        return (enc,)
+    return tuple(enc)
 
 
 class NoninterferenceViolation(AssertionError):
@@ -152,17 +160,23 @@ class BisimulationHarness:
 
     # -- relation checks -----------------------------------------------------------
 
-    def require_related(self, enc: int, adversary_view: bool) -> None:
-        """Assert the two worlds are currently ≈L-related."""
+    def require_related(self, enc, adversary_view: bool) -> None:
+        """Assert the two worlds are currently ≈L-related.
+
+        ``enc`` is a single observer addrspace page number or a sequence
+        of them — a coalition of colluding enclaves whose pooled view
+        (union of their page sets) defines the relation.
+        """
+        observers = _observer_set(enc)
         failures: List[str] = []
         d1 = extract_pagedb(self.worlds[0].state)
         d2 = extract_pagedb(self.worlds[1].state)
         if adversary_view:
-            adv_equivalent(
-                self.worlds[0].state, d1, self.worlds[1].state, d2, enc, failures
+            adv_set_equivalent(
+                self.worlds[0].state, d1, self.worlds[1].state, d2, observers, failures
             )
         else:
-            enc_equivalent(d1, d2, enc, failures)
+            enc_set_equivalent(d1, d2, observers, failures)
         if failures:
             raise NoninterferenceViolation(
                 "worlds not ≈-related: " + "; ".join(failures)
@@ -173,7 +187,7 @@ class BisimulationHarness:
     def run_trace(
         self,
         trace: Sequence[OSAction],
-        enc: int,
+        enc,
         adversary_view: bool,
         check_each_step: bool = True,
     ) -> None:
@@ -184,6 +198,10 @@ class BisimulationHarness:
         step.  Without it (integrity), only the final ≈enc check matters:
         the adversary perturbation may legitimately change OS-visible
         outcomes, but never the trusted enclave's state.
+
+        ``enc`` may be a coalition (sequence of addrspace page numbers)
+        — e.g. two pipeline stages pooling their views against a third
+        victim enclave.
         """
         for step, action in enumerate(trace):
             out1 = self.worlds[0].apply(action)

@@ -35,6 +35,7 @@ from repro.cloud.api import REQUEST_KINDS, CloudRequest, results_digest
 from repro.cloud.chaos import base_payload
 from repro.cloud.service import CloudService
 from repro.cloud.worker import get_template
+from repro.util.watchdog import TrialTimeout, time_limit
 
 BENCH_VERSION = 1
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_cloud.json"
@@ -121,7 +122,7 @@ def run_bench(
 def golden_digest(seed: int, per_kind: int, engine: str) -> str:
     """The workload's results digest from pure in-process execution."""
     template = get_template(
-        {"engine": engine, "seed": 0xC10D, "secure_pages": 32, "step_budget": 2_000_000}
+        {"engine": engine, "seed": 0xC10D, "secure_pages": 48, "step_budget": 2_000_000}
     )
     return results_digest(
         template.expected(request) for request in workload(seed, per_kind)
@@ -219,9 +220,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=",".join(str(w) for w in DEFAULT_WORKER_COUNTS),
         metavar="N1,N2",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog over the whole run (CI safety net)",
+    )
     args = parser.parse_args(argv)
     path = pathlib.Path(args.out)
 
+    try:
+        with time_limit(args.timeout, label="cloudbench"):
+            return _run(args, path)
+    except TrialTimeout as timeout:
+        print(f"cloudbench: {timeout}")
+        return 1
+
+
+def _run(args, path: pathlib.Path) -> int:
     if args.check or args.summary_md:
         if not path.is_file():
             print(f"cloudbench: {path} missing; run the bench and commit it")

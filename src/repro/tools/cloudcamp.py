@@ -25,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.cloud.chaos import ChaosCampaign, ChaosReport
+from repro.util.watchdog import TrialTimeout, time_limit
 
 
 def _print_report(report: ChaosReport) -> None:
@@ -94,6 +95,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="hang detector: any request still pending after this fails "
         "the campaign",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog over the whole campaign (outer CI "
+        "safety net; --global-timeout bounds in-flight requests, this "
+        "bounds everything including setup and teardown)",
+    )
     args = parser.parse_args(argv)
 
     kinds = None
@@ -110,7 +120,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_attempts=args.attempts,
         global_timeout=args.global_timeout,
     )
-    report = campaign.run()
+    try:
+        with time_limit(args.timeout, label="cloudcamp"):
+            report = campaign.run()
+    except TrialTimeout as timeout:
+        print(f"cloudcamp: {timeout}")
+        return 1
     _print_report(report)
     if report.passed:
         print(

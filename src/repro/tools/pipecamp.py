@@ -1,0 +1,139 @@
+"""Pipeline chaos campaign CLI.
+
+Sweeps stage-kill points across every machine-visible monitor operation
+of composite multi-enclave pipelines (``repro.pipeline``) and gates on
+the crash-anywhere contract: every trial terminates bit-exact against
+the fault-free golden digest or with a typed retryable error — never a
+hang, never partial cross-enclave state, never a counter value issued
+twice.
+
+Usage::
+
+    python -m repro.tools.pipecamp                    # sweep, print a table
+    python -m repro.tools.pipecamp --check            # CI gate (exit 1)
+    python -m repro.tools.pipecamp --stride 1         # exhaustive sweep
+    python -m repro.tools.pipecamp --pipelines counter-notary
+    python -m repro.tools.pipecamp --engine all       # + tri-engine golden leg
+
+``--engine all`` runs the sweep on the turbo engine and adds a bounded
+differential leg: the golden run must produce the identical logical
+digest on all three execution engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.pipeline.campaign import (
+    DEFAULT_SEED,
+    PipelineReport,
+    run_campaign,
+    tri_engine_digests,
+)
+from repro.pipeline.pipelines import PIPELINE_KINDS
+from repro.util.watchdog import TrialTimeout, time_limit
+
+_ENGINES = ("fast", "reference", "turbo")
+
+
+def _print_report(report: PipelineReport) -> None:
+    print(
+        f"{report.pipeline:<18} engine={report.engine} ops={report.ops} "
+        f"kill-points={report.kill_points} bit-exact={report.bit_exact} "
+        f"typed-retryable={report.retryable}"
+    )
+    for violation in report.violations[:20]:
+        print(f"  FAIL: {violation}")
+    if len(report.violations) > 20:
+        print(f"  ... and {len(report.violations) - 20} more")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.pipecamp",
+        description="crash composite enclave pipelines at every monitor "
+        "op; gate on bit-exact-or-typed-retryable termination",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any violation or hang (CI gate)",
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=7,
+        help="sample every N-th monitor op as a kill point (1 = exhaustive)",
+    )
+    parser.add_argument(
+        "--pipelines",
+        default=None,
+        help=f"comma-separated pipeline kinds (default: all: "
+        f"{','.join(sorted(PIPELINE_KINDS))})",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=_ENGINES + ("all",),
+        default="turbo",
+        help="execution engine for the sweep; 'all' adds the tri-engine "
+        "golden differential leg",
+    )
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=DEFAULT_SEED)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog over the whole campaign (CI safety net)",
+    )
+    args = parser.parse_args(argv)
+    if args.stride < 1:
+        parser.error("--stride must be at least 1")
+
+    kinds = sorted(PIPELINE_KINDS)
+    if args.pipelines:
+        kinds = [token.strip() for token in args.pipelines.split(",") if token.strip()]
+        for kind in kinds:
+            if kind not in PIPELINE_KINDS:
+                parser.error(
+                    f"unknown pipeline {kind!r} (expected one of "
+                    f"{sorted(PIPELINE_KINDS)})"
+                )
+
+    sweep_engine = "turbo" if args.engine == "all" else args.engine
+    failures = 0
+    try:
+        with time_limit(args.timeout, label="pipecamp"):
+            for kind in kinds:
+                report = run_campaign(
+                    kind, engine=sweep_engine, seed=args.seed, stride=args.stride
+                )
+                _print_report(report)
+                failures += len(report.violations)
+            if args.engine == "all":
+                for kind in kinds:
+                    digests = tri_engine_digests(kind, _ENGINES, seed=args.seed)
+                    agree = len(set(digests.values())) == 1
+                    print(
+                        f"{kind:<18} tri-engine golden: "
+                        f"{'agree' if agree else 'SPLIT ' + repr(digests)}"
+                    )
+                    if not agree:
+                        failures += 1
+    except TrialTimeout as timeout:
+        print(f"pipecamp: {timeout}")
+        return 1
+    if failures == 0:
+        print(
+            "pipecamp: every trial terminated bit-exact or typed-retryable; "
+            "invariants and audits clean"
+        )
+        return 0
+    print(f"pipecamp: {failures} violation(s)")
+    return 1 if args.check else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ from repro.cloud.worker import get_template
 SPEC = {
     "engine": "turbo",
     "seed": 0xC10D,
-    "secure_pages": 32,
+    "secure_pages": 48,
     "step_budget": 2_000_000,
 }
 

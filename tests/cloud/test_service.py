@@ -24,6 +24,7 @@ def mixed_requests(count_per_kind=2):
         ("sign", tuple(range(10))),
         ("checksum", (0x71, 0x72, 0x73, 0x74)),
         ("spin", (48,)),
+        ("pipeline", (0x81, 0x82, 0x83, 0x84)),
     ):
         for nonce in range(count_per_kind):
             requests.append(CloudRequest(kind=kind, payload=payload, nonce=nonce))
@@ -146,6 +147,52 @@ class TestCrashSupervision:
                 assert first.digest() == template.expected(early).digest()
                 assert second.digest() == template.expected(late).digest()
                 assert service.stats()["crashes"] == 2
+            finally:
+                await service.close()
+
+        run(body())
+
+    def test_duplicate_submits_dedup_across_worker_respawn(self, template):
+        # Two submits of the same idempotency key while the only worker
+        # dies mid-execution: the dedup map must keep both callers on
+        # the one retried execution, never run the request twice.
+        async def body():
+            service = CloudService(workers=1)
+            await service.start()
+            try:
+                request = CloudRequest("pipeline", (3, 1, 4, 1), nonce=11)
+                first, second = await asyncio.gather(
+                    service.submit(request, chaos_kill_at=6),
+                    service.submit(request),
+                )
+                assert first.ok and second.ok
+                assert first.digest() == second.digest()
+                golden = template.expected(request)
+                assert first.digest() == golden.digest()
+                stats = service.stats()
+                assert stats["submitted"] == 1  # one execution, shared
+                assert stats["crashes"] == 1
+                assert stats["respawns"] == 1
+            finally:
+                await service.close()
+
+        run(body())
+
+    def test_pipeline_request_survives_mid_transaction_kill(self, template):
+        # The composite two-enclave commit killed mid-transaction must
+        # come back bit-exact on the respawned worker: the retry starts
+        # from the pristine snapshot, so no partial cross-enclave state
+        # can leak into the reply.
+        async def body():
+            service = CloudService(workers=2)
+            await service.start()
+            try:
+                request = CloudRequest("pipeline", (9, 8, 7, 6), nonce=12)
+                response = await service.submit(request, chaos_kill_at=25)
+                assert response.ok
+                assert response.attempts == 2
+                assert response.digest() == template.expected(request).digest()
+                assert service.stats()["crashes"] == 1
             finally:
                 await service.close()
 

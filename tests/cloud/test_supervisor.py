@@ -78,3 +78,75 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0, clock=clock)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown=-1.0, clock=clock)
+
+
+class TestHalfOpenEdges:
+    """The half-open state's corner cases: probe accounting, stragglers,
+    and failure-count hygiene across open/close cycles."""
+
+    def _tripped(self, clock, threshold=3, cooldown=1.0):
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, cooldown=cooldown, clock=clock
+        )
+        for _ in range(threshold):
+            breaker.record_failure()
+        return breaker
+
+    def test_single_probe_failure_reopens_below_threshold(self, clock):
+        # In HALF_OPEN one failure re-opens immediately — the breaker
+        # must not wait for threshold consecutive failures again.
+        breaker = self._tripped(clock, threshold=3)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # just one
+        assert breaker.state == OPEN and breaker.opens == 2
+
+    def test_probe_in_flight_sheds_even_across_more_cooldowns(self, clock):
+        # A slow probe keeps everyone else shed; time passing does not
+        # mint extra probes while the first has not reported back.
+        breaker = self._tripped(clock)
+        clock.advance(1.0)
+        assert breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_straggler_success_while_open_closes(self, clock):
+        # A request dispatched before the trip can complete after it;
+        # its success is proof of a healthy worker and closes the
+        # breaker early rather than being discarded.
+        breaker = self._tripped(clock)
+        assert breaker.state == OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_zero_cooldown_offers_the_probe_immediately(self, clock):
+        breaker = self._tripped(clock, cooldown=0.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_resets_the_consecutive_count(self, clock):
+        # Closing via a successful probe must forget the old failure
+        # streak: it then takes a full fresh threshold to re-open.
+        breaker = self._tripped(clock, threshold=3)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_each_reopen_mints_exactly_one_fresh_probe(self, clock):
+        breaker = self._tripped(clock)
+        for generation in range(3):
+            clock.advance(1.0)
+            assert breaker.state == HALF_OPEN
+            assert breaker.allow(), generation
+            assert not breaker.allow(), generation
+            breaker.record_failure()
+            assert breaker.state == OPEN
+        assert breaker.opens == 4  # initial trip + three failed probes

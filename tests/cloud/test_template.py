@@ -22,6 +22,7 @@ def request_for(kind: str) -> CloudRequest:
         "sign": tuple(range(12)),
         "checksum": (0xDEADBEEF, 0x12345678, 0x0BADF00D),
         "spin": (64,),
+        "pipeline": (0xD0C, 0xD1C, 0xD2C, 0xD3C),
     }
     return CloudRequest(kind=kind, payload=payloads[kind])
 

@@ -1,0 +1,113 @@
+"""CampaignSnapshot with a multicore scheduler: bit-identical trial
+forking for the pipeline chaos campaign.
+
+tests/faults/test_snapshot.py pins the single-core rewind semantics;
+this file pins the scheduler extension — PRNG, core list, event logs
+and lock state must all rewind so a killed multicore trial replays
+exactly."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRNG
+from repro.faults.injector import FaultPlan, inject
+from repro.faults.snapshot import CampaignSnapshot
+from repro.monitor.komodo import KomodoMonitor
+from repro.multicore import MultiCoreMachine
+from repro.osmodel.kernel import OSKernel
+from repro.osmodel.saga import run_pipeline
+from repro.pipeline.campaign import default_requests, outcome_digest
+from repro.pipeline.pipelines import build_pipeline
+
+
+def build_env(seed=0x51BE):
+    monitor = KomodoMonitor(
+        secure_pages=48, rng=HardwareRNG(seed=7), cpu_engine="turbo"
+    )
+    kernel = OSKernel(monitor)
+    pipeline = build_pipeline("counter-notary", kernel)
+    machine = MultiCoreMachine(monitor, seed=seed)
+    return monitor, kernel, pipeline, machine
+
+
+class TestSchedulerCapture:
+    def test_constructor_rejects_foreign_scheduler(self):
+        monitor, kernel, _, _ = build_env()
+        other = MultiCoreMachine(KomodoMonitor(secure_pages=8), seed=1)
+        with pytest.raises(ValueError, match="not bound"):
+            CampaignSnapshot(monitor, kernel, scheduler=other)
+
+    def test_constructor_rejects_unfinished_cores(self):
+        monitor, kernel, _, machine = build_env()
+
+        def idler(core_id):
+            def script():
+                yield ("yield",)
+
+            return script()
+
+        machine.add_core(idler)
+        with pytest.raises(ValueError, match="unfinished core"):
+            CampaignSnapshot(monitor, kernel, scheduler=machine)
+
+
+class TestBitIdenticalForking:
+    def test_killed_trials_replay_identically(self):
+        # Two trials killed at the same operation must produce the same
+        # typed-or-exact verdict, the same logical digest, and the same
+        # interleaving — the property the whole campaign leans on.
+        monitor, kernel, pipeline, machine = build_env()
+        snapshot = CampaignSnapshot(monitor, kernel, scheduler=machine)
+        requests = default_requests("counter-notary")
+
+        def killed_trial():
+            snapshot.restore()
+            plan = FaultPlan(abort_at=23)
+            with inject(monitor.state, plan):
+                outcome = run_pipeline(
+                    pipeline, machine, requests, max_steps=300_000
+                )
+            assert plan.fired
+            # Crash-log entries carry exception objects (identity
+            # compare); stringify for a value comparison.
+            crashes = [tuple(str(part) for part in entry) for entry in machine.crashes]
+            return (
+                outcome_digest(pipeline, outcome),
+                list(machine.linearisation),
+                crashes,
+                outcome.stage_crashes,
+            )
+
+        first = killed_trial()
+        second = killed_trial()
+        assert first == second
+        assert first[3]  # the injected kill really crashed a stage
+
+    def test_rewind_clears_event_logs_past_capture(self):
+        monitor, kernel, pipeline, machine = build_env()
+        snapshot = CampaignSnapshot(monitor, kernel, scheduler=machine)
+        run_pipeline(
+            pipeline,
+            machine,
+            default_requests("counter-notary", count=1),
+            max_steps=300_000,
+        )
+        assert machine.linearisation  # the run left traces
+        assert machine.cores
+        snapshot.restore()
+        assert machine.linearisation == []
+        assert machine.crashes == []
+        assert machine.cores == []
+        assert machine.lock._holder is None
+
+    def test_golden_digest_stable_across_restores(self):
+        monitor, kernel, pipeline, machine = build_env()
+        snapshot = CampaignSnapshot(monitor, kernel, scheduler=machine)
+        requests = default_requests("counter-notary")
+        digests = set()
+        for _ in range(2):
+            snapshot.restore()
+            outcome = run_pipeline(
+                pipeline, machine, requests, max_steps=300_000
+            )
+            digests.add(outcome_digest(pipeline, outcome))
+        assert len(digests) == 1

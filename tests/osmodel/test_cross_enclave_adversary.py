@@ -1,0 +1,111 @@
+"""Cross-enclave channel tampering: replay, reorder and corruption of
+pipeline traffic must never change the logical outcome."""
+
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.komodo import KomodoMonitor
+from repro.multicore import MultiCoreMachine
+from repro.osmodel.adversary import CrossEnclaveAdversary
+from repro.osmodel.kernel import OSKernel
+from repro.osmodel.saga import run_pipeline
+from repro.pipeline import stages as st
+from repro.pipeline.campaign import default_requests, outcome_digest
+from repro.pipeline.pipelines import build_pipeline
+
+
+def fresh(kind="counter-notary", seed=0x51BE):
+    monitor = KomodoMonitor(
+        secure_pages=48, rng=HardwareRNG(seed=7), cpu_engine="turbo"
+    )
+    kernel = OSKernel(monitor)
+    pipeline = build_pipeline(kind, kernel)
+    machine = MultiCoreMachine(monitor, seed=seed)
+    return kernel, pipeline, machine
+
+
+class TestTamperPrimitives:
+    def test_replay_frames_duplicates_queued_traffic(self):
+        kernel, pipeline, _ = fresh()
+        base = pipeline.channels["ingress"]
+        pipeline.ingress.send(1, st.MSG_REQ, [1, 2, 3, 4])
+        adversary = CrossEnclaveAdversary(kernel)
+        assert adversary.replay_frames(base, copies=2) == 2
+        assert adversary.log.replays == 2
+        assert len(adversary.captured) == 1
+        # The original plus both duplicates are all valid frames.
+        from repro.pipeline.txchannel import PUBLIC_EDGE_KEY, TxChannel
+        from repro.sdk.channel import Channel, HostEndpoint
+
+        tap = TxChannel(Channel(HostEndpoint(kernel, base)), PUBLIC_EDGE_KEY)
+        drained = tap.drain()
+        assert len(drained) == 3
+        assert len({f.seq for f in drained}) == 1  # byte-identical replays
+
+    def test_replay_captured_reinjects_history(self):
+        kernel, pipeline, _ = fresh()
+        base = pipeline.channels["ingress"]
+        pipeline.ingress.send(1, st.MSG_REQ, [9, 9, 9, 9])
+        adversary = CrossEnclaveAdversary(kernel)
+        adversary.replay_frames(base)  # captures as a side effect
+        assert adversary.replay_captured(base, count=3) == 3
+
+    def test_reorder_shuffles_but_keeps_every_frame(self):
+        kernel, pipeline, _ = fresh()
+        base = pipeline.channels["ingress"]
+        for txid in range(1, 5):
+            pipeline.ingress.send(txid, st.MSG_REQ, [txid] * 4)
+        adversary = CrossEnclaveAdversary(kernel, seed=3)
+        assert adversary.reorder_frames(base) == 4
+        assert adversary.log.reorders == 1
+        from repro.pipeline.txchannel import PUBLIC_EDGE_KEY, TxChannel
+        from repro.sdk.channel import Channel, HostEndpoint
+
+        tap = TxChannel(Channel(HostEndpoint(kernel, base)), PUBLIC_EDGE_KEY)
+        assert sorted(f.txid for f in tap.drain()) == [1, 2, 3, 4]
+
+    def test_corrupt_page_counts_and_stays_inside_the_page(self):
+        kernel, pipeline, _ = fresh()
+        adversary = CrossEnclaveAdversary(kernel)
+        adversary.corrupt_page(pipeline.channels["link-req"], words=8)
+        assert adversary.log.corruptions == 1
+
+
+class TestHostileCores:
+    def _golden(self, kind):
+        _, pipeline, machine = fresh(kind)
+        outcome = run_pipeline(
+            pipeline, machine, default_requests(kind), max_steps=300_000
+        )
+        return outcome_digest(pipeline, outcome), [
+            f.payload for f in outcome.replies
+        ]
+
+    def _tampered(self, kind, hostile_cores=2):
+        kernel, pipeline, machine = fresh(kind)
+        adversary = CrossEnclaveAdversary(kernel, seed=0xADE5)
+        bases = tuple(pipeline.channels.values())
+        for _ in range(hostile_cores):
+            machine.add_core(adversary.hostile_core(bases, rounds=60))
+        outcome = run_pipeline(
+            pipeline, machine, default_requests(kind), max_steps=300_000
+        )
+        digest = outcome_digest(pipeline, outcome)
+        assert pipeline.check_invariants() == []
+        return digest, [f.payload for f in outcome.replies], adversary
+
+    def test_counter_notary_bit_exact_under_tampering(self):
+        golden_digest, golden_replies = self._golden("counter-notary")
+        digest, replies, adversary = self._tampered("counter-notary")
+        assert replies == golden_replies
+        assert digest == golden_digest
+        # The adversary actually did something.
+        log = adversary.log
+        assert log.hostile_smcs > 0
+        assert (
+            log.replays + log.reorders + log.corruptions + log.hostile_smcs > 10
+        )
+
+    def test_relay_chain_bit_exact_under_tampering(self):
+        golden_digest, golden_replies = self._golden("attest-sign-seal")
+        digest, replies, _ = self._tampered("attest-sign-seal")
+        assert replies == golden_replies
+        assert digest == golden_digest

@@ -1,0 +1,94 @@
+"""Saga coordination: typed liveness verdicts from untrusted OS code.
+
+The pipeline tests cover the happy paths; here the coordinator is
+pushed into each of its typed failure verdicts — a stalled saga, and a
+transaction the pipeline aborted without the coordinator asking."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.komodo import KomodoMonitor
+from repro.multicore import MultiCoreMachine
+from repro.osmodel.kernel import OSKernel
+from repro.osmodel.saga import SagaState, run_pipeline
+from repro.pipeline import stages as st
+from repro.pipeline.campaign import default_requests
+from repro.pipeline.errors import (
+    SagaStalled,
+    StageRetryExhausted,
+    TransactionAborted,
+)
+from repro.pipeline.pipelines import build_pipeline
+
+
+def fresh(kind="counter-notary", seed=0x51BE):
+    monitor = KomodoMonitor(
+        secure_pages=48, rng=HardwareRNG(seed=7), cpu_engine="turbo"
+    )
+    kernel = OSKernel(monitor)
+    pipeline = build_pipeline(kind, kernel)
+    machine = MultiCoreMachine(monitor, seed=seed)
+    return pipeline, machine
+
+
+class TestSagaState:
+    def test_first_error_wins(self):
+        saga = SagaState()
+        saga.fail(SagaStalled("first"))
+        saga.fail(StageRetryExhausted("second"))
+        assert isinstance(saga.error, SagaStalled)
+        assert saga.done
+
+    def test_finish_sets_done_without_error(self):
+        saga = SagaState()
+        saga.finish()
+        assert saga.done and saga.error is None
+
+
+class TestTypedVerdicts:
+    def test_starved_stage_stalls_with_a_typed_verdict(self):
+        # The counter never gets scheduled inside the round budget: the
+        # coordinator must give up with SagaStalled, not spin forever.
+        pipeline, machine = fresh()
+        with pytest.raises(SagaStalled):
+            run_pipeline(
+                pipeline,
+                machine,
+                default_requests("counter-notary", count=1),
+                start_after_rounds={"counter": 10_000},
+                round_budget=40,
+                max_steps=300_000,
+            )
+
+    def test_uninvited_abort_surfaces_transaction_aborted(self):
+        # A hostile helper core compensates txn 1 behind the
+        # coordinator's back (the edge key is public, so this is within
+        # the OS's power).  The coordinator must surface the rollback
+        # as the typed TransactionAborted, never as a silent drop.
+        pipeline, machine = fresh()
+
+        def hostile(core_id):
+            def script():
+                for _ in range(120):
+                    pipeline.ingress.send(1, st.MSG_ABORT)
+                    yield ("yield",)
+
+            return script()
+
+        machine.add_core(hostile)
+        with pytest.raises(TransactionAborted):
+            run_pipeline(
+                pipeline,
+                machine,
+                default_requests("counter-notary", count=1),
+                start_after_rounds={"counter": 30},
+                max_steps=300_000,
+            )
+        # The rollback was clean on both enclaves.
+        assert pipeline.check_invariants() == []
+
+    def test_errors_are_retryable_and_coded(self):
+        assert SagaStalled("x").retryable
+        assert SagaStalled("x").code == "saga_stalled"
+        assert TransactionAborted("x").retryable
+        assert StageRetryExhausted("x").retryable

@@ -1,0 +1,162 @@
+"""Whole composite pipelines on the multicore machine: fault-free
+transactions, receipt verification, saga compensation, invariants."""
+
+import pytest
+
+from repro.apps.checksum import ChecksumService, crc32_words
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.komodo import KomodoMonitor
+from repro.multicore import MultiCoreMachine
+from repro.osmodel.kernel import OSKernel
+from repro.osmodel.saga import run_pipeline
+from repro.pipeline import stages as st
+from repro.pipeline.campaign import default_requests
+from repro.pipeline.pipelines import PIPELINE_KINDS, build_pipeline
+from repro.pipeline.stages import notary_receipt
+
+
+def fresh(kind, seed=0x51BE):
+    monitor = KomodoMonitor(
+        secure_pages=48, rng=HardwareRNG(seed=7), cpu_engine="turbo"
+    )
+    kernel = OSKernel(monitor)
+    pipeline = build_pipeline(kind, kernel)
+    machine = MultiCoreMachine(monitor, seed=seed)
+    return monitor, kernel, pipeline, machine
+
+
+class TestBuilder:
+    def test_unknown_kind_rejected(self):
+        monitor = KomodoMonitor(secure_pages=48, rng=HardwareRNG(seed=7))
+        kernel = OSKernel(monitor)
+        with pytest.raises(ValueError, match="unknown pipeline"):
+            build_pipeline("garbage", kernel)
+
+    def test_registry_names_match_classes(self):
+        for name, factory in PIPELINE_KINDS.items():
+            assert factory.name == name
+
+    def test_stages_and_channels_wired(self):
+        _, _, pipeline, _ = fresh("counter-notary")
+        assert [stage.name for stage in pipeline.stages] == ["notary", "counter"]
+        assert set(pipeline.channels) == {
+            "ingress", "egress", "link-req", "link-rep",
+        }
+        with pytest.raises(KeyError):
+            pipeline.stage("sealer")
+
+    def test_logical_state_reads_one_slot_per_stage(self):
+        _, _, pipeline, _ = fresh("attest-sign-seal")
+        state = pipeline.logical_state()
+        assert set(state) == {"attest", "sign", "seal"}
+        assert all(len(slot) == st.RS_SLOT_WORDS for slot in state.values())
+
+
+class TestCounterNotary:
+    def test_two_transactions_fault_free(self):
+        monitor, _, pipeline, machine = fresh("counter-notary")
+        requests = default_requests("counter-notary")
+        outcome = run_pipeline(
+            pipeline, machine, requests, max_steps=300_000
+        )
+        assert [f.txid for f in outcome.replies] == [1, 2]
+        for index, frame in enumerate(outcome.replies):
+            assert frame.opcode == st.MSG_REPLY
+            assert frame.payload[0] == st.ST_OK
+            assert frame.payload[1] == index + 1  # counter values 1, 2
+        assert pipeline.check_invariants() == []
+        assert outcome.stage_crashes == {}
+
+    def test_receipt_verifies_against_the_notary_measurement(self):
+        # The reply's MAC is Attest over (doc, value, txid) under the
+        # notary's identity — the host re-derives it independently.
+        monitor, _, pipeline, machine = fresh("counter-notary")
+        requests = default_requests("counter-notary", count=1)
+        outcome = run_pipeline(pipeline, machine, requests, max_steps=300_000)
+        frame = outcome.replies[0]
+        measurement = pipeline.stage("notary").handle.measurement()
+        attest = lambda data: monitor.attestation.mac(measurement, data)  # noqa: E731
+        expected = notary_receipt(
+            attest, requests[0], value=frame.payload[1], txid=frame.txid
+        )
+        assert list(frame.payload[2:]) == expected
+
+    def test_compensation_burns_the_value_and_types_the_verdict(self):
+        # Starve the counter so txn 1 is still mid-reserve when the
+        # coordinator compensates; the abort must burn value 1 and the
+        # next transaction must complete normally with value 2.
+        _, _, pipeline, machine = fresh("counter-notary")
+        requests = default_requests("counter-notary")
+        outcome = run_pipeline(
+            pipeline,
+            machine,
+            requests,
+            abort_after_rounds={1: 5},
+            start_after_rounds={"counter": 60},
+            max_steps=300_000,
+        )
+        aborted, completed = outcome.replies
+        assert aborted.txid == 1
+        assert aborted.payload[0] == st.ST_ABORTED
+        assert completed.txid == 2
+        assert completed.payload[0] == st.ST_OK
+        assert completed.payload[1] == 2  # value 1 burnt, never reused
+        assert pipeline.check_invariants() == []
+
+    def test_counter_slot_reflects_the_last_commit(self):
+        _, _, pipeline, machine = fresh("counter-notary")
+        run_pipeline(
+            pipeline,
+            machine,
+            default_requests("counter-notary"),
+            max_steps=300_000,
+        )
+        slot = pipeline.stage("counter").active_slot()
+        assert slot[st.CS_TXID] == 2
+        assert slot[st.CS_PHASE] == st.PH_CONFIRMED
+        assert slot[st.CS_CONFIRMED] == 2
+
+
+class TestAttestSignSeal:
+    def test_relay_chain_fault_free(self):
+        _, _, pipeline, machine = fresh("attest-sign-seal")
+        requests = default_requests("attest-sign-seal")
+        outcome = run_pipeline(pipeline, machine, requests, max_steps=300_000)
+        assert [f.txid for f in outcome.replies] == [1, 2]
+        for frame in outcome.replies:
+            assert frame.payload[0] == st.ST_OK
+            assert len(frame.payload) > 1  # sealed blob rides behind
+        assert pipeline.check_invariants() == []
+        # Every stage committed txn 2.  The run stops the moment the
+        # coordinator sees the reply, so upstream stages may still be
+        # retransmitting (RP_FORWARD) while the egress stage is done.
+        for stage in pipeline.stages:
+            slot = stage.active_slot()
+            assert slot[st.SL_TXID] == 2
+            assert slot[st.SL_PHASE] in (st.RP_FORWARD, st.RP_DONE)
+        assert pipeline.stage("seal").active_slot()[st.SL_PHASE] == st.RP_DONE
+
+    def test_checksum_leg_matches_the_pure_crc(self):
+        monitor, kernel, pipeline, machine = fresh("attest-sign-seal")
+        checksum = ChecksumService(kernel)
+        requests = default_requests("attest-sign-seal", count=1)
+        outcome = run_pipeline(
+            pipeline, machine, requests, checksum=checksum, max_steps=300_000
+        )
+        assert len(outcome.checksums) == 1
+        reply = outcome.replies[0]
+        assert outcome.checksums[0] == crc32_words(list(reply.payload[1:]))
+
+    def test_determinism_across_identical_runs(self):
+        first = fresh("attest-sign-seal")
+        second = fresh("attest-sign-seal")
+        payloads = []
+        for _, _, pipeline, machine in (first, second):
+            outcome = run_pipeline(
+                pipeline,
+                machine,
+                default_requests("attest-sign-seal"),
+                max_steps=300_000,
+            )
+            payloads.append([frame.payload for frame in outcome.replies])
+        assert payloads[0] == payloads[1]

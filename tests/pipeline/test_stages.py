@@ -1,0 +1,189 @@
+"""The sealed-counter stage as a state machine: idempotent reserve /
+confirm / abort, value burning, and abort-overtakes-reserve.
+
+The counter is driven directly: the test plays the notary's role on the
+link channels (the OS owns the pages, and the link key is derived from
+the public pipeline label, so the host can speak the protocol — the
+*pipeline* tests cover the real notary driving it)."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRNG
+from repro.monitor.errors import KomErr
+from repro.monitor.komodo import KomodoMonitor
+from repro.osmodel.kernel import OSKernel
+from repro.pipeline import stages as st
+from repro.pipeline.pipelines import build_pipeline, derive_link_key
+from repro.pipeline.txchannel import PUBLIC_EDGE_KEY, TxChannel
+from repro.sdk.channel import Channel, HostEndpoint
+
+
+@pytest.fixture
+def counter_env():
+    monitor = KomodoMonitor(secure_pages=48, rng=HardwareRNG(seed=7))
+    kernel = OSKernel(monitor)
+    pipeline = build_pipeline("counter-notary", kernel)
+    key = derive_link_key("notary-counter")
+    req = TxChannel(
+        Channel(HostEndpoint(kernel, pipeline.channels["link-req"])), key
+    )
+    rep = TxChannel(
+        Channel(HostEndpoint(kernel, pipeline.channels["link-rep"])), key
+    )
+    return pipeline, req, rep
+
+
+def poll(pipeline):
+    err, _ = pipeline.stage("counter").handle.call(st.OP_POLL)
+    assert err is KomErr.SUCCESS
+
+
+def one_reply(pipeline, req, rep, txid, opcode, payload=()):
+    req.send(txid, opcode, payload)
+    poll(pipeline)
+    frames = rep.drain()
+    assert len(frames) == 1, frames
+    assert frames[0].txid == txid
+    return frames[0]
+
+
+def counter_slot(pipeline):
+    return pipeline.stage("counter").active_slot()
+
+
+class TestReserve:
+    def test_first_reserve_issues_one(self, counter_env):
+        pipeline, req, rep = counter_env
+        frame = one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        assert frame.opcode == st.MSG_RESERVE_OK
+        assert frame.payload == (1,)
+        slot = counter_slot(pipeline)
+        assert slot[st.CS_PHASE] == st.PH_RESERVED
+        assert slot[st.CS_NEXT] == 2  # consumed at reserve time
+
+    def test_duplicate_reserve_is_idempotent(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        before = counter_slot(pipeline)
+        frame = one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        assert frame.opcode == st.MSG_RESERVE_OK
+        assert frame.payload == (1,)  # same value, not a fresh one
+        assert counter_slot(pipeline) == before
+
+    def test_stale_reserve_dropped_silently(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 2, st.MSG_RESERVE)
+        req.send(1, st.MSG_RESERVE)  # replay of an older transaction
+        poll(pipeline)
+        assert rep.drain() == []
+
+    def test_forged_frame_without_link_key_ignored(self, counter_env):
+        pipeline, req, rep = counter_env
+        forged = TxChannel(
+            Channel(HostEndpoint(pipeline.kernel, pipeline.channels["link-req"])),
+            PUBLIC_EDGE_KEY,
+        )
+        forged.send(1, st.MSG_RESERVE)
+        before = counter_slot(pipeline)
+        poll(pipeline)
+        assert rep.drain() == []
+        assert counter_slot(pipeline) == before
+
+
+class TestConfirm:
+    def test_confirm_commits_and_is_idempotent(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        first = one_reply(pipeline, req, rep, 1, st.MSG_CONFIRM)
+        assert first.opcode == st.MSG_CONFIRM_OK
+        assert first.payload == (1,)
+        slot = counter_slot(pipeline)
+        assert slot[st.CS_PHASE] == st.PH_CONFIRMED
+        assert slot[st.CS_CONFIRMED] == 1
+        # A retransmitted confirm re-acks without a second commit.
+        again = one_reply(pipeline, req, rep, 1, st.MSG_CONFIRM)
+        assert again.opcode == st.MSG_CONFIRM_OK
+        assert counter_slot(pipeline)[st.CS_CONFIRMED] == 1
+
+    def test_confirm_without_reserve_dropped(self, counter_env):
+        pipeline, req, rep = counter_env
+        req.send(1, st.MSG_CONFIRM)
+        poll(pipeline)
+        assert rep.drain() == []
+        assert counter_slot(pipeline)[st.CS_PHASE] == st.PH_IDLE
+
+    def test_confirm_after_abort_fails(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        frame = one_reply(pipeline, req, rep, 1, st.MSG_CONFIRM)
+        assert frame.opcode == st.MSG_CONFIRM_FAIL
+
+
+class TestAbort:
+    def test_abort_burns_the_reserved_value(self, counter_env):
+        pipeline, req, rep = counter_env
+        assert one_reply(pipeline, req, rep, 1, st.MSG_RESERVE).payload == (1,)
+        frame = one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        assert frame.opcode == st.MSG_ABORT_OK
+        # The next transaction gets value 2: value 1 is never reissued.
+        assert one_reply(pipeline, req, rep, 2, st.MSG_RESERVE).payload == (2,)
+
+    def test_abort_is_idempotent(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        again = one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        assert again.opcode == st.MSG_ABORT_OK
+
+    def test_abort_of_confirmed_transaction_fails(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        one_reply(pipeline, req, rep, 1, st.MSG_CONFIRM)
+        frame = one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        assert frame.opcode == st.MSG_ABORT_FAIL
+        assert counter_slot(pipeline)[st.CS_PHASE] == st.PH_CONFIRMED
+
+    def test_abort_overtakes_reserve(self, counter_env):
+        # Saga compensation racing a crashed notary: the abort arrives
+        # before the reserve it compensates.  The counter records the
+        # abort so the late reserve cannot resurrect the transaction.
+        pipeline, req, rep = counter_env
+        frame = one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        assert frame.opcode == st.MSG_ABORT_OK
+        assert counter_slot(pipeline)[st.CS_PHASE] == st.PH_ABORTED
+        late = one_reply(pipeline, req, rep, 1, st.MSG_RESERVE)
+        assert late.opcode == st.MSG_RESERVE_FAIL
+
+    def test_overtaking_abort_does_not_burn_a_value(self, counter_env):
+        pipeline, req, rep = counter_env
+        one_reply(pipeline, req, rep, 1, st.MSG_ABORT)
+        # No reserve ever reached the counter, so nothing was consumed.
+        assert one_reply(pipeline, req, rep, 2, st.MSG_RESERVE).payload == (1,)
+
+
+class TestStateContents:
+    def test_counter_initial_state_measured_shape(self):
+        key = derive_link_key("notary-counter")
+        state = st.counter_state_contents(key)
+        assert state[st.C_MAGIC_W] == st.COUNTER_MAGIC
+        assert state[st.C_ACTIVE_W] == 0
+        assert state[st.C_SLOT0_W + st.CS_NEXT] == 1
+        assert state[st.C_KEY_W : st.C_KEY_W + 8] == key
+
+    def test_notary_initial_state_measured_shape(self):
+        key = derive_link_key("notary-counter")
+        state = st.notary_state_contents(key)
+        assert state[st.N_MAGIC_W] == st.NOTARY_MAGIC
+        assert state[st.N_KEY_W : st.N_KEY_W + 8] == key
+
+    def test_relay_state_carries_config_and_keys(self):
+        key_in = derive_link_key("attest-sign")
+        state = st.relay_state_contents(
+            st.CFG_ACK_UPSTREAM, st.XFORM_SIGN, key_in, PUBLIC_EDGE_KEY
+        )
+        assert state[st.RS_MAGIC_W] == st.RELAY_MAGIC
+        assert state[st.RS_CFG_W] == st.CFG_ACK_UPSTREAM
+        assert state[st.RS_XFORM_W] == st.XFORM_SIGN
+        assert state[st.RS_INKEY_W : st.RS_INKEY_W + 8] == key_in
+        assert state[st.RS_OUTKEY_W : st.RS_OUTKEY_W + 8] == list(PUBLIC_EDGE_KEY)

@@ -106,6 +106,70 @@ class TestHostility:
             host_channel.receive()
 
 
+class TestHostileStateFuzz:
+    """Regression fuzz for the channel hardening: whatever a malicious
+    counterparty stores in the page, the only exception that may escape
+    ``send``/``receive``/``pending`` is :class:`ChannelError` — never an
+    IndexError/OverflowError, never a read or write outside the page."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1023), st.integers(0, 0xFFFFFFFF)),
+            max_size=24,
+        ),
+        st.lists(st.lists(st.integers(0, 0xFFFFFFFF), max_size=8), max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_page_state_never_escapes_typed(
+        self, scribbles, messages, data
+    ):
+        monitor = KomodoMonitor(secure_pages=8)
+        kernel = OSKernel(monitor)
+        base = kernel.alloc_insecure_page()
+        channel = Channel(HostEndpoint(kernel, base))
+        channel.reset()
+        for message in messages:
+            try:
+                channel.send(list(message))
+            except ChannelError:
+                pass
+        for offset, value in scribbles:
+            kernel.write_insecure(base + offset * 4, value)
+        for _ in range(8):
+            op = data.draw(st.sampled_from(["send", "receive", "pending"]))
+            try:
+                if op == "send":
+                    channel.send([1, 2, 3])
+                elif op == "receive":
+                    received = channel.receive()
+                    if received is not None:
+                        assert len(received) < _CAPACITY - 1
+                else:
+                    assert 0 <= channel.pending() < _CAPACITY
+            except ChannelError:
+                channel.reset()
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_hostile_cursors_stay_inside_the_page(self, head, tail):
+        # Head/tail are attacker-controlled words; every subsequent
+        # index computation must stay inside the data region.
+        monitor = KomodoMonitor(secure_pages=8)
+        kernel = OSKernel(monitor)
+        base = kernel.alloc_insecure_page()
+        channel = Channel(HostEndpoint(kernel, base))
+        channel.reset()
+        channel.access.write(0, head)
+        channel.access.write(1, tail)
+        try:
+            channel.send(list(range(5)))
+            while channel.receive() is not None:
+                pass
+        except ChannelError:
+            pass
+
+
 class TestHostEnclaveChannel:
     def test_request_reply(self, env):
         """The OS sends requests; the enclave doubles each value and

@@ -1,0 +1,212 @@
+"""Coalition observers: ≈enc and ≈adv generalised to a *set* of
+colluding enclaves (the multi-enclave case Definitions 1–2 anticipate,
+and the observer model the composite pipelines need — two pipeline
+stages pooling what they see must still learn nothing about a third
+enclave's secrets)."""
+
+import pytest
+
+from repro.arm.assembler import Assembler
+from repro.arm.machine import MachineState
+from repro.monitor.layout import SMC, SVC, AddrspaceState
+from repro.osmodel.kernel import OSKernel
+from repro.sdk.builder import CODE_VA, DATA_VA, EnclaveBuilder
+from repro.security.equivalence import (
+    adv_set_equivalent,
+    enc_equivalent,
+    enc_set_equivalent,
+)
+from repro.security.noninterference import (
+    BisimulationHarness,
+    NoninterferenceViolation,
+    OSAction,
+)
+from repro.spec.pagedb import AbsAddrspace, AbsData, AbsL1, AbsPageDb
+
+SECRET_W1 = 0x1111_1111
+SECRET_W2 = 0x2222_2222
+
+
+def three_enclave_db(secret_a=1, secret_b=2, secret_c=3) -> AbsPageDb:
+    """Enclaves at pages 0, 3 and 6, each with one secret data page."""
+    db = AbsPageDb.initial(12)
+    return db.updated_many(
+        {
+            0: AbsAddrspace(state=AddrspaceState.INIT, refcount=2, l1pt=1),
+            1: AbsL1(addrspace=0),
+            2: AbsData(addrspace=0, contents=(secret_a,) * 1024),
+            3: AbsAddrspace(state=AddrspaceState.INIT, refcount=2, l1pt=4),
+            4: AbsL1(addrspace=3),
+            5: AbsData(addrspace=3, contents=(secret_b,) * 1024),
+            6: AbsAddrspace(state=AddrspaceState.INIT, refcount=2, l1pt=7),
+            7: AbsL1(addrspace=6),
+            8: AbsData(addrspace=6, contents=(secret_c,) * 1024),
+        }
+    )
+
+
+class TestEncSetEquivalence:
+    def test_coalition_cannot_see_an_outsider_secret(self):
+        d1 = three_enclave_db(secret_c=7)
+        d2 = three_enclave_db(secret_c=8)
+        assert enc_set_equivalent(d1, d2, encs=(0, 3))
+
+    def test_coalition_sees_any_member_page(self):
+        # Pooling observations: a difference in *either* member's pages
+        # breaks the relation, whichever member it is.
+        d1 = three_enclave_db(secret_b=7)
+        d2 = three_enclave_db(secret_b=8)
+        failures = []
+        assert not enc_set_equivalent(d1, d2, encs=(0, 3), failures=failures)
+        assert any("page 5" in f for f in failures)
+        d1 = three_enclave_db(secret_a=7)
+        d2 = three_enclave_db(secret_a=8)
+        assert not enc_set_equivalent(d1, d2, encs=(0, 3))
+
+    def test_growing_the_coalition_only_strengthens_it(self):
+        d1 = three_enclave_db(secret_c=7)
+        d2 = three_enclave_db(secret_c=8)
+        assert enc_set_equivalent(d1, d2, encs=(0,))
+        assert enc_set_equivalent(d1, d2, encs=(0, 3))
+        assert not enc_set_equivalent(d1, d2, encs=(0, 3, 6))
+
+    def test_singleton_wrapper_matches_set_form(self):
+        for secrets in ({"secret_a": 7}, {"secret_b": 7}):
+            d1 = three_enclave_db(**secrets)
+            d2 = three_enclave_db()
+            assert enc_equivalent(d1, d2, enc=0) == enc_set_equivalent(
+                d1, d2, encs=(0,)
+            )
+
+
+class TestAdvSetEquivalence:
+    def test_coalition_plus_os_cannot_see_outsider_secret(self):
+        s1 = MachineState.boot(secure_pages=12)
+        s2 = MachineState.boot(secure_pages=12)
+        d1 = three_enclave_db(secret_c=7)
+        d2 = three_enclave_db(secret_c=8)
+        assert adv_set_equivalent(s1, d1, s2, d2, encs=(0, 3))
+
+    def test_os_visible_state_still_counts(self):
+        s1 = MachineState.boot(secure_pages=12)
+        s2 = MachineState.boot(secure_pages=12)
+        s2.regs.write_gpr(3, 0xDEAD)
+        db = three_enclave_db()
+        failures = []
+        assert not adv_set_equivalent(
+            s1, db, s2, db, encs=(0, 3), failures=failures
+        )
+        assert any("r3" in f for f in failures)
+
+
+# -- end-to-end: the bisimulation harness with a two-enclave coalition ----
+
+
+def quiet_victim_asm() -> Assembler:
+    asm = Assembler()
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r5", "r4", 0)
+    asm.add("r6", "r6", "r5")  # secret-dependent data flow, constant out
+    asm.movw("r0", 7)
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+def leaky_victim_asm() -> Assembler:
+    asm = Assembler()
+    asm.mov32("r4", DATA_VA)
+    asm.ldr("r0", "r4", 0)  # exits with the secret
+    asm.svc(SVC.EXIT)
+    return asm
+
+
+class _CoalitionSetup:
+    """One victim plus two colluding observer enclaves, built
+    identically in both worlds."""
+
+    def __init__(self, victim_asm: Assembler):
+        self.victim_asm = victim_asm
+        self.victim = None
+        self.colluders = []
+
+    def __call__(self, monitor):
+        kernel = OSKernel(monitor)
+        builder = EnclaveBuilder(kernel).add_code(self.victim_asm)
+        builder.add_data(contents=[SECRET_W1], va=DATA_VA, writable=False)
+        builder.add_thread(CODE_VA)
+        self.victim = builder.build(lint="off")
+        self.colluders = []
+        for _ in range(2):
+            asm = Assembler()
+            asm.svc(SVC.EXIT)
+            self.colluders.append(
+                EnclaveBuilder(kernel).add_code(asm).add_thread(CODE_VA).build()
+            )
+
+    @property
+    def coalition(self):
+        return tuple(enclave.as_page for enclave in self.colluders)
+
+
+def perturb_victim_secret(setup, new_secret):
+    def mutate(monitor):
+        page = setup.victim.data_pages[DATA_VA]
+        monitor.state.memory.write_word(
+            monitor.pagedb.page_base(page), new_secret
+        )
+
+    return mutate
+
+
+class TestHarnessCoalition:
+    def test_quiet_victim_safe_from_two_colluding_enclaves(self):
+        harness = BisimulationHarness(secure_pages=32, step_budget=100_000)
+        setup = _CoalitionSetup(quiet_victim_asm())
+        harness.setup_both(setup)
+        harness.perturb(1, perturb_victim_secret(setup, SECRET_W2))
+        harness.require_related(enc=setup.coalition, adversary_view=True)
+        trace = [
+            OSAction(SMC.GET_PHYSPAGES),
+            OSAction(SMC.ENTER, (setup.victim.thread, 1, 2, 3), interrupt_after=7),
+            OSAction(SMC.RESUME, (setup.victim.thread,)),
+            OSAction(SMC.ENTER, (setup.colluders[0].thread, 0, 0, 0)),
+            OSAction(SMC.ENTER, (setup.colluders[1].thread, 0, 0, 0)),
+        ]
+        harness.run_trace(trace, enc=setup.coalition, adversary_view=True)
+
+    def test_leak_detected_by_the_coalition(self):
+        harness = BisimulationHarness(secure_pages=32)
+        setup = _CoalitionSetup(leaky_victim_asm())
+        harness.setup_both(setup)
+        harness.perturb(1, perturb_victim_secret(setup, SECRET_W2))
+        with pytest.raises(NoninterferenceViolation):
+            harness.run_trace(
+                [OSAction(SMC.ENTER, (setup.victim.thread, 0, 0, 0))],
+                enc=setup.coalition,
+                adversary_view=True,
+            )
+
+    def test_coalition_containing_the_victim_is_rejected_upfront(self):
+        # If the victim itself "colludes", its perturbed secret is a
+        # member-visible difference: the worlds are unrelated before
+        # any step runs.
+        harness = BisimulationHarness(secure_pages=32)
+        setup = _CoalitionSetup(quiet_victim_asm())
+        harness.setup_both(setup)
+        harness.perturb(1, perturb_victim_secret(setup, SECRET_W2))
+        with pytest.raises(NoninterferenceViolation):
+            harness.require_related(
+                enc=setup.coalition + (setup.victim.as_page,),
+                adversary_view=True,
+            )
+
+    def test_int_observer_still_accepted(self):
+        # Backwards compatibility: a bare int observer means the
+        # singleton coalition.
+        harness = BisimulationHarness(secure_pages=32, step_budget=100_000)
+        setup = _CoalitionSetup(quiet_victim_asm())
+        harness.setup_both(setup)
+        harness.perturb(1, perturb_victim_secret(setup, SECRET_W2))
+        harness.require_related(
+            enc=setup.colluders[0].as_page, adversary_view=True
+        )

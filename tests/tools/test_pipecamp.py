@@ -1,0 +1,44 @@
+"""The pipecamp CLI: argument validation and a small real sweep."""
+
+import pytest
+
+from repro.tools.pipecamp import main
+
+
+class TestArguments:
+    def test_unknown_pipeline_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--pipelines", "nonesuch"])
+        assert excinfo.value.code == 2
+        assert "unknown pipeline" in capsys.readouterr().err
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--stride", "0"])
+        assert excinfo.value.code == 2
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--engine", "warp"])
+
+
+class TestSweep:
+    def test_small_check_sweep_passes(self, capsys):
+        code = main(
+            ["--check", "--stride", "181", "--pipelines", "counter-notary"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "counter-notary" in out
+        assert "bit-exact" in out
+        assert "pipecamp: every trial terminated" in out
+
+    def test_timeout_flag_accepts_a_generous_budget(self, capsys):
+        code = main(
+            [
+                "--stride", "181",
+                "--pipelines", "counter-notary",
+                "--timeout", "300",
+            ]
+        )
+        assert code == 0
