@@ -562,6 +562,7 @@ def compile_region(
                     if traced:
                         emit(f"{B}        trace.append(('store', a_))")
                     emit(f"{B}        _mw[_o >> 2] = r{instr.rd}_")
+                    emit(f"{B}        _md.add(_o >> 12)")
                     emit(f"{B}        gw += 1")
                     emit(f"{B}        if _sp >> 12 in _cpg:")
                     emit(f"{B}            _uarch.chain_gen += 1")
@@ -689,13 +690,16 @@ def compile_region(
     source = "\n".join(lines)
     namespace = dict(_CODEGEN_GLOBALS)
     if inline:
-        # Bake the memory geometry in: the store view, base, and size
-        # are fixed for a machine's lifetime (snapshots restore in
-        # place; copies get their own uarch and recompile).
+        # Bake the memory geometry in: the store view, base, size, and
+        # dirty-page set are fixed object identities for a machine's
+        # lifetime (snapshots restore in place — the dirty set is only
+        # ever cleared, never rebound; copies get their own uarch and
+        # recompile).
         namespace["_mem"] = mem
         namespace["_mw"] = mem._store
         namespace["_mb"] = mem._base
         namespace["_ms"] = mem._size
+        namespace["_md"] = mem._dirty
     exec(compile(source, f"<block@{paddr:#x}>", "exec"), namespace)
     fn = namespace["_block"]
     fn.__source__ = source  # introspection hook for tests/debugging

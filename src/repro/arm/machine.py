@@ -22,14 +22,28 @@ Two hooks support the crash-consistency subsystem (``repro.faults``):
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.arm.costs import CostModel
-from repro.arm.memory import MemoryMap, PhysicalMemory
+from repro.arm.memory import PAGE_SIZE, MemoryMap, PhysicalMemory
 from repro.arm.modes import Mode, World
 from repro.arm.registers import PSR, RegisterFile
 from repro.arm.tlb import TLB
+
+#: Process-wide snapshot token source.  Each ``MachineState.snapshot``
+#: draws a fresh token and anchors the memory's dirty-page set to it;
+#: ``restore`` may take the O(dirty-pages) delta path only when the
+#: snapshot's token is still the memory's anchor.  Token 0 never issues,
+#: so a never-snapshotted memory (``_snap_token == 0``) never matches.
+_SNAP_TOKENS = itertools.count(1)
+
+#: Escape hatch: set ``REPRO_NO_DELTA_RESTORE=1`` to force every restore
+#: down the full-buffer path — the equivalence oracle the delta path is
+#: pinned against.
+DELTA_RESTORE = os.environ.get("REPRO_NO_DELTA_RESTORE", "") != "1"
 
 
 class FaultInjected(Exception):
@@ -245,7 +259,14 @@ class MachineState:
             raise ValueError("cannot snapshot with an open monitor transaction")
         memory = self.memory
         tags = getattr(memory, "_tags", None)  # EncryptedMemory tag store
+        # Re-anchor the dirty-page set: from here on it records exactly
+        # the pages that diverge from this checkpoint, so a restore of
+        # *this* snapshot may copy back only those pages.
+        token = next(_SNAP_TOKENS)
+        memory._snap_token = token
+        memory._dirty.clear()
         return MachineSnapshot(
+            token=token,
             # bytes(), not a slice: slicing the memoryview-backed store
             # would alias the live buffer instead of copying it.
             store=bytes(memory._buf),
@@ -261,7 +282,7 @@ class MachineState:
             cycles=self.cycles,
         )
 
-    def restore(self, snap: "MachineSnapshot") -> None:
+    def restore(self, snap: "MachineSnapshot", delta: Optional[bool] = None) -> None:
         """Rewind this machine, in place, to a ``snapshot()`` checkpoint.
 
         Physical memory is restored by slice assignment (object identity
@@ -271,9 +292,33 @@ class MachineState:
         exactly the cold-cache state a deep copy would start from, so
         snapshot-accelerated campaigns are bit-identical to re-execution.
         A snapshot can be restored any number of times.
+
+        When ``snap`` is the snapshot the memory's dirty-page set is
+        anchored to, only the dirtied pages are copied back —
+        O(dirty-pages) instead of O(memory).  Any token mismatch (an
+        older snapshot, a different machine's snapshot, a never-anchored
+        memory) falls back to the full-buffer copy and re-anchors.
+        ``delta=False`` (or ``REPRO_NO_DELTA_RESTORE=1``) forces the
+        full path — the equivalence oracle.  Either path leaves the
+        buffer byte-identical to ``snap.store``.
         """
+        if delta is None:
+            delta = DELTA_RESTORE
         memory = self.memory
-        memory._buf[:] = snap.store
+        dirty = memory._dirty
+        if delta and snap.token == memory._snap_token and snap.token:
+            if dirty:
+                buf, store = memory._buf, snap.store
+                for page in dirty:
+                    offset = page << 12
+                    buf[offset : offset + PAGE_SIZE] = store[
+                        offset : offset + PAGE_SIZE
+                    ]
+                dirty.clear()
+        else:
+            memory._buf[:] = snap.store
+            memory._snap_token = snap.token
+            dirty.clear()
         memory.generation = snap.generation
         memory.read_ops = snap.read_ops
         memory.write_ops = snap.write_ops
@@ -315,6 +360,7 @@ class MachineSnapshot:
     captured — they are constant for a machine's lifetime."""
 
     __slots__ = (
+        "token",
         "store",
         "generation",
         "read_ops",
@@ -330,6 +376,7 @@ class MachineSnapshot:
 
     def __init__(
         self,
+        token,
         store,
         generation,
         read_ops,
@@ -342,6 +389,7 @@ class MachineSnapshot:
         pending_interrupt,
         cycles,
     ):
+        self.token = token
         self.store = store
         self.generation = generation
         self.read_ops = read_ops

@@ -190,6 +190,13 @@ class PhysicalMemory:
         self.read_ops = 0
         #: Write transactions issued (a bulk zero/copy/write counts once).
         self.write_ops = 0
+        #: Pages (``offset >> 12``) written since the last snapshot
+        #: anchor.  Mutated in place only — the turbo engine bakes this
+        #: set's identity into compiled code, exactly like ``_store``.
+        self._dirty: set = set()
+        #: Token of the snapshot the dirty set is relative to (0 = no
+        #: anchor).  See ``MachineState.snapshot``/``restore``.
+        self._snap_token = 0
 
     # -- raw access (no protection; used by the monitor and the loader) --
 
@@ -204,6 +211,7 @@ class PhysicalMemory:
         offset = address - self._base
         if not offset & 3 and 0 <= offset < self._size:
             self._store[offset >> 2] = value & 0xFFFFFFFF
+            self._dirty.add(offset >> 12)
             self.generation += 1
             self.write_ops += 1
             return
@@ -270,6 +278,9 @@ class PhysicalMemory:
             raise self._fault(address, "write")
         start = offset >> 2
         self._store[start : start + len(words)] = array(_TYPECODE, words)
+        self._dirty.update(
+            range(offset >> 12, (offset + len(words) * WORDSIZE - 1 >> 12) + 1)
+        )
         self.generation += 1
         self.write_ops += 1
 
@@ -283,6 +294,9 @@ class PhysicalMemory:
         if offset & 3 or offset < 0 or offset + PAGE_SIZE > self._size:
             raise self._fault(base, "write")
         self._buf[offset : offset + PAGE_SIZE] = _ZERO_PAGE
+        # Word alignment suffices here, so the page span may straddle
+        # two dirty pages.
+        self._dirty.update(range(offset >> 12, (offset + PAGE_SIZE - 1 >> 12) + 1))
         self.generation += 1
         self.write_ops += 1
 
@@ -296,6 +310,7 @@ class PhysicalMemory:
         self._buf[offset : offset + PAGE_SIZE] = self._buf[
             src_off : src_off + PAGE_SIZE
         ]
+        self._dirty.update(range(offset >> 12, (offset + PAGE_SIZE - 1 >> 12) + 1))
         self.generation += 1
         self.write_ops += 1
 

@@ -13,11 +13,17 @@ Resilience mechanics:
   a second submit of the same key awaits the first execution's future,
   and a crash-retried request is re-*dispatched*, never re-*resolved*,
   so a seal/sign executes at most once from the client's view;
-* **crash retry** — a dead worker's in-flight request is re-dispatched
-  after a seeded exponential backoff (``repro.util.backoff`` delays ×
+* **crash retry** — a dead worker's in-flight requests (up to
+  ``pipeline_depth`` of them) are each re-dispatched after a seeded
+  exponential backoff (``repro.util.backoff`` delays ×
   ``backoff_unit`` seconds), with the chaos kill point stripped so an
   injected kill fires exactly once; after ``max_attempts`` dispatches
-  the request resolves with a typed retryable ``worker_crashed`` error;
+  a request resolves with a typed retryable ``worker_crashed`` error;
+* **pipelined dispatch** — up to ``pipeline_depth`` requests ride each
+  worker's pipe at once, so the worker picks up its next request the
+  instant it finishes one instead of idling through the supervisor's
+  full receive/resolve/dispatch round trip (the serialization that made
+  multi-worker req/s flat-to-negative);
 * **respawn** — every death forks a replacement from the prewarmed
   template (copy-on-write: no re-boot, no re-keygen);
 * **timeouts** — ``request_timeout`` (wall-clock) hard-kills a wedged
@@ -92,12 +98,16 @@ class CloudService:
         breaker_threshold: int = 4,
         breaker_cooldown: float = 0.25,
         hb_interval: float = 0.05,
+        pipeline_depth: int = 2,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
         self.pool_size = workers
+        self.pipeline_depth = pipeline_depth
         self.spec = {
             "engine": engine,
             "seed": seed,
@@ -123,6 +133,7 @@ class CloudService:
         self._next_worker_id = 0
         self._entries: Dict[str, _Entry] = {}
         self._queue: Deque[str] = deque()
+        #: Worker ids with spare pipeline capacity (each at most once).
         self._idle: Deque[int] = deque()
         self._audit_futures: Dict[int, "asyncio.Future"] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -369,8 +380,11 @@ class CloudService:
             handle.served = message[2]
         elif kind == "res":
             response = CloudResponse.from_wire(message[1])
-            handle.busy_with = None
-            self._idle.append(worker_id)
+            try:
+                handle.inflight.remove(response.key)
+            except ValueError:
+                pass  # already failed over to another worker
+            self._mark_available(worker_id, handle)
             self.breaker.record_success()
             self._resolve(response.key, response, worker_id)
             self._drain_queue()
@@ -394,42 +408,61 @@ class CloudService:
         self.counters["crashes"] += 1
         self.counters["respawns"] += 1
         self._spawn_worker()
-        key = handle.busy_with
-        if key is None:
-            return
-        entry = self._entries.get(key)
-        if entry is None or entry.future.done():
-            return
-        self.breaker.record_failure()
-        if entry.timer is not None:
-            entry.timer.cancel()
-            entry.timer = None
-        entry.worker_id = None
-        # The injected kill has fired; a retry must run the request for
-        # real (at-most-once chaos, and at-most-once client semantics).
-        entry.options["chaos_kill_at"] = None
-        if entry.attempts >= self.max_attempts:
-            error: CloudError = (
-                RequestTimeout(
-                    f"request killed after {self.request_timeout}s on "
-                    f"{entry.attempts} worker(s)"
+        # Every pipelined request on the dead worker is lost at once.
+        # The worker serves its pipe in FIFO order, so only the head of
+        # ``inflight`` was actually executing — the rest sat unread in
+        # the pipe.  The breaker records one failure per death, not per
+        # request: it measures worker health, not request fan-out.
+        lost = list(handle.inflight)
+        handle.inflight.clear()
+        recorded = False
+        for position, key in enumerate(lost):
+            entry = self._entries.get(key)
+            if entry is None or entry.future.done():
+                continue
+            if not recorded:
+                self.breaker.record_failure()
+                recorded = True
+            if entry.timer is not None:
+                entry.timer.cancel()
+                entry.timer = None
+            entry.worker_id = None
+            if position == 0:
+                # The injected kill has fired; a retry must run the
+                # request for real (at-most-once chaos, at-most-once
+                # client view).
+                entry.options["chaos_kill_at"] = None
+            elif not entry.timed_out:
+                # Never started: it neither consumed its chaos kill
+                # point nor burned a real execution attempt.  Requeue
+                # it as-is, without backoff.
+                entry.attempts -= 1
+                self._loop.call_soon(self._dispatch, entry)
+                continue
+            if entry.attempts >= self.max_attempts:
+                error: CloudError = (
+                    RequestTimeout(
+                        f"request killed after {self.request_timeout}s on "
+                        f"{entry.attempts} worker(s)"
+                    )
+                    if entry.timed_out
+                    else WorkerCrashed(
+                        f"all {entry.attempts} dispatch attempts died with "
+                        "their worker"
+                    )
                 )
-                if entry.timed_out
-                else WorkerCrashed(
-                    f"all {entry.attempts} dispatch attempts died with "
-                    "their worker"
+                self._resolve(
+                    key,
+                    CloudResponse.failure(
+                        entry.request, error, attempts=entry.attempts
+                    ),
+                    worker_id=-1,
                 )
-            )
-            self._resolve(
-                key,
-                CloudResponse.failure(entry.request, error, attempts=entry.attempts),
-                worker_id=-1,
-            )
-            return
-        self.counters["retries"] += 1
-        delay_units = entry.backoff.next_delay()
-        delay = (delay_units or 0) * self.backoff_unit
-        self._loop.call_later(delay, self._dispatch, entry)
+                continue
+            self.counters["retries"] += 1
+            delay_units = entry.backoff.next_delay()
+            delay = (delay_units or 0) * self.backoff_unit
+            self._loop.call_later(delay, self._dispatch, entry)
 
     def _on_request_timeout(self, key: str, worker_id: int) -> None:
         entry = self._entries.get(key)
@@ -439,7 +472,7 @@ class CloudService:
             entry is None
             or entry.future.done()
             or handle is None
-            or handle.busy_with != key
+            or key not in handle.inflight
         ):
             return
         self.counters["timeouts"] += 1
@@ -470,17 +503,30 @@ class CloudService:
             return
         entry.attempts += 1
         entry.worker_id = worker_id
-        handle.busy_with = key
+        handle.inflight.append(key)
         try:
             handle.conn.send(("req", entry.request.to_wire(), dict(entry.options)))
         except (OSError, BrokenPipeError):
-            handle.busy_with = None
+            try:
+                handle.inflight.remove(key)
+            except ValueError:
+                pass
             self._loop.call_soon(self._dispatch, entry)
             return
+        self._mark_available(worker_id, handle)
         if self.request_timeout is not None:
             entry.timer = self._loop.call_later(
                 self.request_timeout, self._on_request_timeout, key, worker_id
             )
+
+    def _mark_available(self, worker_id: int, handle: WorkerHandle) -> None:
+        """Put the worker back in the capacity ring if it can take more."""
+        if (
+            handle.alive
+            and handle.has_capacity(self.pipeline_depth)
+            and worker_id not in self._idle
+        ):
+            self._idle.append(worker_id)
 
     def _dispatch_degraded(self, entry: _Entry) -> None:
         """Breaker-open path: correct, slow, in-process, serialised."""

@@ -20,8 +20,9 @@ The breaker is the classic three-state machine:
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Deque, Optional
 
 CLOSED = "closed"
 OPEN = "open"
@@ -102,14 +103,25 @@ class WorkerHandle:
     worker_id: int
     process: Any  # multiprocessing.Process
     conn: Any  # multiprocessing.connection.Connection
-    busy_with: Optional[str] = None  # idempotency key of in-flight request
+    #: Idempotency keys of dispatched-but-unanswered requests, oldest
+    #: first.  The service pipelines up to ``pipeline_depth`` requests
+    #: per worker: while the worker serves one, the next already sits
+    #: in its pipe, so the worker never idles through the supervisor's
+    #: response round trip.  The worker answers in FIFO order, but a
+    #: death loses *all* of these at once — the retry path must walk
+    #: the whole deque.
+    inflight: Deque[str] = field(default_factory=deque)
     served: int = 0
     last_heartbeat: float = field(default_factory=time.monotonic)
     generation: int = 0  # how many respawns this slot has seen
 
     @property
     def idle(self) -> bool:
-        return self.busy_with is None
+        return not self.inflight
+
+    def has_capacity(self, depth: int) -> bool:
+        """May the service pipeline another request to this worker?"""
+        return len(self.inflight) < depth
 
     @property
     def alive(self) -> bool:

@@ -17,7 +17,10 @@ executable model and checks them:
   wrong result;
 * :mod:`repro.faults.snapshot` — campaign checkpoints: capture a
   lifecycle prefix once and rewind it in place per injected fault,
-  bit-identical to the per-trial deep-copy path but cheaper.
+  bit-identical to the per-trial deep-copy path but cheaper;
+* :mod:`repro.faults.parallel` — sharded campaign execution: trials
+  stripe across forked workers and the merged report is byte-identical
+  to the serial one (the CLIs' ``--jobs N``).
 """
 
 from repro.faults.audit import (
@@ -29,6 +32,7 @@ from repro.faults.audit import (
 from repro.faults.bitflip import (
     BitflipCampaign,
     BitflipReport,
+    FlipRecord,
     FlipSite,
 )
 from repro.faults.bitflip import run_differential as run_bitflip_differential
@@ -36,6 +40,7 @@ from repro.faults.campaign import (
     CampaignReport,
     LifecycleCampaign,
     StepReport,
+    TrialRecord,
     run_differential,
 )
 from repro.faults.injector import FaultInjected, FaultPlan, inject
@@ -48,9 +53,11 @@ __all__ = [
     "CampaignSnapshot",
     "FaultInjected",
     "FaultPlan",
+    "FlipRecord",
     "FlipSite",
     "LifecycleCampaign",
     "StepReport",
+    "TrialRecord",
     "audit_monitor",
     "inject",
     "integrity_consistency",

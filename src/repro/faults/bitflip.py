@@ -154,18 +154,70 @@ class _Outcome:
 
 
 @dataclass
+class FlipRecord:
+    """One flip trial.
+
+    ``ordinal`` is the trial's index in the *serial* (site × bit,
+    strided) sequence, so sharded campaigns merge back into exactly the
+    serial report (``repro.faults.parallel``).  A timed-out trial keeps
+    its slot with ``outcome="timeout"``/empty digest/cycles ``-1`` so
+    the differential records stay aligned.
+    """
+
+    ordinal: int
+    site: str
+    bit: int
+    outcome: str = ""
+    digest: str = ""
+    cycles: int = -1
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
 class StepSummary:
+    """Per-step results; the flat lists the differential comparisons and
+    the CLI table use are derived from the per-trial records."""
+
     name: str
     sites: int = 0
-    trials: int = 0
-    benign: int = 0
-    repaired: int = 0
-    quarantined: int = 0
-    violations: List[str] = field(default_factory=list)
-    # Per-trial records, in site×bit order — the differential hook.
-    trial_outcomes: List[str] = field(default_factory=list)
-    trial_digests: List[str] = field(default_factory=list)
-    trial_cycles: List[int] = field(default_factory=list)
+    pre_violations: List[str] = field(default_factory=list)
+    flip_records: List[FlipRecord] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return len(self.flip_records)
+
+    @property
+    def benign(self) -> int:
+        return sum(1 for r in self.flip_records if r.outcome == "benign")
+
+    @property
+    def repaired(self) -> int:
+        return sum(1 for r in self.flip_records if r.outcome == "repaired")
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for r in self.flip_records if r.outcome == "quarantined")
+
+    @property
+    def violations(self) -> List[str]:
+        out = list(self.pre_violations)
+        for record in self.flip_records:
+            out.extend(record.violations)
+        return out
+
+    # Per-trial projections, in site×bit order — the differential hook.
+    @property
+    def trial_outcomes(self) -> List[str]:
+        return [r.outcome for r in self.flip_records]
+
+    @property
+    def trial_digests(self) -> List[str]:
+        return [r.digest for r in self.flip_records]
+
+    @property
+    def trial_cycles(self) -> List[int]:
+        return [r.cycles for r in self.flip_records]
 
 
 @dataclass
@@ -218,6 +270,12 @@ class BitflipCampaign:
         optional wall-clock budget (seconds) per trial; a wedged trial
         is recorded as a violation instead of hanging the campaign
         (``repro.util.watchdog``).  None disables.
+    shard:
+        optional ``(index, count)``: run only trials whose serial
+        ordinal is ``index`` modulo ``count``.  Enclave building, the
+        golden runs, and site enumeration still execute in full, so
+        sharded reports merge back into exactly the serial report —
+        see ``repro.faults.parallel``.
     """
 
     def __init__(
@@ -229,9 +287,12 @@ class BitflipCampaign:
         stride: int = 1,
         use_snapshots: bool = True,
         trial_timeout: Optional[float] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
+        if shard is not None and not 0 <= shard[0] < shard[1]:
+            raise ValueError(f"shard index out of range: {shard}")
         self.seed = seed
         self.engine = engine
         self.secure_pages = secure_pages
@@ -245,6 +306,7 @@ class BitflipCampaign:
         self.stride = stride
         self.use_snapshots = use_snapshots
         self.trial_timeout = trial_timeout
+        self.shard = shard
 
     # -- lifecycle machinery ---------------------------------------------
 
@@ -536,28 +598,34 @@ class BitflipCampaign:
         golden = self._continue_lifecycle(
             gold_mon, gold_kern, enclaves, needs_finalise, backoff_seed=0
         )
-        summary.violations.extend(
+        summary.pre_violations.extend(
             f"{name}: golden run: {p}" for p in golden.problems
         )
         if golden.rebuilt or golden.quarantine_errors:
-            summary.violations.append(f"{name}: golden run tripped the engine")
+            summary.pre_violations.append(f"{name}: golden run tripped the engine")
         pairs = [(site, bit) for site in sites for bit in range(32)]
-        for site, bit in pairs[:: self.stride]:
+        # Trials are isolated (each forks/rewinds the step state), so a
+        # shard may skip any subset without perturbing the rest.
+        for ordinal, (site, bit) in enumerate(pairs[:: self.stride]):
+            if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
+                continue
+            record = FlipRecord(ordinal=ordinal, site=site.label, bit=bit)
+            summary.flip_records.append(record)
             try:
                 with time_limit(
                     self.trial_timeout, f"{name} flip {site.label} bit {bit}"
                 ):
                     self._trial(
-                        fork, enclaves, needs_finalise, site, bit, golden, summary
+                        fork, enclaves, needs_finalise, site, bit, golden,
+                        summary.name, record,
                     )
             except TrialTimeout as exc:
                 # Keep the per-trial differential records aligned; the
                 # next fork() rewind discards the stranded machine.
-                summary.trials += 1
-                summary.trial_outcomes.append("timeout")
-                summary.trial_digests.append("")
-                summary.trial_cycles.append(-1)
-                summary.violations.append(f"{name}: {exc}")
+                record.outcome = "timeout"
+                record.digest = ""
+                record.cycles = -1
+                record.violations.append(f"{name}: {exc}")
         if self.use_snapshots:
             # Leave the base machine at the pre-step state.
             checkpoint.restore()
@@ -571,7 +639,8 @@ class BitflipCampaign:
         site: FlipSite,
         bit: int,
         golden: _Outcome,
-        summary: StepSummary,
+        step_name: str,
+        record: FlipRecord,
     ) -> None:
         monitor, kernel = fork()
         monitor.state.flip_bit(site.address, bit)
@@ -582,7 +651,7 @@ class BitflipCampaign:
         outcome = self._continue_lifecycle(
             monitor, kernel, enclaves, needs_finalise, backoff_seed
         )
-        where = f"{summary.name}: flip {site.label} bit {bit}"
+        where = f"{step_name}: flip {site.label} bit {bit}"
         violations: List[str] = [f"{where}: {p}" for p in outcome.problems]
         for enclave in enclaves:
             result = outcome.results.get(enclave.name)
@@ -612,12 +681,10 @@ class BitflipCampaign:
             outcome_label = "repaired"
         else:
             outcome_label = "benign"
-        summary.trials += 1
-        setattr(summary, outcome_label, getattr(summary, outcome_label) + 1)
-        summary.trial_outcomes.append(outcome_label)
-        summary.trial_digests.append(outcome.final_digest)
-        summary.trial_cycles.append(outcome.final_cycles)
-        summary.violations.extend(violations)
+        record.outcome = outcome_label
+        record.digest = outcome.final_digest
+        record.cycles = outcome.final_cycles
+        record.violations.extend(violations)
 
 
 def run_differential(
@@ -628,6 +695,7 @@ def run_differential(
     engines: Tuple[str, ...] = ("fast", "reference"),
     use_snapshots: bool = True,
     trial_timeout: Optional[float] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> Tuple:
     """Run the campaign under each engine and compare them bit-for-bit.
 
@@ -651,8 +719,21 @@ def run_differential(
             stride=stride,
             use_snapshots=use_snapshots,
             trial_timeout=trial_timeout,
+            shard=shard,
         )
         reports.append(campaign.run())
+    return (*reports, compare_reports(engines, reports))
+
+
+def compare_reports(
+    engines: Sequence[str], reports: Sequence[BitflipReport]
+) -> List[str]:
+    """Pairwise engine comparison over already-run bitflip reports.
+
+    Factored out of :func:`run_differential` so the sharded runner
+    (``repro.faults.parallel``) can recompute mismatches on *merged*
+    reports — byte-identical to what a serial differential prints.
+    """
     base_name, baseline = engines[0], reports[0]
     mismatches: List[str] = []
     for engine, report in zip(engines[1:], reports[1:]):
@@ -677,4 +758,4 @@ def run_differential(
                     f"{step.name}: trial cycle counters differ "
                     f"({base_name} vs {engine})"
                 )
-    return (*reports, mismatches)
+    return mismatches

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.arm.assembler import Assembler
 from repro.arm.pagetable import l1_index
@@ -74,13 +74,48 @@ class _Step:
 
 
 @dataclass
+class TrialRecord:
+    """One injected-fault trial.
+
+    ``ordinal`` is the trial's index in the *serial* trial sequence
+    (before any shard filtering), so a sharded campaign's records merge
+    back into exactly the serial report (``repro.faults.parallel``).
+    """
+
+    ordinal: int
+    abort_at: int
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
 class StepReport:
+    """Per-step results, with violations in explicit buckets.
+
+    ``pre_violations`` come from the discovery pass, each trial's
+    violations live on its :class:`TrialRecord`, and ``post_violations``
+    come from the clean-run audit — the flattened ``violations``
+    property reproduces the historical (serial-order) list exactly.
+    """
+
     name: str
     fault_points: int = 0
-    trials: int = 0
-    violations: List[str] = field(default_factory=list)
+    pre_violations: List[str] = field(default_factory=list)
+    trial_records: List[TrialRecord] = field(default_factory=list)
+    post_violations: List[str] = field(default_factory=list)
     post_digest: str = ""
     post_cycles: int = 0
+
+    @property
+    def trials(self) -> int:
+        return len(self.trial_records)
+
+    @property
+    def violations(self) -> List[str]:
+        out = list(self.pre_violations)
+        for record in self.trial_records:
+            out.extend(record.violations)
+        out.extend(self.post_violations)
+        return out
 
 
 @dataclass
@@ -148,6 +183,13 @@ class LifecycleCampaign:
         optional wall-clock budget (seconds) per discovery run / trial;
         a wedged trial fails with a recorded violation instead of
         hanging the campaign (``repro.util.watchdog``).  None disables.
+    shard:
+        optional ``(index, count)``: run only trials whose serial
+        ordinal is ``index`` modulo ``count``.  Discovery and the
+        clean-run lifecycle still execute in full (they are what every
+        shard's trials fork from), so ``count`` sharded reports merge
+        back into exactly the serial report — see
+        ``repro.faults.parallel``.
     """
 
     def __init__(
@@ -159,9 +201,12 @@ class LifecycleCampaign:
         stride: int = 1,
         use_snapshots: bool = True,
         trial_timeout: Optional[float] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
+        if shard is not None and not 0 <= shard[0] < shard[1]:
+            raise ValueError(f"shard index out of range: {shard}")
         self.seed = seed
         self.engine = engine
         self.secure_pages = secure_pages
@@ -169,6 +214,7 @@ class LifecycleCampaign:
         self.stride = stride
         self.use_snapshots = use_snapshots
         self.trial_timeout = trial_timeout
+        self.shard = shard
 
     # -- machinery -------------------------------------------------------
 
@@ -302,7 +348,7 @@ class LifecycleCampaign:
             # Advance the base machine through the step.
             self._run_step(monitor, step)
             clean = audit_monitor(monitor)
-            step_report.violations.extend(
+            step_report.post_violations.extend(
                 f"{step.name}: clean-run audit: {violation}" for violation in clean
             )
             step_report.post_digest = secure_state_digest(monitor.state)
@@ -346,22 +392,29 @@ class LifecycleCampaign:
                 with inject(probe.state, plan):
                     self._run_step(probe, step)
         except TrialTimeout as exc:
-            step_report.violations.append(f"{step.name}: {exc}")
+            step_report.pre_violations.append(f"{step.name}: {exc}")
             cleanup()
             return
         boundaries.add(secure_state_digest(probe.state))
         step_report.fault_points = plan.count
-        # Trials: crash at every (stride-th) operation.
-        for abort_at in range(1, plan.count + 1, self.stride):
+        # Trials: crash at every (stride-th) operation.  Trials are
+        # isolated (each forks/rewinds the pre-step state), so a shard
+        # may skip any subset without perturbing the rest.
+        for ordinal, abort_at in enumerate(range(1, plan.count + 1, self.stride)):
+            if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
+                continue
             trial = fork()
-            step_report.trials += 1
+            record = TrialRecord(ordinal=ordinal, abort_at=abort_at)
+            step_report.trial_records.append(record)
             try:
                 with time_limit(self.trial_timeout, f"{step.name} op {abort_at}"):
-                    self._trial(trial, steps, index, abort_at, boundaries, step_report)
+                    self._trial(
+                        trial, steps, index, abort_at, boundaries, record.violations
+                    )
             except TrialTimeout as exc:
                 # A timeout may strand the trial machine mid-step; the
                 # next fork() rewind (or throwaway copy) discards it.
-                step_report.violations.append(f"{step.name}: {exc}")
+                record.violations.append(f"{step.name}: {exc}")
         # Leave `base` at the pre-step state for the clean run.
         cleanup()
 
@@ -372,7 +425,7 @@ class LifecycleCampaign:
         index: int,
         abort_at: int,
         boundaries,
-        step_report: StepReport,
+        violations: List[str],
     ) -> None:
         step = steps[index]
         trial_plan = FaultPlan(abort_at=abort_at)
@@ -383,21 +436,21 @@ class LifecycleCampaign:
         except FaultInjected:
             crashed = True
         if not crashed:
-            step_report.violations.append(
+            violations.append(
                 f"{step.name}: injection at op {abort_at} did not fire"
             )
             return
         kind, detail = trial_plan.trace[-1]
         where = f"{step.name} op {abort_at} ({kind} {detail:#x})"
         trial.recover()
-        step_report.violations.extend(
+        violations.extend(
             f"{where}: audit: {violation}" for violation in audit_monitor(trial)
         )
         if secure_state_digest(trial.state) not in boundaries:
-            step_report.violations.append(
+            violations.append(
                 f"{where}: recovered state is neither pre-call nor completed"
             )
-        step_report.violations.extend(self._finish_after_crash(trial, steps, index))
+        violations.extend(self._finish_after_crash(trial, steps, index))
 
 
 def run_differential(
@@ -408,6 +461,7 @@ def run_differential(
     engines: Tuple[str, ...] = ("fast", "reference"),
     use_snapshots: bool = True,
     trial_timeout: Optional[float] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> Tuple:
     """Run the campaign under each engine and compare them pairwise.
 
@@ -431,8 +485,21 @@ def run_differential(
             stride=stride,
             use_snapshots=use_snapshots,
             trial_timeout=trial_timeout,
+            shard=shard,
         )
         reports.append(campaign.run())
+    return (*reports, compare_reports(engines, reports))
+
+
+def compare_reports(
+    engines: Sequence[str], reports: Sequence[CampaignReport]
+) -> List[str]:
+    """Pairwise engine comparison over already-run campaign reports.
+
+    Factored out of :func:`run_differential` so the sharded runner
+    (``repro.faults.parallel``) can recompute mismatches on *merged*
+    reports — byte-identical to what a serial differential prints.
+    """
     base_name, baseline = engines[0], reports[0]
     mismatches: List[str] = []
     for engine, report in zip(engines[1:], reports[1:]):
@@ -454,4 +521,4 @@ def run_differential(
                     f"({base_name} {base_step.post_cycles}, "
                     f"{engine} {step.post_cycles})"
                 )
-    return (*reports, mismatches)
+    return mismatches

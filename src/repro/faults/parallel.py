@@ -1,0 +1,498 @@
+"""Sharded campaign execution: fork workers, merge byte-identical reports.
+
+Campaign trials are *embarrassingly parallel by construction*: every
+trial forks (or rewinds) the same captured pre-step state, so a shard
+that runs only every ``count``-th trial produces exactly the records a
+serial run would have produced for those ordinals.  This module supplies
+the three pieces that turn that property into a ``--jobs N`` flag:
+
+* :func:`run_shards` — fork ``jobs`` worker processes (POSIX ``fork``
+  start method, so the workload closure is inherited, not pickled) and
+  collect one picklable result per shard over a pipe;
+* ``merge_*_reports`` — deterministic merges that check every
+  shard-invariant field (discovery counts, golden digests, clean-run
+  audits) for agreement and interleave the per-trial records back into
+  serial order.  The merged report is **byte-identical** to the serial
+  report — :func:`report_digest` is the oracle CI pins that claim with;
+* sharded front-ends for the lifecycle, bitflip, and pipeline campaigns
+  (plus their tri-engine differentials) and for symbex witness replay.
+
+Each forked shard is a fresh process with its own main thread, so the
+campaigns' ``trial_timeout`` watchdog (``repro.util.watchdog``, SIGALRM
+based) keeps working inside shards unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.faults import bitflip as _bitflip
+from repro.faults import campaign as _campaign
+from repro.faults.bitflip import BitflipCampaign, BitflipReport, StepSummary
+from repro.faults.campaign import CampaignReport, LifecycleCampaign, StepReport
+
+
+class ShardError(RuntimeError):
+    """A worker process failed to produce its shard's result."""
+
+
+class MergeError(AssertionError):
+    """Shard reports disagree on a field every shard must reproduce."""
+
+
+# -- process scaffolding ----------------------------------------------------
+
+
+def _shard_main(fn, index: int, count: int, conn) -> None:
+    """Worker entry: run one shard, ship the result, exit hard.
+
+    ``os._exit`` skips the parent's inherited atexit/teardown machinery
+    — the child must not flush handles or reap resources it shares with
+    the parent by fork.
+    """
+    try:
+        conn.send(("ok", fn(index, count)))
+    except BaseException as exc:  # noqa: BLE001 - must reach the parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        finally:
+            os._exit(0)
+
+
+def run_shards(fn: Callable[[int, int], object], jobs: int) -> List[object]:
+    """Run ``fn(index, jobs)`` for each shard index; return results in order.
+
+    ``jobs <= 1`` (or a platform without the ``fork`` start method) runs
+    the single shard inline — the degenerate case is the serial campaign
+    itself.  Worker failures surface as :class:`ShardError`; a shard
+    that dies without reporting (e.g. OOM-killed) is included with a
+    clear message rather than hanging the parent.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if jobs == 1:
+        return [fn(0, 1)]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return [fn(index, jobs) for index in range(jobs)]
+    workers = []
+    for index in range(jobs):
+        recv, send = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_shard_main, args=(fn, index, jobs, send), daemon=True
+        )
+        process.start()
+        send.close()  # parent keeps only the read end
+        workers.append((process, recv))
+    results: List[object] = []
+    failures: List[str] = []
+    for index, (process, recv) in enumerate(workers):
+        try:
+            status, payload = recv.recv()
+        except EOFError:
+            status, payload = "err", "worker died without reporting a result"
+        recv.close()
+        process.join()
+        if status == "ok":
+            results.append(payload)
+        else:
+            failures.append(f"shard {index}/{jobs}: {payload}")
+    if failures:
+        raise ShardError("; ".join(failures))
+    return results
+
+
+# -- digests ----------------------------------------------------------------
+
+
+def _jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def report_digest(report) -> str:
+    """Canonical content digest of a report (or any dataclass tree).
+
+    This is the byte-identity oracle: a sharded run merged back together
+    must produce the same digest as the serial run.  Only stored fields
+    enter the digest (properties are derived and would double-count).
+    """
+    payload = json.dumps(_jsonable(report), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- merges -----------------------------------------------------------------
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise MergeError(message)
+
+
+def _merge_records(columns, field: str, key) -> List:
+    records = sorted(
+        (record for column in columns for record in getattr(column, field)),
+        key=key,
+    )
+    ordinals = [key(record) for record in records]
+    _require(
+        len(set(ordinals)) == len(ordinals),
+        f"duplicate trial ordinals across shards: {field}",
+    )
+    return records
+
+
+def merge_campaign_reports(shards: Sequence[CampaignReport]) -> CampaignReport:
+    """Merge sharded lifecycle reports into the serial report."""
+    _require(bool(shards), "no shard reports to merge")
+    first = shards[0]
+    for other in shards[1:]:
+        _require(
+            (other.engine, other.seed) == (first.engine, first.seed),
+            "shards disagree on campaign identity (engine/seed)",
+        )
+        _require(
+            [s.name for s in other.steps] == [s.name for s in first.steps],
+            "shards disagree on the lifecycle step sequence",
+        )
+    merged = CampaignReport(engine=first.engine, seed=first.seed)
+    for index, base in enumerate(first.steps):
+        columns = [shard.steps[index] for shard in shards]
+        for column in columns[1:]:
+            _require(
+                (
+                    column.fault_points,
+                    column.pre_violations,
+                    column.post_violations,
+                    column.post_digest,
+                    column.post_cycles,
+                )
+                == (
+                    base.fault_points,
+                    base.pre_violations,
+                    base.post_violations,
+                    base.post_digest,
+                    base.post_cycles,
+                ),
+                f"step {base.name}: shards disagree on discovery/clean-run state",
+            )
+        merged.steps.append(
+            StepReport(
+                name=base.name,
+                fault_points=base.fault_points,
+                pre_violations=list(base.pre_violations),
+                trial_records=_merge_records(
+                    columns, "trial_records", lambda r: r.ordinal
+                ),
+                post_violations=list(base.post_violations),
+                post_digest=base.post_digest,
+                post_cycles=base.post_cycles,
+            )
+        )
+    return merged
+
+
+def merge_bitflip_reports(shards: Sequence[BitflipReport]) -> BitflipReport:
+    """Merge sharded bitflip reports into the serial report."""
+    _require(bool(shards), "no shard reports to merge")
+    first = shards[0]
+    for other in shards[1:]:
+        _require(
+            (other.engine, other.seed, other.stride)
+            == (first.engine, first.seed, first.stride),
+            "shards disagree on campaign identity (engine/seed/stride)",
+        )
+        _require(
+            [s.name for s in other.steps] == [s.name for s in first.steps],
+            "shards disagree on the quiescent step sequence",
+        )
+    merged = BitflipReport(engine=first.engine, seed=first.seed, stride=first.stride)
+    for index, base in enumerate(first.steps):
+        columns = [shard.steps[index] for shard in shards]
+        for column in columns[1:]:
+            _require(
+                (column.sites, column.pre_violations)
+                == (base.sites, base.pre_violations),
+                f"step {base.name}: shards disagree on sites or the golden run",
+            )
+        merged.steps.append(
+            StepSummary(
+                name=base.name,
+                sites=base.sites,
+                pre_violations=list(base.pre_violations),
+                flip_records=_merge_records(
+                    columns, "flip_records", lambda r: r.ordinal
+                ),
+            )
+        )
+    return merged
+
+
+def merge_pipeline_reports(shards: Sequence):
+    """Merge sharded pipeline chaos reports into the serial report.
+
+    Every shard runs the golden (kill-point 0) trial itself — the merge
+    asserts they agree and keeps one; kill trials interleave by their
+    strictly-ascending kill points.
+    """
+    from repro.pipeline.campaign import PipelineReport
+
+    _require(bool(shards), "no shard reports to merge")
+    first = shards[0]
+    for other in shards[1:]:
+        _require(
+            (other.pipeline, other.engine, other.ops, other.golden_digest)
+            == (first.pipeline, first.engine, first.ops, first.golden_digest),
+            "shards disagree on the golden run (pipeline/engine/ops/digest)",
+        )
+        _require(
+            bool(other.trials) and other.trials[0] == first.trials[0],
+            "shards disagree on the golden trial verdict",
+        )
+    merged = PipelineReport(
+        pipeline=first.pipeline,
+        engine=first.engine,
+        ops=first.ops,
+        golden_digest=first.golden_digest,
+    )
+    merged.trials.append(first.trials[0])
+    merged.trials.extend(
+        _merge_records(
+            [_Trials(shard.trials[1:]) for shard in shards],
+            "trials",
+            lambda t: t.kill_point,
+        )
+    )
+    return merged
+
+
+@dataclasses.dataclass
+class _Trials:
+    """Adapter so :func:`_merge_records` can walk plain trial lists."""
+
+    trials: List
+
+
+# -- sharded campaign front-ends --------------------------------------------
+
+
+def run_lifecycle_sharded(
+    jobs: int,
+    *,
+    seed: int = 0xC0FFEE,
+    engine: Optional[str] = None,
+    secure_pages: int = 16,
+    inject_steps: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    use_snapshots: bool = True,
+    trial_timeout: Optional[float] = None,
+) -> CampaignReport:
+    tokens = None if inject_steps is None else tuple(inject_steps)
+
+    def shard(index: int, count: int) -> CampaignReport:
+        return LifecycleCampaign(
+            seed=seed,
+            engine=engine,
+            secure_pages=secure_pages,
+            inject_steps=tokens,
+            stride=stride,
+            use_snapshots=use_snapshots,
+            trial_timeout=trial_timeout,
+            shard=(index, count) if count > 1 else None,
+        ).run()
+
+    return merge_campaign_reports(run_shards(shard, jobs))
+
+
+def run_lifecycle_differential_sharded(
+    jobs: int,
+    *,
+    seed: int = 0xC0FFEE,
+    inject_steps: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    secure_pages: int = 16,
+    engines: Tuple[str, ...] = ("fast", "reference"),
+    use_snapshots: bool = True,
+    trial_timeout: Optional[float] = None,
+) -> Tuple:
+    """Sharded tri-engine differential: ``(*reports, mismatches)``.
+
+    Each shard runs *all* engines on its trial subset (the engine loop
+    is the inner, cheap dimension; the trial sweep is the outer one),
+    reports merge per engine, and mismatches are recomputed on the
+    merged reports — identical to the serial differential's output.
+    """
+    tokens = None if inject_steps is None else tuple(inject_steps)
+
+    def shard(index: int, count: int) -> Tuple[CampaignReport, ...]:
+        results = _campaign.run_differential(
+            seed=seed,
+            inject_steps=tokens,
+            stride=stride,
+            secure_pages=secure_pages,
+            engines=engines,
+            use_snapshots=use_snapshots,
+            trial_timeout=trial_timeout,
+            shard=(index, count) if count > 1 else None,
+        )
+        return tuple(results[:-1])  # per-shard mismatches are recomputed
+
+    per_shard = run_shards(shard, jobs)
+    merged = [
+        merge_campaign_reports([shard_reports[i] for shard_reports in per_shard])
+        for i in range(len(engines))
+    ]
+    return (*merged, _campaign.compare_reports(engines, merged))
+
+
+def run_bitflip_sharded(
+    jobs: int,
+    *,
+    seed: int = 0xB17F11B,
+    engine: Optional[str] = None,
+    secure_pages: int = 16,
+    targets: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    use_snapshots: bool = True,
+    trial_timeout: Optional[float] = None,
+) -> BitflipReport:
+    tokens = None if targets is None else tuple(targets)
+
+    def shard(index: int, count: int) -> BitflipReport:
+        return BitflipCampaign(
+            seed=seed,
+            engine=engine,
+            secure_pages=secure_pages,
+            targets=tokens,
+            stride=stride,
+            use_snapshots=use_snapshots,
+            trial_timeout=trial_timeout,
+            shard=(index, count) if count > 1 else None,
+        ).run()
+
+    return merge_bitflip_reports(run_shards(shard, jobs))
+
+
+def run_bitflip_differential_sharded(
+    jobs: int,
+    *,
+    seed: int = 0xB17F11B,
+    targets: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    secure_pages: int = 16,
+    engines: Tuple[str, ...] = ("fast", "reference"),
+    use_snapshots: bool = True,
+    trial_timeout: Optional[float] = None,
+) -> Tuple:
+    """Sharded bitflip differential: ``(*reports, mismatches)``."""
+    tokens = None if targets is None else tuple(targets)
+
+    def shard(index: int, count: int) -> Tuple[BitflipReport, ...]:
+        results = _bitflip.run_differential(
+            seed=seed,
+            targets=tokens,
+            stride=stride,
+            secure_pages=secure_pages,
+            engines=engines,
+            use_snapshots=use_snapshots,
+            trial_timeout=trial_timeout,
+            shard=(index, count) if count > 1 else None,
+        )
+        return tuple(results[:-1])
+
+    per_shard = run_shards(shard, jobs)
+    merged = [
+        merge_bitflip_reports([shard_reports[i] for shard_reports in per_shard])
+        for i in range(len(engines))
+    ]
+    return (*merged, _bitflip.compare_reports(engines, merged))
+
+
+def run_pipeline_sharded(
+    kind: str,
+    jobs: int,
+    *,
+    engine: str = "turbo",
+    seed: Optional[int] = None,
+    stride: int = 1,
+    requests=None,
+    secure_pages: Optional[int] = None,
+):
+    """Sharded pipeline chaos sweep, merged back to the serial report."""
+    from repro.pipeline.campaign import (
+        DEFAULT_SECURE_PAGES,
+        DEFAULT_SEED,
+        PipelineCampaign,
+    )
+
+    the_seed = DEFAULT_SEED if seed is None else seed
+    pages = DEFAULT_SECURE_PAGES if secure_pages is None else secure_pages
+
+    def shard(index: int, count: int):
+        return PipelineCampaign(
+            kind,
+            engine=engine,
+            seed=the_seed,
+            stride=stride,
+            requests=requests,
+            secure_pages=pages,
+            shard=(index, count) if count > 1 else None,
+        ).run()
+
+    return merge_pipeline_reports(run_shards(shard, jobs))
+
+
+def check_witnesses_sharded(
+    witnesses: Sequence,
+    jobs: int,
+    *,
+    engines: Sequence[str],
+    trial_timeout: Optional[float] = None,
+) -> List:
+    """Sharded symbex witness replay; failures in serial witness order.
+
+    Witnesses stripe across shards by ordinal; each shard boots its own
+    per-engine monitors and keeps the harness's post-setup checkpoint
+    cache for the witnesses it owns.  Per-witness failure groups merge
+    back in ordinal order, so the failure list (and its digest) matches
+    the serial ``ReplayHarness.check`` exactly.
+    """
+    from repro.analysis.symbex.replay import ReplayHarness
+
+    witnesses = list(witnesses)
+
+    def shard(index: int, count: int):
+        harness = ReplayHarness(engines=engines)
+        groups = []
+        for ordinal, witness in enumerate(witnesses):
+            if ordinal % count != index:
+                continue
+            groups.append(
+                (ordinal, harness.check([witness], trial_timeout=trial_timeout))
+            )
+        return groups
+
+    merged = sorted(
+        (group for shard_groups in run_shards(shard, jobs) for group in shard_groups),
+        key=lambda group: group[0],
+    )
+    return [failure for _, failures in merged for failure in failures]

@@ -212,10 +212,16 @@ class PipelineCampaign:
         requests: Optional[Sequence[Sequence[int]]] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         with_checksum: Optional[bool] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         if stride < 1:
             raise ValueError("stride must be at least 1")
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 0 <= index < count:
+                raise ValueError(f"bad shard {shard!r}")
         self.kind = kind
+        self.shard = shard
         self.engine = engine
         self.seed = seed
         self.stride = stride
@@ -335,7 +341,13 @@ class PipelineCampaign:
         kill_points = list(range(1, report.ops + 1, self.stride))
         if kill_points and kill_points[-1] != report.ops:
             kill_points.append(report.ops)
-        for kill_point in kill_points:
+        for ordinal, kill_point in enumerate(kill_points):
+            # Shards split the kill-point list by serial ordinal; the
+            # golden trial above runs in every shard (the merge asserts
+            # they agree) and trials rewind to the shared snapshot, so
+            # skipping some cannot perturb the rest.
+            if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
+                continue
             plan = FaultPlan(abort_at=kill_point)
             report.trials.append(
                 self._trial(kill_point, plan, report.golden_digest)
@@ -357,6 +369,7 @@ def run_campaign(
     stride: int = 1,
     requests: Optional[Sequence[Sequence[int]]] = None,
     secure_pages: int = DEFAULT_SECURE_PAGES,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> PipelineReport:
     return PipelineCampaign(
         kind,
@@ -365,6 +378,7 @@ def run_campaign(
         stride=stride,
         requests=requests,
         secure_pages=secure_pages,
+        shard=shard,
     ).run()
 
 

@@ -24,6 +24,11 @@ Runs four suites and reports/records the results:
   bit-identical, plus a fork microbenchmark (ms per deep copy vs ms
   per snapshot restore).
 
+* **restore** — ``MachineState.restore`` latency, full-buffer copy vs
+  O(dirty-pages) delta, across the dirty-page counts that bracket real
+  cloud-request footprints (shared with ``repro.tools.deltabench``,
+  whose ``BENCH_PR10.json`` gate pins the ratio in CI).
+
 Usage::
 
     python -m repro.tools.bench                     # run, print a table
@@ -497,6 +502,18 @@ def run_campaigns() -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Snapshot restore: full-buffer copy vs O(dirty-pages) delta
+# ---------------------------------------------------------------------------
+
+
+def run_restore() -> Dict[str, object]:
+    """Delta vs full restore latency (shared with repro.tools.deltabench)."""
+    from repro.tools.deltabench import bench_restore
+
+    return bench_restore(iterations=200)
+
+
+# ---------------------------------------------------------------------------
 # Table 3 microbenchmarks (simulated cycles; mirrors benchmarks/)
 # ---------------------------------------------------------------------------
 
@@ -627,6 +644,7 @@ def run_all(repeats: int = 3) -> Dict[str, object]:
         "workloads": run_throughput(repeats=repeats),
         "micro": run_paper_micro(repeats=repeats),
         "campaigns": run_campaigns(),
+        "restore": run_restore(),
         "table3": run_table3(),
     }
 
@@ -671,6 +689,13 @@ def _print_report(report: Dict[str, object]) -> None:
         f"{'fork':<12} {'':>7} {fork['deepcopy_ms']:>10.3f}m "
         f"{fork['snapshot_restore_ms']:>10.3f}m {fork['speedup']:>7.2f}x"
     )
+    print()
+    print(f"{'restore':<12} {'dirty pages':>12} {'delta us':>9} {'full us':>9} {'speedup':>8}")
+    for row in report["restore"]["rows"]:
+        print(
+            f"{'':<12} {row['dirty_pages']:>12} {row['delta_us']:>9.1f} "
+            f"{row['full_us']:>9.1f} {row['speedup']:>7.1f}x"
+        )
     print()
     print(f"{'Table 3 row':<30} {'sim cycles':>12} {'paper':>8}")
     for name, row in report["table3"].items():
@@ -770,6 +795,18 @@ def summary_md(report: Dict[str, object]) -> str:
         f"| fork (ms/op) | | {fork['deepcopy_ms']:.3f} "
         f"| {fork['snapshot_restore_ms']:.3f} | {fork['speedup']:.2f}x | |"
     )
+    lines += [
+        "",
+        "### Snapshot restore (full vs delta)",
+        "",
+        "| dirty pages | delta us | full us | speedup |",
+        "| ---: | ---: | ---: | ---: |",
+    ]
+    for row in report["restore"]["rows"]:
+        lines.append(
+            f"| {row['dirty_pages']} | {row['delta_us']:.1f} "
+            f"| {row['full_us']:.1f} | {row['speedup']:.1f}x |"
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -819,6 +856,16 @@ def _check(baseline: Dict[str, object], current: Dict[str, object]) -> List[str]
                 )
             if row["violations"]:
                 failures.append(f"campaign {name}: {row['violations']} violation(s)")
+    if "restore" in baseline:
+        from repro.tools.deltabench import RESTORE_FLOOR
+
+        speedup = current["restore"]["footprint_speedup"]
+        if speedup < RESTORE_FLOOR:
+            failures.append(
+                f"restore: delta speedup {speedup}x at "
+                f"{current['restore']['footprint_pages']} dirty pages "
+                f"below the {RESTORE_FLOOR}x gate"
+            )
     for name, base in baseline.get("table3", {}).items():
         row = current["table3"].get(name)
         if row is None:

@@ -23,19 +23,29 @@ campaign; 1 is exhaustive (tens of thousands of trials — minutes, not
 seconds).  Every run is deterministic in ``--seed``.  Trials are
 snapshot-accelerated by default; ``--no-snapshot`` forces the original
 per-trial deep-copy path (same reports, slower).
+
+``--jobs N`` shards the (site, bit) sweep across N forked workers
+(``repro.faults.parallel``); the merged report and printed digest are
+byte-identical to the serial run's.  ``--verify-serial`` re-runs
+serially in-process and fails unless the digests agree.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.faults.bitflip import (
     TARGET_FAMILIES,
     BitflipCampaign,
     BitflipReport,
     run_differential,
+)
+from repro.faults.parallel import (
+    report_digest,
+    run_bitflip_differential_sharded,
+    run_bitflip_sharded,
 )
 
 
@@ -64,6 +74,58 @@ def _print_violations(violations: List[str], limit: int = 20) -> None:
         print(f"  FAIL: {violation}")
     if len(violations) > limit:
         print(f"  ... and {len(violations) - limit} more")
+
+
+def _run(args, targets, jobs: int) -> Tuple[List[BitflipReport], List[str]]:
+    """Run the requested campaign(s); ``(reports, engine mismatches)``."""
+    if args.engine in ("both", "all"):
+        engines = ("fast", "reference") if args.engine == "both" else (
+            "fast", "reference", "turbo"
+        )
+        if jobs > 1:
+            *reports, mismatches = run_bitflip_differential_sharded(
+                jobs,
+                seed=args.seed,
+                targets=targets,
+                stride=args.stride,
+                secure_pages=args.secure_pages,
+                engines=engines,
+                use_snapshots=not args.no_snapshot,
+                trial_timeout=args.timeout,
+            )
+        else:
+            *reports, mismatches = run_differential(
+                seed=args.seed,
+                targets=targets,
+                stride=args.stride,
+                secure_pages=args.secure_pages,
+                engines=engines,
+                use_snapshots=not args.no_snapshot,
+                trial_timeout=args.timeout,
+            )
+        return list(reports), mismatches
+    if jobs > 1:
+        report = run_bitflip_sharded(
+            jobs,
+            seed=args.seed,
+            engine=args.engine,
+            secure_pages=args.secure_pages,
+            targets=targets,
+            stride=args.stride,
+            use_snapshots=not args.no_snapshot,
+            trial_timeout=args.timeout,
+        )
+    else:
+        report = BitflipCampaign(
+            seed=args.seed,
+            engine=args.engine,
+            secure_pages=args.secure_pages,
+            targets=targets,
+            stride=args.stride,
+            use_snapshots=not args.no_snapshot,
+            trial_timeout=args.timeout,
+        ).run()
+    return [report], []
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -109,46 +171,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="wall-clock watchdog per trial: a wedged trial fails that "
         "trial with a recorded violation instead of hanging the run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard (site, bit) trials across N forked workers; the "
+        "merged report is byte-identical to the serial run (1 = serial)",
+    )
+    parser.add_argument(
+        "--verify-serial",
+        action="store_true",
+        help="also run the campaign serially and fail unless the report "
+        "digests match the --jobs run exactly",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     targets = None
     if args.targets:
         targets = [token.strip() for token in args.targets.split(",") if token.strip()]
 
     failures: List[str] = []
-    if args.engine in ("both", "all"):
-        engines = ("fast", "reference") if args.engine == "both" else (
-            "fast", "reference", "turbo"
-        )
-        *reports, mismatches = run_differential(
-            seed=args.seed,
-            targets=targets,
-            stride=args.stride,
-            secure_pages=args.secure_pages,
-            engines=engines,
-            use_snapshots=not args.no_snapshot,
-            trial_timeout=args.timeout,
-        )
-        for report in reports:
-            _print_report(report)
-            failures.extend(report.violations)
-        if mismatches:
-            print("engine differential mismatches:")
-            _print_violations(mismatches)
-        failures.extend(mismatches)
-    else:
-        campaign = BitflipCampaign(
-            seed=args.seed,
-            engine=args.engine,
-            secure_pages=args.secure_pages,
-            targets=targets,
-            stride=args.stride,
-            use_snapshots=not args.no_snapshot,
-            trial_timeout=args.timeout,
-        )
-        report = campaign.run()
+    reports, mismatches = _run(args, targets, args.jobs)
+    for report in reports:
         _print_report(report)
         failures.extend(report.violations)
+        print(f"report digest [{report.engine}]: {report_digest(report)}")
+    if mismatches:
+        print("engine differential mismatches:")
+        _print_violations(mismatches)
+    failures.extend(mismatches)
+
+    if args.verify_serial:
+        serial_reports, serial_mismatches = _run(args, targets, 1)
+        for parallel_report, serial_report in zip(reports, serial_reports):
+            jobs_digest = report_digest(parallel_report)
+            serial_digest = report_digest(serial_report)
+            verdict = "OK" if jobs_digest == serial_digest else "MISMATCH"
+            print(
+                f"verify-serial [{parallel_report.engine}]: jobs={args.jobs} "
+                f"{jobs_digest[:16]} vs serial {serial_digest[:16]}: {verdict}"
+            )
+            if jobs_digest != serial_digest:
+                failures.append(
+                    f"--jobs {args.jobs} report diverged from serial "
+                    f"({parallel_report.engine})"
+                )
+        if mismatches != serial_mismatches:
+            failures.append("--jobs differential mismatches diverged from serial")
 
     if failures:
         _print_violations(failures)

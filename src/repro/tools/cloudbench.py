@@ -17,8 +17,18 @@ be sane:
   engine-, worker- and scheduling-invariant data, so any drift is a
   semantic regression, not noise;
 * **structural** — wall-clock numbers are machine-dependent, so they
-  are only validated for shape: positive, p50 <= p99, and the matrix
-  covers at least two worker counts and two engines.
+  are only validated for shape: positive, p50 <= p99, the matrix
+  covers at least two worker counts and two engines, and within each
+  engine req/s is monotone-or-flat in the worker count (with a
+  tolerance keyed to the recording host's ``cpu_cores`` — on a
+  single-core box extra workers only add supervision overhead, so the
+  flatness tolerance is much looser there).
+
+Each configuration runs ``--repeats`` times and keeps the best run
+(the digest must agree across repeats): the first run of a process is
+cold (template build, turbo block compilation) and scheduler noise on
+small boxes is large, so best-of-N is what makes the committed numbers
+reproducible.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import pathlib
 import sys
 import time
@@ -37,11 +48,18 @@ from repro.cloud.service import CloudService
 from repro.cloud.worker import get_template
 from repro.util.watchdog import TrialTimeout, time_limit
 
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_cloud.json"
 DEFAULT_ENGINES = ("turbo", "fast")
 DEFAULT_WORKER_COUNTS = (1, 2)
 DEFAULT_PER_KIND = 4
+DEFAULT_REPEATS = 3
+#: Scaling floors for the monotone-or-flat worker check: adding workers
+#: must not *lose* throughput beyond noise.  On a multi-core host the
+#: tolerance is tight; on a single core, extra workers genuinely cost
+#: supervision overhead and the run-to-run noise dominates.
+SCALING_FLOOR_MULTICORE = 0.92
+SCALING_FLOOR_SINGLE_CORE = 0.65
 
 
 def workload(seed: int, per_kind: int) -> List[CloudRequest]:
@@ -93,17 +111,34 @@ async def _bench_config(
     }
 
 
+def _bench_best(
+    engine: str, workers: int, requests: List[CloudRequest], repeats: int
+) -> Dict:
+    """Best-of-``repeats`` for one configuration; digests must agree."""
+    runs = [
+        asyncio.run(_bench_config(engine, workers, requests))
+        for _ in range(repeats)
+    ]
+    digests = {run["digest"] for run in runs}
+    if len(digests) != 1:
+        raise RuntimeError(
+            f"{engine}/w{workers}: repeats disagree on results: {sorted(digests)}"
+        )
+    return max(runs, key=lambda run: run["req_per_s"])
+
+
 def run_bench(
     seed: int,
     per_kind: int,
     engines: Sequence[str],
     worker_counts: Sequence[int],
+    repeats: int = DEFAULT_REPEATS,
 ) -> Dict:
     requests = workload(seed, per_kind)
     configs = []
     for engine in engines:
         for workers in worker_counts:
-            configs.append(asyncio.run(_bench_config(engine, workers, requests)))
+            configs.append(_bench_best(engine, workers, requests, repeats))
     digests = {config.pop("digest") for config in configs}
     if len(digests) != 1:
         raise RuntimeError(
@@ -113,6 +148,8 @@ def run_bench(
         "version": BENCH_VERSION,
         "seed": seed,
         "per_kind": per_kind,
+        "repeats": repeats,
+        "cpu_cores": os.cpu_count() or 1,
         "kinds": list(REQUEST_KINDS),
         "results_digest": digests.pop(),
         "configs": configs,
@@ -150,6 +187,25 @@ def check_bench(data: Dict) -> List[str]:
                 problems.append(f"{label}: non-positive {field}")
         if config.get("p50_ms", 0) > config.get("p99_ms", 0):
             problems.append(f"{label}: p50 exceeds p99")
+    # Worker scaling must be monotone-or-flat per engine: more workers
+    # never lose throughput beyond noise.  The floor is keyed to the
+    # *recording* host's core count — on one core, extra workers cost
+    # supervision overhead and noise dominates.
+    cores = data.get("cpu_cores", 1)
+    floor = SCALING_FLOOR_MULTICORE if cores > 1 else SCALING_FLOOR_SINGLE_CORE
+    by_engine: Dict[str, List[Dict]] = {}
+    for config in configs:
+        by_engine.setdefault(config["engine"], []).append(config)
+    for engine, rows in sorted(by_engine.items()):
+        rows.sort(key=lambda config: config["workers"])
+        for prev, nxt in zip(rows, rows[1:]):
+            if nxt["req_per_s"] < prev["req_per_s"] * floor:
+                problems.append(
+                    f"{engine}: req/s regresses with workers: "
+                    f"w{prev['workers']} {prev['req_per_s']} -> "
+                    f"w{nxt['workers']} {nxt['req_per_s']} "
+                    f"(floor {floor:.2f}x on a {cores}-core host)"
+                )
     for engine in sorted(engines):
         recomputed = golden_digest(data["seed"], data["per_kind"], engine)
         if recomputed != data["results_digest"]:
@@ -213,6 +269,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=lambda s: int(s, 0), default=0xBE7C)
     parser.add_argument("--per-kind", type=int, default=DEFAULT_PER_KIND)
     parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        metavar="N",
+        help="run each configuration N times, keep the best run "
+        "(digests must agree; de-noises cold starts on small hosts)",
+    )
+    parser.add_argument(
         "--engines", default=",".join(DEFAULT_ENGINES), metavar="E1,E2"
     )
     parser.add_argument(
@@ -265,7 +329,11 @@ def _run(args, path: pathlib.Path) -> int:
     worker_counts = [
         int(token) for token in args.workers.split(",") if token.strip()
     ]
-    data = run_bench(args.seed, args.per_kind, engines, worker_counts)
+    if args.repeats < 1:
+        raise SystemExit("cloudbench: --repeats must be at least 1")
+    data = run_bench(
+        args.seed, args.per_kind, engines, worker_counts, repeats=args.repeats
+    )
     with open(path, "w") as handle:
         json.dump(data, handle, indent=1, sort_keys=True)
         handle.write("\n")

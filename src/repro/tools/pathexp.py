@@ -161,8 +161,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="wall-clock watchdog per witness replay: a wedged replay "
         "fails that witness with a clear error instead of hanging CI",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard witness replay across N forked workers "
+        "(repro.faults.parallel); the failure list is identical to the "
+        "serial harness's (1 = serial)",
+    )
     parser.add_argument("--list", action="store_true", help="list SMC drivers")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     if args.list:
         for name in driver_names():
@@ -214,8 +225,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.check and args.engine != "none":
         engines = DEFAULT_ENGINES if args.engine == "all" else (args.engine,)
-        harness = ReplayHarness(engines=engines)
-        failures = harness.check(witnesses, trial_timeout=args.timeout)
+        if args.jobs > 1:
+            from repro.faults.parallel import check_witnesses_sharded
+
+            failures = check_witnesses_sharded(
+                witnesses, args.jobs, engines=engines, trial_timeout=args.timeout
+            )
+        else:
+            harness = ReplayHarness(engines=engines)
+            failures = harness.check(witnesses, trial_timeout=args.timeout)
         if failures:
             print(f"pathexp: FAIL: {len(failures)} witness replay failure(s):")
             for failure in failures[:25]:

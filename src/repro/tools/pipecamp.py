@@ -18,6 +18,11 @@ Usage::
 ``--engine all`` runs the sweep on the turbo engine and adds a bounded
 differential leg: the golden run must produce the identical logical
 digest on all three execution engines.
+
+``--jobs N`` shards each pipeline's kill points across N forked workers
+(``repro.faults.parallel``); the merged report and printed digest are
+byte-identical to the serial run's.  ``--verify-serial`` re-runs the
+sweep serially in-process and fails on any digest divergence.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.faults.parallel import report_digest, run_pipeline_sharded
 from repro.pipeline.campaign import (
     DEFAULT_SEED,
     PipelineReport,
@@ -88,9 +94,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="SECONDS",
         help="wall-clock watchdog over the whole campaign (CI safety net)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard kill points across N forked workers; the merged "
+        "report is byte-identical to the serial run (1 = serial)",
+    )
+    parser.add_argument(
+        "--verify-serial",
+        action="store_true",
+        help="also run each sweep serially and fail unless the report "
+        "digests match the --jobs run exactly",
+    )
     args = parser.parse_args(argv)
     if args.stride < 1:
         parser.error("--stride must be at least 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     kinds = sorted(PIPELINE_KINDS)
     if args.pipelines:
@@ -107,11 +129,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         with time_limit(args.timeout, label="pipecamp"):
             for kind in kinds:
-                report = run_campaign(
-                    kind, engine=sweep_engine, seed=args.seed, stride=args.stride
-                )
+                if args.jobs > 1:
+                    report = run_pipeline_sharded(
+                        kind,
+                        args.jobs,
+                        engine=sweep_engine,
+                        seed=args.seed,
+                        stride=args.stride,
+                    )
+                else:
+                    report = run_campaign(
+                        kind, engine=sweep_engine, seed=args.seed, stride=args.stride
+                    )
                 _print_report(report)
+                print(f"{kind:<18} report digest: {report_digest(report)}")
                 failures += len(report.violations)
+                if args.verify_serial:
+                    serial = run_campaign(
+                        kind, engine=sweep_engine, seed=args.seed, stride=args.stride
+                    )
+                    jobs_digest = report_digest(report)
+                    serial_digest = report_digest(serial)
+                    verdict = "OK" if jobs_digest == serial_digest else "MISMATCH"
+                    print(
+                        f"{kind:<18} verify-serial: jobs={args.jobs} "
+                        f"{jobs_digest[:16]} vs serial {serial_digest[:16]}: "
+                        f"{verdict}"
+                    )
+                    if jobs_digest != serial_digest:
+                        failures += 1
             if args.engine == "all":
                 for kind in kinds:
                     digests = tri_engine_digests(kind, _ENGINES, seed=args.seed)

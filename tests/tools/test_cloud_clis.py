@@ -21,7 +21,16 @@ class TestCloudbench:
         out_path = tmp_path / "BENCH_cloud.json"
         assert (
             cloudbench.main(
-                ["--out", str(out_path), "--per-kind", "1", "--workers", "1,2"]
+                [
+                    "--out",
+                    str(out_path),
+                    "--per-kind",
+                    "1",
+                    "--workers",
+                    "1,2",
+                    "--repeats",
+                    "1",
+                ]
             )
             == 0
         )
@@ -29,6 +38,8 @@ class TestCloudbench:
         data = json.loads(out_path.read_text())
         assert {c["workers"] for c in data["configs"]} == {1, 2}
         assert {c["engine"] for c in data["configs"]} == {"turbo", "fast"}
+        assert data["cpu_cores"] >= 1
+        assert data["repeats"] == 1
 
         assert cloudbench.main(["--check", "--out", str(out_path)]) == 0
         assert "OK" in capsys.readouterr().out
@@ -40,7 +51,16 @@ class TestCloudbench:
         out_path = tmp_path / "BENCH_cloud.json"
         assert (
             cloudbench.main(
-                ["--out", str(out_path), "--per-kind", "1", "--workers", "1,2"]
+                [
+                    "--out",
+                    str(out_path),
+                    "--per-kind",
+                    "1",
+                    "--workers",
+                    "1,2",
+                    "--repeats",
+                    "1",
+                ]
             )
             == 0
         )
@@ -63,6 +83,8 @@ class TestCloudbench:
                     "1",
                     "--engines",
                     "turbo",
+                    "--repeats",
+                    "1",
                 ]
             )
             == 0
